@@ -1,0 +1,142 @@
+// Shared infrastructure for the paper-reproduction bench binaries.
+//
+// Every bench honours two environment variables:
+//   APAN_BENCH_SCALE   multiplies dataset sizes (default 1.0 = the
+//                      laptop-scale defaults documented in DESIGN.md §2);
+//   APAN_BENCH_EPOCHS  overrides the training epoch budget.
+
+#ifndef APAN_BENCH_BENCH_UTIL_H_
+#define APAN_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/dyrep.h"
+#include "baselines/gae.h"
+#include "baselines/jodie.h"
+#include "baselines/random_walk.h"
+#include "baselines/static_gnn.h"
+#include "baselines/tgat.h"
+#include "baselines/tgn.h"
+#include "data/synthetic.h"
+#include "train/apan_adapter.h"
+#include "train/link_trainer.h"
+#include "train/probe.h"
+
+namespace apan {
+namespace bench {
+
+inline double EnvScale(double fallback = 1.0) {
+  const char* s = std::getenv("APAN_BENCH_SCALE");
+  return s != nullptr ? std::atof(s) : fallback;
+}
+
+inline int EnvEpochs(int fallback) {
+  const char* s = std::getenv("APAN_BENCH_EPOCHS");
+  return s != nullptr ? std::atoi(s) : fallback;
+}
+
+/// Bench-default dataset sizes: small enough for a 2-core box, large
+/// enough that model ordering is stable. Scale with APAN_BENCH_SCALE.
+inline data::Dataset MakeWikipedia() {
+  return *data::GenerateSynthetic(
+      data::SyntheticConfig::WikipediaLike().Scaled(0.25 * EnvScale()));
+}
+inline data::Dataset MakeReddit() {
+  return *data::GenerateSynthetic(
+      data::SyntheticConfig::RedditLike().Scaled(0.15 * EnvScale()));
+}
+inline data::Dataset MakeAlipay() {
+  return *data::GenerateSynthetic(
+      data::SyntheticConfig::AlipayLike().Scaled(0.08 * EnvScale()));
+}
+
+/// Factory for the streaming (TemporalModel) competitors.
+inline std::unique_ptr<train::TemporalModel> MakeTemporalModel(
+    const std::string& name, const data::Dataset& ds, uint64_t seed) {
+  const int64_t n = ds.num_nodes;
+  const int64_t d = ds.feature_dim();
+  if (name == "APAN" || name == "APAN-1layer" || name == "APAN-2layers") {
+    core::ApanConfig c;
+    c.num_nodes = n;
+    c.embedding_dim = d;
+    c.propagation_hops = name == "APAN-1layer" ? 1 : 2;
+    return std::make_unique<train::ApanLinkModel>(
+        c, &ds.features, seed, name);
+  }
+  if (name == "TGAT" || name == "TGAT-1layer" || name == "TGAT-2layers") {
+    baselines::Tgat::Options o{.num_nodes = n, .dim = d};
+    o.num_layers = name == "TGAT-2layers" ? 2 : 1;
+    return std::make_unique<baselines::Tgat>(o, &ds.features, seed, name);
+  }
+  if (name == "TGN" || name == "TGN-1layer" || name == "TGN-2layers") {
+    baselines::Tgn::Options o{.num_nodes = n, .dim = d};
+    o.num_layers = name == "TGN-2layers" ? 2 : 1;
+    return std::make_unique<baselines::Tgn>(o, &ds.features, seed, name);
+  }
+  if (name == "JODIE") {
+    return std::make_unique<baselines::Jodie>(
+        baselines::Jodie::Options{
+            .num_nodes = n, .num_users = ds.num_users, .dim = d},
+        &ds.features, seed);
+  }
+  if (name == "DyRep") {
+    return std::make_unique<baselines::DyRep>(
+        baselines::DyRep::Options{.num_nodes = n, .dim = d}, &ds.features,
+        seed);
+  }
+  if (name == "SAGE") {
+    return std::make_unique<baselines::StaticGnn>(
+        baselines::StaticGnn::Kind::kSage,
+        baselines::StaticGnn::Options{.num_nodes = n, .dim = d}, seed);
+  }
+  if (name == "GAT") {
+    return std::make_unique<baselines::StaticGnn>(
+        baselines::StaticGnn::Kind::kGat,
+        baselines::StaticGnn::Options{.num_nodes = n, .dim = d}, seed);
+  }
+  std::fprintf(stderr, "unknown temporal model: %s\n", name.c_str());
+  std::abort();
+}
+
+/// Factory for the unsupervised static-embedding competitors.
+inline std::unique_ptr<train::StaticEmbeddingModel> MakeStaticModel(
+    const std::string& name, const data::Dataset& ds, uint64_t seed) {
+  const int64_t n = ds.num_nodes;
+  const int64_t d = ds.feature_dim();
+  if (name == "GAE" || name == "VGAE") {
+    return std::make_unique<baselines::Gae>(
+        baselines::Gae::Options{
+            .num_nodes = n, .dim = d, .variational = name == "VGAE"},
+        seed);
+  }
+  baselines::RandomWalkEmbedding::Options o;
+  o.dim = d;
+  if (name == "DeepWalk") {
+    return std::make_unique<baselines::RandomWalkEmbedding>(
+        baselines::RandomWalkEmbedding::Kind::kDeepWalk, o, seed);
+  }
+  if (name == "Node2vec") {
+    return std::make_unique<baselines::RandomWalkEmbedding>(
+        baselines::RandomWalkEmbedding::Kind::kNode2Vec, o, seed);
+  }
+  if (name == "CTDNE") {
+    return std::make_unique<baselines::RandomWalkEmbedding>(
+        baselines::RandomWalkEmbedding::Kind::kCtdne, o, seed);
+  }
+  std::fprintf(stderr, "unknown static model: %s\n", name.c_str());
+  std::abort();
+}
+
+inline void PrintRule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace bench
+}  // namespace apan
+
+#endif  // APAN_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,42 @@
+// Reproduces Figure 7: training time (seconds per epoch) versus average
+// precision, Wikipedia-like dataset, link prediction.
+//
+// Shape to verify: in the *training* phase APAN is in the same band as
+// TGN — propagation happens anyway during training, so the asynchronous
+// trick buys nothing there; TGAT-2layers is the slowest.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace apan;
+  std::printf(
+      "== Figure 7: training time (s/epoch) vs AP, wikipedia-like ==\n\n");
+
+  data::Dataset wiki = bench::MakeWikipedia();
+  train::LinkTrainConfig cfg;
+  cfg.max_epochs = bench::EnvEpochs(3);
+  cfg.patience = 2;
+  train::LinkTrainer trainer(cfg);
+
+  const std::vector<std::string> models = {
+      "JODIE",        "DyRep",       "TGAT-1layer", "TGAT-2layers",
+      "TGN-1layer",   "TGN-2layers", "APAN-1layer", "APAN-2layers"};
+
+  std::printf("%-14s | %12s | %9s\n", "Model", "s/epoch", "AP (%)");
+  bench::PrintRule(44);
+  for (const auto& name : models) {
+    auto model = bench::MakeTemporalModel(name, wiki, /*seed=*/2021);
+    auto report = trainer.Run(model.get(), wiki);
+    APAN_CHECK_MSG(report.ok(), report.status().ToString());
+    std::printf("%-14s | %12.2f | %9.2f\n", name.c_str(),
+                report->mean_train_seconds_per_epoch,
+                100 * report->test.ap);
+    std::fflush(stdout);
+  }
+  bench::PrintRule(44);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces Figure 9: APAN's average precision over the grid of
+// {number of sampled neighbors} x {number of mailbox slots}, both in
+// {5, 10, 15, 20}, Wikipedia-like dataset.
+//
+// Shape to verify: the whole grid is flat (paper: best-to-worst spread
+// only 0.6 AP points) — APAN is insensitive to its two main
+// hyper-parameters.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace apan;
+  std::printf(
+      "== Figure 9: AP (%%) grid — mailbox slots x sampled neighbors, "
+      "wikipedia-like ==\n\n");
+
+  data::Dataset wiki = bench::MakeWikipedia();
+  const std::vector<int64_t> grid = {5, 10, 15, 20};
+
+  train::LinkTrainConfig cfg;
+  cfg.max_epochs = bench::EnvEpochs(5);
+  cfg.patience = 2;
+  train::LinkTrainer trainer(cfg);
+
+  std::printf("%-22s", "neighbors \\ slots");
+  for (int64_t s : grid) std::printf(" | %6lld", (long long)s);
+  std::printf("\n");
+  bench::PrintRule(60);
+
+  double best = 0.0, worst = 1.0;
+  for (int64_t neighbors : grid) {
+    std::printf("%-22lld", (long long)neighbors);
+    for (int64_t slots : grid) {
+      core::ApanConfig c;
+      c.num_nodes = wiki.num_nodes;
+      c.embedding_dim = wiki.feature_dim();
+      c.mailbox_slots = slots;
+      c.sampled_neighbors = neighbors;
+      train::ApanLinkModel model(c, &wiki.features, /*seed=*/2021);
+      auto report = trainer.Run(&model, wiki);
+      APAN_CHECK_MSG(report.ok(), report.status().ToString());
+      const double ap = report->test.ap;
+      best = std::max(best, ap);
+      worst = std::min(worst, ap);
+      std::printf(" | %6.2f", 100 * ap);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  bench::PrintRule(60);
+  std::printf("spread (best - worst): %.2f AP points (paper: 0.6)\n",
+              100 * (best - worst));
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Micro-benchmarks of the substrates (google-benchmark): tensor ops, the
+// encoder's attention pattern, temporal-graph queries, k-hop sampling,
+// mailbox operations and the propagation queue. These are the primitive
+// costs behind Figures 6-7.
+
+#include <benchmark/benchmark.h>
+
+#include "core/mailbox.h"
+#include "core/propagator.h"
+#include "graph/sampling.h"
+#include "graph/temporal_graph.h"
+#include "nn/attention.h"
+#include "tensor/ops.h"
+#include "util/bounded_queue.h"
+
+namespace apan {
+namespace {
+
+// ---- Tensor ops -------------------------------------------------------------
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  tensor::NoGradGuard no_grad;
+  tensor::Tensor a = tensor::Tensor::Randn({n, n}, &rng);
+  tensor::Tensor b = tensor::Tensor::Randn({n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_BatchedAttentionForward(benchmark::State& state) {
+  // The exact shape of APAN's encoder attention: batch x 1 query over
+  // m = 10 mailbox slots, d = 32, 2 heads.
+  const int64_t batch = state.range(0);
+  Rng rng(2);
+  tensor::NoGradGuard no_grad;
+  nn::MultiHeadAttention mha(32, 2, &rng);
+  tensor::Tensor q = tensor::Tensor::Randn({batch, 32}, &rng);
+  tensor::Tensor kv = tensor::Tensor::Randn({batch, 10, 32}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mha.Forward(q, kv, kv));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_BatchedAttentionForward)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_SoftmaxLastDim(benchmark::State& state) {
+  Rng rng(3);
+  tensor::NoGradGuard no_grad;
+  tensor::Tensor x = tensor::Tensor::Randn({state.range(0), 10}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::SoftmaxLastDim(x));
+  }
+}
+BENCHMARK(BM_SoftmaxLastDim)->Arg(1024)->Arg(8192);
+
+// ---- Temporal graph ----------------------------------------------------------
+
+graph::TemporalGraph MakeDenseGraph(int64_t nodes, int64_t events) {
+  graph::TemporalGraph g(nodes);
+  Rng rng(4);
+  double t = 0.0;
+  for (int64_t i = 0; i < events; ++i) {
+    t += 0.01;
+    APAN_CHECK(
+        g.AddEvent({static_cast<graph::NodeId>(rng.Zipf(nodes, 1.1)),
+                    static_cast<graph::NodeId>(rng.Zipf(nodes, 1.1)), t, -1})
+            .ok());
+  }
+  return g;
+}
+
+void BM_MostRecentNeighbors(benchmark::State& state) {
+  auto g = MakeDenseGraph(2000, 100000);
+  Rng rng(5);
+  for (auto _ : state) {
+    const auto v = static_cast<graph::NodeId>(rng.UniformInt(2000));
+    benchmark::DoNotOptimize(g.MostRecentNeighbors(v, 900.0, state.range(0)));
+  }
+}
+BENCHMARK(BM_MostRecentNeighbors)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_KHopExpansion(benchmark::State& state) {
+  // The asynchronous-link cost per interaction: 2-seed k-hop expansion.
+  auto g = MakeDenseGraph(2000, 100000);
+  Rng rng(6);
+  const int32_t hops = static_cast<int32_t>(state.range(0));
+  for (auto _ : state) {
+    const auto a = static_cast<graph::NodeId>(rng.UniformInt(2000));
+    const auto b = static_cast<graph::NodeId>(rng.UniformInt(2000));
+    benchmark::DoNotOptimize(
+        graph::KHopMostRecent(g, {a, b}, 900.0, hops, 10));
+  }
+}
+BENCHMARK(BM_KHopExpansion)->Arg(1)->Arg(2);
+
+// ---- Mailbox -----------------------------------------------------------------
+
+void BM_MailboxDeliver(benchmark::State& state) {
+  core::Mailbox box(10000, 10, 32);
+  std::vector<float> mail(32, 0.5f);
+  Rng rng(7);
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 0.001;
+    box.Deliver(static_cast<graph::NodeId>(rng.UniformInt(10000)), mail, t);
+  }
+}
+BENCHMARK(BM_MailboxDeliver);
+
+void BM_MailboxReadBatch(benchmark::State& state) {
+  core::Mailbox box(10000, 10, 32);
+  std::vector<float> mail(32, 0.5f);
+  Rng rng(8);
+  for (int i = 0; i < 100000; ++i) {
+    box.Deliver(static_cast<graph::NodeId>(rng.UniformInt(10000)), mail,
+                i * 0.001);
+  }
+  std::vector<graph::NodeId> batch(state.range(0));
+  for (auto& v : batch) {
+    v = static_cast<graph::NodeId>(rng.UniformInt(10000));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(box.ReadBatch(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MailboxReadBatch)->Arg(200)->Arg(1000);
+
+// ---- Queue -------------------------------------------------------------------
+
+void BM_BoundedQueueRoundTrip(benchmark::State& state) {
+  BoundedQueue<int> q(1024);
+  for (auto _ : state) {
+    APAN_CHECK(q.Push(1).ok());
+    benchmark::DoNotOptimize(q.TryPop());
+  }
+}
+BENCHMARK(BM_BoundedQueueRoundTrip);
+
+}  // namespace
+}  // namespace apan
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// Reproduces Table 2: link-prediction accuracy and AP on the Wikipedia-
+// and Reddit-like datasets for all twelve models.
+//
+// Paper shape to verify: dynamic models beat static; unsupervised
+// embeddings (GAE/VGAE/DeepWalk/Node2vec/CTDNE) trail the end-to-end
+// models; APAN is competitive with TGN at the top.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "util/stopwatch.h"
+
+namespace apan {
+namespace {
+
+struct Row {
+  std::string name;
+  double wiki_acc = 0, wiki_ap = 0, reddit_acc = 0, reddit_ap = 0;
+};
+
+void RunTemporal(const std::string& name, const data::Dataset& wiki,
+                 const data::Dataset& reddit, Row* row) {
+  train::LinkTrainConfig cfg;
+  cfg.max_epochs = bench::EnvEpochs(6);
+  cfg.patience = 2;
+  train::LinkTrainer trainer(cfg);
+  {
+    auto model = bench::MakeTemporalModel(name, wiki, /*seed=*/2021);
+    auto report = trainer.Run(model.get(), wiki);
+    APAN_CHECK_MSG(report.ok(), report.status().ToString());
+    row->wiki_acc = report->test.accuracy;
+    row->wiki_ap = report->test.ap;
+  }
+  {
+    auto model = bench::MakeTemporalModel(name, reddit, /*seed=*/2021);
+    auto report = trainer.Run(model.get(), reddit);
+    APAN_CHECK_MSG(report.ok(), report.status().ToString());
+    row->reddit_acc = report->test.accuracy;
+    row->reddit_ap = report->test.ap;
+  }
+}
+
+void RunStatic(const std::string& name, const data::Dataset& wiki,
+               const data::Dataset& reddit, Row* row) {
+  train::ProbeConfig cfg;
+  cfg.epochs = bench::EnvEpochs(6);
+  {
+    auto model = bench::MakeStaticModel(name, wiki, /*seed=*/2021);
+    APAN_CHECK(model->Fit(wiki).ok());
+    auto eval = train::EvaluateStaticLink(*model, wiki, cfg);
+    APAN_CHECK_MSG(eval.ok(), eval.status().ToString());
+    row->wiki_acc = eval->test.accuracy;
+    row->wiki_ap = eval->test.ap;
+  }
+  {
+    auto model = bench::MakeStaticModel(name, reddit, /*seed=*/2021);
+    APAN_CHECK(model->Fit(reddit).ok());
+    auto eval = train::EvaluateStaticLink(*model, reddit, cfg);
+    APAN_CHECK_MSG(eval.ok(), eval.status().ToString());
+    row->reddit_acc = eval->test.accuracy;
+    row->reddit_ap = eval->test.ap;
+  }
+}
+
+}  // namespace
+}  // namespace apan
+
+int main() {
+  using namespace apan;
+  std::printf("== Table 2: Link prediction (test accuracy / AP, %%) ==\n");
+  std::printf("(synthetic stand-ins; shapes, not absolute paper values)\n\n");
+
+  data::Dataset wiki = bench::MakeWikipedia();
+  data::Dataset reddit = bench::MakeReddit();
+  std::printf("wikipedia-like: %lld events | reddit-like: %lld events\n\n",
+              (long long)wiki.num_events(), (long long)reddit.num_events());
+
+  const std::vector<std::string> unsupervised = {"GAE", "VGAE", "DeepWalk",
+                                                 "Node2vec", "CTDNE"};
+  const std::vector<std::string> supervised = {
+      "GAT", "SAGE", "DyRep", "JODIE", "TGAT", "TGN", "APAN"};
+
+  std::printf("%-10s | %9s %9s | %9s %9s\n", "Model", "Wiki Acc", "Wiki AP",
+              "Red Acc", "Red AP");
+  bench::PrintRule();
+  Stopwatch total;
+  for (const auto& name : unsupervised) {
+    Row row{name};
+    RunStatic(name, wiki, reddit, &row);
+    std::printf("%-10s | %9.2f %9.2f | %9.2f %9.2f\n", name.c_str(),
+                100 * row.wiki_acc, 100 * row.wiki_ap, 100 * row.reddit_acc,
+                100 * row.reddit_ap);
+    std::fflush(stdout);
+  }
+  bench::PrintRule();
+  for (const auto& name : supervised) {
+    Row row{name};
+    RunTemporal(name, wiki, reddit, &row);
+    std::printf("%-10s | %9.2f %9.2f | %9.2f %9.2f\n", name.c_str(),
+                100 * row.wiki_acc, 100 * row.wiki_ap, 100 * row.reddit_acc,
+                100 * row.reddit_ap);
+    std::fflush(stdout);
+  }
+  bench::PrintRule();
+  std::printf("total wall time: %.1fs\n", total.ElapsedSeconds());
+  return 0;
+}

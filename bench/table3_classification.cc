@@ -1,0 +1,102 @@
+// Reproduces Table 3: dynamic node classification AUC (Wikipedia-like,
+// Reddit-like) and edge classification AUC (Alipay-like).
+//
+// Protocol: train each model on link prediction, freeze it, collect
+// embeddings at labeled events, train an MLP probe on the training-range
+// rows, report test ROC-AUC (the TGN protocol the paper follows).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "util/stopwatch.h"
+
+namespace apan {
+namespace {
+
+double TemporalTaskAuc(const std::string& name, const data::Dataset& ds) {
+  train::LinkTrainConfig cfg;
+  cfg.max_epochs = bench::EnvEpochs(5);
+  cfg.patience = 2;
+  train::LinkTrainer trainer(cfg);
+  auto model = bench::MakeTemporalModel(name, ds, /*seed=*/2021);
+  auto report = trainer.Run(model.get(), ds);
+  APAN_CHECK_MSG(report.ok(), report.status().ToString());
+  auto rows = train::CollectTemporalRows(model.get(), ds, 200);
+  APAN_CHECK_MSG(rows.ok(), rows.status().ToString());
+  train::ProbeConfig pc;
+  pc.epochs = 12;
+  auto probe = train::TrainClassificationProbe(*rows, pc);
+  APAN_CHECK_MSG(probe.ok(), probe.status().ToString());
+  return probe->test_auc;
+}
+
+double StaticTaskAuc(const std::string& name, const data::Dataset& ds) {
+  auto model = bench::MakeStaticModel(name, ds, /*seed=*/2021);
+  APAN_CHECK(model->Fit(ds).ok());
+  auto rows = train::CollectStaticRows(*model, ds);
+  train::ProbeConfig pc;
+  pc.epochs = 12;
+  auto probe = train::TrainClassificationProbe(rows, pc);
+  APAN_CHECK_MSG(probe.ok(), probe.status().ToString());
+  return probe->test_auc;
+}
+
+}  // namespace
+}  // namespace apan
+
+int main() {
+  using namespace apan;
+  std::printf(
+      "== Table 3: node classification / edge classification (AUC, %%) "
+      "==\n\n");
+  std::printf(
+      "(node-label density boosted ~10x vs Table 1/2 datasets: the paper's "
+      "0.14%% rate\n leaves a scaled-down test split without positives, "
+      "making AUC degenerate.\n Structure and features are generated "
+      "identically.)\n\n");
+
+  // Same generators as Tables 1/2 but with enough labeled events that the
+  // evaluation split contains positives at this scale.
+  auto wiki_cfg =
+      data::SyntheticConfig::WikipediaLike().Scaled(0.25 * bench::EnvScale());
+  wiki_cfg.risky_user_fraction = 0.06;
+  wiki_cfg.risky_positive_prob = 0.3;
+  wiki_cfg.negative_label_prob = 0.10;
+  data::Dataset wiki = *data::GenerateSynthetic(wiki_cfg);
+  auto reddit_cfg =
+      data::SyntheticConfig::RedditLike().Scaled(0.15 * bench::EnvScale());
+  reddit_cfg.risky_user_fraction = 0.05;
+  reddit_cfg.risky_positive_prob = 0.25;
+  reddit_cfg.negative_label_prob = 0.10;
+  data::Dataset reddit = *data::GenerateSynthetic(reddit_cfg);
+  data::Dataset alipay = bench::MakeAlipay();
+
+  std::printf("%-10s | %10s %10s | %10s\n", "Model", "Wiki node",
+              "Reddit node", "Alipay edge");
+  bench::PrintRule(52);
+  Stopwatch total;
+
+  // Unsupervised rows (no Alipay column in the paper for these).
+  for (const std::string name : {"GAE", "VGAE", "CTDNE"}) {
+    const double w = StaticTaskAuc(name, wiki);
+    const double r = StaticTaskAuc(name, reddit);
+    std::printf("%-10s | %10.2f %10.2f | %10s\n", name.c_str(), 100 * w,
+                100 * r, "\\");
+    std::fflush(stdout);
+  }
+  bench::PrintRule(52);
+  for (const std::string name :
+       {"GAT", "SAGE", "DyRep", "JODIE", "TGAT", "TGN", "APAN"}) {
+    const double w = TemporalTaskAuc(name, wiki);
+    const double r = TemporalTaskAuc(name, reddit);
+    const double a = TemporalTaskAuc(name, alipay);
+    std::printf("%-10s | %10.2f %10.2f | %10.2f\n", name.c_str(), 100 * w,
+                100 * r, 100 * a);
+    std::fflush(stdout);
+  }
+  bench::PrintRule(52);
+  std::printf("total wall time: %.1fs\n", total.ElapsedSeconds());
+  return 0;
+}

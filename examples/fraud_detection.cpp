@@ -1,0 +1,89 @@
+// Fraud detection on an Alipay-like transaction graph — the paper's
+// motivating application (§1): fraud communities produce bursty,
+// feature-shifted transactions; the system must flag them from the edge
+// representation (z_src ‖ e ‖ z_dst).
+//
+//   ./build/examples/fraud_detection
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "train/apan_adapter.h"
+#include "train/link_trainer.h"
+#include "train/probe.h"
+
+int main() {
+  using namespace apan;
+
+  auto dataset = data::GenerateSynthetic(
+      data::SyntheticConfig::AlipayLike().Scaled(0.08));
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  int64_t fraud = 0, labeled = 0;
+  for (int8_t l : dataset->labels) {
+    fraud += (l == 1);
+    labeled += (l >= 0);
+  }
+  std::printf(
+      "transaction graph: %lld accounts, %lld transfers, %lld labeled "
+      "(%lld fraud)\n",
+      (long long)dataset->num_nodes, (long long)dataset->num_events(),
+      (long long)labeled, (long long)fraud);
+
+  // Stage 1: unsupervised-ish representation learning — train APAN on the
+  // link prediction pretext task over the transaction stream.
+  core::ApanConfig config;
+  config.num_nodes = dataset->num_nodes;
+  config.embedding_dim = dataset->feature_dim();
+  train::ApanLinkModel model(config, &dataset->features, /*seed=*/7);
+  train::LinkTrainConfig tc;
+  tc.max_epochs = 5;
+  train::LinkTrainer trainer(tc);
+  auto report = trainer.Run(&model, *dataset);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("pretext link prediction: test AP %.2f%%\n",
+              100 * report->test.ap);
+
+  // Stage 2: edge-classification probe on frozen embeddings — the Table 3
+  // Alipay protocol.
+  auto rows = train::CollectTemporalRows(&model, *dataset, 200);
+  if (!rows.ok()) {
+    std::fprintf(stderr, "%s\n", rows.status().ToString().c_str());
+    return 1;
+  }
+  train::ProbeConfig pc;
+  pc.epochs = 12;
+  auto probe = train::TrainClassificationProbe(*rows, pc);
+  if (!probe.ok()) {
+    std::fprintf(stderr, "%s\n", probe.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("fraud detection AUC: validation %.2f%%, test %.2f%%\n",
+              100 * probe->val_auc, 100 * probe->test_auc);
+  std::printf("(probe trained on %lld rows, evaluated on %lld)\n",
+              (long long)probe->train_rows, (long long)probe->eval_rows);
+
+  // Stage 3: what would the bank act on? Rank the test-range labeled
+  // transactions by a simple risk signal — here, how many fraud rows land
+  // in the top decile when ranked by the probe's training signal proxy
+  // (feature-shift magnitude along the planted direction is unknown to
+  // us, so we report the label mix of the probe's eval rows instead).
+  int64_t eval_fraud = 0, eval_total = 0;
+  for (const auto& r : *rows) {
+    if (r.split != data::Split::kTrain) {
+      ++eval_total;
+      eval_fraud += r.label;
+    }
+  }
+  std::printf("eval-range label mix: %lld fraud / %lld labeled — AUC above "
+              "0.5 means the embedding separates them\n",
+              (long long)eval_fraud, (long long)eval_total);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Quickstart: generate a temporal graph, train APAN on streaming link
+// prediction, and inspect the learned model — in ~30 seconds on a laptop.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "data/synthetic.h"
+#include "train/apan_adapter.h"
+#include "train/link_trainer.h"
+
+int main() {
+  using namespace apan;
+
+  // 1. A Wikipedia-like CTDG: bipartite user/item interactions with
+  //    timestamps, 32-d edge features and sparse dynamic labels.
+  data::SyntheticConfig config =
+      data::SyntheticConfig::WikipediaLike().Scaled(0.2);
+  auto dataset = data::GenerateSynthetic(config);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset generation failed: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("dataset: %lld nodes, %lld temporal edges, %lld-d features\n",
+              (long long)dataset->num_nodes,
+              (long long)dataset->num_events(),
+              (long long)dataset->feature_dim());
+
+  // 2. APAN with the paper's hyper-parameters (§4.4): 2 attention heads,
+  //    10 mailbox slots, 10 sampled neighbors, 2 propagation hops.
+  core::ApanConfig apan_config;
+  apan_config.num_nodes = dataset->num_nodes;
+  apan_config.embedding_dim = dataset->feature_dim();
+  train::ApanLinkModel model(apan_config, &dataset->features, /*seed=*/42);
+  std::printf("APAN parameters: %lld trainable scalars\n",
+              (long long)model.model().ParameterCount());
+
+  // 3. Streaming link-prediction training: chronological batches of 200
+  //    events, one dynamic negative per event, early stopping on
+  //    validation AP.
+  train::LinkTrainConfig train_config;
+  train_config.max_epochs = 6;
+  train_config.verbose = true;
+  train::LinkTrainer trainer(train_config);
+  auto report = trainer.Run(&model, *dataset);
+  if (!report.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\n=== results ===\n");
+  std::printf("validation: AP %.2f%%  accuracy %.2f%%\n",
+              100 * report->validation.ap, 100 * report->validation.accuracy);
+  std::printf("test:       AP %.2f%%  accuracy %.2f%%\n",
+              100 * report->test.ap, 100 * report->test.accuracy);
+  std::printf("train speed: %.2f s/epoch | inference: %.2f ms/batch\n",
+              report->mean_train_seconds_per_epoch,
+              report->mean_inference_millis_per_batch);
+  std::printf(
+      "graph queries on the inference path: %lld  <- the asynchronous "
+      "design\n",
+      (long long)report->sync_graph_queries);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Real-time serving — the deployment architecture of the paper's
+// Figure 2(b): a trained APAN model behind the asynchronous pipeline.
+// The synchronous link returns a score for every incoming interaction
+// in O(encoder + decoder); the k-hop mail propagation runs on a
+// background worker, off the latency path.
+//
+//   ./build/examples/realtime_serving
+
+#include <cstdio>
+
+#include "data/synthetic.h"
+#include "serve/async_pipeline.h"
+#include "train/apan_adapter.h"
+#include "train/link_trainer.h"
+
+int main() {
+  using namespace apan;
+
+  auto dataset = data::GenerateSynthetic(
+      data::SyntheticConfig::WikipediaLike().Scaled(0.2));
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  // Train offline first (weights ship to the serving tier).
+  core::ApanConfig config;
+  config.num_nodes = dataset->num_nodes;
+  config.embedding_dim = dataset->feature_dim();
+  train::ApanLinkModel trained(config, &dataset->features, /*seed=*/11);
+  train::LinkTrainConfig tc;
+  tc.max_epochs = 4;
+  train::LinkTrainer trainer(tc);
+  auto report = trainer.Run(&trained, *dataset);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("offline training done: test AP %.2f%%\n\n",
+              100 * report->test.ap);
+
+  // "Deploy": reset streaming state and replay the event stream through
+  // the async pipeline, as a production gateway would feed transactions.
+  trained.ResetState();
+  serve::AsyncPipeline::Options options;
+  options.queue_capacity = 64;
+  serve::AsyncPipeline pipeline(&trained.model(), options);
+
+  const size_t batch = 200;  // paper's serving batch
+  size_t served = 0;
+  for (size_t lo = 0; lo + batch <= dataset->events.size(); lo += batch) {
+    std::vector<graph::Event> events(dataset->events.begin() + lo,
+                                     dataset->events.begin() + lo + batch);
+    auto result = pipeline.InferBatch(events);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    served += result->scores.size();
+  }
+  pipeline.Flush();
+
+  std::printf("served %zu interactions in %zu batches\n", served,
+              static_cast<size_t>(pipeline.sync_latency().count()));
+  std::printf("\nsynchronous link (what the user waits for):\n");
+  std::printf("  mean %.3f ms/batch | p50 %.3f | p99 %.3f\n",
+              pipeline.sync_latency().Mean(), pipeline.sync_latency().P50(),
+              pipeline.sync_latency().P99());
+  std::printf("asynchronous link (graph query + propagation, off-path):\n");
+  std::printf("  mean %.3f ms/batch | p50 %.3f | p99 %.3f\n",
+              pipeline.async_latency().Mean(),
+              pipeline.async_latency().P50(),
+              pipeline.async_latency().P99());
+  std::printf(
+      "\nthe asynchronous link costs %.1fx the synchronous one — this is "
+      "the work APAN moves off the user's critical path.\n",
+      pipeline.async_latency().Mean() /
+          (pipeline.sync_latency().Mean() + 1e-9));
+  return 0;
+}

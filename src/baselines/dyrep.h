@@ -1,0 +1,68 @@
+// DyRep baseline (Trivedi et al., ICLR 2019), in the formulation the TGN
+// paper uses for comparison: recurrent node memory whose update message is
+// built from the *partner's* state (localized embedding), with an identity
+// read-out. Unlike JODIE there is no time-projection; unlike TGN there is
+// no attention embedding module.
+
+#ifndef APAN_BASELINES_DYREP_H_
+#define APAN_BASELINES_DYREP_H_
+
+#include <string>
+
+#include "baselines/memory_stream.h"
+#include "baselines/temporal_attention.h"  // TimedNode
+#include "core/decoder.h"
+
+namespace apan {
+namespace baselines {
+
+class DyRep : public MemoryStreamModel {
+ public:
+  struct Options {
+    int64_t num_nodes = 0;
+    int64_t dim = 0;
+    int64_t mlp_hidden = 80;
+    float dropout = 0.1f;
+  };
+
+  DyRep(const Options& options, const graph::EdgeFeatureStore* features,
+        uint64_t seed, std::string name = "DyRep");
+
+  std::string name() const override { return name_; }
+  LinkScores ScoreLinks(const train::EventBatch& batch) override;
+  EndpointEmbeddings EmbedEndpoints(const train::EventBatch& batch) override;
+  std::vector<tensor::Tensor> Parameters() override {
+    return net_.Parameters();
+  }
+  void SetTraining(bool training) override { net_.SetTraining(training); }
+
+ protected:
+  tensor::Tensor BuildMessageInputs(
+      const std::vector<const PendingMessage*>& messages) override;
+  nn::GruCell& CellFor(graph::NodeId /*node*/) override { return net_.cell; }
+
+ private:
+  class Net : public nn::Module {
+   public:
+    Net(const Options& o, nn::TimeEncoding* time_encoding, Rng* rng)
+        : cell(2 * o.dim + o.dim, o.dim, rng),
+          decoder(o.dim, o.mlp_hidden, rng) {
+      RegisterChild(&cell);
+      RegisterChild(&decoder);
+      RegisterChild(time_encoding);
+    }
+    nn::GruCell cell;  // input: [s_partner ‖ e ‖ Φ(Δt)]
+    core::LinkDecoder decoder;
+  };
+
+  tensor::Tensor Embeddings(const std::vector<TimedNode>& targets);
+
+  std::string name_;
+  Options options_;
+  Net net_;
+};
+
+}  // namespace baselines
+}  // namespace apan
+
+#endif  // APAN_BASELINES_DYREP_H_

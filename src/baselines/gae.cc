@@ -1,0 +1,193 @@
+#include "baselines/gae.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "data/negative_sampler.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+
+namespace apan {
+namespace baselines {
+
+using tensor::Tensor;
+
+Gae::Gae(const Options& options, uint64_t seed, std::string name)
+    : name_(name.empty() ? (options.variational ? "VGAE" : "GAE")
+                         : std::move(name)),
+      options_(options),
+      rng_(seed),
+      net_(options, &rng_),
+      static_graph_(graph::StaticGraph::FromEdges(options.num_nodes, {})) {
+  APAN_CHECK(options.num_nodes > 0 && options.dim > 0);
+}
+
+Gae::Encoded Gae::Encode(const std::vector<graph::NodeId>& nodes,
+                         bool stochastic) {
+  const int64_t d = options_.dim;
+  const int64_t n = options_.fanout;
+
+  // One shared sampled-mean aggregation step.
+  auto aggregate = [&](const std::vector<graph::NodeId>& targets,
+                       const std::function<Tensor(
+                           const std::vector<graph::NodeId>&)>& embed_fn)
+      -> std::pair<Tensor, Tensor> {
+    const int64_t batch = static_cast<int64_t>(targets.size());
+    SampledNeighborhood hood =
+        SampleStaticNeighbors(static_graph_, targets, n, &rng_);
+    std::vector<graph::NodeId> combined = targets;
+    combined.insert(combined.end(), hood.neighbors.begin(),
+                    hood.neighbors.end());
+    Tensor lower = embed_fn(combined);
+    std::vector<int64_t> self_rows(static_cast<size_t>(batch));
+    std::vector<int64_t> nbr_rows(static_cast<size_t>(batch * n));
+    for (int64_t i = 0; i < batch; ++i) self_rows[i] = i;
+    for (int64_t i = 0; i < batch * n; ++i) nbr_rows[i] = batch + i;
+    Tensor h_self = tensor::GatherRows(lower, self_rows);
+    Tensor h_nbr = tensor::GatherRows(lower, nbr_rows);
+    std::vector<float> vmask(static_cast<size_t>(batch * n * d));
+    for (int64_t i = 0; i < batch * n; ++i) {
+      std::fill_n(vmask.begin() + i * d,
+                  d, hood.value_mask[static_cast<size_t>(i)]);
+    }
+    h_nbr = tensor::Mul(
+        h_nbr, Tensor::FromVector({batch * n, d}, std::move(vmask)));
+    Tensor mean = tensor::MeanDim1(tensor::Reshape(h_nbr, {batch, n, d}));
+    std::vector<float> scale(static_cast<size_t>(batch * d));
+    for (int64_t b = 0; b < batch; ++b) {
+      std::fill_n(scale.begin() + b * d, d,
+                  hood.inv_counts[static_cast<size_t>(b)]);
+    }
+    mean =
+        tensor::Mul(mean, Tensor::FromVector({batch, d}, std::move(scale)));
+    return {h_self, mean};
+  };
+
+  auto layer0 = [&](const std::vector<graph::NodeId>& ids) {
+    std::vector<int64_t> rows(ids.size());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      rows[i] = ids[i] >= 0 ? ids[i] : 0;
+    }
+    return net_.input.Forward(rows);
+  };
+  auto layer1 = [&](const std::vector<graph::NodeId>& ids) {
+    auto [self, mean] = aggregate(ids, layer0);
+    return tensor::Relu(
+        net_.conv1.Forward(tensor::ConcatLastDim({self, mean})));
+  };
+
+  auto [self2, mean2] = aggregate(nodes, layer1);
+  Tensor cat = tensor::ConcatLastDim({self2, mean2});
+  Encoded out;
+  out.mu = net_.mu_head.Forward(cat);
+  out.z = out.mu;
+  if (options_.variational) {
+    out.logvar = net_.logvar_head.Forward(cat);
+    if (stochastic) {
+      // Reparameterization: z = mu + eps * exp(0.5 * logvar).
+      Tensor eps = Tensor::Randn(out.mu.shape(), &rng_);
+      Tensor std_dev = tensor::Exp(tensor::MulScalar(out.logvar, 0.5f));
+      out.z = tensor::Add(out.mu, tensor::Mul(eps, std_dev));
+    }
+  }
+  return out;
+}
+
+Status Gae::Fit(const data::Dataset& dataset) {
+  if (dataset.train_end == 0) {
+    return Status::InvalidArgument("empty training split");
+  }
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
+  edges.reserve(dataset.train_end);
+  for (size_t i = 0; i < dataset.train_end; ++i) {
+    edges.emplace_back(dataset.events[i].src, dataset.events[i].dst);
+  }
+  static_graph_ = graph::StaticGraph::FromEdges(dataset.num_nodes, edges);
+
+  tensor::Adam optimizer(net_.Parameters(), {.lr = options_.lr});
+  data::NegativeSampler sampler(dataset.num_nodes);
+  for (size_t i = 0; i < dataset.train_end; ++i) {
+    sampler.Observe(dataset.events[i].src);
+    sampler.Observe(dataset.events[i].dst);
+  }
+
+  std::vector<size_t> order(dataset.train_end);
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng_.Shuffle(&order);
+    for (size_t start = 0; start < order.size();
+         start += options_.batch_size) {
+      const size_t end = std::min(order.size(), start + options_.batch_size);
+      const size_t b = end - start;
+      std::vector<graph::NodeId> nodes;
+      nodes.reserve(3 * b);
+      for (size_t i = start; i < end; ++i) {
+        nodes.push_back(dataset.events[order[i]].src);
+      }
+      for (size_t i = start; i < end; ++i) {
+        nodes.push_back(dataset.events[order[i]].dst);
+      }
+      for (size_t i = start; i < end; ++i) {
+        nodes.push_back(
+            sampler.Sample(&rng_, dataset.events[order[i]].dst));
+      }
+      Encoded enc = Encode(nodes, /*stochastic=*/true);
+      std::vector<int64_t> src_rows(b), dst_rows(b), neg_rows(b);
+      for (size_t i = 0; i < b; ++i) {
+        src_rows[i] = static_cast<int64_t>(i);
+        dst_rows[i] = static_cast<int64_t>(b + i);
+        neg_rows[i] = static_cast<int64_t>(2 * b + i);
+      }
+      Tensor z_src = tensor::GatherRows(enc.z, src_rows);
+      Tensor z_dst = tensor::GatherRows(enc.z, dst_rows);
+      Tensor z_neg = tensor::GatherRows(enc.z, neg_rows);
+      Tensor pos = tensor::RowwiseDot(z_src, z_dst);
+      Tensor neg = tensor::RowwiseDot(z_src, z_neg);
+      Tensor loss = tensor::MulScalar(
+          tensor::Add(
+              tensor::BceWithLogits(pos, std::vector<float>(b, 1.0f)),
+              tensor::BceWithLogits(neg, std::vector<float>(b, 0.0f))),
+          0.5f);
+      if (options_.variational) {
+        loss = tensor::Add(
+            loss, tensor::MulScalar(tensor::GaussianKl(enc.mu, enc.logvar),
+                                    options_.kl_weight));
+      }
+      optimizer.ZeroGrad();
+      APAN_RETURN_NOT_OK(loss.Backward());
+      optimizer.Step();
+    }
+  }
+
+  // Cache deterministic (mean) embeddings for every node.
+  cached_.assign(static_cast<size_t>(options_.num_nodes * options_.dim),
+                 0.0f);
+  {
+    tensor::NoGradGuard no_grad;
+    const size_t chunk = 1024;
+    for (int64_t start = 0; start < options_.num_nodes;
+         start += static_cast<int64_t>(chunk)) {
+      const int64_t end = std::min<int64_t>(options_.num_nodes,
+                                            start + static_cast<int64_t>(chunk));
+      std::vector<graph::NodeId> nodes;
+      for (int64_t v = start; v < end; ++v) nodes.push_back(v);
+      Encoded enc = Encode(nodes, /*stochastic=*/false);
+      std::copy_n(enc.mu.data(), (end - start) * options_.dim,
+                  cached_.data() + start * options_.dim);
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+std::vector<float> Gae::Embedding(graph::NodeId node) const {
+  APAN_CHECK_MSG(fitted_, "Embedding() before Fit()");
+  APAN_CHECK(node >= 0 && node < options_.num_nodes);
+  return std::vector<float>(
+      cached_.begin() + static_cast<size_t>(node * options_.dim),
+      cached_.begin() + static_cast<size_t>((node + 1) * options_.dim));
+}
+
+}  // namespace baselines
+}  // namespace apan

@@ -1,0 +1,79 @@
+// GAE / VGAE baselines (Kipf & Welling, 2016): graph auto-encoder with a
+// two-layer graph-convolutional encoder (sampled-mean aggregation over the
+// static training projection) and an inner-product decoder, trained on
+// edge reconstruction; VGAE adds the reparameterized Gaussian latent and
+// KL regularizer.
+
+#ifndef APAN_BASELINES_GAE_H_
+#define APAN_BASELINES_GAE_H_
+
+#include <memory>
+#include <string>
+
+#include "baselines/static_gnn.h"
+#include "graph/static_graph.h"
+#include "nn/layers.h"
+#include "train/static_model.h"
+
+namespace apan {
+namespace baselines {
+
+class Gae : public train::StaticEmbeddingModel {
+ public:
+  struct Options {
+    int64_t num_nodes = 0;
+    int64_t dim = 0;
+    int64_t fanout = 10;
+    int64_t epochs = 3;
+    size_t batch_size = 512;
+    float lr = 1e-2f;
+    float kl_weight = 1e-2f;  ///< VGAE only.
+    bool variational = false;
+  };
+
+  Gae(const Options& options, uint64_t seed, std::string name = "");
+
+  std::string name() const override { return name_; }
+  int64_t dim() const override { return options_.dim; }
+  Status Fit(const data::Dataset& dataset) override;
+  std::vector<float> Embedding(graph::NodeId node) const override;
+
+ private:
+  class Net : public nn::Module {
+   public:
+    Net(const Options& o, Rng* rng)
+        : input(o.num_nodes, o.dim, rng),
+          conv1(2 * o.dim, o.dim, rng),
+          mu_head(2 * o.dim, o.dim, rng),
+          logvar_head(2 * o.dim, o.dim, rng) {
+      RegisterChild(&input);
+      RegisterChild(&conv1);
+      RegisterChild(&mu_head);
+      if (o.variational) RegisterChild(&logvar_head);
+    }
+    nn::EmbeddingTable input;
+    nn::Linear conv1;        // layer 1: [self ‖ mean(nbrs)] -> dim
+    nn::Linear mu_head;      // layer 2 (mu)
+    nn::Linear logvar_head;  // layer 2 (logvar, VGAE)
+  };
+
+  struct Encoded {
+    tensor::Tensor mu;
+    tensor::Tensor logvar;  ///< Undefined for plain GAE.
+    tensor::Tensor z;       ///< Sampled latent (== mu when deterministic).
+  };
+  Encoded Encode(const std::vector<graph::NodeId>& nodes, bool stochastic);
+
+  std::string name_;
+  Options options_;
+  Rng rng_;
+  Net net_;
+  graph::StaticGraph static_graph_;
+  std::vector<float> cached_;  ///< num_nodes * dim after Fit.
+  bool fitted_ = false;
+};
+
+}  // namespace baselines
+}  // namespace apan
+
+#endif  // APAN_BASELINES_GAE_H_

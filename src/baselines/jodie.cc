@@ -1,0 +1,117 @@
+#include "baselines/jodie.h"
+
+#include "tensor/ops.h"
+
+namespace apan {
+namespace baselines {
+
+using tensor::Tensor;
+using train::EventBatch;
+
+Jodie::Jodie(const Options& options, const graph::EdgeFeatureStore* features,
+             uint64_t seed, std::string name)
+    : MemoryStreamModel({.num_nodes = options.num_nodes,
+                         .dim = options.dim,
+                         .mlp_hidden = options.mlp_hidden,
+                         .dropout = options.dropout},
+                        features, seed),
+      name_(std::move(name)),
+      options_(options),
+      net_(options, &time_encoding_, &rng_) {
+  APAN_CHECK_MSG(features->dim() == options.dim,
+                 "JODIE config assumes dim == edge feature dim");
+}
+
+Tensor Jodie::BuildMessageInputs(
+    const std::vector<const PendingMessage*>& messages) {
+  const int64_t d = base_options_.dim;
+  const int64_t k = static_cast<int64_t>(messages.size());
+  // [s_partner ‖ e] constants; Φ(Δt) in-graph.
+  std::vector<float> flat(static_cast<size_t>(k * 2 * d), 0.0f);
+  std::vector<double> deltas(static_cast<size_t>(k));
+  for (int64_t i = 0; i < k; ++i) {
+    const PendingMessage& m = *messages[static_cast<size_t>(i)];
+    float* row = flat.data() + i * 2 * d;
+    std::copy(m.partner_memory.begin(), m.partner_memory.end(), row);
+    if (m.edge_id >= 0) std::copy_n(features_->Row(m.edge_id), d, row + d);
+    deltas[static_cast<size_t>(i)] = m.delta_t;
+  }
+  Tensor constants = Tensor::FromVector({k, 2 * d}, std::move(flat));
+  return tensor::ConcatLastDim({constants, time_encoding_.Forward(deltas)});
+}
+
+Tensor Jodie::ProjectedEmbeddings(const std::vector<TimedNode>& targets) {
+  std::vector<graph::NodeId> nodes;
+  nodes.reserve(targets.size());
+  std::vector<float> dts;
+  dts.reserve(targets.size());
+  for (const TimedNode& t : targets) {
+    nodes.push_back(t.node);
+    dts.push_back(
+        static_cast<float>(DeltaSinceLastEvent(t.node, t.time)));
+  }
+  Tensor memory = UpdatedMemory(nodes);  // {B, d}, in-graph
+  // (1 + Δt·w): outer product of the Δt column with w, plus one.
+  Tensor dt_col = Tensor::FromVector(
+      {static_cast<int64_t>(targets.size()), 1}, std::move(dts));
+  Tensor scale =
+      tensor::AddScalar(tensor::MatMul(dt_col, net_.projection_w), 1.0f);
+  return tensor::Mul(memory, scale);
+}
+
+train::TemporalModel::LinkScores Jodie::ScoreLinks(const EventBatch& batch) {
+  APAN_CHECK(batch.negatives.size() == batch.size());
+  const size_t b = batch.size();
+  std::vector<TimedNode> targets;
+  targets.reserve(3 * b);
+  for (size_t i = 0; i < b; ++i) {
+    targets.push_back({batch.event(i).src, batch.event(i).timestamp});
+  }
+  for (size_t i = 0; i < b; ++i) {
+    targets.push_back({batch.event(i).dst, batch.event(i).timestamp});
+  }
+  for (size_t i = 0; i < b; ++i) {
+    targets.push_back({batch.negatives[i], batch.event(i).timestamp});
+  }
+  Tensor all = ProjectedEmbeddings(targets);
+  std::vector<int64_t> src_rows(b), dst_rows(b), neg_rows(b);
+  for (size_t i = 0; i < b; ++i) {
+    src_rows[i] = static_cast<int64_t>(i);
+    dst_rows[i] = static_cast<int64_t>(b + i);
+    neg_rows[i] = static_cast<int64_t>(2 * b + i);
+  }
+  LinkScores scores;
+  scores.pos_logits = net_.decoder.Forward(
+      tensor::GatherRows(all, src_rows), tensor::GatherRows(all, dst_rows),
+      &rng_);
+  scores.neg_logits = net_.decoder.Forward(
+      tensor::GatherRows(all, src_rows), tensor::GatherRows(all, neg_rows),
+      &rng_);
+  return scores;
+}
+
+train::TemporalModel::EndpointEmbeddings Jodie::EmbedEndpoints(
+    const EventBatch& batch) {
+  const size_t b = batch.size();
+  std::vector<TimedNode> targets;
+  targets.reserve(2 * b);
+  for (size_t i = 0; i < b; ++i) {
+    targets.push_back({batch.event(i).src, batch.event(i).timestamp});
+  }
+  for (size_t i = 0; i < b; ++i) {
+    targets.push_back({batch.event(i).dst, batch.event(i).timestamp});
+  }
+  Tensor all = ProjectedEmbeddings(targets);
+  std::vector<int64_t> src_rows(b), dst_rows(b);
+  for (size_t i = 0; i < b; ++i) {
+    src_rows[i] = static_cast<int64_t>(i);
+    dst_rows[i] = static_cast<int64_t>(b + i);
+  }
+  EndpointEmbeddings out;
+  out.z_src = tensor::GatherRows(all, src_rows);
+  out.z_dst = tensor::GatherRows(all, dst_rows);
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace apan

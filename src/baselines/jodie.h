@@ -1,0 +1,86 @@
+// JODIE baseline (Kumar et al., KDD 2019): dual recurrent memories (user
+// and item RNNs on bipartite graphs) plus the time-projection read-out
+//   ŝ_u(t) = (1 + Δt · w) ∘ s_u.
+// No neighborhood aggregation — "JODIE ... only update[s] the related two
+// nodes on an edge" (paper §2.4) — so it is fast but, per Figure 6,
+// "limited by the expressive ability".
+
+#ifndef APAN_BASELINES_JODIE_H_
+#define APAN_BASELINES_JODIE_H_
+
+#include <string>
+
+#include "baselines/memory_stream.h"
+#include "baselines/temporal_attention.h"  // TimedNode
+#include "core/decoder.h"
+
+namespace apan {
+namespace baselines {
+
+class Jodie : public MemoryStreamModel {
+ public:
+  struct Options {
+    int64_t num_nodes = 0;
+    /// Nodes < num_users use the user RNN; the rest the item RNN. Pass 0
+    /// for non-bipartite graphs (single RNN).
+    int64_t num_users = 0;
+    int64_t dim = 0;
+    int64_t mlp_hidden = 80;
+    float dropout = 0.1f;
+  };
+
+  Jodie(const Options& options, const graph::EdgeFeatureStore* features,
+        uint64_t seed, std::string name = "JODIE");
+
+  std::string name() const override { return name_; }
+  LinkScores ScoreLinks(const train::EventBatch& batch) override;
+  EndpointEmbeddings EmbedEndpoints(const train::EventBatch& batch) override;
+  std::vector<tensor::Tensor> Parameters() override {
+    return net_.Parameters();
+  }
+  void SetTraining(bool training) override { net_.SetTraining(training); }
+
+ protected:
+  tensor::Tensor BuildMessageInputs(
+      const std::vector<const PendingMessage*>& messages) override;
+  nn::GruCell& CellFor(graph::NodeId node) override {
+    if (options_.num_users > 0 && node >= options_.num_users) {
+      return net_.item_cell;
+    }
+    return net_.user_cell;
+  }
+
+ private:
+  class Net : public nn::Module {
+   public:
+    Net(const Options& o, nn::TimeEncoding* time_encoding, Rng* rng)
+        : user_cell(2 * o.dim + o.dim, o.dim, rng),
+          item_cell(2 * o.dim + o.dim, o.dim, rng),
+          decoder(o.dim, o.mlp_hidden, rng) {
+      RegisterChild(&user_cell);
+      RegisterChild(&item_cell);
+      RegisterChild(&decoder);
+      RegisterChild(time_encoding);
+      projection_w = tensor::Tensor::Zeros({1, o.dim}, true);
+      RegisterParameter(projection_w);
+    }
+    nn::GruCell user_cell;   // input: [s_partner ‖ e ‖ Φ(Δt)]
+    nn::GruCell item_cell;
+    core::LinkDecoder decoder;
+    tensor::Tensor projection_w;  // {1, dim} time-projection weights
+  };
+
+  /// \brief JODIE's projected embedding: memory (with in-graph pending
+  /// update) scaled by (1 + Δt·w), Δt measured from the node's last event
+  /// to each target's time.
+  tensor::Tensor ProjectedEmbeddings(const std::vector<TimedNode>& targets);
+
+  std::string name_;
+  Options options_;
+  Net net_;
+};
+
+}  // namespace baselines
+}  // namespace apan
+
+#endif  // APAN_BASELINES_JODIE_H_

@@ -1,0 +1,190 @@
+#include "baselines/memory_stream.h"
+
+#include <algorithm>
+
+#include "tensor/ops.h"
+
+namespace apan {
+namespace baselines {
+
+using tensor::Tensor;
+using train::EventBatch;
+
+MemoryStreamModel::MemoryStreamModel(const BaseOptions& options,
+                                     const graph::EdgeFeatureStore* features,
+                                     uint64_t seed)
+    : base_options_(options),
+      features_(features),
+      rng_(seed),
+      graph_(options.num_nodes),
+      time_encoding_(options.dim, &rng_),
+      memory_(static_cast<size_t>(options.num_nodes * options.dim), 0.0f),
+      last_event_time_(static_cast<size_t>(options.num_nodes), 0.0),
+      pending_(static_cast<size_t>(options.num_nodes)) {
+  APAN_CHECK(features != nullptr);
+  APAN_CHECK(options.num_nodes > 0 && options.dim > 0);
+}
+
+const float* MemoryStreamModel::MemoryRow(graph::NodeId node) const {
+  APAN_CHECK(node >= 0 && node < base_options_.num_nodes);
+  return memory_.data() + static_cast<size_t>(node * base_options_.dim);
+}
+
+double MemoryStreamModel::DeltaSinceLastEvent(graph::NodeId node,
+                                              double now) const {
+  APAN_CHECK(node >= 0 && node < base_options_.num_nodes);
+  const double last = last_event_time_[static_cast<size_t>(node)];
+  return last > 0.0 ? std::max(0.0, now - last) : 0.0;
+}
+
+Tensor MemoryStreamModel::RawMemory(
+    const std::vector<graph::NodeId>& nodes) const {
+  const int64_t d = base_options_.dim;
+  std::vector<float> out(nodes.size() * static_cast<size_t>(d), 0.0f);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i] < 0) continue;  // padding row stays zero
+    std::copy_n(MemoryRow(nodes[i]), d,
+                out.data() + i * static_cast<size_t>(d));
+  }
+  return Tensor::FromVector({static_cast<int64_t>(nodes.size()), d},
+                            std::move(out));
+}
+
+Tensor MemoryStreamModel::UpdatedMemory(
+    const std::vector<graph::NodeId>& nodes) {
+  // Collect the distinct nodes that have pending updates.
+  std::vector<graph::NodeId> with_pending;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const graph::NodeId v = nodes[i];
+    if (v >= 0 && pending_[static_cast<size_t>(v)].valid &&
+        std::find(with_pending.begin(), with_pending.end(), v) ==
+            with_pending.end()) {
+      with_pending.push_back(v);
+    }
+  }
+  Tensor raw = RawMemory(nodes);
+  if (with_pending.empty()) return raw;
+
+  // In-graph recurrent update for the pending subset. Cells may differ per
+  // node (bipartite JODIE), so group nodes by cell.
+  std::unordered_map<nn::GruCell*, std::vector<graph::NodeId>> by_cell;
+  for (graph::NodeId v : with_pending) by_cell[&CellFor(v)].push_back(v);
+
+  std::unordered_map<graph::NodeId, std::pair<const Tensor*, int64_t>>
+      updated_row;
+  std::vector<Tensor> group_outputs;
+  group_outputs.reserve(by_cell.size());
+  for (auto& [cell, members] : by_cell) {
+    std::vector<const PendingMessage*> msgs;
+    msgs.reserve(members.size());
+    for (graph::NodeId v : members) {
+      msgs.push_back(&pending_[static_cast<size_t>(v)]);
+    }
+    Tensor inputs = BuildMessageInputs(msgs);
+    Tensor prev = RawMemory(members);
+    group_outputs.push_back(cell->Forward(inputs, prev));
+    for (size_t i = 0; i < members.size(); ++i) {
+      updated_row[members[i]] = {&group_outputs.back(),
+                                 static_cast<int64_t>(i)};
+    }
+  }
+
+  // Assemble the final {nodes, d} tensor: updated rows from the cell
+  // outputs, others from the raw constant.
+  std::vector<Tensor> parts;
+  std::vector<int64_t> part_row;  // row into the concatenated tensor
+  parts.push_back(raw);
+  int64_t offset = static_cast<int64_t>(nodes.size());
+  std::unordered_map<const Tensor*, int64_t> tensor_offset;
+  tensor_offset[&raw] = 0;
+  for (const Tensor& g : group_outputs) {
+    parts.push_back(g);
+    tensor_offset[&g] = offset;
+    offset += g.dim(0);
+  }
+  Tensor stacked = tensor::ConcatRows(parts);
+  std::vector<int64_t> final_rows(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const graph::NodeId v = nodes[i];
+    auto it = v >= 0 ? updated_row.find(v) : updated_row.end();
+    if (it == updated_row.end()) {
+      final_rows[i] = static_cast<int64_t>(i);  // raw row
+    } else {
+      final_rows[i] = tensor_offset.at(it->second.first) + it->second.second;
+    }
+  }
+  return tensor::GatherRows(stacked, final_rows);
+}
+
+void MemoryStreamModel::FlushPending() {
+  if (pending_nodes_.empty()) return;
+  tensor::NoGradGuard no_grad;
+  const int64_t d = base_options_.dim;
+  std::unordered_map<nn::GruCell*, std::vector<graph::NodeId>> by_cell;
+  for (graph::NodeId v : pending_nodes_) by_cell[&CellFor(v)].push_back(v);
+  for (auto& [cell, members] : by_cell) {
+    std::vector<const PendingMessage*> msgs;
+    for (graph::NodeId v : members) {
+      msgs.push_back(&pending_[static_cast<size_t>(v)]);
+    }
+    Tensor inputs = BuildMessageInputs(msgs);
+    Tensor prev = RawMemory(members);
+    Tensor updated = cell->Forward(inputs, prev);
+    const float* rows = updated.data();
+    for (size_t i = 0; i < members.size(); ++i) {
+      std::copy_n(rows + i * static_cast<size_t>(d), d,
+                  memory_.data() +
+                      static_cast<size_t>(members[i] * d));
+    }
+  }
+  for (graph::NodeId v : pending_nodes_) {
+    pending_[static_cast<size_t>(v)] = PendingMessage{};
+  }
+  pending_nodes_.clear();
+}
+
+void MemoryStreamModel::CreatePending(const EventBatch& batch) {
+  const int64_t d = base_options_.dim;
+  auto create = [&](graph::NodeId self, graph::NodeId partner,
+                    const graph::Event& e) {
+    PendingMessage& msg = pending_[static_cast<size_t>(self)];
+    if (!msg.valid) pending_nodes_.push_back(self);
+    msg.valid = true;
+    msg.self_memory.assign(MemoryRow(self), MemoryRow(self) + d);
+    msg.partner_memory.assign(MemoryRow(partner), MemoryRow(partner) + d);
+    msg.edge_id = e.edge_id;
+    msg.delta_t = DeltaSinceLastEvent(self, e.timestamp);
+    msg.event_time = e.timestamp;
+  };
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const graph::Event& e = batch.event(i);
+    create(e.src, e.dst, e);
+    if (e.dst != e.src) create(e.dst, e.src, e);
+    last_event_time_[static_cast<size_t>(e.src)] = e.timestamp;
+    last_event_time_[static_cast<size_t>(e.dst)] = e.timestamp;
+  }
+}
+
+Status MemoryStreamModel::Consume(const EventBatch& batch) {
+  FlushPending();
+  CreatePending(batch);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    APAN_RETURN_NOT_OK(graph_.AddEvent(batch.event(i)));
+  }
+  return Status::OK();
+}
+
+void MemoryStreamModel::ResetState() {
+  std::fill(memory_.begin(), memory_.end(), 0.0f);
+  std::fill(last_event_time_.begin(), last_event_time_.end(), 0.0);
+  for (graph::NodeId v : pending_nodes_) {
+    pending_[static_cast<size_t>(v)] = PendingMessage{};
+  }
+  pending_nodes_.clear();
+  graph_.Reset();
+  graph_.ResetQueryCount();
+  sync_queries_ = 0;
+}
+
+}  // namespace baselines
+}  // namespace apan

@@ -1,0 +1,117 @@
+// Shared machinery for memory-based CTDG baselines (TGN, JODIE, DyRep).
+//
+// Each node keeps a memory vector s_v updated by a recurrent cell when the
+// node interacts. Following the TGN implementation, messages are applied
+// with a one-batch lag so the recurrent cell stays on the gradient path:
+//
+//   ScoreLinks(batch k):  memory of batch-k nodes is recomputed *in-graph*
+//                         from their pending messages (created at batch
+//                         k-1), so cell weights receive gradients;
+//   Consume(batch k):     pending messages are flushed into the raw memory
+//                         table (no gradients), then the batch's events
+//                         create fresh pending messages and are appended
+//                         to the temporal graph.
+//
+// A pending message stores raw ingredients (memory snapshots, edge id,
+// Δt), not the assembled vector, so the trainable time encoding
+// contributes gradients when the message is rebuilt in-graph.
+
+#ifndef APAN_BASELINES_MEMORY_STREAM_H_
+#define APAN_BASELINES_MEMORY_STREAM_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/edge_features.h"
+#include "graph/temporal_graph.h"
+#include "nn/recurrent.h"
+#include "nn/time_encoding.h"
+#include "tensor/tensor.h"
+#include "train/temporal_model.h"
+
+namespace apan {
+namespace baselines {
+
+/// \brief Base class: raw memory table + pending-message queue + streaming
+/// protocol. Subclasses define the message layout, the recurrent cell
+/// choice, and the embedding read-out.
+class MemoryStreamModel : public train::TemporalModel {
+ public:
+  struct BaseOptions {
+    int64_t num_nodes = 0;
+    int64_t dim = 0;        ///< Memory/embedding dim = edge feature dim.
+    int64_t mlp_hidden = 80;
+    float dropout = 0.1f;
+  };
+
+  Status Consume(const train::EventBatch& batch) override;
+  void ResetState() override;
+  int64_t embedding_dim() const override { return base_options_.dim; }
+  int64_t SyncPathGraphQueries() const override { return sync_queries_; }
+
+ protected:
+  /// Raw ingredients of one pending memory update.
+  struct PendingMessage {
+    bool valid = false;
+    std::vector<float> self_memory;     ///< s_v at event time.
+    std::vector<float> partner_memory;  ///< s_u of the other endpoint.
+    graph::EdgeId edge_id = -1;
+    double delta_t = 0.0;   ///< Event time − node's previous event time.
+    double event_time = 0.0;
+  };
+
+  MemoryStreamModel(const BaseOptions& options,
+                    const graph::EdgeFeatureStore* features, uint64_t seed);
+
+  // ---- Hooks for subclasses ------------------------------------------------
+
+  /// Assembles the recurrent-cell input rows {k, message_dim} for the
+  /// given pending messages (in-graph; may use time_encoding_).
+  virtual tensor::Tensor BuildMessageInputs(
+      const std::vector<const PendingMessage*>& messages) = 0;
+
+  /// The recurrent cell used for `node` (bipartite models pick per side).
+  virtual nn::GruCell& CellFor(graph::NodeId node) = 0;
+
+  // ---- Services for subclasses ---------------------------------------------
+
+  /// \brief Memory of `nodes` with pending updates applied in-graph (cell
+  /// weights and time encoding receive gradients). {nodes.size(), dim}.
+  tensor::Tensor UpdatedMemory(const std::vector<graph::NodeId>& nodes);
+
+  /// Raw memory rows as a constant tensor (no pending application).
+  tensor::Tensor RawMemory(const std::vector<graph::NodeId>& nodes) const;
+
+  /// Raw memory row pointer.
+  const float* MemoryRow(graph::NodeId node) const;
+
+  /// Δt from the node's last event to `now` (0 for never-seen nodes).
+  double DeltaSinceLastEvent(graph::NodeId node, double now) const;
+
+  void AddSyncQueries(int64_t n) { sync_queries_ += n; }
+
+  BaseOptions base_options_;
+  const graph::EdgeFeatureStore* features_;
+  Rng rng_;
+  graph::TemporalGraph graph_;
+  nn::TimeEncoding time_encoding_;
+
+ private:
+  /// Applies all pending messages to the raw memory table (no grad).
+  void FlushPending();
+  /// Creates pending messages for the batch's events (later events of the
+  /// same node overwrite earlier ones — last-message aggregation).
+  void CreatePending(const train::EventBatch& batch);
+
+  std::vector<float> memory_;            // num_nodes * dim
+  std::vector<double> last_event_time_;  // num_nodes
+  std::vector<PendingMessage> pending_;  // num_nodes
+  std::vector<graph::NodeId> pending_nodes_;  // nodes with valid pending
+  int64_t sync_queries_ = 0;
+};
+
+}  // namespace baselines
+}  // namespace apan
+
+#endif  // APAN_BASELINES_MEMORY_STREAM_H_

@@ -1,0 +1,247 @@
+#include "baselines/random_walk.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace apan {
+namespace baselines {
+
+namespace {
+
+float Dot(const float* a, const float* b, int64_t d) {
+  float s = 0.0f;
+  for (int64_t i = 0; i < d; ++i) s += a[i] * b[i];
+  return s;
+}
+
+float FastSigmoid(float x) {
+  if (x > 8.0f) return 1.0f;
+  if (x < -8.0f) return 0.0f;
+  return 1.0f / (1.0f + std::exp(-x));
+}
+
+}  // namespace
+
+RandomWalkEmbedding::RandomWalkEmbedding(Kind kind, const Options& options,
+                                         uint64_t seed, std::string name)
+    : kind_(kind), options_(options), rng_(seed) {
+  if (!name.empty()) {
+    name_ = std::move(name);
+  } else {
+    switch (kind) {
+      case Kind::kDeepWalk:
+        name_ = "DeepWalk";
+        break;
+      case Kind::kNode2Vec:
+        name_ = "Node2vec";
+        break;
+      case Kind::kCtdne:
+        name_ = "CTDNE";
+        break;
+    }
+  }
+  APAN_CHECK(options.dim > 0 && options.walk_length > 1);
+}
+
+std::vector<std::vector<graph::NodeId>>
+RandomWalkEmbedding::GenerateStaticWalks(const graph::StaticGraph& graph) {
+  std::vector<std::vector<graph::NodeId>> walks;
+  const bool biased = kind_ == Kind::kNode2Vec;
+  for (int64_t round = 0; round < options_.walks_per_node; ++round) {
+    for (graph::NodeId start = 0; start < graph.num_nodes(); ++start) {
+      if (graph.Degree(start) == 0) continue;
+      std::vector<graph::NodeId> walk = {start};
+      graph::NodeId prev = -1;
+      graph::NodeId cur = start;
+      while (static_cast<int64_t>(walk.size()) < options_.walk_length) {
+        const auto nbrs = graph.Neighbors(cur);
+        if (nbrs.empty()) break;
+        graph::NodeId next;
+        if (!biased || prev < 0) {
+          next = nbrs[rng_.UniformInt(nbrs.size())];
+        } else {
+          // Node2Vec second-order bias: weight 1/p to return, 1 for
+          // triangle closers, 1/q to explore.
+          std::vector<double> weights(nbrs.size());
+          for (size_t i = 0; i < nbrs.size(); ++i) {
+            const graph::NodeId cand = nbrs[i];
+            if (cand == prev) {
+              weights[i] = 1.0 / options_.p;
+            } else if (graph.HasEdge(cand, prev)) {
+              weights[i] = 1.0;
+            } else {
+              weights[i] = 1.0 / options_.q;
+            }
+          }
+          const size_t pick = rng_.Categorical(weights);
+          next = nbrs[pick < nbrs.size() ? pick : 0];
+        }
+        walk.push_back(next);
+        prev = cur;
+        cur = next;
+      }
+      if (walk.size() > 1) walks.push_back(std::move(walk));
+    }
+  }
+  return walks;
+}
+
+std::vector<std::vector<graph::NodeId>>
+RandomWalkEmbedding::GenerateTemporalWalks(const data::Dataset& dataset) {
+  // Per-node time-sorted adjacency over the training range.
+  struct TimedEdge {
+    double t;
+    graph::NodeId to;
+  };
+  std::vector<std::vector<TimedEdge>> adj(
+      static_cast<size_t>(dataset.num_nodes));
+  for (size_t i = 0; i < dataset.train_end; ++i) {
+    const auto& e = dataset.events[i];
+    adj[static_cast<size_t>(e.src)].push_back({e.timestamp, e.dst});
+    adj[static_cast<size_t>(e.dst)].push_back({e.timestamp, e.src});
+  }
+  // Events arrive time-sorted, so each adjacency list is already sorted.
+
+  std::vector<std::vector<graph::NodeId>> walks;
+  if (dataset.train_end == 0) return walks;
+  const size_t total_walks = static_cast<size_t>(
+      options_.walks_per_node *
+      std::max<int64_t>(1, dataset.num_nodes / 2));
+  for (size_t w = 0; w < total_walks; ++w) {
+    // Start from a uniformly random training event (edge-biased start, as
+    // in the CTDNE paper).
+    const auto& start_event =
+        dataset.events[rng_.UniformInt(dataset.train_end)];
+    std::vector<graph::NodeId> walk = {start_event.src, start_event.dst};
+    graph::NodeId cur = start_event.dst;
+    double cur_time = start_event.timestamp;
+    while (static_cast<int64_t>(walk.size()) < options_.walk_length) {
+      const auto& edges = adj[static_cast<size_t>(cur)];
+      // First edge with timestamp strictly greater than the current time
+      // (temporal validity: walks respect time order).
+      const auto it = std::upper_bound(
+          edges.begin(), edges.end(), cur_time,
+          [](double t, const TimedEdge& e) { return t < e.t; });
+      if (it == edges.end()) break;
+      const size_t available = static_cast<size_t>(edges.end() - it);
+      const TimedEdge& chosen = *(it + rng_.UniformInt(available));
+      walk.push_back(chosen.to);
+      cur = chosen.to;
+      cur_time = chosen.t;
+    }
+    if (walk.size() > 1) walks.push_back(std::move(walk));
+  }
+  return walks;
+}
+
+void RandomWalkEmbedding::TrainSgns(
+    const std::vector<std::vector<graph::NodeId>>& walks,
+    int64_t num_nodes) {
+  const int64_t d = options_.dim;
+  num_nodes_ = num_nodes;
+  in_vectors_.resize(static_cast<size_t>(num_nodes * d));
+  out_vectors_.assign(static_cast<size_t>(num_nodes * d), 0.0f);
+  for (auto& v : in_vectors_) {
+    v = static_cast<float>((rng_.Uniform() - 0.5) / d);
+  }
+
+  // Unigram^0.75 negative table.
+  std::vector<double> freq(static_cast<size_t>(num_nodes), 0.0);
+  for (const auto& walk : walks) {
+    for (graph::NodeId v : walk) freq[static_cast<size_t>(v)] += 1.0;
+  }
+  std::vector<graph::NodeId> neg_table;
+  neg_table.reserve(1 << 16);
+  double total = 0.0;
+  for (double f : freq) total += std::pow(f, 0.75);
+  if (total <= 0.0) return;
+  for (int64_t v = 0; v < num_nodes; ++v) {
+    const auto count = static_cast<size_t>(
+        std::pow(freq[static_cast<size_t>(v)], 0.75) / total * 65536.0);
+    for (size_t i = 0; i < count; ++i) neg_table.push_back(v);
+  }
+  if (neg_table.empty()) return;
+
+  std::vector<float> grad_center(static_cast<size_t>(d));
+  for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    const float lr = options_.lr *
+                     (1.0f - static_cast<float>(epoch) /
+                                 static_cast<float>(options_.epochs));
+    for (const auto& walk : walks) {
+      for (size_t center = 0; center < walk.size(); ++center) {
+        const size_t lo =
+            center >= static_cast<size_t>(options_.window)
+                ? center - static_cast<size_t>(options_.window)
+                : 0;
+        const size_t hi = std::min(
+            walk.size(), center + static_cast<size_t>(options_.window) + 1);
+        float* vc =
+            in_vectors_.data() + walk[center] * d;
+        for (size_t ctx = lo; ctx < hi; ++ctx) {
+          if (ctx == center) continue;
+          std::fill(grad_center.begin(), grad_center.end(), 0.0f);
+          // Positive pair.
+          {
+            float* vo = out_vectors_.data() + walk[ctx] * d;
+            const float g = (1.0f - FastSigmoid(Dot(vc, vo, d))) * lr;
+            for (int64_t k = 0; k < d; ++k) {
+              grad_center[static_cast<size_t>(k)] += g * vo[k];
+              vo[k] += g * vc[k];
+            }
+          }
+          // Negative pairs.
+          for (int64_t n = 0; n < options_.negatives; ++n) {
+            const graph::NodeId neg =
+                neg_table[rng_.UniformInt(neg_table.size())];
+            if (neg == walk[ctx]) continue;
+            float* vn = out_vectors_.data() + neg * d;
+            const float g = -FastSigmoid(Dot(vc, vn, d)) * lr;
+            for (int64_t k = 0; k < d; ++k) {
+              grad_center[static_cast<size_t>(k)] += g * vn[k];
+              vn[k] += g * vc[k];
+            }
+          }
+          for (int64_t k = 0; k < d; ++k) {
+            vc[k] += grad_center[static_cast<size_t>(k)];
+          }
+        }
+      }
+    }
+  }
+}
+
+Status RandomWalkEmbedding::Fit(const data::Dataset& dataset) {
+  if (dataset.train_end == 0) {
+    return Status::InvalidArgument("empty training split");
+  }
+  std::vector<std::vector<graph::NodeId>> walks;
+  if (kind_ == Kind::kCtdne) {
+    walks = GenerateTemporalWalks(dataset);
+  } else {
+    std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
+    edges.reserve(dataset.train_end);
+    for (size_t i = 0; i < dataset.train_end; ++i) {
+      edges.emplace_back(dataset.events[i].src, dataset.events[i].dst);
+    }
+    const auto graph =
+        graph::StaticGraph::FromEdges(dataset.num_nodes, edges);
+    walks = GenerateStaticWalks(graph);
+  }
+  num_walks_ = walks.size();
+  TrainSgns(walks, dataset.num_nodes);
+  fitted_ = true;
+  return Status::OK();
+}
+
+std::vector<float> RandomWalkEmbedding::Embedding(
+    graph::NodeId node) const {
+  APAN_CHECK_MSG(fitted_, "Embedding() before Fit()");
+  APAN_CHECK(node >= 0 && node < num_nodes_);
+  const int64_t d = options_.dim;
+  return std::vector<float>(
+      in_vectors_.begin() + static_cast<size_t>(node * d),
+      in_vectors_.begin() + static_cast<size_t>((node + 1) * d));
+}
+
+}  // namespace baselines
+}  // namespace apan

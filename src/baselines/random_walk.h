@@ -1,0 +1,73 @@
+// Shallow embedding baselines: DeepWalk (uniform walks), Node2Vec (biased
+// second-order walks), CTDNE (temporal walks with non-decreasing edge
+// times). All three feed a shared skip-gram-with-negative-sampling (SGNS)
+// trainer, hand-rolled with Hogwild-free plain SGD (no autograd — the
+// classic formulation).
+//
+// These are the transductive, task-agnostic baselines of Table 2; the
+// paper notes their "limited and indirect contribution to downstream
+// tasks", which the probes in train/probe.h make measurable.
+
+#ifndef APAN_BASELINES_RANDOM_WALK_H_
+#define APAN_BASELINES_RANDOM_WALK_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/static_graph.h"
+#include "train/static_model.h"
+
+namespace apan {
+namespace baselines {
+
+class RandomWalkEmbedding : public train::StaticEmbeddingModel {
+ public:
+  enum class Kind { kDeepWalk, kNode2Vec, kCtdne };
+
+  struct Options {
+    int64_t dim = 32;
+    int64_t walks_per_node = 8;
+    int64_t walk_length = 16;
+    int64_t window = 5;
+    int64_t negatives = 5;
+    int64_t epochs = 2;
+    float lr = 0.025f;
+    /// Node2Vec return/in-out parameters (ignored by the others).
+    double p = 0.5;
+    double q = 2.0;
+  };
+
+  RandomWalkEmbedding(Kind kind, const Options& options, uint64_t seed,
+                      std::string name = "");
+
+  std::string name() const override { return name_; }
+  int64_t dim() const override { return options_.dim; }
+  Status Fit(const data::Dataset& dataset) override;
+  std::vector<float> Embedding(graph::NodeId node) const override;
+
+  /// Walk corpus size from the last Fit (tests / diagnostics).
+  size_t num_walks() const { return num_walks_; }
+
+ private:
+  std::vector<std::vector<graph::NodeId>> GenerateStaticWalks(
+      const graph::StaticGraph& graph);
+  std::vector<std::vector<graph::NodeId>> GenerateTemporalWalks(
+      const data::Dataset& dataset);
+  void TrainSgns(const std::vector<std::vector<graph::NodeId>>& walks,
+                 int64_t num_nodes);
+
+  Kind kind_;
+  std::string name_;
+  Options options_;
+  Rng rng_;
+  std::vector<float> in_vectors_;   // num_nodes * dim
+  std::vector<float> out_vectors_;  // num_nodes * dim
+  int64_t num_nodes_ = 0;
+  size_t num_walks_ = 0;
+  bool fitted_ = false;
+};
+
+}  // namespace baselines
+}  // namespace apan
+
+#endif  // APAN_BASELINES_RANDOM_WALK_H_

@@ -1,0 +1,231 @@
+#include "baselines/static_gnn.h"
+
+#include <algorithm>
+
+#include "tensor/ops.h"
+
+namespace apan {
+namespace baselines {
+
+using tensor::Tensor;
+using train::EventBatch;
+
+SampledNeighborhood SampleStaticNeighbors(
+    const graph::StaticGraph& graph, const std::vector<graph::NodeId>& nodes,
+    int64_t fanout, Rng* rng) {
+  const int64_t batch = static_cast<int64_t>(nodes.size());
+  SampledNeighborhood out;
+  out.neighbors.assign(static_cast<size_t>(batch * fanout), -1);
+  out.attention_mask.assign(static_cast<size_t>(batch * fanout), 0.0f);
+  out.value_mask.assign(static_cast<size_t>(batch * fanout), 0.0f);
+  out.inv_counts.assign(static_cast<size_t>(batch), 0.0f);
+  for (int64_t b = 0; b < batch; ++b) {
+    const graph::NodeId v = nodes[static_cast<size_t>(b)];
+    const auto nbrs =
+        v >= 0 ? graph.Neighbors(v) : std::span<const graph::NodeId>{};
+    int64_t valid = 0;
+    if (static_cast<int64_t>(nbrs.size()) <= fanout) {
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        out.neighbors[static_cast<size_t>(b * fanout) + i] = nbrs[i];
+      }
+      valid = static_cast<int64_t>(nbrs.size());
+    } else {
+      auto picks = rng->SampleWithoutReplacement(
+          nbrs.size(), static_cast<size_t>(fanout));
+      for (size_t i = 0; i < picks.size(); ++i) {
+        out.neighbors[static_cast<size_t>(b * fanout) + i] =
+            nbrs[picks[i]];
+      }
+      valid = fanout;
+    }
+    for (int64_t i = 0; i < valid; ++i) {
+      out.value_mask[static_cast<size_t>(b * fanout + i)] = 1.0f;
+    }
+    if (valid > 0) {
+      for (int64_t i = valid; i < fanout; ++i) {
+        out.attention_mask[static_cast<size_t>(b * fanout + i)] =
+            nn::MultiHeadAttention::kMaskedOut;
+      }
+    }
+    out.inv_counts[static_cast<size_t>(b)] =
+        valid > 0 ? static_cast<float>(fanout) / static_cast<float>(valid)
+                  : 0.0f;
+  }
+  return out;
+}
+
+StaticGnn::Net::Net(Kind kind, const Options& o, Rng* rng)
+    : input(o.num_nodes, o.dim, rng),
+      decoder(o.dim, o.mlp_hidden, rng) {
+  RegisterChild(&input);
+  RegisterChild(&decoder);
+  for (int64_t l = 0; l < o.num_layers; ++l) {
+    if (kind == Kind::kSage) {
+      sage_layers.push_back(
+          std::make_unique<nn::Linear>(2 * o.dim, o.dim, rng));
+      RegisterChild(sage_layers.back().get());
+    } else {
+      gat_layers.push_back(std::make_unique<GatLayer>(o.dim, rng));
+      RegisterChild(&gat_layers.back()->w);
+      RegisterParameter(gat_layers.back()->a_self);
+      RegisterParameter(gat_layers.back()->a_neighbor);
+    }
+  }
+}
+
+StaticGnn::StaticGnn(Kind kind, const Options& options, uint64_t seed,
+                     std::string name)
+    : kind_(kind),
+      name_(name.empty() ? (kind == Kind::kSage ? "SAGE" : "GAT")
+                         : std::move(name)),
+      options_(options),
+      rng_(seed),
+      net_(kind, options, &rng_),
+      static_graph_(graph::StaticGraph::FromEdges(options.num_nodes, {})) {
+  APAN_CHECK(options.num_nodes > 0 && options.dim > 0 &&
+             options.num_layers >= 1);
+}
+
+void StaticGnn::EnsureGraph(const data::Dataset& dataset) {
+  if (graph_built_) return;
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
+  edges.reserve(dataset.train_end);
+  for (size_t i = 0; i < dataset.train_end; ++i) {
+    edges.emplace_back(dataset.events[i].src, dataset.events[i].dst);
+  }
+  static_graph_ = graph::StaticGraph::FromEdges(dataset.num_nodes, edges);
+  graph_built_ = true;
+}
+
+Tensor StaticGnn::EmbedLayer(const std::vector<graph::NodeId>& nodes,
+                             int64_t layer) {
+  const int64_t d = options_.dim;
+  if (layer == 0) {
+    // Trainable input embeddings; padding rows (-1) become zero via mask
+    // multiplication in the caller, so map them to row 0 here.
+    std::vector<int64_t> rows(nodes.size());
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      rows[i] = nodes[i] >= 0 ? nodes[i] : 0;
+    }
+    return net_.input.Forward(rows);
+  }
+
+  const int64_t batch = static_cast<int64_t>(nodes.size());
+  const int64_t n = options_.fanout;
+  SampledNeighborhood hood =
+      SampleStaticNeighbors(static_graph_, nodes, n, &rng_);
+
+  // Lower layer embeds targets and neighbors in one call.
+  std::vector<graph::NodeId> combined = nodes;
+  combined.insert(combined.end(), hood.neighbors.begin(),
+                  hood.neighbors.end());
+  Tensor lower = EmbedLayer(combined, layer - 1);
+  std::vector<int64_t> self_rows(static_cast<size_t>(batch));
+  std::vector<int64_t> nbr_rows(static_cast<size_t>(batch * n));
+  for (int64_t i = 0; i < batch; ++i) self_rows[i] = i;
+  for (int64_t i = 0; i < batch * n; ++i) nbr_rows[i] = batch + i;
+  Tensor h_self = tensor::GatherRows(lower, self_rows);  // {B, d}
+  Tensor h_nbr = tensor::GatherRows(lower, nbr_rows);    // {B*n, d}
+
+  // Zero out padding rows (value_mask expanded across the feature dim).
+  std::vector<float> vmask(static_cast<size_t>(batch * n * d));
+  for (int64_t i = 0; i < batch * n; ++i) {
+    std::fill_n(vmask.begin() + i * d, d,
+                hood.value_mask[static_cast<size_t>(i)]);
+  }
+  h_nbr = tensor::Mul(h_nbr,
+                      Tensor::FromVector({batch * n, d}, std::move(vmask)));
+
+  if (kind_ == Kind::kSage) {
+    // mean over valid neighbors = MeanDim1 * (n / valid).
+    Tensor mean = tensor::MeanDim1(tensor::Reshape(h_nbr, {batch, n, d}));
+    std::vector<float> scale(static_cast<size_t>(batch * d));
+    for (int64_t b = 0; b < batch; ++b) {
+      std::fill_n(scale.begin() + b * d, d,
+                  hood.inv_counts[static_cast<size_t>(b)]);
+    }
+    mean = tensor::Mul(mean, Tensor::FromVector({batch, d}, std::move(scale)));
+    Tensor h = net_.sage_layers[static_cast<size_t>(layer - 1)]->Forward(
+        tensor::ConcatLastDim({h_self, mean}));
+    return tensor::Relu(h);
+  }
+
+  // GAT: additive attention  e_bu = LeakyReLU(a_s·Wh_b + a_n·Wh_u).
+  const auto& gat = *net_.gat_layers[static_cast<size_t>(layer - 1)];
+  Tensor wh_self = gat.w.Forward(h_self);             // {B, d}
+  Tensor wh_nbr = gat.w.Forward(h_nbr);               // {B*n, d}
+  Tensor s_self = tensor::MatMul(wh_self, gat.a_self);      // {B, 1}
+  Tensor s_nbr = tensor::MatMul(wh_nbr, gat.a_neighbor);    // {B*n, 1}
+  // Tile s_self across the fanout: {B,1} x {1,n} -> {B,n}.
+  Tensor tiled = tensor::MatMul(s_self, Tensor::Ones({1, n}));
+  Tensor scores = tensor::LeakyRelu(
+      tensor::Add(tensor::Reshape(s_nbr, {batch, n}), tiled));
+  Tensor mask_t = Tensor::FromVector(
+      {batch, n}, std::vector<float>(hood.attention_mask.begin(),
+                                     hood.attention_mask.end()));
+  Tensor alpha = tensor::SoftmaxLastDim(tensor::Add(scores, mask_t));
+  // Weighted sum: {B, 1, n} x {B, n, d} -> {B, d}.
+  Tensor context = tensor::Bmm(tensor::Reshape(alpha, {batch, 1, n}),
+                               tensor::Reshape(wh_nbr, {batch, n, d}));
+  context = tensor::Reshape(context, {batch, d});
+  return tensor::Relu(tensor::Add(context, wh_self));
+}
+
+Tensor StaticGnn::EmbedNodes(const std::vector<graph::NodeId>& nodes) {
+  return EmbedLayer(nodes, options_.num_layers);
+}
+
+train::TemporalModel::LinkScores StaticGnn::ScoreLinks(
+    const EventBatch& batch) {
+  APAN_CHECK(batch.negatives.size() == batch.size());
+  EnsureGraph(*batch.dataset);
+  const size_t b = batch.size();
+  std::vector<graph::NodeId> nodes;
+  nodes.reserve(3 * b);
+  for (size_t i = 0; i < b; ++i) nodes.push_back(batch.event(i).src);
+  for (size_t i = 0; i < b; ++i) nodes.push_back(batch.event(i).dst);
+  for (size_t i = 0; i < b; ++i) nodes.push_back(batch.negatives[i]);
+  Tensor all = EmbedNodes(nodes);
+  std::vector<int64_t> src_rows(b), dst_rows(b), neg_rows(b);
+  for (size_t i = 0; i < b; ++i) {
+    src_rows[i] = static_cast<int64_t>(i);
+    dst_rows[i] = static_cast<int64_t>(b + i);
+    neg_rows[i] = static_cast<int64_t>(2 * b + i);
+  }
+  LinkScores scores;
+  scores.pos_logits = net_.decoder.Forward(
+      tensor::GatherRows(all, src_rows), tensor::GatherRows(all, dst_rows),
+      &rng_);
+  scores.neg_logits = net_.decoder.Forward(
+      tensor::GatherRows(all, src_rows), tensor::GatherRows(all, neg_rows),
+      &rng_);
+  return scores;
+}
+
+train::TemporalModel::EndpointEmbeddings StaticGnn::EmbedEndpoints(
+    const EventBatch& batch) {
+  EnsureGraph(*batch.dataset);
+  const size_t b = batch.size();
+  std::vector<graph::NodeId> nodes;
+  nodes.reserve(2 * b);
+  for (size_t i = 0; i < b; ++i) nodes.push_back(batch.event(i).src);
+  for (size_t i = 0; i < b; ++i) nodes.push_back(batch.event(i).dst);
+  Tensor all = EmbedNodes(nodes);
+  std::vector<int64_t> src_rows(b), dst_rows(b);
+  for (size_t i = 0; i < b; ++i) {
+    src_rows[i] = static_cast<int64_t>(i);
+    dst_rows[i] = static_cast<int64_t>(b + i);
+  }
+  EndpointEmbeddings out;
+  out.z_src = tensor::GatherRows(all, src_rows);
+  out.z_dst = tensor::GatherRows(all, dst_rows);
+  return out;
+}
+
+Status StaticGnn::Consume(const EventBatch& batch) {
+  EnsureGraph(*batch.dataset);
+  return Status::OK();  // static model: no streaming state
+}
+
+}  // namespace baselines
+}  // namespace apan

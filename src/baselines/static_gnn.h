@@ -1,0 +1,116 @@
+// Static GNN baselines: GraphSAGE (Hamilton et al., 2017) and GAT
+// (Velickovic et al., 2018), trained end-to-end on the link-prediction
+// loss over the *static projection* of the training stream — the
+// time-collapsed simplification of Figure 1(b). They plug into the same
+// streaming harness but carry no temporal state: Consume is a no-op and
+// embeddings are time-invariant.
+//
+// The datasets carry no node features, so layer 0 is a trainable node
+// embedding table (which also makes these models transductive — unseen
+// nodes keep their random initialization, matching the paper's
+// observation that static methods handle inductive nodes poorly).
+
+#ifndef APAN_BASELINES_STATIC_GNN_H_
+#define APAN_BASELINES_STATIC_GNN_H_
+
+#include <memory>
+#include <string>
+
+#include "core/decoder.h"
+#include "graph/static_graph.h"
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "train/temporal_model.h"
+
+namespace apan {
+namespace baselines {
+
+/// \brief Sampled fixed-fanout neighborhood of a node list on a static
+/// graph, with padding masks — shared by SAGE, GAT and the GAE encoder.
+struct SampledNeighborhood {
+  std::vector<graph::NodeId> neighbors;  ///< batch*fanout, -1 = padding.
+  std::vector<float> attention_mask;     ///< batch*fanout additive mask.
+  std::vector<float> value_mask;         ///< batch*fanout 0/1 multiplier.
+  std::vector<float> inv_counts;         ///< per-batch n/valid scaling.
+};
+
+/// Samples up to `fanout` neighbors per node (all of them when degree is
+/// small, uniform without replacement otherwise).
+SampledNeighborhood SampleStaticNeighbors(const graph::StaticGraph& graph,
+                                          const std::vector<graph::NodeId>&
+                                              nodes,
+                                          int64_t fanout, Rng* rng);
+
+/// \brief GraphSAGE-mean or GAT over a static projection.
+class StaticGnn : public train::TemporalModel {
+ public:
+  enum class Kind { kSage, kGat };
+
+  struct Options {
+    int64_t num_nodes = 0;
+    int64_t dim = 0;
+    int64_t num_layers = 2;
+    int64_t fanout = 10;
+    int64_t mlp_hidden = 80;
+    float dropout = 0.1f;
+  };
+
+  StaticGnn(Kind kind, const Options& options, uint64_t seed,
+            std::string name = "");
+
+  std::string name() const override { return name_; }
+  int64_t embedding_dim() const override { return options_.dim; }
+  LinkScores ScoreLinks(const train::EventBatch& batch) override;
+  EndpointEmbeddings EmbedEndpoints(const train::EventBatch& batch) override;
+  Status Consume(const train::EventBatch& batch) override;
+  void ResetState() override {}
+  std::vector<tensor::Tensor> Parameters() override {
+    return net_.Parameters();
+  }
+  void SetTraining(bool training) override { net_.SetTraining(training); }
+
+  /// Embeds arbitrary nodes (used by classification probes).
+  tensor::Tensor EmbedNodes(const std::vector<graph::NodeId>& nodes);
+
+ private:
+  class Net : public nn::Module {
+   public:
+    Net(Kind kind, const Options& o, Rng* rng);
+    nn::EmbeddingTable input;
+    // SAGE: per-layer Linear([self ‖ mean]) -> dim.
+    std::vector<std::unique_ptr<nn::Linear>> sage_layers;
+    // GAT: per-layer W, attention vectors a1, a2.
+    struct GatLayer {
+      GatLayer(int64_t dim, Rng* rng)
+          : w(dim, dim, rng, /*bias=*/false),
+            a_self(tensor::Tensor::XavierUniform(dim, 1, rng)),
+            a_neighbor(tensor::Tensor::XavierUniform(dim, 1, rng)) {}
+      nn::Linear w;
+      tensor::Tensor a_self;      // {dim, 1}
+      tensor::Tensor a_neighbor;  // {dim, 1}
+    };
+    std::vector<std::unique_ptr<GatLayer>> gat_layers;
+    core::LinkDecoder decoder;
+  };
+
+  /// Builds the static projection from the dataset's training range on
+  /// first use (cached; ResetState keeps it — the projection is a pure
+  /// function of the dataset).
+  void EnsureGraph(const data::Dataset& dataset);
+
+  tensor::Tensor EmbedLayer(const std::vector<graph::NodeId>& nodes,
+                            int64_t layer);
+
+  Kind kind_;
+  std::string name_;
+  Options options_;
+  Rng rng_;
+  Net net_;
+  bool graph_built_ = false;
+  graph::StaticGraph static_graph_;
+};
+
+}  // namespace baselines
+}  // namespace apan
+
+#endif  // APAN_BASELINES_STATIC_GNN_H_

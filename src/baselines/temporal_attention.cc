@@ -1,0 +1,108 @@
+#include "baselines/temporal_attention.h"
+
+#include "tensor/ops.h"
+
+namespace apan {
+namespace baselines {
+
+using tensor::Tensor;
+
+TemporalAttentionStack::TemporalAttentionStack(const Options& options,
+                                               Rng* rng)
+    : options_(options), time_encoding_(TimeDim(options), rng) {
+  APAN_CHECK(options.dim > 0 && options.edge_dim > 0 &&
+             options.num_layers >= 1 && options.fanout > 0);
+  RegisterChild(&time_encoding_);
+  for (int64_t l = 0; l < options.num_layers; ++l) {
+    layers_.push_back(std::make_unique<Layer>(options, rng));
+    RegisterChild(&layers_.back()->attention);
+    RegisterChild(&layers_.back()->merge);
+  }
+}
+
+Tensor TemporalAttentionStack::Embed(const graph::TemporalGraph& graph,
+                                     const graph::EdgeFeatureStore& features,
+                                     const std::vector<TimedNode>& targets,
+                                     const BaseFn& base,
+                                     Rng* dropout_rng) const {
+  APAN_CHECK_MSG(!targets.empty(), "Embed on empty target list");
+  return EmbedLayer(graph, features, targets, base, options_.num_layers,
+                    dropout_rng);
+}
+
+Tensor TemporalAttentionStack::EmbedLayer(
+    const graph::TemporalGraph& graph,
+    const graph::EdgeFeatureStore& features,
+    const std::vector<TimedNode>& targets, const BaseFn& base,
+    int64_t layer, Rng* dropout_rng) const {
+  if (layer == 0) return base(targets);
+
+  const int64_t batch = static_cast<int64_t>(targets.size());
+  const int64_t n = options_.fanout;
+  const int64_t d = options_.dim;
+
+  // Sample most-recent temporal neighbors for every target (pad with
+  // node = -1 / edge = -1 / dt = 0 and mask the padding).
+  std::vector<TimedNode> neighbor_nodes(
+      static_cast<size_t>(batch * n), TimedNode{-1, 0.0});
+  std::vector<graph::EdgeId> edge_ids(static_cast<size_t>(batch * n), -1);
+  std::vector<double> deltas(static_cast<size_t>(batch * n), 0.0);
+  std::vector<float> mask(static_cast<size_t>(batch * n), 0.0f);
+  for (int64_t b = 0; b < batch; ++b) {
+    const TimedNode& target = targets[static_cast<size_t>(b)];
+    if (target.node < 0) continue;  // padding target: no neighbors
+    const auto nbrs =
+        graph.MostRecentNeighbors(target.node, target.time, n);
+    const int64_t valid = static_cast<int64_t>(nbrs.size());
+    for (int64_t i = 0; i < valid; ++i) {
+      const auto& nb = nbrs[static_cast<size_t>(i)];
+      const size_t slot = static_cast<size_t>(b * n + i);
+      neighbor_nodes[slot] = {nb.node, nb.timestamp};
+      edge_ids[slot] = nb.edge_id;
+      deltas[slot] = target.time - nb.timestamp;
+    }
+    // Mask padding unless the whole row is empty (then a uniform softmax
+    // over zero rows is the stable cold-start).
+    if (valid > 0) {
+      for (int64_t i = valid; i < n; ++i) {
+        mask[static_cast<size_t>(b * n + i)] =
+            nn::MultiHeadAttention::kMaskedOut;
+      }
+    }
+  }
+
+  // One recursive call embeds targets and neighbors together.
+  std::vector<TimedNode> combined = targets;
+  combined.insert(combined.end(), neighbor_nodes.begin(),
+                  neighbor_nodes.end());
+  Tensor lower =
+      EmbedLayer(graph, features, combined, base, layer - 1, dropout_rng);
+  std::vector<int64_t> target_rows(static_cast<size_t>(batch));
+  std::vector<int64_t> neighbor_rows(static_cast<size_t>(batch * n));
+  for (int64_t i = 0; i < batch; ++i) target_rows[i] = i;
+  for (int64_t i = 0; i < batch * n; ++i) neighbor_rows[i] = batch + i;
+  Tensor h_prev = tensor::GatherRows(lower, target_rows);      // {B, d}
+  Tensor h_nbrs = tensor::GatherRows(lower, neighbor_rows);    // {B*n, d}
+
+  // Keys/values: [h_u ‖ e_uv ‖ Φ(dt)].
+  Tensor edge_feats = features.Gather(edge_ids);               // {B*n, de}
+  Tensor time_feats = time_encoding_.Forward(deltas);          // {B*n, dt}
+  Tensor kv = tensor::ConcatLastDim({h_nbrs, edge_feats, time_feats});
+  kv = tensor::Reshape(
+      kv, {batch, n, d + options_.edge_dim + TimeDim(options_)});
+
+  // Query: [h_v ‖ Φ(0)].
+  Tensor zero_time = time_encoding_.Forward(
+      std::vector<double>(static_cast<size_t>(batch), 0.0));
+  Tensor query = tensor::ConcatLastDim({h_prev, zero_time});
+
+  const Layer& layer_modules = *layers_[static_cast<size_t>(layer - 1)];
+  nn::AttentionOutput attn =
+      layer_modules.attention.Forward(query, kv, kv, &mask);
+  Tensor merged = layer_modules.merge.Forward(
+      tensor::ConcatLastDim({attn.output, h_prev}), dropout_rng);
+  return merged;
+}
+
+}  // namespace baselines
+}  // namespace apan

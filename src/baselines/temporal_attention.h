@@ -1,0 +1,97 @@
+// L-layer temporal graph attention (TGAT, Xu et al. 2020; also the
+// embedding module of TGN). Each layer embeds a (node, time) target by
+// attending over its most-recent temporal neighbors, with keys/values
+//   [ h^{l-1}_u(t_u) ‖ e_uv ‖ Φ(t - t_u) ]
+// and query
+//   [ h^{l-1}_v(t) ‖ Φ(0) ].
+//
+// This is the *synchronous* aggregation APAN replaces: every Embed call
+// queries the temporal graph on the inference path (the queries are
+// counted by the graph store and surface in Figure 6's decomposition).
+
+#ifndef APAN_BASELINES_TEMPORAL_ATTENTION_H_
+#define APAN_BASELINES_TEMPORAL_ATTENTION_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "graph/edge_features.h"
+#include "graph/temporal_graph.h"
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/time_encoding.h"
+
+namespace apan {
+namespace baselines {
+
+/// A node to embed as of a given time.
+struct TimedNode {
+  graph::NodeId node = -1;
+  double time = 0.0;
+};
+
+/// \brief Stack of temporal attention layers.
+class TemporalAttentionStack : public nn::Module {
+ public:
+  struct Options {
+    int64_t dim = 0;        ///< Node embedding dim (model dim).
+    int64_t edge_dim = 0;   ///< Edge feature dim.
+    int64_t time_dim = 0;   ///< Time-encoding dim (0 = dim).
+    int64_t num_heads = 2;
+    int64_t num_layers = 2;
+    int64_t fanout = 10;    ///< Most-recent neighbors per layer.
+    int64_t mlp_hidden = 80;
+    float dropout = 0.1f;
+  };
+
+  TemporalAttentionStack(const Options& options, Rng* rng);
+
+  /// Supplies layer-0 embeddings for a list of timed nodes (zeros for
+  /// TGAT, node memory for TGN). Must return a zero row for node == -1
+  /// (padding slots).
+  using BaseFn =
+      std::function<tensor::Tensor(const std::vector<TimedNode>&)>;
+
+  /// \brief Embeds `targets` with `num_layers` rounds of temporal
+  /// attention over `graph`. Queries the graph (counted).
+  tensor::Tensor Embed(const graph::TemporalGraph& graph,
+                       const graph::EdgeFeatureStore& features,
+                       const std::vector<TimedNode>& targets,
+                       const BaseFn& base, Rng* dropout_rng) const;
+
+  int64_t dim() const { return options_.dim; }
+  int64_t num_layers() const { return options_.num_layers; }
+
+ private:
+  struct Layer {
+    Layer(const Options& o, Rng* rng)
+        : attention(o.dim, o.num_heads, rng,
+                    /*key_dim=*/o.dim + o.edge_dim + TimeDim(o),
+                    /*value_dim=*/o.dim + o.edge_dim + TimeDim(o),
+                    /*query_dim=*/o.dim + TimeDim(o)),
+          merge(2 * o.dim, o.mlp_hidden, o.dim, rng, o.dropout) {}
+    nn::MultiHeadAttention attention;
+    nn::Mlp merge;
+  };
+
+  static int64_t TimeDim(const Options& o) {
+    return o.time_dim > 0 ? o.time_dim : o.dim;
+  }
+
+  tensor::Tensor EmbedLayer(const graph::TemporalGraph& graph,
+                            const graph::EdgeFeatureStore& features,
+                            const std::vector<TimedNode>& targets,
+                            const BaseFn& base, int64_t layer,
+                            Rng* dropout_rng) const;
+
+  Options options_;
+  nn::TimeEncoding time_encoding_;
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace baselines
+}  // namespace apan
+
+#endif  // APAN_BASELINES_TEMPORAL_ATTENTION_H_

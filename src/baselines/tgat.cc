@@ -1,0 +1,109 @@
+#include "baselines/tgat.h"
+
+#include "tensor/ops.h"
+#include "util/status.h"
+
+namespace apan {
+namespace baselines {
+
+using tensor::Tensor;
+using train::EventBatch;
+
+Tgat::Tgat(const Options& options, const graph::EdgeFeatureStore* features,
+           uint64_t seed, std::string name)
+    : name_(name.empty()
+                ? "TGAT-" + std::to_string(options.num_layers) + "layer"
+                : std::move(name)),
+      options_(options),
+      features_(features),
+      rng_(seed),
+      graph_(options.num_nodes),
+      net_(options, &rng_) {
+  APAN_CHECK(features != nullptr);
+  APAN_CHECK_MSG(features->dim() == options.dim,
+                 "TGAT config assumes dim == edge feature dim");
+}
+
+Tensor Tgat::EmbedTargets(const std::vector<TimedNode>& targets) {
+  const int64_t queries_before = graph_.query_count();
+  Tensor out = net_.stack.Embed(
+      graph_, *features_, targets,
+      [&](const std::vector<TimedNode>& nodes) {
+        // Layer 0: zero node features (paper setup: "node features are
+        // not present in any of these datasets").
+        return Tensor::Zeros(
+            {static_cast<int64_t>(nodes.size()), options_.dim});
+      },
+      &rng_);
+  sync_queries_ += graph_.query_count() - queries_before;
+  return out;
+}
+
+train::TemporalModel::LinkScores Tgat::ScoreLinks(const EventBatch& batch) {
+  APAN_CHECK(batch.negatives.size() == batch.size());
+  const size_t b = batch.size();
+  std::vector<TimedNode> targets;
+  targets.reserve(3 * b);
+  for (size_t i = 0; i < b; ++i) {
+    targets.push_back({batch.event(i).src, batch.event(i).timestamp});
+  }
+  for (size_t i = 0; i < b; ++i) {
+    targets.push_back({batch.event(i).dst, batch.event(i).timestamp});
+  }
+  for (size_t i = 0; i < b; ++i) {
+    targets.push_back({batch.negatives[i], batch.event(i).timestamp});
+  }
+  Tensor all = EmbedTargets(targets);
+  std::vector<int64_t> src_rows(b), dst_rows(b), neg_rows(b);
+  for (size_t i = 0; i < b; ++i) {
+    src_rows[i] = static_cast<int64_t>(i);
+    dst_rows[i] = static_cast<int64_t>(b + i);
+    neg_rows[i] = static_cast<int64_t>(2 * b + i);
+  }
+  Tensor z_src = tensor::GatherRows(all, src_rows);
+  Tensor z_dst = tensor::GatherRows(all, dst_rows);
+  Tensor z_neg = tensor::GatherRows(all, neg_rows);
+  LinkScores scores;
+  scores.pos_logits = net_.decoder.Forward(z_src, z_dst, &rng_);
+  scores.neg_logits = net_.decoder.Forward(z_src, z_neg, &rng_);
+  return scores;
+}
+
+train::TemporalModel::EndpointEmbeddings Tgat::EmbedEndpoints(
+    const EventBatch& batch) {
+  const size_t b = batch.size();
+  std::vector<TimedNode> targets;
+  targets.reserve(2 * b);
+  for (size_t i = 0; i < b; ++i) {
+    targets.push_back({batch.event(i).src, batch.event(i).timestamp});
+  }
+  for (size_t i = 0; i < b; ++i) {
+    targets.push_back({batch.event(i).dst, batch.event(i).timestamp});
+  }
+  Tensor all = EmbedTargets(targets);
+  std::vector<int64_t> src_rows(b), dst_rows(b);
+  for (size_t i = 0; i < b; ++i) {
+    src_rows[i] = static_cast<int64_t>(i);
+    dst_rows[i] = static_cast<int64_t>(b + i);
+  }
+  EndpointEmbeddings out;
+  out.z_src = tensor::GatherRows(all, src_rows);
+  out.z_dst = tensor::GatherRows(all, dst_rows);
+  return out;
+}
+
+Status Tgat::Consume(const EventBatch& batch) {
+  for (size_t i = 0; i < batch.size(); ++i) {
+    APAN_RETURN_NOT_OK(graph_.AddEvent(batch.event(i)));
+  }
+  return Status::OK();
+}
+
+void Tgat::ResetState() {
+  graph_.Reset();
+  graph_.ResetQueryCount();
+  sync_queries_ = 0;
+}
+
+}  // namespace baselines
+}  // namespace apan

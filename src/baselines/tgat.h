@@ -1,0 +1,87 @@
+// TGAT baseline (Xu et al., ICLR 2020): synchronous CTDG model — temporal
+// attention over sampled neighbors with a Bochner time encoding and no
+// node memory. The k-hop neighbor queries sit on the inference path, which
+// is exactly the latency APAN's asynchronous design removes.
+
+#ifndef APAN_BASELINES_TGAT_H_
+#define APAN_BASELINES_TGAT_H_
+
+#include <string>
+
+#include "baselines/temporal_attention.h"
+#include "core/decoder.h"
+#include "train/temporal_model.h"
+
+namespace apan {
+namespace baselines {
+
+/// \brief TGAT with 1 or 2 attention layers.
+class Tgat : public train::TemporalModel {
+ public:
+  struct Options {
+    int64_t num_nodes = 0;
+    int64_t dim = 0;       ///< Embedding dim = edge feature dim.
+    int64_t num_heads = 2;
+    int64_t num_layers = 2;
+    int64_t fanout = 10;
+    int64_t mlp_hidden = 80;
+    float dropout = 0.1f;
+  };
+
+  /// `features` must outlive the model. `name` defaults to
+  /// "TGAT-<layers>layer".
+  Tgat(const Options& options, const graph::EdgeFeatureStore* features,
+       uint64_t seed, std::string name = "");
+
+  std::string name() const override { return name_; }
+  int64_t embedding_dim() const override { return options_.dim; }
+  LinkScores ScoreLinks(const train::EventBatch& batch) override;
+  EndpointEmbeddings EmbedEndpoints(const train::EventBatch& batch) override;
+  Status Consume(const train::EventBatch& batch) override;
+  void ResetState() override;
+  std::vector<tensor::Tensor> Parameters() override {
+    return net_.Parameters();
+  }
+  void SetTraining(bool training) override { net_.SetTraining(training); }
+  int64_t SyncPathGraphQueries() const override { return sync_queries_; }
+
+ private:
+  // Module plumbing lives in a private aggregate so the TemporalModel
+  // interface stays free of nn::Module.
+  class Net : public nn::Module {
+   public:
+    Net(const Options& o, Rng* rng)
+        : stack({.dim = o.dim,
+                 .edge_dim = o.dim,
+                 .time_dim = o.dim,
+                 .num_heads = o.num_heads,
+                 .num_layers = o.num_layers,
+                 .fanout = o.fanout,
+                 .mlp_hidden = o.mlp_hidden,
+                 .dropout = o.dropout},
+                rng),
+          decoder(o.dim, o.mlp_hidden, rng) {
+      RegisterChild(&stack);
+      RegisterChild(&decoder);
+    }
+    TemporalAttentionStack stack;
+    core::LinkDecoder decoder;
+  };
+
+  /// Embeds (node, time) targets with layer-0 = zeros (TGAT has no memory
+  /// and the datasets carry no node features). Counts sync-path queries.
+  tensor::Tensor EmbedTargets(const std::vector<TimedNode>& targets);
+
+  std::string name_;
+  Options options_;
+  const graph::EdgeFeatureStore* features_;
+  Rng rng_;
+  graph::TemporalGraph graph_;
+  Net net_;
+  int64_t sync_queries_ = 0;
+};
+
+}  // namespace baselines
+}  // namespace apan
+
+#endif  // APAN_BASELINES_TGAT_H_

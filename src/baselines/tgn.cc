@@ -1,0 +1,143 @@
+#include "baselines/tgn.h"
+
+#include "tensor/ops.h"
+
+namespace apan {
+namespace baselines {
+
+using tensor::Tensor;
+using train::EventBatch;
+
+Tgn::Tgn(const Options& options, const graph::EdgeFeatureStore* features,
+         uint64_t seed, std::string name)
+    : MemoryStreamModel({.num_nodes = options.num_nodes,
+                         .dim = options.dim,
+                         .mlp_hidden = options.mlp_hidden,
+                         .dropout = options.dropout},
+                        features, seed),
+      name_(name.empty()
+                ? "TGN-" + std::to_string(options.num_layers) + "layer"
+                : std::move(name)),
+      options_(options),
+      net_(options, &time_encoding_, &rng_) {
+  APAN_CHECK_MSG(features->dim() == options.dim,
+                 "TGN config assumes dim == edge feature dim");
+}
+
+Tensor Tgn::BuildMessageInputs(
+    const std::vector<const PendingMessage*>& messages) {
+  const int64_t d = base_options_.dim;
+  const int64_t k = static_cast<int64_t>(messages.size());
+  // Constant parts: [s_self ‖ s_partner ‖ e]; Φ(Δt) appended in-graph.
+  std::vector<float> flat(static_cast<size_t>(k * 3 * d), 0.0f);
+  std::vector<double> deltas(static_cast<size_t>(k));
+  for (int64_t i = 0; i < k; ++i) {
+    const PendingMessage& m = *messages[static_cast<size_t>(i)];
+    float* row = flat.data() + i * 3 * d;
+    std::copy(m.self_memory.begin(), m.self_memory.end(), row);
+    std::copy(m.partner_memory.begin(), m.partner_memory.end(), row + d);
+    if (m.edge_id >= 0) {
+      std::copy_n(features_->Row(m.edge_id), d, row + 2 * d);
+    }
+    deltas[static_cast<size_t>(i)] = m.delta_t;
+  }
+  Tensor constants = Tensor::FromVector({k, 3 * d}, std::move(flat));
+  Tensor phi = time_encoding_.Forward(deltas);
+  return tensor::ConcatLastDim({constants, phi});
+}
+
+Tensor Tgn::EmbedTargets(const std::vector<TimedNode>& targets) {
+  // In-graph memory update for the distinct target nodes (gradient path to
+  // the GRU + time encoding); neighbors read raw memory.
+  std::vector<graph::NodeId> target_nodes;
+  target_nodes.reserve(targets.size());
+  for (const TimedNode& t : targets) target_nodes.push_back(t.node);
+  Tensor updated = UpdatedMemory(target_nodes);  // {T, d}, in-graph
+
+  std::unordered_map<graph::NodeId, int64_t> row_of;
+  for (size_t i = 0; i < target_nodes.size(); ++i) {
+    row_of.try_emplace(target_nodes[i], static_cast<int64_t>(i));
+  }
+
+  const int64_t queries_before = graph_.query_count();
+  Tensor out = net_.stack.Embed(
+      graph_, *features_, targets,
+      [&](const std::vector<TimedNode>& nodes) {
+        // Layer 0: updated memory for batch nodes, raw memory otherwise.
+        // Mixed assembly: concat [updated ‖ raw] then gather.
+        std::vector<graph::NodeId> ids(nodes.size());
+        for (size_t i = 0; i < nodes.size(); ++i) ids[i] = nodes[i].node;
+        Tensor raw = RawMemory(ids);
+        Tensor stacked = tensor::ConcatRows({updated, raw});
+        const int64_t updated_rows = updated.dim(0);
+        std::vector<int64_t> rows(nodes.size());
+        for (size_t i = 0; i < nodes.size(); ++i) {
+          auto it = nodes[i].node >= 0 ? row_of.find(nodes[i].node)
+                                       : row_of.end();
+          rows[i] = it != row_of.end()
+                        ? it->second
+                        : updated_rows + static_cast<int64_t>(i);
+        }
+        return tensor::GatherRows(stacked, rows);
+      },
+      &rng_);
+  AddSyncQueries(graph_.query_count() - queries_before);
+  return out;
+}
+
+train::TemporalModel::LinkScores Tgn::ScoreLinks(const EventBatch& batch) {
+  APAN_CHECK(batch.negatives.size() == batch.size());
+  const size_t b = batch.size();
+  std::vector<TimedNode> targets;
+  targets.reserve(3 * b);
+  for (size_t i = 0; i < b; ++i) {
+    targets.push_back({batch.event(i).src, batch.event(i).timestamp});
+  }
+  for (size_t i = 0; i < b; ++i) {
+    targets.push_back({batch.event(i).dst, batch.event(i).timestamp});
+  }
+  for (size_t i = 0; i < b; ++i) {
+    targets.push_back({batch.negatives[i], batch.event(i).timestamp});
+  }
+  Tensor all = EmbedTargets(targets);
+  std::vector<int64_t> src_rows(b), dst_rows(b), neg_rows(b);
+  for (size_t i = 0; i < b; ++i) {
+    src_rows[i] = static_cast<int64_t>(i);
+    dst_rows[i] = static_cast<int64_t>(b + i);
+    neg_rows[i] = static_cast<int64_t>(2 * b + i);
+  }
+  LinkScores scores;
+  scores.pos_logits = net_.decoder.Forward(
+      tensor::GatherRows(all, src_rows), tensor::GatherRows(all, dst_rows),
+      &rng_);
+  scores.neg_logits = net_.decoder.Forward(
+      tensor::GatherRows(all, src_rows), tensor::GatherRows(all, neg_rows),
+      &rng_);
+  return scores;
+}
+
+train::TemporalModel::EndpointEmbeddings Tgn::EmbedEndpoints(
+    const EventBatch& batch) {
+  const size_t b = batch.size();
+  std::vector<TimedNode> targets;
+  targets.reserve(2 * b);
+  for (size_t i = 0; i < b; ++i) {
+    targets.push_back({batch.event(i).src, batch.event(i).timestamp});
+  }
+  for (size_t i = 0; i < b; ++i) {
+    targets.push_back({batch.event(i).dst, batch.event(i).timestamp});
+  }
+  Tensor all = EmbedTargets(targets);
+  std::vector<int64_t> src_rows(b), dst_rows(b);
+  for (size_t i = 0; i < b; ++i) {
+    src_rows[i] = static_cast<int64_t>(i);
+    dst_rows[i] = static_cast<int64_t>(b + i);
+  }
+  EndpointEmbeddings out;
+  out.z_src = tensor::GatherRows(all, src_rows);
+  out.z_dst = tensor::GatherRows(all, dst_rows);
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace apan

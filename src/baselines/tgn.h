@@ -1,0 +1,90 @@
+// TGN baseline (Rossi et al., 2020): GRU node memory + temporal graph
+// attention embedding. The strongest synchronous competitor in the paper —
+// Figure 6 reports APAN at the same AP but 8.7x faster inference, because
+// TGN's embedding module must query the temporal graph on the inference
+// path while APAN reads a local mailbox.
+//
+// Messages: m_v = [s_v ‖ s_u ‖ e_uv ‖ Φ(Δt)], applied by a GRU with a
+// one-batch lag (see memory_stream.h). Embedding: 1- or 2-layer temporal
+// attention with h^0 = node memory.
+
+#ifndef APAN_BASELINES_TGN_H_
+#define APAN_BASELINES_TGN_H_
+
+#include <string>
+
+#include "baselines/memory_stream.h"
+#include "baselines/temporal_attention.h"
+#include "core/decoder.h"
+
+namespace apan {
+namespace baselines {
+
+class Tgn : public MemoryStreamModel {
+ public:
+  struct Options {
+    int64_t num_nodes = 0;
+    int64_t dim = 0;
+    int64_t num_heads = 2;
+    int64_t num_layers = 2;   ///< Attention layers of the embedding module.
+    int64_t fanout = 10;
+    int64_t mlp_hidden = 80;
+    float dropout = 0.1f;
+  };
+
+  Tgn(const Options& options, const graph::EdgeFeatureStore* features,
+      uint64_t seed, std::string name = "");
+
+  std::string name() const override { return name_; }
+  LinkScores ScoreLinks(const train::EventBatch& batch) override;
+  EndpointEmbeddings EmbedEndpoints(const train::EventBatch& batch) override;
+  std::vector<tensor::Tensor> Parameters() override {
+    return net_.Parameters();
+  }
+  void SetTraining(bool training) override { net_.SetTraining(training); }
+
+ protected:
+  tensor::Tensor BuildMessageInputs(
+      const std::vector<const PendingMessage*>& messages) override;
+  nn::GruCell& CellFor(graph::NodeId /*node*/) override {
+    return net_.cell;
+  }
+
+ private:
+  class Net : public nn::Module {
+   public:
+    Net(const Options& o, nn::TimeEncoding* time_encoding, Rng* rng)
+        : cell(/*input_dim=*/3 * o.dim + o.dim, o.dim, rng),
+          stack({.dim = o.dim,
+                 .edge_dim = o.dim,
+                 .time_dim = o.dim,
+                 .num_heads = o.num_heads,
+                 .num_layers = o.num_layers,
+                 .fanout = o.fanout,
+                 .mlp_hidden = o.mlp_hidden,
+                 .dropout = o.dropout},
+                rng),
+          decoder(o.dim, o.mlp_hidden, rng) {
+      RegisterChild(&cell);
+      RegisterChild(&stack);
+      RegisterChild(&decoder);
+      RegisterChild(time_encoding);
+    }
+    nn::GruCell cell;
+    TemporalAttentionStack stack;
+    core::LinkDecoder decoder;
+  };
+
+  /// Embeds timed targets: attention stack over the graph with layer-0 =
+  /// in-graph-updated memory for batch nodes, raw memory for neighbors.
+  tensor::Tensor EmbedTargets(const std::vector<TimedNode>& targets);
+
+  std::string name_;
+  Options options_;
+  Net net_;
+};
+
+}  // namespace baselines
+}  // namespace apan
+
+#endif  // APAN_BASELINES_TGN_H_

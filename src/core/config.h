@@ -1,0 +1,79 @@
+// Configuration of the APAN model (paper §4.4 defaults).
+
+#ifndef APAN_CORE_CONFIG_H_
+#define APAN_CORE_CONFIG_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace apan {
+namespace core {
+
+/// How mailbox slots are position-encoded before attention (paper §3.3;
+/// §3.6 proposes the TGAT time kernel as a drop-in replacement).
+enum class PositionalMode {
+  kLearnedPosition,  ///< One trainable vector per time-sorted slot (§3.3).
+  kTimeKernel,       ///< Bochner encoding of (newest mail time − mail time).
+};
+
+/// Which neighbors receive propagated mails (paper §3.5 argues for
+/// most-recent; uniform is the GraphSAGE-style alternative it rejects).
+enum class PropagationSampling {
+  kMostRecent,
+  kUniform,
+};
+
+/// \brief Hyper-parameters of APAN.
+///
+/// The embedding dimension is fixed to the edge feature dimension (paper
+/// §3.5: mails are the *sum* z_i + e_ij + z_j, which requires all three to
+/// share one dimension — "the node embedding dimension of APAN is fixed as
+/// the original edge feature dimension, so it is not a hyper-parameter").
+struct ApanConfig {
+  int64_t num_nodes = 0;
+  int64_t embedding_dim = 0;   ///< = edge feature dim.
+  int64_t num_heads = 2;       ///< Attention heads (§4.4).
+  int64_t mailbox_slots = 10;  ///< m, mails kept per node (§4.4).
+  int64_t sampled_neighbors = 10;  ///< Most-recent fanout per hop (§4.4).
+  int32_t propagation_hops = 2;    ///< k, message passing layers (§4.4).
+  int64_t mlp_hidden = 80;     ///< Hidden width of encoder/decoder MLPs.
+  float dropout = 0.1f;
+  PositionalMode positional = PositionalMode::kLearnedPosition;
+  PropagationSampling sampling = PropagationSampling::kMostRecent;
+
+  /// \return InvalidArgument describing the first violated constraint.
+  Status Validate() const {
+    if (num_nodes <= 0) {
+      return Status::InvalidArgument("num_nodes must be positive");
+    }
+    if (embedding_dim <= 0) {
+      return Status::InvalidArgument("embedding_dim must be positive");
+    }
+    if (num_heads <= 0 || embedding_dim % num_heads != 0) {
+      return Status::InvalidArgument(
+          "num_heads must divide embedding_dim");
+    }
+    if (mailbox_slots <= 0) {
+      return Status::InvalidArgument("mailbox_slots must be positive");
+    }
+    if (sampled_neighbors <= 0) {
+      return Status::InvalidArgument("sampled_neighbors must be positive");
+    }
+    if (propagation_hops < 0) {
+      return Status::InvalidArgument("propagation_hops must be >= 0");
+    }
+    if (mlp_hidden <= 0) {
+      return Status::InvalidArgument("mlp_hidden must be positive");
+    }
+    if (dropout < 0.0f || dropout >= 1.0f) {
+      return Status::InvalidArgument("dropout must be in [0, 1)");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace core
+}  // namespace apan
+
+#endif  // APAN_CORE_CONFIG_H_

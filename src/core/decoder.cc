@@ -1,0 +1,43 @@
+#include "core/decoder.h"
+
+#include "tensor/ops.h"
+
+namespace apan {
+namespace core {
+
+using tensor::Tensor;
+
+LinkDecoder::LinkDecoder(int64_t embedding_dim, int64_t hidden, Rng* rng)
+    : mlp_(2 * embedding_dim, hidden, 1, rng, /*dropout=*/0.1f) {
+  RegisterChild(&mlp_);
+}
+
+Tensor LinkDecoder::Forward(const Tensor& z_src, const Tensor& z_dst,
+                            Rng* dropout_rng) const {
+  return mlp_.Forward(tensor::ConcatLastDim({z_src, z_dst}), dropout_rng);
+}
+
+EdgeDecoder::EdgeDecoder(int64_t embedding_dim, int64_t feature_dim,
+                         int64_t hidden, Rng* rng)
+    : mlp_(2 * embedding_dim + feature_dim, hidden, 1, rng,
+           /*dropout=*/0.1f) {
+  RegisterChild(&mlp_);
+}
+
+Tensor EdgeDecoder::Forward(const Tensor& z_src, const Tensor& edge_features,
+                            const Tensor& z_dst, Rng* dropout_rng) const {
+  return mlp_.Forward(
+      tensor::ConcatLastDim({z_src, edge_features, z_dst}), dropout_rng);
+}
+
+NodeDecoder::NodeDecoder(int64_t embedding_dim, int64_t hidden, Rng* rng)
+    : mlp_(embedding_dim, hidden, 1, rng, /*dropout=*/0.1f) {
+  RegisterChild(&mlp_);
+}
+
+Tensor NodeDecoder::Forward(const Tensor& z, Rng* dropout_rng) const {
+  return mlp_.Forward(z, dropout_rng);
+}
+
+}  // namespace core
+}  // namespace apan

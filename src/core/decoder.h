@@ -1,0 +1,63 @@
+// MLP decoders for downstream tasks (paper §3.4).
+//
+// The encoder and propagator are task-agnostic; only the decoder changes:
+//   link prediction     score(z_i ‖ z_j)
+//   edge classification score(z_i ‖ e_ij ‖ z_j)
+//   node classification score(z_i)
+// Each head is a two-layer MLP producing one logit.
+
+#ifndef APAN_CORE_DECODER_H_
+#define APAN_CORE_DECODER_H_
+
+#include "core/config.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace apan {
+namespace core {
+
+/// \brief Link-prediction head: p(edge | z_i, z_j).
+class LinkDecoder : public nn::Module {
+ public:
+  LinkDecoder(int64_t embedding_dim, int64_t hidden, Rng* rng);
+
+  /// \return logits {batch, 1}.
+  tensor::Tensor Forward(const tensor::Tensor& z_src,
+                         const tensor::Tensor& z_dst,
+                         Rng* dropout_rng = nullptr) const;
+
+ private:
+  nn::Mlp mlp_;
+};
+
+/// \brief Edge-classification head: p(fraud | z_i, e_ij, z_j).
+class EdgeDecoder : public nn::Module {
+ public:
+  EdgeDecoder(int64_t embedding_dim, int64_t feature_dim, int64_t hidden,
+              Rng* rng);
+
+  tensor::Tensor Forward(const tensor::Tensor& z_src,
+                         const tensor::Tensor& edge_features,
+                         const tensor::Tensor& z_dst,
+                         Rng* dropout_rng = nullptr) const;
+
+ private:
+  nn::Mlp mlp_;
+};
+
+/// \brief Node-classification head: p(label | z_i).
+class NodeDecoder : public nn::Module {
+ public:
+  NodeDecoder(int64_t embedding_dim, int64_t hidden, Rng* rng);
+
+  tensor::Tensor Forward(const tensor::Tensor& z,
+                         Rng* dropout_rng = nullptr) const;
+
+ private:
+  nn::Mlp mlp_;
+};
+
+}  // namespace core
+}  // namespace apan
+
+#endif  // APAN_CORE_DECODER_H_

@@ -1,0 +1,102 @@
+#include "core/encoder.h"
+
+#include "tensor/ops.h"
+
+namespace apan {
+namespace core {
+
+using tensor::Tensor;
+
+ApanEncoder::ApanEncoder(const ApanConfig& config, Rng* rng)
+    : dim_(config.embedding_dim),
+      slots_(config.mailbox_slots),
+      dropout_(config.dropout),
+      positional_mode_(config.positional),
+      positional_(config.mailbox_slots, config.embedding_dim, rng),
+      time_positional_(config.embedding_dim, rng),
+      attention_(config.embedding_dim, config.num_heads, rng),
+      layer_norm_(config.embedding_dim),
+      mlp_(config.embedding_dim, config.mlp_hidden, config.embedding_dim,
+           rng, config.dropout) {
+  APAN_CHECK(config.Validate().ok());
+  if (positional_mode_ == PositionalMode::kLearnedPosition) {
+    RegisterChild(&positional_);
+  } else {
+    RegisterChild(&time_positional_);
+  }
+  RegisterChild(&attention_);
+  RegisterChild(&layer_norm_);
+  RegisterChild(&mlp_);
+}
+
+ApanEncoder::Output ApanEncoder::Forward(
+    const Tensor& last_embeddings, const Mailbox::ReadResult& mailbox_read,
+    Rng* dropout_rng) const {
+  APAN_CHECK(last_embeddings.defined());
+  APAN_CHECK_MSG(last_embeddings.rank() == 2 &&
+                     last_embeddings.dim(1) == dim_,
+                 "encoder expects {batch, dim} last embeddings");
+  const Tensor& mails = mailbox_read.mails;
+  APAN_CHECK_MSG(mails.rank() == 3 && mails.dim(1) == slots_ &&
+                     mails.dim(2) == dim_,
+                 "encoder mailbox tensor shape mismatch");
+  const int64_t batch = last_embeddings.dim(0);
+  APAN_CHECK(mails.dim(0) == batch);
+
+  Tensor flat = tensor::Reshape(mails, {batch * slots_, dim_});
+  Tensor pos;
+  if (positional_mode_ == PositionalMode::kLearnedPosition) {
+    // Positional encoding (Eq. 2): slot position p (time-sorted order)
+    // gets row p of the learnable table, identically per batch element.
+    std::vector<int64_t> position_ids(static_cast<size_t>(batch * slots_));
+    for (int64_t b = 0; b < batch; ++b) {
+      for (int64_t p = 0; p < slots_; ++p) {
+        position_ids[static_cast<size_t>(b * slots_ + p)] = p;
+      }
+    }
+    pos = positional_.Forward(position_ids);  // {b*m, d}
+  } else {
+    // §3.6 extension: Bochner time kernel over (newest mail − mail) age.
+    APAN_CHECK_MSG(
+        mailbox_read.timestamps.size() ==
+            static_cast<size_t>(batch * slots_),
+        "time-kernel positional mode needs mailbox timestamps");
+    std::vector<double> deltas(static_cast<size_t>(batch * slots_), 0.0);
+    for (int64_t b = 0; b < batch; ++b) {
+      const int64_t c = mailbox_read.counts[static_cast<size_t>(b)];
+      if (c == 0) continue;
+      const double newest =
+          mailbox_read.timestamps[static_cast<size_t>(b * slots_ + c - 1)];
+      for (int64_t p = 0; p < c; ++p) {
+        deltas[static_cast<size_t>(b * slots_ + p)] =
+            newest -
+            mailbox_read.timestamps[static_cast<size_t>(b * slots_ + p)];
+      }
+    }
+    pos = time_positional_.Forward(deltas);  // {b*m, d}
+  }
+  Tensor enriched = tensor::Add(flat, pos);
+  enriched = tensor::Reshape(enriched, {batch, slots_, dim_});
+
+  // Multi-head attention with the last embedding as the single query.
+  nn::AttentionOutput attn = attention_.Forward(
+      last_embeddings, enriched, enriched, &mailbox_read.mask);
+
+  // Shortcut addition (⊕ in Figure 4), then LayerNorm, then MLP — exactly
+  // the paper's block: z(t) = MLP(LayerNorm(MHA + z(t−))).
+  Tensor residual = tensor::Add(attn.output, last_embeddings);
+  if (dropout_ > 0.0f && training() && dropout_rng != nullptr) {
+    residual =
+        tensor::Dropout(residual, dropout_, /*training=*/true, dropout_rng);
+  }
+  Tensor normed = layer_norm_.Forward(residual);
+  Tensor out = mlp_.Forward(normed, dropout_rng);
+
+  Output result;
+  result.embeddings = out;
+  result.attention = attn.weights;
+  return result;
+}
+
+}  // namespace core
+}  // namespace apan

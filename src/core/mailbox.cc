@@ -1,0 +1,128 @@
+#include "core/mailbox.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "nn/attention.h"
+
+namespace apan {
+namespace core {
+
+Mailbox::Mailbox(int64_t num_nodes, int64_t slots, int64_t dim)
+    : num_nodes_(num_nodes), slots_(slots), dim_(dim) {
+  APAN_CHECK_MSG(num_nodes > 0 && slots > 0 && dim > 0,
+                 "Mailbox dimensions must be positive");
+  data_.assign(static_cast<size_t>(num_nodes) * slots * dim, 0.0f);
+  timestamps_.assign(static_cast<size_t>(num_nodes) * slots, 0.0);
+  head_.assign(static_cast<size_t>(num_nodes), 0);
+  count_.assign(static_cast<size_t>(num_nodes), 0);
+}
+
+void Mailbox::Deliver(graph::NodeId node, std::span<const float> mail,
+                      double timestamp) {
+  APAN_CHECK_MSG(node >= 0 && node < num_nodes_, "mailbox node out of range");
+  APAN_CHECK_MSG(static_cast<int64_t>(mail.size()) == dim_,
+                 "mail dimension mismatch");
+  const auto n = static_cast<size_t>(node);
+  int64_t slot;
+  if (count_[n] < slots_) {
+    slot = (head_[n] + count_[n]) % slots_;
+    ++count_[n];
+  } else {
+    slot = head_[n];  // evict oldest
+    head_[n] = static_cast<int32_t>((head_[n] + 1) % slots_);
+  }
+  std::copy(mail.begin(), mail.end(), data_.begin() + SlotOffset(node, slot));
+  timestamps_[n * static_cast<size_t>(slots_) + static_cast<size_t>(slot)] =
+      timestamp;
+}
+
+int64_t Mailbox::ValidCount(graph::NodeId node) const {
+  APAN_CHECK_MSG(node >= 0 && node < num_nodes_, "mailbox node out of range");
+  return count_[static_cast<size_t>(node)];
+}
+
+double Mailbox::NewestTimestamp(graph::NodeId node) const {
+  APAN_CHECK_MSG(node >= 0 && node < num_nodes_, "mailbox node out of range");
+  const auto n = static_cast<size_t>(node);
+  if (count_[n] == 0) return -std::numeric_limits<double>::infinity();
+  double newest = -std::numeric_limits<double>::infinity();
+  for (int32_t i = 0; i < count_[n]; ++i) {
+    const int64_t slot = (head_[n] + i) % slots_;
+    newest = std::max(
+        newest,
+        timestamps_[n * static_cast<size_t>(slots_) +
+                    static_cast<size_t>(slot)]);
+  }
+  return newest;
+}
+
+std::span<const float> Mailbox::RawSlot(graph::NodeId node,
+                                        int64_t slot) const {
+  APAN_CHECK_MSG(node >= 0 && node < num_nodes_, "mailbox node out of range");
+  APAN_CHECK_MSG(slot >= 0 && slot < slots_, "mailbox slot out of range");
+  return {data_.data() + SlotOffset(node, slot), static_cast<size_t>(dim_)};
+}
+
+Mailbox::ReadResult Mailbox::ReadBatch(
+    const std::vector<graph::NodeId>& nodes) const {
+  const int64_t batch = static_cast<int64_t>(nodes.size());
+  APAN_CHECK_MSG(batch > 0, "ReadBatch on empty node list");
+  ReadResult result;
+  std::vector<float> out(static_cast<size_t>(batch * slots_ * dim_), 0.0f);
+  result.mask.assign(static_cast<size_t>(batch * slots_), 0.0f);
+  result.counts.resize(static_cast<size_t>(batch));
+  result.timestamps.assign(static_cast<size_t>(batch * slots_), 0.0);
+
+  std::vector<int64_t> order;
+  for (int64_t b = 0; b < batch; ++b) {
+    const graph::NodeId node = nodes[static_cast<size_t>(b)];
+    APAN_CHECK_MSG(node >= 0 && node < num_nodes_,
+                   "mailbox node out of range");
+    const auto n = static_cast<size_t>(node);
+    const int32_t c = count_[n];
+    result.counts[static_cast<size_t>(b)] = c;
+
+    // Sort valid slots by timestamp ascending (stable on arrival order) —
+    // the sort-on-read that makes out-of-order delivery harmless.
+    order.resize(static_cast<size_t>(c));
+    for (int32_t i = 0; i < c; ++i) {
+      order[static_cast<size_t>(i)] = (head_[n] + i) % slots_;
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&](int64_t a, int64_t b2) {
+                       return timestamps_[n * slots_ + a] <
+                              timestamps_[n * slots_ + b2];
+                     });
+
+    for (int64_t pos = 0; pos < static_cast<int64_t>(order.size()); ++pos) {
+      std::copy_n(data_.data() + SlotOffset(node, order[pos]), dim_,
+                  out.data() + (b * slots_ + pos) * dim_);
+      result.timestamps[static_cast<size_t>(b * slots_ + pos)] =
+          timestamps_[n * static_cast<size_t>(slots_) +
+                      static_cast<size_t>(order[pos])];
+    }
+    // Mask padding slots — except for fully-empty mailboxes, which keep an
+    // all-valid mask so softmax stays a well-conditioned uniform.
+    if (c > 0) {
+      for (int64_t pos = c; pos < slots_; ++pos) {
+        result.mask[static_cast<size_t>(b * slots_ + pos)] =
+            nn::MultiHeadAttention::kMaskedOut;
+      }
+    }
+  }
+  result.mails =
+      tensor::Tensor::FromVector({batch, slots_, dim_}, std::move(out));
+  return result;
+}
+
+void Mailbox::Clear() {
+  std::fill(data_.begin(), data_.end(), 0.0f);
+  std::fill(timestamps_.begin(), timestamps_.end(), 0.0);
+  std::fill(head_.begin(), head_.end(), 0);
+  std::fill(count_.begin(), count_.end(), 0);
+}
+
+}  // namespace core
+}  // namespace apan

@@ -1,0 +1,97 @@
+// The mailbox — APAN's per-node message store (paper §3.5, ψ).
+//
+// Each node owns a fixed number of slots holding the most recent mails it
+// has received, in a FIFO ring (the paper's "first-in-first-out queue data
+// structure ... will retain the latest information and discard old
+// mails"). Read-out sorts the valid slots by timestamp, which is what
+// makes APAN tolerant of out-of-order delivery in distributed streaming
+// systems (paper §3.6, "Mailbox Mechanism").
+
+#ifndef APAN_CORE_MAILBOX_H_
+#define APAN_CORE_MAILBOX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/temporal_graph.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace apan {
+namespace core {
+
+/// \brief Fixed-capacity per-node mail storage for a whole graph.
+///
+/// Memory is O(num_nodes * slots * dim) — bounded by the node count, not
+/// the (unbounded) edge count; §4.7 argues this is why the mailbox is not
+/// the system's memory bottleneck.
+class Mailbox {
+ public:
+  Mailbox(int64_t num_nodes, int64_t slots, int64_t dim);
+
+  int64_t num_nodes() const { return num_nodes_; }
+  int64_t slots() const { return slots_; }
+  int64_t dim() const { return dim_; }
+
+  /// \brief Stores `mail` (dim() floats) for `node`, evicting the oldest
+  /// mail when the ring is full. Out-of-order timestamps are accepted.
+  void Deliver(graph::NodeId node, std::span<const float> mail,
+               double timestamp);
+
+  /// Number of mails currently held for `node` (0..slots()).
+  int64_t ValidCount(graph::NodeId node) const;
+
+  /// Timestamp of the newest mail held for `node` (-inf when empty).
+  double NewestTimestamp(graph::NodeId node) const;
+
+  /// Mail contents of one slot of one node, in *storage* order (tests).
+  std::span<const float> RawSlot(graph::NodeId node, int64_t slot) const;
+
+  /// Batched, time-sorted read-out for the encoder.
+  struct ReadResult {
+    /// {batch, slots, dim} — valid mails first (oldest to newest), then
+    /// zero padding.
+    tensor::Tensor mails;
+    /// batch*slots additive attention mask: 0 for valid slots,
+    /// MultiHeadAttention::kMaskedOut for padding. Nodes with an empty
+    /// mailbox get an all-zero mask (uniform attention over zeros is the
+    /// stable cold-start behaviour).
+    std::vector<float> mask;
+    /// Valid mail count per batch row.
+    std::vector<int64_t> counts;
+    /// batch*slots mail timestamps in the same (time-sorted) slot order;
+    /// 0 for padding. Consumed by the time-kernel positional mode.
+    std::vector<double> timestamps;
+  };
+  ReadResult ReadBatch(const std::vector<graph::NodeId>& nodes) const;
+
+  /// Drops all mail (used between training epochs).
+  void Clear();
+
+  /// Bytes of mail payload storage.
+  int64_t MemoryBytes() const {
+    return static_cast<int64_t>(data_.size() * sizeof(float) +
+                                timestamps_.size() * sizeof(double));
+  }
+
+ private:
+  size_t SlotOffset(graph::NodeId node, int64_t slot) const {
+    return (static_cast<size_t>(node) * static_cast<size_t>(slots_) +
+            static_cast<size_t>(slot)) *
+           static_cast<size_t>(dim_);
+  }
+
+  int64_t num_nodes_;
+  int64_t slots_;
+  int64_t dim_;
+  std::vector<float> data_;        // num_nodes * slots * dim
+  std::vector<double> timestamps_; // num_nodes * slots
+  std::vector<int32_t> head_;      // ring head per node
+  std::vector<int32_t> count_;     // valid slots per node
+};
+
+}  // namespace core
+}  // namespace apan
+
+#endif  // APAN_CORE_MAILBOX_H_

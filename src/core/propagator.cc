@@ -1,0 +1,125 @@
+#include "core/propagator.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace apan {
+namespace core {
+
+MailPropagator::MailPropagator(const ApanConfig& config,
+                               const graph::TemporalGraph* graph,
+                               const graph::EdgeFeatureStore* features)
+    : config_(config), graph_(graph), features_(features) {
+  APAN_CHECK(graph != nullptr && features != nullptr);
+  APAN_CHECK(config.Validate().ok());
+  APAN_CHECK_MSG(features->dim() == config.embedding_dim,
+                 "mail dim must equal edge feature dim (paper §3.5)");
+}
+
+std::vector<float> MailPropagator::MakeMail(
+    const InteractionRecord& record) const {
+  const int64_t d = config_.embedding_dim;
+  APAN_CHECK_MSG(static_cast<int64_t>(record.z_src.size()) == d &&
+                     static_cast<int64_t>(record.z_dst.size()) == d,
+                 "interaction embeddings have wrong dimension");
+  std::vector<float> mail(static_cast<size_t>(d));
+  const float* e = features_->Row(record.event.edge_id);
+  for (int64_t i = 0; i < d; ++i) {
+    mail[static_cast<size_t>(i)] =
+        record.z_src[static_cast<size_t>(i)] + e[i] +
+        record.z_dst[static_cast<size_t>(i)];
+  }
+  return mail;
+}
+
+std::vector<MailDelivery> MailPropagator::ComputeDeliveries(
+    const std::vector<InteractionRecord>& batch) const {
+  std::vector<MailDelivery> out;
+  const int64_t d = config_.embedding_dim;
+
+  // Hop 0: each event's mail goes to both endpoints *unreduced* — a node's
+  // own interactions each occupy a mailbox slot, keeping its own history
+  // crisp. ρ applies only to the propagated k-hop copies below (that is
+  // where high-degree nodes would otherwise be flooded).
+  struct Accumulator {
+    std::vector<float> sum;
+    double newest = 0.0;
+    int64_t count = 0;
+  };
+  std::unordered_map<graph::NodeId, Accumulator> propagated;
+
+  for (const InteractionRecord& record : batch) {
+    std::vector<float> mail = MakeMail(record);
+    const double t = record.event.timestamp;
+
+    // Hops 1..k: sampled neighborhood at time t (mail passing f is the
+    // identity, so every hop receives the same payload). Most-recent
+    // sampling is the paper's choice; uniform is the §3.5 alternative.
+    if (config_.propagation_hops > 0) {
+      const auto hops =
+          config_.sampling == PropagationSampling::kMostRecent
+              ? graph::KHopMostRecent(
+                    *graph_, {record.event.src, record.event.dst}, t,
+                    config_.propagation_hops, config_.sampled_neighbors)
+              : graph::KHopUniform(
+                    *graph_, {record.event.src, record.event.dst}, t,
+                    config_.propagation_hops, config_.sampled_neighbors,
+                    &sampling_rng_);
+      for (const auto& entry : hops) {
+        if (entry.node == record.event.src ||
+            entry.node == record.event.dst) {
+          continue;  // endpoints already receive the mail directly
+        }
+        auto& acc = propagated[entry.node];
+        if (acc.sum.empty()) acc.sum.assign(static_cast<size_t>(d), 0.0f);
+        for (int64_t i = 0; i < d; ++i) {
+          acc.sum[static_cast<size_t>(i)] += mail[static_cast<size_t>(i)];
+        }
+        acc.newest = std::max(acc.newest, t);
+        ++acc.count;
+      }
+    }
+
+    MailDelivery to_src{record.event.src, mail, t, 1};
+    if (record.event.dst != record.event.src) {
+      out.push_back(to_src);
+      out.push_back({record.event.dst, std::move(mail), t, 1});
+    } else {
+      out.push_back(std::move(to_src));
+    }
+  }
+
+  // ρ: mean-reduce the propagated mails to one per recipient per batch.
+  std::vector<MailDelivery> reduced;
+  reduced.reserve(propagated.size());
+  for (auto& [recipient, acc] : propagated) {
+    MailDelivery delivery;
+    delivery.recipient = recipient;
+    delivery.mail = std::move(acc.sum);
+    const float inv = 1.0f / static_cast<float>(acc.count);
+    for (auto& v : delivery.mail) v *= inv;
+    delivery.timestamp = acc.newest;
+    delivery.contributions = acc.count;
+    reduced.push_back(std::move(delivery));
+  }
+  std::sort(reduced.begin(), reduced.end(),
+            [](const MailDelivery& a, const MailDelivery& b) {
+              return a.recipient < b.recipient;
+            });
+  out.insert(out.end(), std::make_move_iterator(reduced.begin()),
+             std::make_move_iterator(reduced.end()));
+  return out;
+}
+
+int64_t MailPropagator::Propagate(
+    const std::vector<InteractionRecord>& batch, Mailbox* mailbox) const {
+  APAN_CHECK(mailbox != nullptr);
+  const auto deliveries = ComputeDeliveries(batch);
+  for (const MailDelivery& d : deliveries) {
+    mailbox->Deliver(d.recipient, d.mail, d.timestamp);
+  }
+  return static_cast<int64_t>(deliveries.size());
+}
+
+}  // namespace core
+}  // namespace apan

@@ -1,0 +1,90 @@
+// The asynchronous mail propagator (paper §3.5, Figure 5).
+//
+// After the encoder produces embeddings for an interaction
+// (v_i, v_j, e_ij, t), the propagator:
+//   φ  builds the mail  mail(t) = z_i(t) + e_ij(t) + z_j(t)  (summation
+//      keeps the mailbox memory footprint at one slot per mail);
+//   N  samples the k-hop most-recent neighborhood of {v_i, v_j} using only
+//      edges strictly before t (no future leakage);
+//   f  passes the mail unchanged along each sampled path (identity);
+//   ρ  mean-reduces multiple mails arriving at one recipient in the same
+//      batch into a single mail;
+//   ψ  appends the reduced mail to each recipient's FIFO mailbox.
+//
+// The interacting endpoints themselves always receive the mail (their own
+// mailboxes are how they remember their own history); sampled neighbors
+// receive it at hops 1..k.
+//
+// This module runs on the asynchronous link: in serving it executes on a
+// background worker (serve::AsyncPipeline); in training it runs after the
+// optimizer step, as in the reference implementation.
+
+#ifndef APAN_CORE_PROPAGATOR_H_
+#define APAN_CORE_PROPAGATOR_H_
+
+#include <vector>
+
+#include "core/config.h"
+#include "core/mailbox.h"
+#include "graph/edge_features.h"
+#include "graph/sampling.h"
+#include "graph/temporal_graph.h"
+
+namespace apan {
+namespace core {
+
+/// A completed interaction plus the (detached) embeddings the encoder
+/// produced for it — everything φ needs.
+struct InteractionRecord {
+  graph::Event event;
+  std::vector<float> z_src;
+  std::vector<float> z_dst;
+};
+
+/// One reduced mail addressed to one node.
+struct MailDelivery {
+  graph::NodeId recipient = -1;
+  std::vector<float> mail;
+  double timestamp = 0.0;
+  int64_t contributions = 0;  ///< Mails merged by ρ into this delivery.
+};
+
+/// \brief Stateless propagation logic; mailbox state lives in Mailbox.
+class MailPropagator {
+ public:
+  /// `graph` and `features` must outlive the propagator. The graph is
+  /// queried on the *asynchronous* link only.
+  MailPropagator(const ApanConfig& config,
+                 const graph::TemporalGraph* graph,
+                 const graph::EdgeFeatureStore* features);
+
+  /// \brief φ + N + f + ρ for one batch.
+  ///
+  /// Returns, in order: one *unreduced* delivery per event per endpoint
+  /// (hop 0 — a node's own interactions each occupy a mailbox slot), then
+  /// one ρ-mean-reduced delivery per distinct propagated recipient (hops
+  /// 1..k), sorted by recipient id. Endpoints never appear in the reduced
+  /// section for mails they already received directly.
+  std::vector<MailDelivery> ComputeDeliveries(
+      const std::vector<InteractionRecord>& batch) const;
+
+  /// \brief Full propagation: ComputeDeliveries then ψ (mailbox append).
+  /// \return number of deliveries made.
+  int64_t Propagate(const std::vector<InteractionRecord>& batch,
+                    Mailbox* mailbox) const;
+
+  /// φ alone: mail(t) = z_i + e_ij + z_j. Exposed for tests.
+  std::vector<float> MakeMail(const InteractionRecord& record) const;
+
+ private:
+  ApanConfig config_;
+  const graph::TemporalGraph* graph_;
+  const graph::EdgeFeatureStore* features_;
+  /// Only drawn from under PropagationSampling::kUniform.
+  mutable Rng sampling_rng_{0xA9A17ULL};
+};
+
+}  // namespace core
+}  // namespace apan
+
+#endif  // APAN_CORE_PROPAGATOR_H_

@@ -1,0 +1,67 @@
+// Chronological batching of event streams.
+//
+// CTDG models consume the stream in time order, `batch_size` events at a
+// time (paper §4.4 uses batches of 200 for train/val/test alike).
+
+#ifndef APAN_DATA_BATCHING_H_
+#define APAN_DATA_BATCHING_H_
+
+#include <cstddef>
+
+#include "data/dataset.h"
+
+namespace apan {
+namespace data {
+
+/// Half-open range [begin, end) of event indices forming one batch.
+struct Batch {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t size() const { return end - begin; }
+};
+
+/// \brief Iterates a split in fixed-size chronological chunks (the last
+/// chunk may be smaller).
+class BatchIterator {
+ public:
+  BatchIterator(const Dataset& dataset, Split split, size_t batch_size)
+      : batch_size_(batch_size == 0 ? 1 : batch_size) {
+    const auto [lo, hi] = dataset.SplitRange(split);
+    cursor_ = lo;
+    end_ = hi;
+  }
+
+  /// Constructs over an explicit range (used by streaming benches).
+  BatchIterator(size_t begin, size_t end, size_t batch_size)
+      : batch_size_(batch_size == 0 ? 1 : batch_size),
+        cursor_(begin),
+        end_(end) {}
+
+  bool Done() const { return cursor_ >= end_; }
+
+  /// Returns the next batch and advances. Calling past the end yields an
+  /// empty batch.
+  Batch Next() {
+    Batch b;
+    b.begin = cursor_;
+    b.end = std::min(end_, cursor_ + batch_size_);
+    cursor_ = b.end;
+    return b;
+  }
+
+  /// Number of batches remaining.
+  size_t Remaining() const {
+    if (Done()) return 0;
+    return (end_ - cursor_ + batch_size_ - 1) / batch_size_;
+  }
+
+ private:
+  size_t batch_size_;
+  size_t cursor_ = 0;
+  size_t end_ = 0;
+};
+
+}  // namespace data
+}  // namespace apan
+
+#endif  // APAN_DATA_BATCHING_H_

@@ -1,0 +1,113 @@
+#include "data/csv.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace apan {
+namespace data {
+
+Status WriteCsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out.precision(17);  // round-trip exact doubles (timestamps)
+  out << "src,dst,timestamp,label";
+  for (int64_t f = 0; f < dataset.feature_dim(); ++f) out << ",f" << f;
+  out << "\n";
+  for (size_t i = 0; i < dataset.events.size(); ++i) {
+    const auto& e = dataset.events[i];
+    out << e.src << "," << e.dst << "," << e.timestamp << ","
+        << static_cast<int>(dataset.labels[i]);
+    const float* row = dataset.features.Row(e.edge_id);
+    for (int64_t f = 0; f < dataset.feature_dim(); ++f) {
+      out << "," << row[f];
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Dataset> ReadCsv(const std::string& path, const std::string& name,
+                        LabelKind label_kind) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IoError("empty file: " + path);
+  }
+  // Feature dim = columns after the 4 fixed ones.
+  int64_t columns = 1;
+  for (char c : line) {
+    if (c == ',') ++columns;
+  }
+  const int64_t feature_dim = columns - 4;
+  if (feature_dim <= 0) {
+    return Status::InvalidArgument("csv needs at least one feature column");
+  }
+
+  Dataset ds;
+  ds.name = name;
+  ds.label_kind = label_kind;
+  ds.features = graph::EdgeFeatureStore(feature_dim);
+
+  std::unordered_map<int64_t, graph::NodeId> remap;
+  auto intern = [&](int64_t raw) {
+    auto [it, inserted] =
+        remap.try_emplace(raw, static_cast<graph::NodeId>(remap.size()));
+    return it->second;
+  };
+
+  double last_t = -1e300;
+  size_t line_no = 1;
+  std::vector<float> feat(static_cast<size_t>(feature_dim));
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    std::string cell;
+    auto next_cell = [&](double* value) -> bool {
+      if (!std::getline(ss, cell, ',')) return false;
+      try {
+        *value = std::stod(cell);
+      } catch (...) {
+        return false;
+      }
+      return true;
+    };
+    double src_raw, dst_raw, ts, label_raw;
+    if (!next_cell(&src_raw) || !next_cell(&dst_raw) || !next_cell(&ts) ||
+        !next_cell(&label_raw)) {
+      return Status::InvalidArgument(
+          internal::StrCat("malformed row at line ", line_no));
+    }
+    if (ts < last_t) {
+      return Status::InvalidArgument(
+          internal::StrCat("timestamps not sorted at line ", line_no));
+    }
+    last_t = ts;
+    for (int64_t f = 0; f < feature_dim; ++f) {
+      double v;
+      if (!next_cell(&v)) {
+        return Status::InvalidArgument(
+            internal::StrCat("missing feature at line ", line_no));
+      }
+      feat[static_cast<size_t>(f)] = static_cast<float>(v);
+    }
+    const graph::NodeId src = intern(static_cast<int64_t>(src_raw));
+    const graph::NodeId dst = intern(static_cast<int64_t>(dst_raw));
+    const graph::EdgeId edge_id = ds.features.Append(feat);
+    ds.events.push_back({src, dst, ts, edge_id});
+    ds.labels.push_back(static_cast<int8_t>(label_raw));
+  }
+  ds.num_nodes = static_cast<int64_t>(remap.size());
+  ds.num_users = ds.num_nodes;  // unknown bipartition; treat as general
+  APAN_RETURN_NOT_OK(ds.SplitByFraction(0.70, 0.15));
+  APAN_RETURN_NOT_OK(ds.Validate());
+  return ds;
+}
+
+}  // namespace data
+}  // namespace apan

@@ -1,0 +1,30 @@
+// CSV import/export in the JODIE dataset layout:
+//   src,dst,timestamp,label,f0,f1,...,f{d-1}
+// one row per temporal edge, rows sorted by timestamp. This is the format
+// of the public Wikipedia/Reddit files the paper uses, so a user with
+// access to those datasets can run every experiment on the real data.
+
+#ifndef APAN_DATA_CSV_H_
+#define APAN_DATA_CSV_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace apan {
+namespace data {
+
+/// Writes `dataset` to `path`. Overwrites existing files.
+Status WriteCsv(const Dataset& dataset, const std::string& path);
+
+/// \brief Reads a dataset from `path`.
+/// \param name stored on the result; \param label_kind semantic of the
+/// label column. Node ids are compacted; the split defaults to 70/15/15.
+Result<Dataset> ReadCsv(const std::string& path, const std::string& name,
+                        LabelKind label_kind);
+
+}  // namespace data
+}  // namespace apan
+
+#endif  // APAN_DATA_CSV_H_

@@ -1,0 +1,112 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace apan {
+namespace data {
+
+Status Dataset::SplitByFraction(double train_frac, double val_frac) {
+  if (train_frac <= 0 || val_frac < 0 || train_frac + val_frac > 1.0) {
+    return Status::InvalidArgument("invalid split fractions");
+  }
+  const auto n = events.size();
+  train_end = static_cast<size_t>(static_cast<double>(n) * train_frac);
+  val_end = static_cast<size_t>(static_cast<double>(n) *
+                                (train_frac + val_frac));
+  train_end = std::min(train_end, n);
+  val_end = std::clamp(val_end, train_end, n);
+  return Status::OK();
+}
+
+int64_t Dataset::CountLabeled(Split split) const {
+  const auto [lo, hi] = SplitRange(split);
+  int64_t count = 0;
+  for (size_t i = lo; i < hi; ++i) {
+    if (labels[i] >= 0) ++count;
+  }
+  return count;
+}
+
+int64_t Dataset::CountPositive(Split split) const {
+  const auto [lo, hi] = SplitRange(split);
+  int64_t count = 0;
+  for (size_t i = lo; i < hi; ++i) {
+    if (labels[i] == 1) ++count;
+  }
+  return count;
+}
+
+std::vector<bool> Dataset::NodesSeenInTrain() const {
+  std::vector<bool> seen(static_cast<size_t>(num_nodes), false);
+  for (size_t i = 0; i < train_end; ++i) {
+    seen[static_cast<size_t>(events[i].src)] = true;
+    seen[static_cast<size_t>(events[i].dst)] = true;
+  }
+  return seen;
+}
+
+Dataset::Table1Stats Dataset::ComputeTable1Stats() const {
+  Table1Stats s;
+  s.num_edges = num_events();
+  s.num_nodes = num_nodes;
+  s.feature_dim = feature_dim();
+  const auto seen_train = NodesSeenInTrain();
+  s.nodes_in_train = static_cast<int64_t>(
+      std::count(seen_train.begin(), seen_train.end(), true));
+  std::unordered_set<graph::NodeId> eval_nodes;
+  for (size_t i = train_end; i < events.size(); ++i) {
+    eval_nodes.insert(events[i].src);
+    eval_nodes.insert(events[i].dst);
+  }
+  for (graph::NodeId v : eval_nodes) {
+    if (seen_train[static_cast<size_t>(v)]) {
+      ++s.old_nodes_in_eval;
+    } else {
+      ++s.unseen_nodes_in_eval;
+    }
+  }
+  if (!events.empty()) {
+    s.timespan = events.back().timestamp - events.front().timestamp;
+  }
+  for (int8_t l : labels) {
+    if (l >= 0) ++s.labeled_interactions;
+  }
+  return s;
+}
+
+Status Dataset::Validate() const {
+  if (events.size() != labels.size()) {
+    return Status::Internal("labels not aligned with events");
+  }
+  if (features.num_edges() != num_events()) {
+    return Status::Internal("features not aligned with events");
+  }
+  double last_t = -1.0;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const auto& e = events[i];
+    if (e.src < 0 || e.src >= num_nodes || e.dst < 0 ||
+        e.dst >= num_nodes) {
+      return Status::Internal(
+          internal::StrCat("event ", i, " endpoint out of range"));
+    }
+    if (e.timestamp < last_t) {
+      return Status::Internal(
+          internal::StrCat("event ", i, " breaks timestamp order"));
+    }
+    last_t = e.timestamp;
+    if (e.edge_id != static_cast<graph::EdgeId>(i)) {
+      return Status::Internal(
+          internal::StrCat("event ", i, " has edge_id ", e.edge_id,
+                           "; expected dense event order"));
+    }
+  }
+  if (train_end > events.size() || val_end > events.size() ||
+      train_end > val_end) {
+    return Status::Internal("split boundaries out of order");
+  }
+  return Status::OK();
+}
+
+}  // namespace data
+}  // namespace apan

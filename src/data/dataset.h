@@ -1,0 +1,101 @@
+// Temporal-graph dataset container with chronological splits.
+
+#ifndef APAN_DATA_DATASET_H_
+#define APAN_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/edge_features.h"
+#include "graph/temporal_graph.h"
+#include "util/status.h"
+
+namespace apan {
+namespace data {
+
+/// What the per-event binary label describes.
+enum class LabelKind {
+  kNodeDynamic,  ///< Wikipedia/Reddit: state change of the source node
+                 ///< (e.g. "user banned") attached to this event.
+  kEdge,         ///< Alipay: the interaction itself is fraudulent.
+};
+
+/// Which chronological split an event belongs to.
+enum class Split { kTrain, kValidation, kTest };
+
+/// \brief An in-memory CTDG dataset: time-sorted events, per-event features
+/// and labels, and a 70/15/15 (or custom) chronological split.
+///
+/// Mirrors the JODIE dataset format the paper uses: bipartite user/item
+/// interactions; `labels[i]` is 1/0 for labeled events and -1 when the
+/// event carries no label.
+struct Dataset {
+  std::string name;
+  int64_t num_nodes = 0;
+  int64_t num_users = 0;  ///< Users are ids [0, num_users); items the rest.
+  std::vector<graph::Event> events;
+  graph::EdgeFeatureStore features{1};
+  std::vector<int8_t> labels;
+  LabelKind label_kind = LabelKind::kNodeDynamic;
+
+  /// Event-index split boundaries: [0, train_end) train,
+  /// [train_end, val_end) validation, [val_end, events.size()) test.
+  size_t train_end = 0;
+  size_t val_end = 0;
+
+  int64_t feature_dim() const { return features.dim(); }
+  int64_t num_events() const { return static_cast<int64_t>(events.size()); }
+
+  Split SplitOf(size_t event_index) const {
+    if (event_index < train_end) return Split::kTrain;
+    if (event_index < val_end) return Split::kValidation;
+    return Split::kTest;
+  }
+
+  /// [begin, end) event-index range of a split.
+  std::pair<size_t, size_t> SplitRange(Split split) const {
+    switch (split) {
+      case Split::kTrain:
+        return {0, train_end};
+      case Split::kValidation:
+        return {train_end, val_end};
+      case Split::kTest:
+        return {val_end, events.size()};
+    }
+    return {0, 0};
+  }
+
+  /// \brief Assigns train/val/test boundaries by event fraction (the
+  /// paper's 70%-15%-15%). Fractions must be positive and sum to <= 1.
+  Status SplitByFraction(double train_frac, double val_frac);
+
+  /// Number of labeled events (label >= 0) within a split.
+  int64_t CountLabeled(Split split) const;
+  /// Number of positive labels within a split.
+  int64_t CountPositive(Split split) const;
+
+  /// Nodes that appear in the training range.
+  std::vector<bool> NodesSeenInTrain() const;
+  /// \brief Statistics row matching the paper's Table 1: nodes in train,
+  /// "old" nodes in val+test (seen in train) and unseen nodes in val+test.
+  struct Table1Stats {
+    int64_t num_edges = 0;
+    int64_t num_nodes = 0;
+    int64_t feature_dim = 0;
+    int64_t nodes_in_train = 0;
+    int64_t old_nodes_in_eval = 0;
+    int64_t unseen_nodes_in_eval = 0;
+    double timespan = 0.0;
+    int64_t labeled_interactions = 0;
+  };
+  Table1Stats ComputeTable1Stats() const;
+
+  /// Consistency checks: sorted timestamps, aligned array sizes, valid ids.
+  Status Validate() const;
+};
+
+}  // namespace data
+}  // namespace apan
+
+#endif  // APAN_DATA_DATASET_H_

@@ -1,0 +1,59 @@
+// Time-aware negative sampling for the link-prediction loss (paper Eq. 7).
+//
+// The paper's negative pool is dynamic: "nodes that have never interacted
+// cannot be sampled as negative data". This sampler tracks destination
+// nodes as the stream advances and draws negatives uniformly from the
+// already-seen pool, optionally rejecting the true destination.
+
+#ifndef APAN_DATA_NEGATIVE_SAMPLER_H_
+#define APAN_DATA_NEGATIVE_SAMPLER_H_
+
+#include <vector>
+
+#include "graph/temporal_graph.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace apan {
+namespace data {
+
+/// \brief Uniform sampler over the set of destination nodes seen so far.
+class NegativeSampler {
+ public:
+  explicit NegativeSampler(int64_t num_nodes)
+      : seen_(static_cast<size_t>(num_nodes), false) {}
+
+  /// Admits a node into the pool (call for each event's destination, and
+  /// for sources too in non-bipartite graphs).
+  void Observe(graph::NodeId node) {
+    APAN_CHECK(node >= 0 &&
+               static_cast<size_t>(node) < seen_.size());
+    if (!seen_[static_cast<size_t>(node)]) {
+      seen_[static_cast<size_t>(node)] = true;
+      pool_.push_back(node);
+    }
+  }
+
+  size_t pool_size() const { return pool_.size(); }
+
+  /// \brief Draws a negative destination different from `exclude` when the
+  /// pool allows it. Returns -1 when the pool is empty.
+  graph::NodeId Sample(Rng* rng, graph::NodeId exclude = -1) const {
+    if (pool_.empty()) return -1;
+    if (pool_.size() == 1) return pool_[0];
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const graph::NodeId cand = pool_[rng->UniformInt(pool_.size())];
+      if (cand != exclude) return cand;
+    }
+    return pool_[rng->UniformInt(pool_.size())];
+  }
+
+ private:
+  std::vector<bool> seen_;
+  std::vector<graph::NodeId> pool_;
+};
+
+}  // namespace data
+}  // namespace apan
+
+#endif  // APAN_DATA_NEGATIVE_SAMPLER_H_

@@ -1,0 +1,340 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "util/random.h"
+
+namespace apan {
+namespace data {
+
+SyntheticConfig SyntheticConfig::WikipediaLike() {
+  SyntheticConfig c;
+  c.name = "wikipedia-like";
+  c.num_users = 700;
+  c.num_items = 300;
+  c.num_events = 15000;
+  c.repeat_prob = 0.85;
+  c.preference_candidates = 8;
+  c.feature_noise = 0.25;
+  c.unseen_user_fraction = 0.19;
+  c.label_kind = LabelKind::kNodeDynamic;
+  c.risky_user_fraction = 0.03;
+  c.risky_positive_prob = 0.05;
+  c.seed = 20210620;
+  return c;
+}
+
+SyntheticConfig SyntheticConfig::RedditLike() {
+  SyntheticConfig c;
+  c.name = "reddit-like";
+  c.num_users = 900;
+  c.num_items = 150;
+  c.num_events = 30000;
+  c.repeat_prob = 0.88;
+  c.repeat_window = 3;
+  c.preference_candidates = 8;
+  c.feature_noise = 0.25;
+  c.unseen_user_fraction = 0.012;
+  c.label_kind = LabelKind::kNodeDynamic;
+  c.risky_user_fraction = 0.02;
+  c.risky_positive_prob = 0.03;
+  c.seed = 20210621;
+  return c;
+}
+
+SyntheticConfig SyntheticConfig::AlipayLike() {
+  SyntheticConfig c;
+  c.name = "alipay-like";
+  c.num_users = 4000;
+  c.num_items = 0;  // general transaction graph
+  c.num_events = 40000;
+  c.repeat_prob = 0.6;
+  c.preference_candidates = 6;
+  c.feature_noise = 0.3;
+  c.timespan = 14.0;
+  c.unseen_user_fraction = 0.02;
+  c.label_kind = LabelKind::kEdge;
+  c.num_fraud_communities = 10;
+  c.fraud_community_size = 8;
+  c.fraud_event_prob = 0.01;
+  c.label_feature_shift = 1.0;
+  c.seed = 20210622;
+  return c;
+}
+
+SyntheticConfig SyntheticConfig::Scaled(double factor) const {
+  SyntheticConfig c = *this;
+  factor = std::max(factor, 0.05);
+  c.num_users = std::max<int64_t>(
+      10, static_cast<int64_t>(static_cast<double>(num_users) * factor));
+  if (num_items > 0) {
+    c.num_items = std::max<int64_t>(
+        5, static_cast<int64_t>(static_cast<double>(num_items) * factor));
+  }
+  c.num_events = std::max<int64_t>(
+      100, static_cast<int64_t>(static_cast<double>(num_events) * factor));
+  return c;
+}
+
+namespace {
+
+/// Draws feature_dim-dim features as a random projection of the endpoint
+/// latent vectors plus noise (and an optional label shift direction).
+class FeatureProjector {
+ public:
+  FeatureProjector(int64_t feature_dim, int64_t latent_dim, Rng* rng)
+      : feature_dim_(feature_dim), latent_dim_(latent_dim) {
+    proj_.resize(static_cast<size_t>(feature_dim * 2 * latent_dim));
+    for (auto& w : proj_) {
+      w = static_cast<float>(
+          rng->Normal(0.0, 1.0 / std::sqrt(2.0 * latent_dim)));
+    }
+    shift_dir_.resize(static_cast<size_t>(feature_dim));
+    for (auto& w : shift_dir_) {
+      w = static_cast<float>(rng->Normal(0.0, 1.0));
+    }
+    float norm = 0.0f;
+    for (float w : shift_dir_) norm += w * w;
+    norm = std::sqrt(norm);
+    for (auto& w : shift_dir_) w /= norm;
+  }
+
+  std::vector<float> Make(const std::vector<float>& src_latent,
+                          const std::vector<float>& dst_latent,
+                          double noise, double shift, Rng* rng) const {
+    std::vector<float> out(static_cast<size_t>(feature_dim_), 0.0f);
+    for (int64_t f = 0; f < feature_dim_; ++f) {
+      float acc = 0.0f;
+      const float* row = proj_.data() + f * 2 * latent_dim_;
+      for (int64_t k = 0; k < latent_dim_; ++k) {
+        acc += row[k] * src_latent[static_cast<size_t>(k)];
+        acc += row[latent_dim_ + k] * dst_latent[static_cast<size_t>(k)];
+      }
+      acc += static_cast<float>(rng->Normal(0.0, noise));
+      acc += static_cast<float>(shift) * shift_dir_[static_cast<size_t>(f)];
+      out[static_cast<size_t>(f)] = acc;
+    }
+    return out;
+  }
+
+ private:
+  int64_t feature_dim_;
+  int64_t latent_dim_;
+  std::vector<float> proj_;
+  std::vector<float> shift_dir_;
+};
+
+std::vector<std::vector<float>> MakeLatents(int64_t n, int64_t k, Rng* rng) {
+  std::vector<std::vector<float>> latents(static_cast<size_t>(n));
+  for (auto& v : latents) {
+    v.resize(static_cast<size_t>(k));
+    for (auto& x : v) x = static_cast<float>(rng->Normal());
+  }
+  return latents;
+}
+
+}  // namespace
+
+Result<Dataset> GenerateSynthetic(const SyntheticConfig& config) {
+  if (config.num_users <= 1 || config.num_events <= 0 ||
+      config.feature_dim <= 0 || config.latent_dim <= 0) {
+    return Status::InvalidArgument("synthetic config has non-positive sizes");
+  }
+  if (config.num_items < 0 || config.timespan <= 0.0) {
+    return Status::InvalidArgument("invalid items/timespan");
+  }
+  if (config.label_kind == LabelKind::kEdge && config.num_items > 0) {
+    return Status::InvalidArgument(
+        "edge-labeled (fraud) generation requires a general graph "
+        "(num_items == 0)");
+  }
+  const bool bipartite = config.num_items > 0;
+  const int64_t num_nodes = config.num_users + config.num_items;
+
+  Rng rng(config.seed);
+  Rng feature_rng = rng.Fork(1);
+  Rng label_rng = rng.Fork(2);
+
+  Dataset ds;
+  ds.name = config.name;
+  ds.num_nodes = num_nodes;
+  ds.num_users = config.num_users;
+  ds.label_kind = config.label_kind;
+  ds.features = graph::EdgeFeatureStore(config.feature_dim);
+  ds.events.reserve(static_cast<size_t>(config.num_events));
+  ds.labels.reserve(static_cast<size_t>(config.num_events));
+
+  const auto latents = MakeLatents(num_nodes, config.latent_dim, &rng);
+  FeatureProjector projector(config.feature_dim, config.latent_dim,
+                             &feature_rng);
+
+  // Late-start (unseen) cohort: a contiguous block of the *least active*
+  // user ranks so they rarely dominate the stream once admitted.
+  const int64_t num_late = static_cast<int64_t>(
+      static_cast<double>(config.num_users) * config.unseen_user_fraction);
+  const int64_t late_begin = config.num_users - num_late;
+  const int64_t late_start_event = static_cast<int64_t>(
+      static_cast<double>(config.num_events) * config.late_start_fraction);
+
+  // Risky users for node labels.
+  std::vector<bool> risky(static_cast<size_t>(config.num_users), false);
+  if (config.label_kind == LabelKind::kNodeDynamic) {
+    const int64_t num_risky = std::max<int64_t>(
+        1, static_cast<int64_t>(static_cast<double>(config.num_users) *
+                                config.risky_user_fraction));
+    for (int64_t i = 0; i < num_risky; ++i) {
+      risky[static_cast<size_t>(
+          label_rng.UniformInt(static_cast<uint64_t>(config.num_users)))] =
+          true;
+    }
+  }
+
+  // Fraud communities for edge labels.
+  std::vector<std::vector<graph::NodeId>> communities;
+  std::vector<bool> in_community(static_cast<size_t>(num_nodes), false);
+  if (config.label_kind == LabelKind::kEdge &&
+      config.num_fraud_communities > 0) {
+    for (int64_t c = 0; c < config.num_fraud_communities; ++c) {
+      std::vector<graph::NodeId> members;
+      while (members.size() <
+             static_cast<size_t>(config.fraud_community_size)) {
+        const auto v = static_cast<graph::NodeId>(
+            label_rng.UniformInt(static_cast<uint64_t>(num_nodes)));
+        if (!in_community[static_cast<size_t>(v)]) {
+          in_community[static_cast<size_t>(v)] = true;
+          members.push_back(v);
+        }
+      }
+      communities.push_back(std::move(members));
+    }
+  }
+
+  // Per-user recent interaction partners (repeat structure).
+  std::vector<std::deque<graph::NodeId>> recent(
+      static_cast<size_t>(config.num_users));
+
+  const double rate =
+      static_cast<double>(config.num_events) / config.timespan;
+  double t = 0.0;
+
+  auto pick_user = [&](int64_t event_index) -> graph::NodeId {
+    const bool allow_late = event_index >= late_start_event;
+    // Late users enter with a small boost so the cohort actually shows up.
+    if (allow_late && num_late > 0 && rng.Bernoulli(0.08)) {
+      return late_begin +
+             static_cast<graph::NodeId>(
+                 rng.UniformInt(static_cast<uint64_t>(num_late)));
+    }
+    const int64_t pool = allow_late ? config.num_users : late_begin;
+    return static_cast<graph::NodeId>(rng.Zipf(
+        static_cast<uint64_t>(std::max<int64_t>(pool, 1)),
+        config.user_activity_alpha));
+  };
+
+  auto pick_partner = [&](graph::NodeId user) -> graph::NodeId {
+    auto& hist = recent[static_cast<size_t>(user)];
+    if (!hist.empty() && rng.Bernoulli(config.repeat_prob)) {
+      return hist[rng.UniformInt(hist.size())];
+    }
+    // Preference-guided pick: draw a few candidates, keep the best latent
+    // match.
+    graph::NodeId best = -1;
+    float best_score = -1e30f;
+    for (int64_t c = 0; c < config.preference_candidates; ++c) {
+      graph::NodeId cand;
+      if (bipartite) {
+        cand = config.num_users +
+               static_cast<graph::NodeId>(
+                   rng.Zipf(static_cast<uint64_t>(config.num_items),
+                            config.item_popularity_alpha));
+      } else {
+        do {
+          cand = static_cast<graph::NodeId>(
+              rng.Zipf(static_cast<uint64_t>(config.num_users),
+                       config.user_activity_alpha));
+        } while (cand == user);
+      }
+      float score = 0.0f;
+      const auto& pu = latents[static_cast<size_t>(user)];
+      const auto& qi = latents[static_cast<size_t>(cand)];
+      for (int64_t k = 0; k < config.latent_dim; ++k) {
+        score += pu[static_cast<size_t>(k)] * qi[static_cast<size_t>(k)];
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = cand;
+      }
+    }
+    return best;
+  };
+
+  for (int64_t i = 0; i < config.num_events; ++i) {
+    t += rng.Exponential(rate);
+    graph::NodeId src, dst;
+    int8_t label;
+    double shift = 0.0;
+
+    const bool fraud_event =
+        config.label_kind == LabelKind::kEdge && !communities.empty() &&
+        label_rng.Bernoulli(config.fraud_event_prob);
+    if (fraud_event) {
+      const auto& community =
+          communities[label_rng.UniformInt(communities.size())];
+      src = community[label_rng.UniformInt(community.size())];
+      do {
+        dst = community[label_rng.UniformInt(community.size())];
+      } while (dst == src);
+      label = 1;
+      shift = config.label_feature_shift;
+    } else {
+      src = pick_user(i);
+      dst = pick_partner(src);
+      if (config.label_kind == LabelKind::kNodeDynamic) {
+        const bool positive =
+            risky[static_cast<size_t>(src)] &&
+            label_rng.Bernoulli(config.risky_positive_prob);
+        if (positive) {
+          label = 1;
+          shift = config.label_feature_shift;
+        } else if (label_rng.Bernoulli(config.negative_label_prob)) {
+          label = 0;
+        } else {
+          label = -1;
+        }
+      } else {
+        label = label_rng.Bernoulli(config.negative_label_prob) ? 0 : -1;
+      }
+    }
+
+    // Maintain repeat structure for both endpoints that are users.
+    auto remember = [&](graph::NodeId user, graph::NodeId partner) {
+      if (user < 0 || user >= config.num_users) return;
+      auto& hist = recent[static_cast<size_t>(user)];
+      hist.push_back(partner);
+      while (hist.size() > static_cast<size_t>(config.repeat_window)) {
+        hist.pop_front();
+      }
+    };
+    remember(src, dst);
+    if (!bipartite) remember(dst, src);
+
+    const auto feat =
+        projector.Make(latents[static_cast<size_t>(src)],
+                       latents[static_cast<size_t>(dst)],
+                       config.feature_noise, shift, &feature_rng);
+    const graph::EdgeId edge_id = ds.features.Append(feat);
+    ds.events.push_back({src, dst, t, edge_id});
+    ds.labels.push_back(label);
+  }
+
+  APAN_RETURN_NOT_OK(ds.SplitByFraction(0.70, 0.15));
+  APAN_RETURN_NOT_OK(ds.Validate());
+  return ds;
+}
+
+}  // namespace data
+}  // namespace apan

@@ -1,0 +1,69 @@
+// Dense edge-feature storage, indexed by EdgeId in event order.
+
+#ifndef APAN_GRAPH_EDGE_FEATURES_H_
+#define APAN_GRAPH_EDGE_FEATURES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/temporal_graph.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace apan {
+namespace graph {
+
+/// \brief Row-major feature matrix for temporal edges.
+///
+/// The feature of event e_ij (paper notation) is the row at that event's
+/// edge_id. Rows are appended in event order by the dataset builder.
+class EdgeFeatureStore {
+ public:
+  explicit EdgeFeatureStore(int64_t dim) : dim_(dim) {
+    APAN_CHECK_MSG(dim > 0, "edge feature dim must be positive");
+  }
+
+  int64_t dim() const { return dim_; }
+  int64_t num_edges() const {
+    return static_cast<int64_t>(flat_.size()) / dim_;
+  }
+
+  /// Appends one feature row; returns its EdgeId.
+  EdgeId Append(const std::vector<float>& features) {
+    APAN_CHECK_MSG(static_cast<int64_t>(features.size()) == dim_,
+                   "edge feature dimension mismatch");
+    flat_.insert(flat_.end(), features.begin(), features.end());
+    return num_edges() - 1;
+  }
+
+  /// Pointer to the row for `edge_id` (dim() floats).
+  const float* Row(EdgeId edge_id) const {
+    APAN_CHECK_MSG(edge_id >= 0 && edge_id < num_edges(),
+                   "edge id out of range");
+    return flat_.data() + static_cast<size_t>(edge_id * dim_);
+  }
+
+  /// Copies rows for `edge_ids` into a {n, dim} tensor (constants — not
+  /// part of any autograd graph). Negative ids produce zero rows, which
+  /// models use for "no such edge" padding.
+  tensor::Tensor Gather(const std::vector<EdgeId>& edge_ids) const {
+    const int64_t n = static_cast<int64_t>(edge_ids.size());
+    std::vector<float> out(static_cast<size_t>(n * dim_), 0.0f);
+    for (int64_t r = 0; r < n; ++r) {
+      const EdgeId id = edge_ids[static_cast<size_t>(r)];
+      if (id < 0) continue;
+      const float* row = Row(id);
+      std::copy_n(row, dim_, out.data() + r * dim_);
+    }
+    return tensor::Tensor::FromVector({n, dim_}, std::move(out));
+  }
+
+ private:
+  int64_t dim_;
+  std::vector<float> flat_;
+};
+
+}  // namespace graph
+}  // namespace apan
+
+#endif  // APAN_GRAPH_EDGE_FEATURES_H_

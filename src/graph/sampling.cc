@@ -1,0 +1,48 @@
+#include "graph/sampling.h"
+
+namespace apan {
+namespace graph {
+
+namespace {
+
+template <typename SampleFn>
+std::vector<HopEntry> KHopExpand(const std::vector<NodeId>& seeds,
+                                 int32_t num_hops, const SampleFn& sample) {
+  std::vector<HopEntry> out;
+  std::vector<NodeId> frontier = seeds;
+  for (int32_t hop = 1; hop <= num_hops; ++hop) {
+    std::vector<NodeId> next;
+    for (NodeId node : frontier) {
+      for (const TemporalNeighbor& n : sample(node)) {
+        out.push_back({n.node, n.edge_id, n.timestamp, hop});
+        next.push_back(n.node);
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<HopEntry> KHopMostRecent(const TemporalGraph& graph,
+                                     const std::vector<NodeId>& seeds,
+                                     double before_time, int32_t num_hops,
+                                     int64_t fanout) {
+  return KHopExpand(seeds, num_hops, [&](NodeId node) {
+    return graph.MostRecentNeighbors(node, before_time, fanout);
+  });
+}
+
+std::vector<HopEntry> KHopUniform(const TemporalGraph& graph,
+                                  const std::vector<NodeId>& seeds,
+                                  double before_time, int32_t num_hops,
+                                  int64_t fanout, Rng* rng) {
+  return KHopExpand(seeds, num_hops, [&](NodeId node) {
+    return graph.UniformNeighbors(node, before_time, fanout, rng);
+  });
+}
+
+}  // namespace graph
+}  // namespace apan

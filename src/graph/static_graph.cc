@@ -1,0 +1,84 @@
+#include "graph/static_graph.h"
+
+#include <algorithm>
+#include <map>
+
+namespace apan {
+namespace graph {
+
+StaticGraph StaticGraph::FromTemporal(const TemporalGraph& graph,
+                                      double before_time) {
+  std::map<std::pair<NodeId, NodeId>, float> counts;
+  for (const Event& e : graph.events()) {
+    if (e.timestamp >= before_time) break;  // events are time-sorted
+    const NodeId a = std::min(e.src, e.dst);
+    const NodeId b = std::max(e.src, e.dst);
+    counts[{a, b}] += 1.0f;
+  }
+  StaticGraph out;
+  out.num_nodes_ = graph.num_nodes();
+  out.num_edges_ = static_cast<int64_t>(counts.size());
+  // Count degrees, then fill CSR.
+  std::vector<int64_t> degree(static_cast<size_t>(out.num_nodes_), 0);
+  for (const auto& [key, w] : counts) {
+    ++degree[static_cast<size_t>(key.first)];
+    if (key.second != key.first) ++degree[static_cast<size_t>(key.second)];
+  }
+  out.row_ptr_.assign(static_cast<size_t>(out.num_nodes_) + 1, 0);
+  for (int64_t v = 0; v < out.num_nodes_; ++v) {
+    out.row_ptr_[static_cast<size_t>(v) + 1] =
+        out.row_ptr_[static_cast<size_t>(v)] +
+        degree[static_cast<size_t>(v)];
+  }
+  out.col_.resize(static_cast<size_t>(out.row_ptr_.back()));
+  out.weight_.resize(out.col_.size());
+  std::vector<int64_t> cursor(out.row_ptr_.begin(), out.row_ptr_.end() - 1);
+  for (const auto& [key, w] : counts) {
+    const auto [a, b] = key;
+    out.col_[static_cast<size_t>(cursor[static_cast<size_t>(a)])] = b;
+    out.weight_[static_cast<size_t>(cursor[static_cast<size_t>(a)]++)] = w;
+    if (a != b) {
+      out.col_[static_cast<size_t>(cursor[static_cast<size_t>(b)])] = a;
+      out.weight_[static_cast<size_t>(cursor[static_cast<size_t>(b)]++)] = w;
+    }
+  }
+  // std::map iteration gives sorted (a, b) pairs, so each row's neighbor
+  // list is already ascending.
+  return out;
+}
+
+StaticGraph StaticGraph::FromEdges(
+    int64_t num_nodes,
+    const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  TemporalGraph tg(num_nodes);
+  double t = 1.0;
+  for (const auto& [a, b] : edges) {
+    APAN_CHECK(tg.AddEvent({a, b, t, -1}).ok());
+    t += 1.0;
+  }
+  return FromTemporal(tg, t + 1.0);
+}
+
+std::span<const NodeId> StaticGraph::Neighbors(NodeId node) const {
+  if (node < 0 || node >= num_nodes_) return {};
+  const auto lo = static_cast<size_t>(row_ptr_[static_cast<size_t>(node)]);
+  const auto hi =
+      static_cast<size_t>(row_ptr_[static_cast<size_t>(node) + 1]);
+  return {col_.data() + lo, hi - lo};
+}
+
+std::span<const float> StaticGraph::Weights(NodeId node) const {
+  if (node < 0 || node >= num_nodes_) return {};
+  const auto lo = static_cast<size_t>(row_ptr_[static_cast<size_t>(node)]);
+  const auto hi =
+      static_cast<size_t>(row_ptr_[static_cast<size_t>(node) + 1]);
+  return {weight_.data() + lo, hi - lo};
+}
+
+bool StaticGraph::HasEdge(NodeId a, NodeId b) const {
+  const auto nbrs = Neighbors(a);
+  return std::binary_search(nbrs.begin(), nbrs.end(), b);
+}
+
+}  // namespace graph
+}  // namespace apan

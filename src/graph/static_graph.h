@@ -1,0 +1,59 @@
+// Static (time-collapsed) projection of a temporal graph, in CSR form.
+//
+// The static baselines (GraphSAGE, GAT, GCN encoder of GAE/VGAE, DeepWalk,
+// Node2Vec) operate on this projection — exactly the simplification the
+// paper's Figure 1(b) illustrates, including its loss of time-validity.
+
+#ifndef APAN_GRAPH_STATIC_GRAPH_H_
+#define APAN_GRAPH_STATIC_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/temporal_graph.h"
+
+namespace apan {
+namespace graph {
+
+/// \brief Undirected CSR adjacency with deduplicated edges.
+class StaticGraph {
+ public:
+  /// \brief Collapses all events of `graph` with timestamp < before_time
+  /// into an undirected simple graph. Parallel temporal edges become one
+  /// static edge whose weight is the interaction count.
+  static StaticGraph FromTemporal(const TemporalGraph& graph,
+                                  double before_time);
+
+  /// Builds from explicit (src, dst) pairs (used by unit tests).
+  static StaticGraph FromEdges(int64_t num_nodes,
+                               const std::vector<std::pair<NodeId, NodeId>>&
+                                   edges);
+
+  int64_t num_nodes() const { return num_nodes_; }
+  /// Distinct undirected edges (self-loops count once).
+  int64_t num_edges() const { return num_edges_; }
+
+  /// Neighbor ids of `node`, sorted ascending.
+  std::span<const NodeId> Neighbors(NodeId node) const;
+  /// Interaction multiplicities aligned with Neighbors(node).
+  std::span<const float> Weights(NodeId node) const;
+
+  int64_t Degree(NodeId node) const {
+    return static_cast<int64_t>(Neighbors(node).size());
+  }
+
+  bool HasEdge(NodeId a, NodeId b) const;
+
+ private:
+  int64_t num_nodes_ = 0;
+  int64_t num_edges_ = 0;
+  std::vector<int64_t> row_ptr_;  // size num_nodes_ + 1
+  std::vector<NodeId> col_;
+  std::vector<float> weight_;
+};
+
+}  // namespace graph
+}  // namespace apan
+
+#endif  // APAN_GRAPH_STATIC_GRAPH_H_

@@ -1,0 +1,102 @@
+// Module base class: parameter registration, train/eval mode, and
+// parameter (de)serialization shared by all neural network layers.
+
+#ifndef APAN_NN_MODULE_H_
+#define APAN_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace apan {
+namespace nn {
+
+/// \brief Base class for layers and models.
+///
+/// Subclasses register their trainable tensors via RegisterParameter and
+/// child layers via RegisterChild; Parameters() then yields the transitive
+/// closure in registration order (a stable order — optimizers and
+/// serialization rely on it).
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All trainable parameters of this module and its children.
+  std::vector<tensor::Tensor> Parameters() const {
+    std::vector<tensor::Tensor> out;
+    CollectParameters(&out);
+    return out;
+  }
+
+  /// Total number of trainable scalars.
+  int64_t ParameterCount() const {
+    int64_t n = 0;
+    for (const auto& p : Parameters()) n += p.numel();
+    return n;
+  }
+
+  /// Switches dropout-style layers between train and eval behaviour.
+  virtual void SetTraining(bool training) {
+    training_ = training;
+    for (Module* child : children_) child->SetTraining(training);
+  }
+
+  bool training() const { return training_; }
+
+  /// \brief Copies all parameter values out (flattened, in Parameters()
+  /// order). Used for checkpointing and for parameter-sharing tests.
+  std::vector<float> StateToVector() const {
+    std::vector<float> out;
+    for (const auto& p : Parameters()) {
+      out.insert(out.end(), p.values().begin(), p.values().end());
+    }
+    return out;
+  }
+
+  /// \brief Restores parameter values from StateToVector output.
+  /// \return InvalidArgument when the size does not match.
+  Status LoadStateFromVector(const std::vector<float>& state) {
+    size_t offset = 0;
+    auto params = Parameters();
+    for (auto& p : params) {
+      const size_t n = static_cast<size_t>(p.numel());
+      if (offset + n > state.size()) {
+        return Status::InvalidArgument("state vector too short");
+      }
+      std::copy_n(state.begin() + offset, n, p.data());
+      offset += n;
+    }
+    if (offset != state.size()) {
+      return Status::InvalidArgument("state vector too long");
+    }
+    return Status::OK();
+  }
+
+ protected:
+  void RegisterParameter(tensor::Tensor param) {
+    params_.push_back(std::move(param));
+  }
+
+  void RegisterChild(Module* child) {
+    APAN_CHECK(child != nullptr && child != this);
+    children_.push_back(child);
+  }
+
+ private:
+  void CollectParameters(std::vector<tensor::Tensor>* out) const {
+    for (const auto& p : params_) out->push_back(p);
+    for (const Module* child : children_) child->CollectParameters(out);
+  }
+
+  std::vector<tensor::Tensor> params_;
+  std::vector<Module*> children_;
+  bool training_ = true;
+};
+
+}  // namespace nn
+}  // namespace apan
+
+#endif  // APAN_NN_MODULE_H_

@@ -1,0 +1,45 @@
+#include "nn/recurrent.h"
+
+#include "tensor/ops.h"
+
+namespace apan {
+namespace nn {
+
+using tensor::Tensor;
+
+GruCell::GruCell(int64_t input_dim, int64_t hidden_dim, Rng* rng)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      xr_(input_dim, hidden_dim, rng, /*bias=*/true),
+      hr_(hidden_dim, hidden_dim, rng, /*bias=*/false),
+      xz_(input_dim, hidden_dim, rng, /*bias=*/true),
+      hz_(hidden_dim, hidden_dim, rng, /*bias=*/false),
+      xn_(input_dim, hidden_dim, rng, /*bias=*/true),
+      hn_(hidden_dim, hidden_dim, rng, /*bias=*/true) {
+  RegisterChild(&xr_);
+  RegisterChild(&hr_);
+  RegisterChild(&xz_);
+  RegisterChild(&hz_);
+  RegisterChild(&xn_);
+  RegisterChild(&hn_);
+}
+
+Tensor GruCell::Forward(const Tensor& x, const Tensor& h) const {
+  APAN_CHECK(x.defined() && h.defined());
+  APAN_CHECK_MSG(x.rank() == 2 && x.dim(1) == input_dim_,
+                 "GruCell input dim mismatch");
+  APAN_CHECK_MSG(h.rank() == 2 && h.dim(1) == hidden_dim_ &&
+                     h.dim(0) == x.dim(0),
+                 "GruCell hidden state shape mismatch");
+  Tensor r = tensor::Sigmoid(tensor::Add(xr_.Forward(x), hr_.Forward(h)));
+  Tensor z = tensor::Sigmoid(tensor::Add(xz_.Forward(x), hz_.Forward(h)));
+  Tensor n =
+      tensor::Tanh(tensor::Add(xn_.Forward(x), tensor::Mul(r, hn_.Forward(h))));
+  // h' = (1 - z) * n + z * h = n - z*n + z*h
+  Tensor zn = tensor::Mul(z, n);
+  Tensor zh = tensor::Mul(z, h);
+  return tensor::Add(tensor::Sub(n, zn), zh);
+}
+
+}  // namespace nn
+}  // namespace apan

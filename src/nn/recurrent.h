@@ -1,0 +1,42 @@
+// GRU cell — the memory updater of the TGN baseline and of JODIE/DyRep's
+// recurrent state updates.
+
+#ifndef APAN_NN_RECURRENT_H_
+#define APAN_NN_RECURRENT_H_
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace apan {
+namespace nn {
+
+/// \brief Standard GRU cell (Cho et al., 2014).
+///
+///   r = sigmoid(x Wxr + h Whr + br)
+///   z = sigmoid(x Wxz + h Whz + bz)
+///   n = tanh(x Wxn + r * (h Whn + bn))
+///   h' = (1 - z) * n + z * h
+class GruCell : public Module {
+ public:
+  GruCell(int64_t input_dim, int64_t hidden_dim, Rng* rng);
+
+  /// \param x {batch, input_dim} \param h {batch, hidden_dim}
+  /// \return h' {batch, hidden_dim}
+  tensor::Tensor Forward(const tensor::Tensor& x,
+                         const tensor::Tensor& h) const;
+
+  int64_t input_dim() const { return input_dim_; }
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int64_t input_dim_;
+  int64_t hidden_dim_;
+  Linear xr_, hr_;
+  Linear xz_, hz_;
+  Linear xn_, hn_;
+};
+
+}  // namespace nn
+}  // namespace apan
+
+#endif  // APAN_NN_RECURRENT_H_

@@ -1,0 +1,42 @@
+#include "nn/time_encoding.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace apan {
+namespace nn {
+
+using tensor::Tensor;
+
+TimeEncoding::TimeEncoding(int64_t dim, Rng* rng) : dim_(dim) {
+  APAN_CHECK(dim > 0 && rng != nullptr);
+  // Geometric frequency ladder (transformer-style init), then trainable.
+  std::vector<float> freqs(static_cast<size_t>(dim));
+  for (int64_t i = 0; i < dim; ++i) {
+    freqs[static_cast<size_t>(i)] = static_cast<float>(
+        1.0 / std::pow(10.0, 4.0 * static_cast<double>(i) /
+                                 static_cast<double>(dim)));
+  }
+  omega_ = Tensor::FromVector({1, dim}, std::move(freqs),
+                              /*requires_grad=*/true);
+  phase_ = Tensor::Zeros({dim}, /*requires_grad=*/true);
+  RegisterParameter(omega_);
+  RegisterParameter(phase_);
+}
+
+Tensor TimeEncoding::Forward(const std::vector<double>& deltas) const {
+  APAN_CHECK_MSG(!deltas.empty(), "TimeEncoding on empty batch");
+  std::vector<float> col(deltas.size());
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    col[i] = static_cast<float>(deltas[i]);
+  }
+  Tensor dt = Tensor::FromVector({static_cast<int64_t>(deltas.size()), 1},
+                                 std::move(col));
+  // {n,1} x {1,d} -> {n,d}; broadcasting dt across frequencies.
+  Tensor scaled = tensor::MatMul(dt, omega_);
+  return tensor::Cos(tensor::Add(scaled, phase_));
+}
+
+}  // namespace nn
+}  // namespace apan

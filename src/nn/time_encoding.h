@@ -1,0 +1,39 @@
+// Bochner time-encoding kernel from TGAT (Xu et al., ICLR 2020):
+//   Phi(dt) = cos(dt * omega + phi)
+// with learnable frequencies omega and phases phi. APAN's paper (§3.6)
+// names this kernel as the drop-in replacement for its positional
+// encoding; the TGAT and TGN baselines require it.
+
+#ifndef APAN_NN_TIME_ENCODING_H_
+#define APAN_NN_TIME_ENCODING_H_
+
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+#include "util/random.h"
+
+namespace apan {
+namespace nn {
+
+/// \brief Maps time deltas to d-dimensional embeddings.
+class TimeEncoding : public Module {
+ public:
+  TimeEncoding(int64_t dim, Rng* rng);
+
+  /// \param deltas one time delta per row.
+  /// \return {deltas.size(), dim} encoding.
+  tensor::Tensor Forward(const std::vector<double>& deltas) const;
+
+  int64_t dim() const { return dim_; }
+
+ private:
+  int64_t dim_;
+  tensor::Tensor omega_;  // {1, dim} frequencies
+  tensor::Tensor phase_;  // {dim} phases
+};
+
+}  // namespace nn
+}  // namespace apan
+
+#endif  // APAN_NN_TIME_ENCODING_H_

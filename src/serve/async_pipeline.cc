@@ -1,0 +1,168 @@
+#include "serve/async_pipeline.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "tensor/ops.h"
+
+namespace apan {
+namespace serve {
+
+using core::InteractionRecord;
+using core::MailDelivery;
+
+AsyncPipeline::AsyncPipeline(core::ApanModel* model, Options options)
+    : model_(model),
+      options_(options),
+      delay_rng_(options.delay_seed),
+      queue_(options.queue_capacity, options.overflow) {
+  APAN_CHECK(model != nullptr);
+  model_->SetTraining(false);
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+AsyncPipeline::~AsyncPipeline() { Shutdown(); }
+
+Result<AsyncPipeline::InferenceResult> AsyncPipeline::InferBatch(
+    const std::vector<graph::Event>& events) {
+  if (events.empty()) {
+    return Status::InvalidArgument("InferBatch on empty batch");
+  }
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    if (shutdown_) return Status::Cancelled("pipeline is shut down");
+  }
+
+  InferenceResult result;
+  Job job;
+  Stopwatch watch;
+  {
+    // ---- Synchronous link: encoder + decoder over local state only. ----
+    std::lock_guard<std::mutex> lock(model_mu_);
+    tensor::NoGradGuard no_grad;
+
+    // Deduplicate nodes: each node's embedding is generated once per batch
+    // (paper §3.2).
+    std::vector<graph::NodeId> unique_nodes;
+    std::unordered_map<graph::NodeId, size_t> index_of;
+    auto intern = [&](graph::NodeId v) {
+      auto [it, inserted] = index_of.try_emplace(v, unique_nodes.size());
+      if (inserted) unique_nodes.push_back(v);
+      return it->second;
+    };
+    std::vector<int64_t> src_rows, dst_rows;
+    src_rows.reserve(events.size());
+    dst_rows.reserve(events.size());
+    for (const auto& e : events) {
+      src_rows.push_back(static_cast<int64_t>(intern(e.src)));
+      dst_rows.push_back(static_cast<int64_t>(intern(e.dst)));
+    }
+
+    core::ApanEncoder::Output enc = model_->EncodeNodes(unique_nodes);
+    tensor::Tensor z_src = tensor::GatherRows(enc.embeddings, src_rows);
+    tensor::Tensor z_dst = tensor::GatherRows(enc.embeddings, dst_rows);
+    tensor::Tensor logits = model_->ScoreLinkLogits(z_src, z_dst);
+    tensor::Tensor probs = tensor::Sigmoid(logits);
+    result.scores.assign(probs.data(), probs.data() + probs.numel());
+
+    // Package the asynchronous work while we still hold the embeddings.
+    job.records.reserve(events.size());
+    const int64_t d = model_->config().embedding_dim;
+    const float* emb = enc.embeddings.data();
+    for (size_t i = 0; i < events.size(); ++i) {
+      InteractionRecord rec;
+      rec.event = events[i];
+      const float* zs = emb + src_rows[i] * d;
+      const float* zd = emb + dst_rows[i] * d;
+      rec.z_src.assign(zs, zs + d);
+      rec.z_dst.assign(zd, zd + d);
+      job.records.push_back(std::move(rec));
+    }
+  }
+  result.sync_millis = watch.ElapsedMillis();
+  sync_latency_.Record(result.sync_millis);
+
+  // ---- Hand off to the asynchronous link. ----
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    ++pending_;
+  }
+  Status push = queue_.Push(std::move(job));
+  if (!push.ok()) {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    --pending_;
+    pending_cv_.notify_all();
+    // Drop policies surface as ResourceExhausted; the inference result is
+    // still valid (the mail is simply lost, as in an overloaded broker).
+    if (!push.IsResourceExhausted()) return push;
+  }
+  return result;
+}
+
+void AsyncPipeline::WorkerLoop() {
+  while (true) {
+    auto job = queue_.Pop();
+    if (!job.has_value()) return;  // queue closed and drained
+    Stopwatch watch;
+    {
+      std::lock_guard<std::mutex> lock(model_mu_);
+      tensor::NoGradGuard no_grad;
+      model_->ApplyEmbeddings(job->records);
+      std::vector<MailDelivery> deliveries =
+          model_->propagator().ComputeDeliveries(job->records);
+      // Out-of-order injection: release what was held back last cycle,
+      // hold back a fraction of this cycle's mail.
+      std::vector<MailDelivery> to_deliver = std::move(held_back_);
+      held_back_.clear();
+      for (auto& d : deliveries) {
+        if (options_.delay_fraction > 0.0 &&
+            delay_rng_.Bernoulli(options_.delay_fraction)) {
+          held_back_.push_back(std::move(d));
+        } else {
+          to_deliver.push_back(std::move(d));
+        }
+      }
+      for (const auto& d : to_deliver) {
+        model_->mailbox().Deliver(d.recipient, d.mail, d.timestamp);
+      }
+      const Status append = model_->AppendEvents(job->records);
+      APAN_CHECK_MSG(append.ok(), append.ToString());
+    }
+    async_latency_.Record(watch.ElapsedMillis());
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      --pending_;
+      ++propagated_batches_;
+      pending_cv_.notify_all();
+    }
+  }
+}
+
+void AsyncPipeline::Flush() {
+  std::unique_lock<std::mutex> lock(pending_mu_);
+  pending_cv_.wait(lock, [&] { return pending_ == 0; });
+  // Flush any held-back (out-of-order) mail so state is complete.
+  std::lock_guard<std::mutex> model_lock(model_mu_);
+  for (const auto& d : held_back_) {
+    model_->mailbox().Deliver(d.recipient, d.mail, d.timestamp);
+  }
+  held_back_.clear();
+}
+
+void AsyncPipeline::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  queue_.Close();
+  if (worker_.joinable()) worker_.join();
+}
+
+int64_t AsyncPipeline::batches_propagated() const {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  return propagated_batches_;
+}
+
+}  // namespace serve
+}  // namespace apan

@@ -1,0 +1,113 @@
+// The asynchronous serving pipeline — the system architecture of the
+// paper's Figure 2(b).
+//
+// The synchronous link (InferBatch) runs encoder + decoder over local
+// state and returns scores immediately; the completed interactions are
+// enqueued and a background worker runs the asynchronous link (state
+// write-back, k-hop mail propagation, graph append). The pipeline records
+// per-stage latency so bench/fig6_inference_latency can report the
+// synchronous-path latency the paper measures ("we only calculate the time
+// from the interaction occurring to the model inference, not including the
+// time on APAN's asynchronous link").
+//
+// Optional out-of-order injection (delay_fraction) holds back a fraction
+// of mail deliveries by one batch, emulating a distributed streaming
+// system that reorders messages; the mailbox's sort-on-read absorbs it
+// (paper §3.6).
+
+#ifndef APAN_SERVE_ASYNC_PIPELINE_H_
+#define APAN_SERVE_ASYNC_PIPELINE_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/apan_model.h"
+#include "util/bounded_queue.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace apan {
+namespace serve {
+
+/// \brief Runs one ApanModel behind a synchronous-inference /
+/// asynchronous-propagation split.
+class AsyncPipeline {
+ public:
+  struct Options {
+    size_t queue_capacity = 256;
+    OverflowPolicy overflow = OverflowPolicy::kBlock;
+    /// Fraction of mail deliveries deferred to the next worker cycle
+    /// (out-of-order injection; 0 = perfectly ordered).
+    double delay_fraction = 0.0;
+    uint64_t delay_seed = 17;
+  };
+
+  /// `model` must outlive the pipeline and must not be used concurrently
+  /// by other threads while the pipeline is running.
+  AsyncPipeline(core::ApanModel* model, Options options);
+  ~AsyncPipeline();
+
+  AsyncPipeline(const AsyncPipeline&) = delete;
+  AsyncPipeline& operator=(const AsyncPipeline&) = delete;
+
+  struct InferenceResult {
+    /// P(edge) per event, from the link decoder.
+    std::vector<float> scores;
+    /// Wall-clock milliseconds of the synchronous path for this batch.
+    double sync_millis = 0.0;
+  };
+
+  /// \brief Scores a batch of incoming interactions on the synchronous
+  /// link and enqueues the asynchronous work. Events must arrive in
+  /// non-decreasing time order across calls.
+  /// \return Cancelled after Shutdown.
+  Result<InferenceResult> InferBatch(
+      const std::vector<graph::Event>& events);
+
+  /// Blocks until every enqueued batch has been fully propagated.
+  void Flush();
+
+  /// Stops the worker (idempotent; also called by the destructor).
+  void Shutdown();
+
+  /// Latency of the synchronous path per batch (what the user waits for).
+  const LatencyRecorder& sync_latency() const { return sync_latency_; }
+  /// Latency of the asynchronous propagation per batch.
+  const LatencyRecorder& async_latency() const { return async_latency_; }
+  /// Batches fully processed by the worker.
+  int64_t batches_propagated() const;
+
+ private:
+  struct Job {
+    std::vector<core::InteractionRecord> records;
+  };
+
+  void WorkerLoop();
+
+  core::ApanModel* model_;
+  Options options_;
+  Rng delay_rng_;
+  BoundedQueue<Job> queue_;
+  std::thread worker_;
+  // Serializes model access between the inference thread and the worker.
+  std::mutex model_mu_;
+  // Pending-job accounting for Flush().
+  mutable std::mutex pending_mu_;
+  std::condition_variable pending_cv_;
+  int64_t pending_ = 0;
+  int64_t propagated_batches_ = 0;
+  bool shutdown_ = false;
+  // Deliveries deferred by the out-of-order injector.
+  std::vector<core::MailDelivery> held_back_;
+  LatencyRecorder sync_latency_;
+  LatencyRecorder async_latency_;
+};
+
+}  // namespace serve
+}  // namespace apan
+
+#endif  // APAN_SERVE_ASYNC_PIPELINE_H_

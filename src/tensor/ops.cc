@@ -1,0 +1,858 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace apan {
+namespace tensor {
+
+namespace {
+
+using Impl = internal::TensorImpl;
+using ImplPtr = std::shared_ptr<Impl>;
+
+ImplPtr NewImpl(Shape shape) {
+  auto impl = std::make_shared<Impl>();
+  const int64_t n = NumElements(shape);
+  impl->shape = std::move(shape);
+  impl->data.assign(static_cast<size_t>(n), 0.0f);
+  return impl;
+}
+
+bool AnyRequiresGrad(const std::vector<ImplPtr>& parents) {
+  if (!NoGradGuard::GradEnabled()) return false;
+  for (const auto& p : parents) {
+    if (p && p->requires_grad) return true;
+  }
+  return false;
+}
+
+/// Attaches autograd metadata to `out` when recording is active.
+/// `backward` must read out->grad and accumulate into parents' grads;
+/// it is only installed (and parents only retained) when needed.
+void Register(const ImplPtr& out, std::vector<ImplPtr> parents,
+              std::function<void()> backward) {
+  if (!AnyRequiresGrad(parents)) return;
+  out->requires_grad = true;
+  out->parents = std::move(parents);
+  out->backward_fn = std::move(backward);
+}
+
+int64_t LastDim(const Shape& s) { return s.back(); }
+
+int64_t LeadingRows(const Shape& s) {
+  int64_t rows = 1;
+  for (size_t i = 0; i + 1 < s.size(); ++i) rows *= s[i];
+  return rows;
+}
+
+enum class BroadcastKind { kSameShape, kLastDim };
+
+BroadcastKind CheckBroadcast(const Tensor& a, const Tensor& b) {
+  APAN_CHECK(a.defined() && b.defined());
+  if (a.shape() == b.shape()) return BroadcastKind::kSameShape;
+  APAN_CHECK_MSG(
+      b.rank() == 1 && b.dim(0) == LastDim(a.shape()),
+      "broadcast requires equal shapes or rank-1 rhs over the last dim");
+  return BroadcastKind::kLastDim;
+}
+
+}  // namespace
+
+// ---- Elementwise arithmetic ------------------------------------------------
+
+namespace {
+
+// Shared implementation of Add/Sub/Mul under the restricted broadcast rules.
+template <typename Fwd, typename BwdA, typename BwdB>
+Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, BwdA bwd_a,
+                BwdB bwd_b) {
+  const BroadcastKind kind = CheckBroadcast(a, b);
+  auto out = NewImpl(a.shape());
+  const ImplPtr pa = a.impl();
+  const ImplPtr pb = b.impl();
+  const size_t n = pa->data.size();
+  const size_t d = static_cast<size_t>(LastDim(pa->shape));
+  if (kind == BroadcastKind::kSameShape) {
+    for (size_t i = 0; i < n; ++i) {
+      out->data[i] = fwd(pa->data[i], pb->data[i]);
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      out->data[i] = fwd(pa->data[i], pb->data[i % d]);
+    }
+  }
+  Impl* raw = out.get();
+  Register(out, {pa, pb}, [pa, pb, raw, kind, n, d, bwd_a, bwd_b] {
+    if (pa->requires_grad) {
+      pa->EnsureGrad();
+      for (size_t i = 0; i < n; ++i) {
+        const float bv = (kind == BroadcastKind::kSameShape)
+                             ? pb->data[i]
+                             : pb->data[i % d];
+        pa->grad[i] += bwd_a(raw->grad[i], pa->data[i], bv);
+      }
+    }
+    if (pb->requires_grad) {
+      pb->EnsureGrad();
+      for (size_t i = 0; i < n; ++i) {
+        const size_t j = (kind == BroadcastKind::kSameShape) ? i : i % d;
+        pb->grad[j] += bwd_b(raw->grad[i], pa->data[i], pb->data[j]);
+      }
+    }
+  });
+  return Tensor::WrapImpl(out);
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x + y; },
+      [](float g, float, float) { return g; },
+      [](float g, float, float) { return g; });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x - y; },
+      [](float g, float, float) { return g; },
+      [](float g, float, float) { return -g; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x * y; },
+      [](float g, float, float y) { return g * y; },
+      [](float g, float x, float) { return g * x; });
+}
+
+namespace {
+
+// Unary op helper: fwd(x) and bwd(g, x, y) -> dx, where y is the output.
+template <typename Fwd, typename Bwd>
+Tensor UnaryOp(const Tensor& a, Fwd fwd, Bwd bwd) {
+  APAN_CHECK(a.defined());
+  auto out = NewImpl(a.shape());
+  const ImplPtr pa = a.impl();
+  const size_t n = pa->data.size();
+  for (size_t i = 0; i < n; ++i) out->data[i] = fwd(pa->data[i]);
+  Impl* raw = out.get();
+  Register(out, {pa}, [pa, raw, n, bwd] {
+    if (!pa->requires_grad) return;
+    pa->EnsureGrad();
+    for (size_t i = 0; i < n; ++i) {
+      pa->grad[i] += bwd(raw->grad[i], pa->data[i], raw->data[i]);
+    }
+  });
+  return Tensor::WrapImpl(out);
+}
+
+}  // namespace
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return x + s; },
+      [](float g, float, float) { return g; });
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return x * s; },
+      [s](float g, float, float) { return g * s; });
+}
+
+Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
+
+// ---- Activations -----------------------------------------------------------
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float g, float x, float) { return x > 0.0f ? g : 0.0f; });
+}
+
+Tensor LeakyRelu(const Tensor& a, float slope) {
+  return UnaryOp(
+      a, [slope](float x) { return x > 0.0f ? x : slope * x; },
+      [slope](float g, float x, float) { return x > 0.0f ? g : slope * g; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      a,
+      [](float x) {
+        // Stable sigmoid.
+        if (x >= 0.0f) {
+          const float z = std::exp(-x);
+          return 1.0f / (1.0f + z);
+        }
+        const float z = std::exp(x);
+        return z / (1.0f + z);
+      },
+      [](float g, float, float y) { return g * y * (1.0f - y); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::tanh(x); },
+      [](float g, float, float y) { return g * (1.0f - y * y); });
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::exp(x); },
+      [](float g, float, float y) { return g * y; });
+}
+
+Tensor Log(const Tensor& a, float eps) {
+  return UnaryOp(
+      a, [eps](float x) { return std::log(std::max(x, eps)); },
+      [eps](float g, float x, float) { return g / std::max(x, eps); });
+}
+
+Tensor Cos(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::cos(x); },
+      [](float g, float x, float) { return -g * std::sin(x); });
+}
+
+// ---- Linear algebra --------------------------------------------------------
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  APAN_CHECK(a.defined() && b.defined());
+  APAN_CHECK_MSG(a.rank() == 2 && b.rank() == 2, "MatMul expects rank-2");
+  const int64_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
+  APAN_CHECK_MSG(b.dim(0) == k, "MatMul inner dimension mismatch");
+  auto out = NewImpl({n, m});
+  const ImplPtr pa = a.impl();
+  const ImplPtr pb = b.impl();
+  const float* A = pa->data.data();
+  const float* B = pb->data.data();
+  float* C = out->data.data();
+  // ikj loop order: streams B and C rows for cache friendliness.
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float aik = A[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* Brow = B + kk * m;
+      float* Crow = C + i * m;
+      for (int64_t j = 0; j < m; ++j) Crow[j] += aik * Brow[j];
+    }
+  }
+  Impl* raw = out.get();
+  Register(out, {pa, pb}, [pa, pb, raw, n, k, m] {
+    const float* G = raw->grad.data();
+    if (pa->requires_grad) {
+      pa->EnsureGrad();  // dA = G * B^T : {n,m} x {m,k}
+      const float* B = pb->data.data();
+      for (int64_t i = 0; i < n; ++i) {
+        for (int64_t j = 0; j < m; ++j) {
+          const float g = G[i * m + j];
+          if (g == 0.0f) continue;
+          const float* Brow = B + j;  // column j of B, stride m
+          float* dArow = pa->grad.data() + i * k;
+          for (int64_t kk = 0; kk < k; ++kk) {
+            dArow[kk] += g * Brow[kk * m];
+          }
+        }
+      }
+    }
+    if (pb->requires_grad) {
+      pb->EnsureGrad();  // dB = A^T * G : {k,n} x {n,m}
+      const float* A = pa->data.data();
+      for (int64_t i = 0; i < n; ++i) {
+        for (int64_t kk = 0; kk < k; ++kk) {
+          const float aik = A[i * k + kk];
+          if (aik == 0.0f) continue;
+          const float* Grow = G + i * m;
+          float* dBrow = pb->grad.data() + kk * m;
+          for (int64_t j = 0; j < m; ++j) dBrow[j] += aik * Grow[j];
+        }
+      }
+    }
+  });
+  return Tensor::WrapImpl(out);
+}
+
+Tensor Bmm(const Tensor& a, const Tensor& b) {
+  APAN_CHECK(a.defined() && b.defined());
+  APAN_CHECK_MSG(a.rank() == 3 && b.rank() == 3, "Bmm expects rank-3");
+  const int64_t bs = a.dim(0), n = a.dim(1), k = a.dim(2), m = b.dim(2);
+  APAN_CHECK_MSG(b.dim(0) == bs && b.dim(1) == k,
+                 "Bmm batch/inner dimension mismatch");
+  auto out = NewImpl({bs, n, m});
+  const ImplPtr pa = a.impl();
+  const ImplPtr pb = b.impl();
+  for (int64_t t = 0; t < bs; ++t) {
+    const float* A = pa->data.data() + t * n * k;
+    const float* B = pb->data.data() + t * k * m;
+    float* C = out->data.data() + t * n * m;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float aik = A[i * k + kk];
+        if (aik == 0.0f) continue;
+        const float* Brow = B + kk * m;
+        float* Crow = C + i * m;
+        for (int64_t j = 0; j < m; ++j) Crow[j] += aik * Brow[j];
+      }
+    }
+  }
+  Impl* raw = out.get();
+  Register(out, {pa, pb}, [pa, pb, raw, bs, n, k, m] {
+    for (int64_t t = 0; t < bs; ++t) {
+      const float* G = raw->grad.data() + t * n * m;
+      if (pa->requires_grad) {
+        pa->EnsureGrad();
+        const float* B = pb->data.data() + t * k * m;
+        float* dA = pa->grad.data() + t * n * k;
+        for (int64_t i = 0; i < n; ++i) {
+          for (int64_t j = 0; j < m; ++j) {
+            const float g = G[i * m + j];
+            if (g == 0.0f) continue;
+            for (int64_t kk = 0; kk < k; ++kk) {
+              dA[i * k + kk] += g * B[kk * m + j];
+            }
+          }
+        }
+      }
+      if (pb->requires_grad) {
+        pb->EnsureGrad();
+        const float* A = pa->data.data() + t * n * k;
+        float* dB = pb->grad.data() + t * k * m;
+        for (int64_t i = 0; i < n; ++i) {
+          for (int64_t kk = 0; kk < k; ++kk) {
+            const float aik = A[i * k + kk];
+            if (aik == 0.0f) continue;
+            const float* Grow = G + i * m;
+            float* dBrow = dB + kk * m;
+            for (int64_t j = 0; j < m; ++j) dBrow[j] += aik * Grow[j];
+          }
+        }
+      }
+    }
+  });
+  return Tensor::WrapImpl(out);
+}
+
+Tensor Transpose2D(const Tensor& a) {
+  APAN_CHECK(a.defined() && a.rank() == 2);
+  return Permute(a, {1, 0});
+}
+
+namespace {
+
+std::vector<int64_t> RowMajorStrides(const Shape& shape) {
+  std::vector<int64_t> strides(shape.size());
+  int64_t acc = 1;
+  for (size_t i = shape.size(); i-- > 0;) {
+    strides[i] = acc;
+    acc *= shape[i];
+  }
+  return strides;
+}
+
+}  // namespace
+
+Tensor Permute(const Tensor& a, const std::vector<size_t>& perm) {
+  APAN_CHECK(a.defined());
+  const Shape& in_shape = a.shape();
+  APAN_CHECK_MSG(perm.size() == in_shape.size(), "Permute rank mismatch");
+  Shape out_shape(perm.size());
+  for (size_t i = 0; i < perm.size(); ++i) {
+    APAN_CHECK(perm[i] < in_shape.size());
+    out_shape[i] = in_shape[perm[i]];
+  }
+  auto out = NewImpl(out_shape);
+  const ImplPtr pa = a.impl();
+  const auto in_strides = RowMajorStrides(in_shape);
+  const auto out_strides = RowMajorStrides(out_shape);
+  const size_t n = pa->data.size();
+  const size_t rank = perm.size();
+  // Map each output flat index to its input flat index.
+  std::vector<int64_t> src_index(n);
+  for (size_t flat = 0; flat < n; ++flat) {
+    int64_t remaining = static_cast<int64_t>(flat);
+    int64_t src = 0;
+    for (size_t d = 0; d < rank; ++d) {
+      const int64_t coord = remaining / out_strides[d];
+      remaining -= coord * out_strides[d];
+      src += coord * in_strides[perm[d]];
+    }
+    src_index[flat] = src;
+    out->data[flat] = pa->data[static_cast<size_t>(src)];
+  }
+  Impl* raw = out.get();
+  Register(out, {pa}, [pa, raw, src_index = std::move(src_index), n] {
+    if (!pa->requires_grad) return;
+    pa->EnsureGrad();
+    for (size_t flat = 0; flat < n; ++flat) {
+      pa->grad[static_cast<size_t>(src_index[flat])] += raw->grad[flat];
+    }
+  });
+  return Tensor::WrapImpl(out);
+}
+
+Tensor Reshape(const Tensor& a, Shape new_shape) {
+  APAN_CHECK(a.defined());
+  APAN_CHECK_MSG(NumElements(new_shape) == a.numel(),
+                 "Reshape element count mismatch");
+  auto out = NewImpl(std::move(new_shape));
+  const ImplPtr pa = a.impl();
+  out->data = pa->data;
+  Impl* raw = out.get();
+  Register(out, {pa}, [pa, raw] {
+    if (!pa->requires_grad) return;
+    pa->EnsureGrad();
+    for (size_t i = 0; i < raw->grad.size(); ++i) {
+      pa->grad[i] += raw->grad[i];
+    }
+  });
+  return Tensor::WrapImpl(out);
+}
+
+// ---- Structure -------------------------------------------------------------
+
+Tensor ConcatLastDim(const std::vector<Tensor>& parts) {
+  APAN_CHECK_MSG(!parts.empty(), "ConcatLastDim on empty list");
+  const Shape& s0 = parts[0].shape();
+  int64_t total_last = 0;
+  for (const Tensor& p : parts) {
+    APAN_CHECK(p.defined() && p.rank() == s0.size());
+    for (size_t d = 0; d + 1 < s0.size(); ++d) {
+      APAN_CHECK_MSG(p.dim(d) == s0[d], "ConcatLastDim leading dim mismatch");
+    }
+    total_last += LastDim(p.shape());
+  }
+  Shape out_shape = s0;
+  out_shape.back() = total_last;
+  auto out = NewImpl(out_shape);
+  const int64_t rows = LeadingRows(out_shape);
+  std::vector<ImplPtr> parents;
+  parents.reserve(parts.size());
+  std::vector<int64_t> widths;
+  for (const Tensor& p : parts) {
+    parents.push_back(p.impl());
+    widths.push_back(LastDim(p.shape()));
+  }
+  for (int64_t r = 0; r < rows; ++r) {
+    int64_t offset = 0;
+    for (size_t pi = 0; pi < parents.size(); ++pi) {
+      const int64_t w = widths[pi];
+      std::copy_n(parents[pi]->data.data() + r * w, w,
+                  out->data.data() + r * total_last + offset);
+      offset += w;
+    }
+  }
+  Impl* raw = out.get();
+  Register(out, parents,
+           [parents, raw, widths = std::move(widths), rows, total_last] {
+             for (int64_t r = 0; r < rows; ++r) {
+               int64_t offset = 0;
+               for (size_t pi = 0; pi < parents.size(); ++pi) {
+                 const int64_t w = widths[pi];
+                 if (parents[pi]->requires_grad) {
+                   parents[pi]->EnsureGrad();
+                   float* dst = parents[pi]->grad.data() + r * w;
+                   const float* src =
+                       raw->grad.data() + r * total_last + offset;
+                   for (int64_t j = 0; j < w; ++j) dst[j] += src[j];
+                 }
+                 offset += w;
+               }
+             }
+           });
+  return Tensor::WrapImpl(out);
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  APAN_CHECK_MSG(!parts.empty(), "ConcatRows on empty list");
+  const Shape& s0 = parts[0].shape();
+  int64_t total_first = 0;
+  for (const Tensor& p : parts) {
+    APAN_CHECK(p.defined() && p.rank() == s0.size());
+    for (size_t d = 1; d < s0.size(); ++d) {
+      APAN_CHECK_MSG(p.dim(d) == s0[d], "ConcatRows trailing dim mismatch");
+    }
+    total_first += p.dim(0);
+  }
+  Shape out_shape = s0;
+  out_shape[0] = total_first;
+  auto out = NewImpl(out_shape);
+  std::vector<ImplPtr> parents;
+  size_t offset = 0;
+  for (const Tensor& p : parts) {
+    parents.push_back(p.impl());
+    std::copy(p.impl()->data.begin(), p.impl()->data.end(),
+              out->data.begin() + offset);
+    offset += p.impl()->data.size();
+  }
+  Impl* raw = out.get();
+  Register(out, parents, [parents, raw] {
+    size_t offset = 0;
+    for (const auto& p : parents) {
+      if (p->requires_grad) {
+        p->EnsureGrad();
+        for (size_t i = 0; i < p->data.size(); ++i) {
+          p->grad[i] += raw->grad[offset + i];
+        }
+      }
+      offset += p->data.size();
+    }
+  });
+  return Tensor::WrapImpl(out);
+}
+
+Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& indices) {
+  APAN_CHECK(a.defined() && a.rank() == 2);
+  const int64_t n = a.dim(0), d = a.dim(1);
+  for (int64_t idx : indices) {
+    APAN_CHECK_MSG(idx >= 0 && idx < n, "GatherRows index out of range");
+  }
+  auto out = NewImpl({static_cast<int64_t>(indices.size()), d});
+  const ImplPtr pa = a.impl();
+  for (size_t r = 0; r < indices.size(); ++r) {
+    std::copy_n(pa->data.data() + indices[r] * d, d,
+                out->data.data() + static_cast<int64_t>(r) * d);
+  }
+  Impl* raw = out.get();
+  Register(out, {pa}, [pa, raw, indices, d] {
+    if (!pa->requires_grad) return;
+    pa->EnsureGrad();
+    for (size_t r = 0; r < indices.size(); ++r) {
+      const float* src = raw->grad.data() + static_cast<int64_t>(r) * d;
+      float* dst = pa->grad.data() + indices[r] * d;
+      for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+    }
+  });
+  return Tensor::WrapImpl(out);
+}
+
+Tensor SliceCols(const Tensor& a, int64_t col_begin, int64_t col_end) {
+  APAN_CHECK(a.defined() && a.rank() == 2);
+  const int64_t n = a.dim(0), m = a.dim(1);
+  APAN_CHECK_MSG(0 <= col_begin && col_begin < col_end && col_end <= m,
+                 "SliceCols range invalid");
+  const int64_t w = col_end - col_begin;
+  auto out = NewImpl({n, w});
+  const ImplPtr pa = a.impl();
+  for (int64_t i = 0; i < n; ++i) {
+    std::copy_n(pa->data.data() + i * m + col_begin, w,
+                out->data.data() + i * w);
+  }
+  Impl* raw = out.get();
+  Register(out, {pa}, [pa, raw, n, m, w, col_begin] {
+    if (!pa->requires_grad) return;
+    pa->EnsureGrad();
+    for (int64_t i = 0; i < n; ++i) {
+      const float* src = raw->grad.data() + i * w;
+      float* dst = pa->grad.data() + i * m + col_begin;
+      for (int64_t j = 0; j < w; ++j) dst[j] += src[j];
+    }
+  });
+  return Tensor::WrapImpl(out);
+}
+
+// ---- Normalization / attention helpers --------------------------------------
+
+Tensor SoftmaxLastDim(const Tensor& a) {
+  APAN_CHECK(a.defined());
+  const int64_t d = LastDim(a.shape());
+  const int64_t rows = LeadingRows(a.shape());
+  auto out = NewImpl(a.shape());
+  const ImplPtr pa = a.impl();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* x = pa->data.data() + r * d;
+    float* y = out->data.data() + r * d;
+    float mx = x[0];
+    for (int64_t j = 1; j < d; ++j) mx = std::max(mx, x[j]);
+    float sum = 0.0f;
+    for (int64_t j = 0; j < d; ++j) {
+      y[j] = std::exp(x[j] - mx);
+      sum += y[j];
+    }
+    const float inv = 1.0f / sum;
+    for (int64_t j = 0; j < d; ++j) y[j] *= inv;
+  }
+  Impl* raw = out.get();
+  Register(out, {pa}, [pa, raw, rows, d] {
+    if (!pa->requires_grad) return;
+    pa->EnsureGrad();
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* y = raw->data.data() + r * d;
+      const float* g = raw->grad.data() + r * d;
+      float dot = 0.0f;
+      for (int64_t j = 0; j < d; ++j) dot += g[j] * y[j];
+      float* dx = pa->grad.data() + r * d;
+      for (int64_t j = 0; j < d; ++j) dx[j] += (g[j] - dot) * y[j];
+    }
+  });
+  return Tensor::WrapImpl(out);
+}
+
+Tensor LogSoftmaxLastDim(const Tensor& a) {
+  APAN_CHECK(a.defined());
+  const int64_t d = LastDim(a.shape());
+  const int64_t rows = LeadingRows(a.shape());
+  auto out = NewImpl(a.shape());
+  const ImplPtr pa = a.impl();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* x = pa->data.data() + r * d;
+    float* y = out->data.data() + r * d;
+    float mx = x[0];
+    for (int64_t j = 1; j < d; ++j) mx = std::max(mx, x[j]);
+    float sum = 0.0f;
+    for (int64_t j = 0; j < d; ++j) sum += std::exp(x[j] - mx);
+    const float lse = mx + std::log(sum);
+    for (int64_t j = 0; j < d; ++j) y[j] = x[j] - lse;
+  }
+  Impl* raw = out.get();
+  Register(out, {pa}, [pa, raw, rows, d] {
+    if (!pa->requires_grad) return;
+    pa->EnsureGrad();
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* y = raw->data.data() + r * d;
+      const float* g = raw->grad.data() + r * d;
+      float gsum = 0.0f;
+      for (int64_t j = 0; j < d; ++j) gsum += g[j];
+      float* dx = pa->grad.data() + r * d;
+      for (int64_t j = 0; j < d; ++j) {
+        dx[j] += g[j] - std::exp(y[j]) * gsum;
+      }
+    }
+  });
+  return Tensor::WrapImpl(out);
+}
+
+Tensor RowNormalize(const Tensor& a, float eps) {
+  APAN_CHECK(a.defined());
+  const int64_t d = LastDim(a.shape());
+  const int64_t rows = LeadingRows(a.shape());
+  auto out = NewImpl(a.shape());
+  const ImplPtr pa = a.impl();
+  std::vector<float> inv_sigma(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* x = pa->data.data() + r * d;
+    float mu = 0.0f;
+    for (int64_t j = 0; j < d; ++j) mu += x[j];
+    mu /= static_cast<float>(d);
+    float var = 0.0f;
+    for (int64_t j = 0; j < d; ++j) var += (x[j] - mu) * (x[j] - mu);
+    var /= static_cast<float>(d);
+    const float inv = 1.0f / std::sqrt(var + eps);
+    inv_sigma[static_cast<size_t>(r)] = inv;
+    float* y = out->data.data() + r * d;
+    for (int64_t j = 0; j < d; ++j) y[j] = (x[j] - mu) * inv;
+  }
+  Impl* raw = out.get();
+  Register(out, {pa},
+           [pa, raw, rows, d, inv_sigma = std::move(inv_sigma)] {
+             if (!pa->requires_grad) return;
+             pa->EnsureGrad();
+             for (int64_t r = 0; r < rows; ++r) {
+               const float* y = raw->data.data() + r * d;
+               const float* g = raw->grad.data() + r * d;
+               float g_mean = 0.0f, gy_mean = 0.0f;
+               for (int64_t j = 0; j < d; ++j) {
+                 g_mean += g[j];
+                 gy_mean += g[j] * y[j];
+               }
+               g_mean /= static_cast<float>(d);
+               gy_mean /= static_cast<float>(d);
+               const float inv = inv_sigma[static_cast<size_t>(r)];
+               float* dx = pa->grad.data() + r * d;
+               for (int64_t j = 0; j < d; ++j) {
+                 dx[j] += inv * (g[j] - g_mean - y[j] * gy_mean);
+               }
+             }
+           });
+  return Tensor::WrapImpl(out);
+}
+
+Tensor Dropout(const Tensor& a, float p, bool training, Rng* rng) {
+  APAN_CHECK(a.defined());
+  APAN_CHECK_MSG(p >= 0.0f && p < 1.0f, "dropout probability out of range");
+  if (!training || p == 0.0f) return a;
+  APAN_CHECK(rng != nullptr);
+  auto out = NewImpl(a.shape());
+  const ImplPtr pa = a.impl();
+  const size_t n = pa->data.size();
+  const float scale = 1.0f / (1.0f - p);
+  std::vector<float> mask(n);
+  for (size_t i = 0; i < n; ++i) {
+    mask[i] = rng->Bernoulli(p) ? 0.0f : scale;
+    out->data[i] = pa->data[i] * mask[i];
+  }
+  Impl* raw = out.get();
+  Register(out, {pa}, [pa, raw, mask = std::move(mask), n] {
+    if (!pa->requires_grad) return;
+    pa->EnsureGrad();
+    for (size_t i = 0; i < n; ++i) pa->grad[i] += raw->grad[i] * mask[i];
+  });
+  return Tensor::WrapImpl(out);
+}
+
+// ---- Reductions ------------------------------------------------------------
+
+Tensor SumAll(const Tensor& a) {
+  APAN_CHECK(a.defined());
+  auto out = NewImpl({1});
+  const ImplPtr pa = a.impl();
+  float s = 0.0f;
+  for (float v : pa->data) s += v;
+  out->data[0] = s;
+  Impl* raw = out.get();
+  Register(out, {pa}, [pa, raw] {
+    if (!pa->requires_grad) return;
+    pa->EnsureGrad();
+    const float g = raw->grad[0];
+    for (auto& dv : pa->grad) dv += g;
+  });
+  return Tensor::WrapImpl(out);
+}
+
+Tensor MeanAll(const Tensor& a) {
+  APAN_CHECK(a.defined());
+  const float inv = 1.0f / static_cast<float>(a.numel());
+  return MulScalar(SumAll(a), inv);
+}
+
+Tensor MeanDim1(const Tensor& a) {
+  APAN_CHECK(a.defined() && a.rank() == 3);
+  const int64_t b = a.dim(0), m = a.dim(1), d = a.dim(2);
+  auto out = NewImpl({b, d});
+  const ImplPtr pa = a.impl();
+  const float inv = 1.0f / static_cast<float>(m);
+  for (int64_t t = 0; t < b; ++t) {
+    float* y = out->data.data() + t * d;
+    for (int64_t i = 0; i < m; ++i) {
+      const float* x = pa->data.data() + (t * m + i) * d;
+      for (int64_t j = 0; j < d; ++j) y[j] += x[j];
+    }
+    for (int64_t j = 0; j < d; ++j) y[j] *= inv;
+  }
+  Impl* raw = out.get();
+  Register(out, {pa}, [pa, raw, b, m, d, inv] {
+    if (!pa->requires_grad) return;
+    pa->EnsureGrad();
+    for (int64_t t = 0; t < b; ++t) {
+      const float* g = raw->grad.data() + t * d;
+      for (int64_t i = 0; i < m; ++i) {
+        float* dx = pa->grad.data() + (t * m + i) * d;
+        for (int64_t j = 0; j < d; ++j) dx[j] += g[j] * inv;
+      }
+    }
+  });
+  return Tensor::WrapImpl(out);
+}
+
+Tensor RowwiseDot(const Tensor& a, const Tensor& b) {
+  APAN_CHECK(a.defined() && b.defined());
+  APAN_CHECK_MSG(a.rank() == 2 && a.shape() == b.shape(),
+                 "RowwiseDot expects equal rank-2 shapes");
+  const int64_t n = a.dim(0), d = a.dim(1);
+  auto out = NewImpl({n, 1});
+  const ImplPtr pa = a.impl();
+  const ImplPtr pb = b.impl();
+  for (int64_t i = 0; i < n; ++i) {
+    const float* x = pa->data.data() + i * d;
+    const float* y = pb->data.data() + i * d;
+    float s = 0.0f;
+    for (int64_t j = 0; j < d; ++j) s += x[j] * y[j];
+    out->data[static_cast<size_t>(i)] = s;
+  }
+  Impl* raw = out.get();
+  Register(out, {pa, pb}, [pa, pb, raw, n, d] {
+    for (int64_t i = 0; i < n; ++i) {
+      const float g = raw->grad[static_cast<size_t>(i)];
+      if (g == 0.0f) continue;
+      if (pa->requires_grad) {
+        pa->EnsureGrad();
+        float* dx = pa->grad.data() + i * d;
+        const float* y = pb->data.data() + i * d;
+        for (int64_t j = 0; j < d; ++j) dx[j] += g * y[j];
+      }
+      if (pb->requires_grad) {
+        pb->EnsureGrad();
+        float* dy = pb->grad.data() + i * d;
+        const float* x = pa->data.data() + i * d;
+        for (int64_t j = 0; j < d; ++j) dy[j] += g * x[j];
+      }
+    }
+  });
+  return Tensor::WrapImpl(out);
+}
+
+// ---- Losses ----------------------------------------------------------------
+
+Tensor BceWithLogits(const Tensor& logits,
+                     const std::vector<float>& targets) {
+  APAN_CHECK(logits.defined());
+  const size_t n = static_cast<size_t>(logits.numel());
+  APAN_CHECK_MSG(targets.size() == n, "BceWithLogits target size mismatch");
+  auto out = NewImpl({1});
+  const ImplPtr pl = logits.impl();
+  float loss = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    const float x = pl->data[i];
+    const float t = targets[i];
+    // max(x,0) - x*t + log(1 + exp(-|x|)) — the stable form.
+    loss += std::max(x, 0.0f) - x * t + std::log1p(std::exp(-std::abs(x)));
+  }
+  out->data[0] = loss / static_cast<float>(n);
+  Impl* raw = out.get();
+  Register(out, {pl}, [pl, raw, targets, n] {
+    if (!pl->requires_grad) return;
+    pl->EnsureGrad();
+    const float g = raw->grad[0] / static_cast<float>(n);
+    for (size_t i = 0; i < n; ++i) {
+      const float x = pl->data[i];
+      float sig;
+      if (x >= 0.0f) {
+        const float z = std::exp(-x);
+        sig = 1.0f / (1.0f + z);
+      } else {
+        const float z = std::exp(x);
+        sig = z / (1.0f + z);
+      }
+      pl->grad[i] += g * (sig - targets[i]);
+    }
+  });
+  return Tensor::WrapImpl(out);
+}
+
+Tensor GaussianKl(const Tensor& mu, const Tensor& logvar) {
+  APAN_CHECK(mu.defined() && logvar.defined());
+  APAN_CHECK_MSG(mu.shape() == logvar.shape(), "GaussianKl shape mismatch");
+  const int64_t n = mu.dim(0);
+  auto out = NewImpl({1});
+  const ImplPtr pm = mu.impl();
+  const ImplPtr pv = logvar.impl();
+  float kl = 0.0f;
+  for (size_t i = 0; i < pm->data.size(); ++i) {
+    const float m = pm->data[i];
+    const float lv = pv->data[i];
+    kl += -0.5f * (1.0f + lv - m * m - std::exp(lv));
+  }
+  out->data[0] = kl / static_cast<float>(n);
+  Impl* raw = out.get();
+  Register(out, {pm, pv}, [pm, pv, raw, n] {
+    const float g = raw->grad[0] / static_cast<float>(n);
+    if (pm->requires_grad) {
+      pm->EnsureGrad();
+      for (size_t i = 0; i < pm->data.size(); ++i) {
+        pm->grad[i] += g * pm->data[i];
+      }
+    }
+    if (pv->requires_grad) {
+      pv->EnsureGrad();
+      for (size_t i = 0; i < pv->data.size(); ++i) {
+        pv->grad[i] += g * 0.5f * (std::exp(pv->data[i]) - 1.0f);
+      }
+    }
+  });
+  return Tensor::WrapImpl(out);
+}
+
+}  // namespace tensor
+}  // namespace apan

@@ -1,0 +1,77 @@
+#include "tensor/optimizer.h"
+
+#include <cmath>
+
+namespace apan {
+namespace tensor {
+
+double Optimizer::ClipGradNorm(double max_norm) {
+  double sq = 0.0;
+  for (auto& p : params_) {
+    const float* g = p.grad_data();
+    const int64_t n = p.numel();
+    for (int64_t i = 0; i < n; ++i) {
+      sq += static_cast<double>(g[i]) * static_cast<double>(g[i]);
+    }
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (auto& p : params_) {
+      float* g = p.grad_data();
+      const int64_t n = p.numel();
+      for (int64_t i = 0; i < n; ++i) g[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+void Sgd::Step() {
+  for (auto& p : params_) {
+    float* w = p.data();
+    float* g = p.grad_data();
+    const int64_t n = p.numel();
+    if (opts_.momentum != 0.0f) {
+      auto& vel = velocity_[p.impl().get()];
+      if (vel.size() != static_cast<size_t>(n)) vel.assign(n, 0.0f);
+      for (int64_t i = 0; i < n; ++i) {
+        float grad = g[i] + opts_.weight_decay * w[i];
+        vel[i] = opts_.momentum * vel[i] + grad;
+        w[i] -= opts_.lr * vel[i];
+      }
+    } else {
+      for (int64_t i = 0; i < n; ++i) {
+        w[i] -= opts_.lr * (g[i] + opts_.weight_decay * w[i]);
+      }
+    }
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 =
+      1.0f - std::pow(opts_.beta1, static_cast<float>(t_));
+  const float bc2 =
+      1.0f - std::pow(opts_.beta2, static_cast<float>(t_));
+  for (auto& p : params_) {
+    float* w = p.data();
+    float* g = p.grad_data();
+    const int64_t n = p.numel();
+    auto& st = state_[p.impl().get()];
+    if (st.m.size() != static_cast<size_t>(n)) {
+      st.m.assign(n, 0.0f);
+      st.v.assign(n, 0.0f);
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      const float grad = g[i] + opts_.weight_decay * w[i];
+      st.m[i] = opts_.beta1 * st.m[i] + (1.0f - opts_.beta1) * grad;
+      st.v[i] = opts_.beta2 * st.v[i] + (1.0f - opts_.beta2) * grad * grad;
+      const float mhat = st.m[i] / bc1;
+      const float vhat = st.v[i] / bc2;
+      w[i] -= opts_.lr * mhat / (std::sqrt(vhat) + opts_.eps);
+    }
+  }
+}
+
+}  // namespace tensor
+}  // namespace apan

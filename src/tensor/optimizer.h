@@ -1,0 +1,90 @@
+// First-order optimizers over tensor parameters.
+
+#ifndef APAN_TENSOR_OPTIMIZER_H_
+#define APAN_TENSOR_OPTIMIZER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace apan {
+namespace tensor {
+
+/// \brief Base interface: owns references to the parameters it updates.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the gradients currently accumulated on the
+  /// parameters, then leaves gradients untouched (call ZeroGrad next).
+  virtual void Step() = 0;
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad() {
+    for (auto& p : params_) p.ZeroGrad();
+  }
+
+  /// \brief Rescales all gradients so their global L2 norm is at most
+  /// `max_norm`. Returns the pre-clip norm.
+  double ClipGradNorm(double max_norm);
+
+  const std::vector<Tensor>& params() const { return params_; }
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+/// \brief Plain SGD with optional momentum and weight decay.
+class Sgd : public Optimizer {
+ public:
+  struct Options {
+    float lr = 1e-2f;
+    float momentum = 0.0f;
+    float weight_decay = 0.0f;
+  };
+
+  Sgd(std::vector<Tensor> params, Options opts)
+      : Optimizer(std::move(params)), opts_(opts) {}
+
+  void Step() override;
+
+ private:
+  Options opts_;
+  std::unordered_map<const void*, std::vector<float>> velocity_;
+};
+
+/// \brief Adam (Kingma & Ba, 2015) with bias correction.
+///
+/// Paper configuration (§4.4): lr = 1e-4, default betas.
+class Adam : public Optimizer {
+ public:
+  struct Options {
+    float lr = 1e-4f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weight_decay = 0.0f;
+  };
+
+  Adam(std::vector<Tensor> params, Options opts)
+      : Optimizer(std::move(params)), opts_(opts) {}
+
+  void Step() override;
+
+ private:
+  struct State {
+    std::vector<float> m;
+    std::vector<float> v;
+  };
+  Options opts_;
+  int64_t t_ = 0;
+  std::unordered_map<const void*, State> state_;
+};
+
+}  // namespace tensor
+}  // namespace apan
+
+#endif  // APAN_TENSOR_OPTIMIZER_H_

@@ -1,0 +1,75 @@
+// ApanLinkModel — core::ApanModel behind the TemporalModel interface.
+
+#ifndef APAN_TRAIN_APAN_ADAPTER_H_
+#define APAN_TRAIN_APAN_ADAPTER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/apan_model.h"
+#include "train/temporal_model.h"
+
+namespace apan {
+namespace train {
+
+/// \brief APAN as a streaming link-prediction model.
+///
+/// ScoreLinks/EmbedEndpoints run the synchronous link only (no graph
+/// queries — SyncPathGraphQueries() stays 0 by construction, asserted in
+/// tests); Consume runs the asynchronous link in-line, mirroring the
+/// reference implementation's training loop.
+class ApanLinkModel : public TemporalModel {
+ public:
+  /// `features` must outlive the model.
+  ApanLinkModel(const core::ApanConfig& config,
+                const graph::EdgeFeatureStore* features, uint64_t seed,
+                std::string name = "APAN");
+
+  std::string name() const override { return name_; }
+  int64_t embedding_dim() const override {
+    return model_.config().embedding_dim;
+  }
+
+  /// Link logits follow the paper's Eq. 7: a scaled dot product
+  /// σ(z_i(t)ᵀ z_j(t)) with a learnable affine calibration (the MLP
+  /// decoder of §3.4 serves the downstream classification tasks).
+  LinkScores ScoreLinks(const EventBatch& batch) override;
+  EndpointEmbeddings EmbedEndpoints(const EventBatch& batch) override;
+  Status Consume(const EventBatch& batch) override;
+  void ResetState() override;
+  std::vector<tensor::Tensor> Parameters() override {
+    return model_.Parameters();
+  }
+  void SetTraining(bool training) override { model_.SetTraining(training); }
+  int64_t SyncPathGraphQueries() const override { return sync_queries_; }
+
+  core::ApanModel& model() { return model_; }
+
+ private:
+  /// Encodes the unique nodes of a batch once ("if a node involves several
+  /// interactions in a batch, the embedding will be generated only once",
+  /// §3.2) and caches the detached values for Consume.
+  struct Encoded {
+    std::vector<graph::NodeId> unique_nodes;
+    std::unordered_map<graph::NodeId, int64_t> row_of;
+    core::ApanEncoder::Output output;
+  };
+  Encoded Encode(const EventBatch& batch, bool with_negatives);
+
+  std::string name_;
+  core::ApanModel model_;
+  int64_t sync_queries_ = 0;
+  // Cache from the last Encode, reused by Consume on the same batch.
+  bool has_cache_ = false;
+  size_t cache_begin_ = 0;
+  size_t cache_end_ = 0;
+  std::vector<graph::NodeId> cache_nodes_;
+  std::vector<float> cache_values_;  // unique_nodes x dim, detached
+};
+
+}  // namespace train
+}  // namespace apan
+
+#endif  // APAN_TRAIN_APAN_ADAPTER_H_

@@ -1,0 +1,124 @@
+#include "train/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/status.h"
+
+namespace apan {
+namespace train {
+
+namespace {
+
+std::vector<size_t> DescendingOrder(const std::vector<float>& scores) {
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+  return order;
+}
+
+}  // namespace
+
+double AveragePrecision(const std::vector<float>& scores,
+                        const std::vector<int>& labels) {
+  APAN_CHECK_MSG(scores.size() == labels.size(),
+                 "scores/labels size mismatch");
+  const int64_t total_pos =
+      std::count(labels.begin(), labels.end(), 1);
+  if (total_pos == 0 || scores.empty()) return 0.0;
+
+  const auto order = DescendingOrder(scores);
+  double ap = 0.0;
+  int64_t tp = 0;
+  size_t i = 0;
+  // Process tied-score blocks together: within a block, precision is
+  // evaluated at the block end with positives spread evenly (the
+  // interpolation sklearn uses for ties).
+  while (i < order.size()) {
+    size_t j = i;
+    int64_t block_pos = 0;
+    while (j < order.size() && scores[order[j]] == scores[order[i]]) {
+      if (labels[order[j]] == 1) ++block_pos;
+      ++j;
+    }
+    if (block_pos > 0) {
+      // Average precision over the positives in this block, treating them
+      // as uniformly placed within the block.
+      const double block_size = static_cast<double>(j - i);
+      const double tp_before = static_cast<double>(tp);
+      for (int64_t p = 1; p <= block_pos; ++p) {
+        const double frac = static_cast<double>(p) /
+                            static_cast<double>(block_pos);
+        const double rank = static_cast<double>(i) + frac * block_size;
+        const double tp_here = tp_before + static_cast<double>(p);
+        ap += tp_here / rank;
+      }
+    }
+    tp += block_pos;
+    i = j;
+  }
+  return ap / static_cast<double>(total_pos);
+}
+
+double RocAuc(const std::vector<float>& scores,
+              const std::vector<int>& labels) {
+  APAN_CHECK_MSG(scores.size() == labels.size(),
+                 "scores/labels size mismatch");
+  const int64_t pos = std::count(labels.begin(), labels.end(), 1);
+  const int64_t neg = static_cast<int64_t>(labels.size()) - pos;
+  if (pos == 0 || neg == 0) return 0.5;
+
+  // Midranks over ascending scores.
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+  double rank_sum_pos = 0.0;
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j < order.size() && scores[order[j]] == scores[order[i]]) ++j;
+    const double midrank =
+        0.5 * (static_cast<double>(i + 1) + static_cast<double>(j));
+    for (size_t k = i; k < j; ++k) {
+      if (labels[order[k]] == 1) rank_sum_pos += midrank;
+    }
+    i = j;
+  }
+  const double u = rank_sum_pos - static_cast<double>(pos) *
+                                      (static_cast<double>(pos) + 1.0) / 2.0;
+  return u / (static_cast<double>(pos) * static_cast<double>(neg));
+}
+
+double AccuracyAtThreshold(const std::vector<float>& scores,
+                           const std::vector<int>& labels, float threshold) {
+  APAN_CHECK_MSG(scores.size() == labels.size(),
+                 "scores/labels size mismatch");
+  if (scores.empty()) return 0.0;
+  int64_t correct = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const int pred = scores[i] >= threshold ? 1 : 0;
+    if (pred == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(scores.size());
+}
+
+MeanStd Summarize(const std::vector<double>& values) {
+  MeanStd out;
+  if (values.empty()) return out;
+  out.mean = std::accumulate(values.begin(), values.end(), 0.0) /
+             static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double sq = 0.0;
+    for (double v : values) sq += (v - out.mean) * (v - out.mean);
+    out.stddev = std::sqrt(sq / static_cast<double>(values.size() - 1));
+  }
+  return out;
+}
+
+}  // namespace train
+}  // namespace apan

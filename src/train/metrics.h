@@ -1,0 +1,44 @@
+// Exact binary-classification metrics (AP, ROC-AUC, accuracy).
+//
+// Computed from rank statistics in O(n log n) — not trapezoid
+// approximations — so the small-sample benches are stable across seeds.
+
+#ifndef APAN_TRAIN_METRICS_H_
+#define APAN_TRAIN_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace apan {
+namespace train {
+
+/// \brief Area under the precision-recall curve, computed as the average
+/// of precision at each positive hit (the "average precision" used by the
+/// paper's link-prediction tables). Ties are broken pessimistically by
+/// averaging over tied blocks. Returns 0 when there are no positives.
+double AveragePrecision(const std::vector<float>& scores,
+                        const std::vector<int>& labels);
+
+/// \brief Area under the ROC curve via the Mann-Whitney U statistic with
+/// midrank tie handling. Returns 0.5 when one class is absent.
+double RocAuc(const std::vector<float>& scores,
+              const std::vector<int>& labels);
+
+/// \brief Fraction of correct predictions at `threshold` (paper's link
+/// prediction "accuracy" with threshold 0.5 on probabilities).
+double AccuracyAtThreshold(const std::vector<float>& scores,
+                           const std::vector<int>& labels,
+                           float threshold = 0.5f);
+
+/// Mean and sample standard deviation of a series of metric values (used
+/// for the "(StdDev over seeds)" columns of Tables 2-3).
+struct MeanStd {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+MeanStd Summarize(const std::vector<double>& values);
+
+}  // namespace train
+}  // namespace apan
+
+#endif  // APAN_TRAIN_METRICS_H_

@@ -1,0 +1,322 @@
+#include "train/probe.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/decoder.h"
+#include "data/batching.h"
+#include "data/negative_sampler.h"
+#include "nn/layers.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+#include "train/metrics.h"
+
+namespace apan {
+namespace train {
+
+namespace {
+
+float StableSigmoid(float x) {
+  if (x >= 0.0f) {
+    const float z = std::exp(-x);
+    return 1.0f / (1.0f + z);
+  }
+  const float z = std::exp(x);
+  return z / (1.0f + z);
+}
+
+bool IsBipartite(const data::Dataset& ds) {
+  return ds.num_users > 0 && ds.num_users < ds.num_nodes;
+}
+
+void ObserveEvent(const data::Dataset& ds, const graph::Event& e,
+                  data::NegativeSampler* sampler) {
+  if (IsBipartite(ds)) {
+    sampler->Observe(e.dst);
+  } else {
+    sampler->Observe(e.src);
+    sampler->Observe(e.dst);
+  }
+}
+
+tensor::Tensor RowsToTensor(const std::vector<const EmbeddingRow*>& rows) {
+  APAN_CHECK(!rows.empty());
+  const int64_t d = static_cast<int64_t>(rows[0]->features.size());
+  std::vector<float> flat;
+  flat.reserve(rows.size() * static_cast<size_t>(d));
+  for (const EmbeddingRow* r : rows) {
+    APAN_CHECK(static_cast<int64_t>(r->features.size()) == d);
+    flat.insert(flat.end(), r->features.begin(), r->features.end());
+  }
+  return tensor::Tensor::FromVector({static_cast<int64_t>(rows.size()), d},
+                                    std::move(flat));
+}
+
+}  // namespace
+
+Result<LinkTrainer::EvalResult> EvaluateStaticLink(
+    const StaticEmbeddingModel& model, const data::Dataset& dataset,
+    const ProbeConfig& config) {
+  APAN_RETURN_NOT_OK(dataset.Validate());
+  const int64_t d = model.dim();
+  Rng rng(config.seed);
+  core::LinkDecoder decoder(d, config.hidden, &rng);
+  tensor::Adam optimizer(decoder.Parameters(), {.lr = config.lr});
+
+  auto embed = [&](graph::NodeId v) { return model.Embedding(v); };
+  auto gather = [&](const std::vector<graph::NodeId>& nodes) {
+    std::vector<float> flat;
+    flat.reserve(nodes.size() * static_cast<size_t>(d));
+    for (graph::NodeId v : nodes) {
+      const auto e = embed(v);
+      flat.insert(flat.end(), e.begin(), e.end());
+    }
+    return tensor::Tensor::FromVector(
+        {static_cast<int64_t>(nodes.size()), d}, std::move(flat));
+  };
+
+  // ---- Train the decoder probe on the training events. ----
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    data::NegativeSampler sampler(dataset.num_nodes);
+    Rng neg_rng(config.negative_seed + static_cast<uint64_t>(epoch) + 1);
+    data::BatchIterator iter(dataset, data::Split::kTrain,
+                             config.batch_size);
+    while (!iter.Done()) {
+      const data::Batch b = iter.Next();
+      std::vector<graph::NodeId> srcs, dsts, negs;
+      for (size_t i = b.begin; i < b.end; ++i) {
+        const auto& e = dataset.events[i];
+        srcs.push_back(e.src);
+        dsts.push_back(e.dst);
+        graph::NodeId neg = sampler.Sample(&neg_rng, e.dst);
+        negs.push_back(neg >= 0 ? neg : e.dst);
+      }
+      tensor::Tensor z_src = gather(srcs);
+      tensor::Tensor pos =
+          decoder.Forward(z_src, gather(dsts), &rng);
+      tensor::Tensor neg =
+          decoder.Forward(z_src, gather(negs), &rng);
+      tensor::Tensor loss = tensor::MulScalar(
+          tensor::Add(
+              tensor::BceWithLogits(pos,
+                                    std::vector<float>(srcs.size(), 1.0f)),
+              tensor::BceWithLogits(neg,
+                                    std::vector<float>(srcs.size(), 0.0f))),
+          0.5f);
+      optimizer.ZeroGrad();
+      APAN_RETURN_NOT_OK(loss.Backward());
+      optimizer.Step();
+      for (size_t i = b.begin; i < b.end; ++i) {
+        ObserveEvent(dataset, dataset.events[i], &sampler);
+      }
+    }
+  }
+
+  // ---- Evaluate with LinkTrainer-identical negatives. ----
+  decoder.SetTraining(false);
+  tensor::NoGradGuard no_grad;
+  data::NegativeSampler sampler(dataset.num_nodes);
+  Rng neg_rng(config.negative_seed);
+  for (size_t i = 0; i < dataset.train_end; ++i) {
+    ObserveEvent(dataset, dataset.events[i], &sampler);
+  }
+  auto score_range = [&](size_t lo, size_t hi, SplitMetrics* out) {
+    std::vector<float> scores;
+    std::vector<int> labels;
+    data::BatchIterator iter(lo, hi, config.batch_size);
+    while (!iter.Done()) {
+      const data::Batch b = iter.Next();
+      std::vector<graph::NodeId> srcs, dsts, negs;
+      for (size_t i = b.begin; i < b.end; ++i) {
+        const auto& e = dataset.events[i];
+        srcs.push_back(e.src);
+        dsts.push_back(e.dst);
+        graph::NodeId neg = sampler.Sample(&neg_rng, e.dst);
+        negs.push_back(neg >= 0 ? neg : e.dst);
+      }
+      tensor::Tensor z_src = gather(srcs);
+      tensor::Tensor pos = decoder.Forward(z_src, gather(dsts));
+      tensor::Tensor neg = decoder.Forward(z_src, gather(negs));
+      for (size_t i = 0; i < srcs.size(); ++i) {
+        scores.push_back(StableSigmoid(pos.item(static_cast<int64_t>(i))));
+        labels.push_back(1);
+        scores.push_back(StableSigmoid(neg.item(static_cast<int64_t>(i))));
+        labels.push_back(0);
+      }
+      for (size_t i = b.begin; i < b.end; ++i) {
+        ObserveEvent(dataset, dataset.events[i], &sampler);
+      }
+    }
+    out->ap = AveragePrecision(scores, labels);
+    out->accuracy = AccuracyAtThreshold(scores, labels);
+    out->auc = RocAuc(scores, labels);
+    out->num_events = scores.size() / 2;
+  };
+
+  LinkTrainer::EvalResult result;
+  score_range(dataset.train_end, dataset.val_end, &result.validation);
+  score_range(dataset.val_end, dataset.events.size(), &result.test);
+  return result;
+}
+
+Result<std::vector<EmbeddingRow>> CollectTemporalRows(
+    TemporalModel* model, const data::Dataset& dataset, size_t batch_size) {
+  if (model == nullptr) return Status::InvalidArgument("null model");
+  model->ResetState();
+  model->SetTraining(false);
+  tensor::NoGradGuard no_grad;
+
+  const bool edge_task = dataset.label_kind == data::LabelKind::kEdge;
+  const int64_t d = model->embedding_dim();
+  std::vector<EmbeddingRow> rows;
+
+  data::BatchIterator iter(0, dataset.events.size(), batch_size);
+  while (!iter.Done()) {
+    const data::Batch b = iter.Next();
+    // Skip embedding work for batches with no labeled events.
+    bool has_labeled = false;
+    for (size_t i = b.begin; i < b.end; ++i) {
+      if (dataset.labels[i] >= 0) {
+        has_labeled = true;
+        break;
+      }
+    }
+    EventBatch batch{&dataset, b.begin, b.end, {}};
+    if (has_labeled) {
+      TemporalModel::EndpointEmbeddings emb = model->EmbedEndpoints(batch);
+      for (size_t i = b.begin; i < b.end; ++i) {
+        if (dataset.labels[i] < 0) continue;
+        const int64_t row = static_cast<int64_t>(i - b.begin);
+        EmbeddingRow out;
+        out.label = dataset.labels[i];
+        out.split = dataset.SplitOf(i);
+        const float* zs = emb.z_src.data() + row * d;
+        out.features.assign(zs, zs + d);
+        if (edge_task) {
+          const float* ef =
+              dataset.features.Row(dataset.events[i].edge_id);
+          out.features.insert(out.features.end(), ef,
+                              ef + dataset.feature_dim());
+          const float* zd = emb.z_dst.data() + row * d;
+          out.features.insert(out.features.end(), zd, zd + d);
+        }
+        rows.push_back(std::move(out));
+      }
+    }
+    APAN_RETURN_NOT_OK(model->Consume(batch));
+  }
+  return rows;
+}
+
+std::vector<EmbeddingRow> CollectStaticRows(
+    const StaticEmbeddingModel& model, const data::Dataset& dataset) {
+  const bool edge_task = dataset.label_kind == data::LabelKind::kEdge;
+  std::vector<EmbeddingRow> rows;
+  for (size_t i = 0; i < dataset.events.size(); ++i) {
+    if (dataset.labels[i] < 0) continue;
+    const auto& e = dataset.events[i];
+    EmbeddingRow out;
+    out.label = dataset.labels[i];
+    out.split = dataset.SplitOf(i);
+    out.features = model.Embedding(e.src);
+    if (edge_task) {
+      const float* ef = dataset.features.Row(e.edge_id);
+      out.features.insert(out.features.end(), ef,
+                          ef + dataset.feature_dim());
+      const auto zd = model.Embedding(e.dst);
+      out.features.insert(out.features.end(), zd.begin(), zd.end());
+    }
+    rows.push_back(std::move(out));
+  }
+  return rows;
+}
+
+Result<ClassificationResult> TrainClassificationProbe(
+    const std::vector<EmbeddingRow>& rows, const ProbeConfig& config) {
+  std::vector<const EmbeddingRow*> train_rows, val_rows, test_rows;
+  for (const auto& r : rows) {
+    switch (r.split) {
+      case data::Split::kTrain:
+        train_rows.push_back(&r);
+        break;
+      case data::Split::kValidation:
+        val_rows.push_back(&r);
+        break;
+      case data::Split::kTest:
+        test_rows.push_back(&r);
+        break;
+    }
+  }
+  if (train_rows.empty() || (val_rows.empty() && test_rows.empty())) {
+    return Status::InvalidArgument(
+        "classification probe needs labeled rows in train and eval splits");
+  }
+
+  // Oversample positives to roughly 1:4 to tame the label skew.
+  std::vector<const EmbeddingRow*> balanced = train_rows;
+  {
+    int64_t pos = 0;
+    for (const auto* r : train_rows) pos += r->label;
+    const int64_t neg = static_cast<int64_t>(train_rows.size()) - pos;
+    if (pos > 0 && neg > 4 * pos) {
+      const int64_t copies = neg / (4 * pos);
+      for (int64_t c = 1; c < copies; ++c) {
+        for (const auto* r : train_rows) {
+          if (r->label == 1) balanced.push_back(r);
+        }
+      }
+    }
+  }
+
+  const int64_t din = static_cast<int64_t>(train_rows[0]->features.size());
+  Rng rng(config.seed);
+  nn::Mlp head(din, config.hidden, 1, &rng, /*dropout=*/0.1f);
+  tensor::Adam optimizer(head.Parameters(), {.lr = config.lr});
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(&balanced);
+    for (size_t start = 0; start < balanced.size();
+         start += config.batch_size) {
+      const size_t end =
+          std::min(balanced.size(), start + config.batch_size);
+      std::vector<const EmbeddingRow*> chunk(balanced.begin() + start,
+                                             balanced.begin() + end);
+      tensor::Tensor x = RowsToTensor(chunk);
+      std::vector<float> targets;
+      targets.reserve(chunk.size());
+      for (const auto* r : chunk) {
+        targets.push_back(static_cast<float>(r->label));
+      }
+      tensor::Tensor loss =
+          tensor::BceWithLogits(head.Forward(x, &rng), targets);
+      optimizer.ZeroGrad();
+      APAN_RETURN_NOT_OK(loss.Backward());
+      optimizer.Step();
+    }
+  }
+
+  head.SetTraining(false);
+  tensor::NoGradGuard no_grad;
+  auto auc_of = [&](const std::vector<const EmbeddingRow*>& split) {
+    if (split.empty()) return 0.5;
+    tensor::Tensor logits = head.Forward(RowsToTensor(split));
+    std::vector<float> scores;
+    std::vector<int> labels;
+    for (size_t i = 0; i < split.size(); ++i) {
+      scores.push_back(logits.item(static_cast<int64_t>(i)));
+      labels.push_back(split[i]->label);
+    }
+    return RocAuc(scores, labels);
+  };
+
+  ClassificationResult result;
+  result.val_auc = auc_of(val_rows);
+  result.test_auc = auc_of(test_rows);
+  result.train_rows = static_cast<int64_t>(train_rows.size());
+  result.eval_rows =
+      static_cast<int64_t>(val_rows.size() + test_rows.size());
+  return result;
+}
+
+}  // namespace train
+}  // namespace apan

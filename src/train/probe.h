@@ -1,0 +1,76 @@
+// Frozen-embedding probes.
+//
+// Two uses, both matching the paper's protocols:
+//  * Link probe — unsupervised static embeddings (GAE/VGAE/DeepWalk/
+//    Node2Vec/CTDNE) are scored on link prediction by training an MLP
+//    decoder on frozen embeddings over the training events, then
+//    evaluating on validation/test with the same deterministic negatives
+//    the temporal models face.
+//  * Classification probe — every model (temporal or static) is scored on
+//    dynamic node classification / edge classification by collecting
+//    embeddings at labeled events and training an MLP head on the
+//    training-range rows (the TGN "decoder on frozen embeddings" setup).
+
+#ifndef APAN_TRAIN_PROBE_H_
+#define APAN_TRAIN_PROBE_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "train/link_trainer.h"
+#include "train/static_model.h"
+#include "train/temporal_model.h"
+
+namespace apan {
+namespace train {
+
+struct ProbeConfig {
+  size_t batch_size = 200;
+  int epochs = 10;
+  float lr = 3e-3f;
+  int64_t hidden = 80;
+  uint64_t seed = 7;
+  uint64_t negative_seed = 99;  ///< Must match LinkTrainConfig for parity.
+};
+
+/// \brief Link-prediction metrics for a fitted static embedding model.
+Result<LinkTrainer::EvalResult> EvaluateStaticLink(
+    const StaticEmbeddingModel& model, const data::Dataset& dataset,
+    const ProbeConfig& config);
+
+/// One labeled example for a classification probe.
+struct EmbeddingRow {
+  std::vector<float> features;
+  int label = 0;
+  data::Split split = data::Split::kTrain;
+};
+
+/// \brief Streams the dataset through a *trained* temporal model (frozen
+/// weights, eval mode) and collects one row per labeled event: the source
+/// embedding for node tasks, [z_src ‖ e ‖ z_dst] for edge tasks.
+Result<std::vector<EmbeddingRow>> CollectTemporalRows(
+    TemporalModel* model, const data::Dataset& dataset, size_t batch_size);
+
+/// \brief Same rows from a fitted static embedding model (embeddings are
+/// time-invariant).
+std::vector<EmbeddingRow> CollectStaticRows(const StaticEmbeddingModel& model,
+                                            const data::Dataset& dataset);
+
+/// Result of a classification probe.
+struct ClassificationResult {
+  double val_auc = 0.5;
+  double test_auc = 0.5;
+  int64_t train_rows = 0;
+  int64_t eval_rows = 0;
+};
+
+/// \brief Trains an MLP head on the train-split rows (positives
+/// oversampled to tame the skew) and reports val/test ROC-AUC.
+Result<ClassificationResult> TrainClassificationProbe(
+    const std::vector<EmbeddingRow>& rows, const ProbeConfig& config);
+
+}  // namespace train
+}  // namespace apan
+
+#endif  // APAN_TRAIN_PROBE_H_

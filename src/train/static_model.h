@@ -1,0 +1,37 @@
+// Interface for unsupervised static embedding baselines (GAE, VGAE,
+// DeepWalk, Node2Vec, CTDNE). These models Fit on the training split and
+// expose frozen per-node embeddings; downstream metrics come from probes
+// (train/probe.h), mirroring the paper's observation that task-agnostic
+// embeddings contribute only indirectly to downstream tasks.
+
+#ifndef APAN_TRAIN_STATIC_MODEL_H_
+#define APAN_TRAIN_STATIC_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "graph/temporal_graph.h"
+#include "util/status.h"
+
+namespace apan {
+namespace train {
+
+class StaticEmbeddingModel {
+ public:
+  virtual ~StaticEmbeddingModel() = default;
+
+  virtual std::string name() const = 0;
+  virtual int64_t dim() const = 0;
+
+  /// Learns embeddings from the dataset's training range only.
+  virtual Status Fit(const data::Dataset& dataset) = 0;
+
+  /// Frozen embedding of `node` (must be called after Fit).
+  virtual std::vector<float> Embedding(graph::NodeId node) const = 0;
+};
+
+}  // namespace train
+}  // namespace apan
+
+#endif  // APAN_TRAIN_STATIC_MODEL_H_

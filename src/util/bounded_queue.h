@@ -1,0 +1,125 @@
+// Bounded blocking MPMC queue.
+//
+// The asynchronous propagation link (serve::AsyncPipeline) pushes completed
+// interactions into a BoundedQueue that a background worker drains. The
+// queue supports a configurable overflow policy so the serving benches can
+// exercise back-pressure behaviour.
+
+#ifndef APAN_UTIL_BOUNDED_QUEUE_H_
+#define APAN_UTIL_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "util/status.h"
+
+namespace apan {
+
+/// What Push does when the queue is at capacity.
+enum class OverflowPolicy {
+  kBlock,       ///< Wait for space (back-pressure; default).
+  kDropNewest,  ///< Reject the incoming item.
+  kDropOldest,  ///< Evict the oldest queued item to make room.
+};
+
+/// \brief Thread-safe bounded FIFO. All operations are linearizable.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity,
+                        OverflowPolicy policy = OverflowPolicy::kBlock)
+      : capacity_(capacity == 0 ? 1 : capacity), policy_(policy) {}
+
+  /// \brief Enqueues an item according to the overflow policy.
+  /// \return OK on success; ResourceExhausted when kDropNewest rejected the
+  ///         item; Cancelled when the queue was closed.
+  Status Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_) return Status::Cancelled("queue closed");
+    if (items_.size() >= capacity_) {
+      switch (policy_) {
+        case OverflowPolicy::kBlock:
+          not_full_.wait(lock, [&] {
+            return items_.size() < capacity_ || closed_;
+          });
+          if (closed_) return Status::Cancelled("queue closed");
+          break;
+        case OverflowPolicy::kDropNewest:
+          ++dropped_;
+          return Status::ResourceExhausted("queue full; item dropped");
+        case OverflowPolicy::kDropOldest:
+          items_.pop_front();
+          ++dropped_;
+          break;
+      }
+    }
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return Status::OK();
+  }
+
+  /// \brief Blocks until an item is available or the queue is closed and
+  /// drained. Returns nullopt only in the latter case.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// \brief Non-blocking pop; nullopt when empty.
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// \brief Closes the queue: future pushes fail, pops drain the backlog
+  /// then return nullopt.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  /// Number of items lost to a drop policy since construction.
+  size_t dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+  }
+
+ private:
+  const size_t capacity_;
+  const OverflowPolicy policy_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  size_t dropped_ = 0;
+};
+
+}  // namespace apan
+
+#endif  // APAN_UTIL_BOUNDED_QUEUE_H_

@@ -1,0 +1,83 @@
+// Lightweight leveled logging. Not a general-purpose logger: single
+// process, stderr sink, used for progress reporting in trainers/benches.
+
+#ifndef APAN_UTIL_LOGGING_H_
+#define APAN_UTIL_LOGGING_H_
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace apan {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Process-wide logging configuration.
+class Logging {
+ public:
+  static LogLevel threshold() { return Instance().threshold_; }
+  static void set_threshold(LogLevel level) { Instance().threshold_ = level; }
+
+  /// Serializes writes from concurrent threads.
+  static std::mutex& mutex() { return Instance().mu_; }
+
+ private:
+  static Logging& Instance() {
+    static Logging instance;
+    return instance;
+  }
+  LogLevel threshold_ = LogLevel::kInfo;
+  std::mutex mu_;
+};
+
+namespace internal {
+
+/// Accumulates one log line and flushes it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    const char* base = file;
+    for (const char* p = file; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+  }
+
+  ~LogMessage() {
+    if (level_ >= Logging::threshold()) {
+      std::lock_guard<std::mutex> lock(Logging::mutex());
+      std::cerr << stream_.str() << std::endl;
+    }
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  static const char* LevelName(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug:
+        return "DEBUG";
+      case LogLevel::kInfo:
+        return "INFO";
+      case LogLevel::kWarning:
+        return "WARN";
+      case LogLevel::kError:
+        return "ERROR";
+    }
+    return "?";
+  }
+
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace apan
+
+#define APAN_LOG(level)                                                \
+  ::apan::internal::LogMessage(::apan::LogLevel::k##level, __FILE__,   \
+                               __LINE__)                               \
+      .stream()
+
+#endif  // APAN_UTIL_LOGGING_H_

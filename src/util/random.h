@@ -1,0 +1,212 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// All stochastic components in the library (initializers, samplers, dataset
+// generators, dropout) draw from Rng so that experiments are reproducible
+// from a single seed. Rng is xoshiro256**, seeded via SplitMix64.
+
+#ifndef APAN_UTIL_RANDOM_H_
+#define APAN_UTIL_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace apan {
+
+/// \brief SplitMix64 — used to expand a single 64-bit seed into the
+/// xoshiro256** state, and available stand-alone for cheap hashing.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// \brief xoshiro256** generator with convenience distributions.
+///
+/// Not thread-safe; use one Rng per thread (see Fork()).
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x5EEDCAFEF00DULL) { Seed(seed); }
+
+  /// Re-seeds the generator deterministically from a 64-bit value.
+  void Seed(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.Next();
+  }
+
+  /// \brief Creates an independent child generator; children with different
+  /// `stream` values are decorrelated from each other and the parent.
+  Rng Fork(uint64_t stream) {
+    return Rng(Next() ^ (0x9E3779B97F4A7C15ULL * (stream + 1)));
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // UniformRandomBitGenerator interface (usable with <algorithm> shuffles).
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~0ULL; }
+  uint64_t operator()() { return Next(); }
+
+  /// Uniform double in [0, 1).
+  double Uniform() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t UniformInt(uint64_t n) {
+    APAN_CHECK(n > 0);
+    // Lemire's unbiased bounded generation.
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < n) {
+      uint64_t t = (~n + 1) % n;
+      while (l < t) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    APAN_CHECK(hi >= lo);
+    return lo + static_cast<int64_t>(
+                    UniformInt(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Standard normal via Box–Muller (cached second value).
+  double Normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 1e-300) u1 = Uniform();
+    const double u2 = Uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  double Normal(double mean, double stddev) {
+    return mean + stddev * Normal();
+  }
+
+  /// Exponential with rate lambda (mean 1/lambda).
+  double Exponential(double lambda) {
+    double u = 0.0;
+    while (u <= 1e-300) u = Uniform();
+    return -std::log(u) / lambda;
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// \brief Samples an index from an unnormalized non-negative weight
+  /// vector. Returns weights.size() when the total mass is zero.
+  size_t Categorical(const std::vector<double>& weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    if (total <= 0.0) return weights.size();
+    double u = Uniform() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      u -= weights[i];
+      if (u <= 0.0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// \brief Zipf-like draw over [0, n): probability of rank r proportional
+  /// to 1/(r+1)^alpha. Uses rejection sampling; O(1) expected.
+  uint64_t Zipf(uint64_t n, double alpha) {
+    APAN_CHECK(n > 0);
+    if (alpha <= 0.0) return UniformInt(n);
+    // Inverse-CDF approximation on the continuous envelope.
+    const double amin = 1.0;
+    const double amax = static_cast<double>(n) + 1.0;
+    while (true) {
+      double u = Uniform();
+      double x;
+      if (std::abs(alpha - 1.0) < 1e-9) {
+        x = std::exp(u * std::log(amax / amin)) * amin;
+      } else {
+        const double one_minus = 1.0 - alpha;
+        const double lo = std::pow(amin, one_minus);
+        const double hi = std::pow(amax, one_minus);
+        x = std::pow(lo + u * (hi - lo), 1.0 / one_minus);
+      }
+      const uint64_t k = static_cast<uint64_t>(x) - 1;
+      if (k < n) return k;
+    }
+  }
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      const size_t j = UniformInt(i + 1);
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// \brief Reservoir-samples k distinct indices from [0, n). Returns fewer
+  /// when n < k. Order of the sample is unspecified.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k) {
+    std::vector<size_t> out;
+    out.reserve(std::min(n, k));
+    for (size_t i = 0; i < n; ++i) {
+      if (out.size() < k) {
+        out.push_back(i);
+      } else {
+        const size_t j = UniformInt(i + 1);
+        if (j < k) out[j] = i;
+      }
+    }
+    return out;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4] = {};
+  bool has_cached_ = false;
+  double cached_ = 0.0;
+};
+
+}  // namespace apan
+
+#endif  // APAN_UTIL_RANDOM_H_

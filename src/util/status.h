@@ -1,0 +1,220 @@
+// Arrow/RocksDB-style Status and Result<T> error handling.
+//
+// Library code never throws for recoverable conditions; functions that can
+// fail return Status (no payload) or Result<T> (payload or error). Fatal
+// programming errors (violated preconditions inside the library) use
+// APAN_CHECK, which aborts with a message.
+
+#ifndef APAN_UTIL_STATUS_H_
+#define APAN_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace apan {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kFailedPrecondition = 5,
+  kResourceExhausted = 6,
+  kIoError = 7,
+  kNotImplemented = 8,
+  kInternal = 9,
+  kCancelled = 10,
+};
+
+/// \brief Returns a human-readable name for a status code, e.g.
+/// "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation that has no payload.
+///
+/// An OK status carries no allocation; error statuses carry a code and a
+/// message. Statuses are cheap to move and copy.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+
+  /// \brief Renders the status as "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+  bool operator!=(const Status& other) const { return !(*this == other); }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// \brief Outcome of an operation that yields a T on success.
+///
+/// Holds either a value or an error status; never both, never neither.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// \brief Returns the contained value; aborts if this holds an error.
+  const T& ValueOrDie() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    CheckOk();
+    return *value_;
+  }
+  T ValueOrDie() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// \brief Returns the value or `fallback` when holding an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::cerr << "Result::ValueOrDie on error: " << status_.ToString()
+                << std::endl;
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+namespace internal {
+/// Builds an error message from streamable parts.
+template <typename... Args>
+std::string StrCat(Args&&... args) {
+  std::ostringstream oss;
+  (oss << ... << std::forward<Args>(args));
+  return oss.str();
+}
+}  // namespace internal
+
+}  // namespace apan
+
+/// Propagates a non-OK Status to the caller.
+#define APAN_RETURN_NOT_OK(expr)            \
+  do {                                      \
+    ::apan::Status _st = (expr);            \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+#define APAN_INTERNAL_CONCAT_IMPL(a, b) a##b
+#define APAN_INTERNAL_CONCAT(a, b) APAN_INTERNAL_CONCAT_IMPL(a, b)
+
+/// Assigns the value of a Result<T> expression or propagates its error.
+#define APAN_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto&& tmp = (rexpr);                             \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define APAN_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  APAN_ASSIGN_OR_RETURN_IMPL(APAN_INTERNAL_CONCAT(_apan_result_, __LINE__), \
+                             lhs, rexpr)
+
+/// Aborts with a message when `cond` is false. For programming errors only.
+#define APAN_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::cerr << "APAN_CHECK failed at " << __FILE__ << ":" << __LINE__ \
+                << ": " #cond << std::endl;                                \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define APAN_CHECK_MSG(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::cerr << "APAN_CHECK failed at " << __FILE__ << ":" << __LINE__ \
+                << ": " #cond << " — " << (msg) << std::endl;              \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#endif  // APAN_UTIL_STATUS_H_

@@ -1,0 +1,83 @@
+// Wall-clock timing utilities used by the benchmark harnesses and the
+// serving pipeline's latency instrumentation.
+
+#ifndef APAN_UTIL_STOPWATCH_H_
+#define APAN_UTIL_STOPWATCH_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace apan {
+
+/// \brief Monotonic stopwatch with microsecond resolution.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last Restart, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief Accumulates latency samples and reports order statistics.
+///
+/// Used by bench/fig6_inference_latency and serve::AsyncPipeline to report
+/// mean / p50 / p99 per-batch latencies.
+class LatencyRecorder {
+ public:
+  void Record(double millis) { samples_.push_back(millis); }
+
+  size_t count() const { return samples_.size(); }
+
+  double Mean() const {
+    if (samples_.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : samples_) s += x;
+    return s / static_cast<double>(samples_.size());
+  }
+
+  double StdDev() const {
+    if (samples_.size() < 2) return 0.0;
+    const double m = Mean();
+    double s = 0.0;
+    for (double x : samples_) s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(samples_.size() - 1));
+  }
+
+  /// \brief q-th quantile in [0,1] by linear interpolation.
+  double Quantile(double q) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+
+  double P50() const { return Quantile(0.50); }
+  double P99() const { return Quantile(0.99); }
+
+  void Clear() { samples_.clear(); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace apan
+
+#endif  // APAN_UTIL_STOPWATCH_H_

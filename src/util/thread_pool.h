@@ -1,0 +1,104 @@
+// Minimal fixed-size thread pool used for data-parallel sections (neighbor
+// sampling fan-out, baseline walk generation).
+
+#ifndef APAN_UTIL_THREAD_POOL_H_
+#define APAN_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace apan {
+
+/// \brief Fixed-size pool executing std::function tasks FIFO.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads) {
+    if (num_threads == 0) num_threads = 1;
+    workers_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// \brief Schedules `fn` and returns a future for its completion.
+  template <typename Fn>
+  std::future<void> Submit(Fn&& fn) {
+    auto task =
+        std::make_shared<std::packaged_task<void()>>(std::forward<Fn>(fn));
+    std::future<void> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tasks_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// \brief Runs fn(i) for i in [0, n) across the pool and blocks until all
+  /// iterations complete. Falls back to inline execution for tiny n.
+  template <typename Fn>
+  void ParallelFor(size_t n, Fn&& fn) {
+    if (n == 0) return;
+    if (n == 1 || workers_.size() == 1) {
+      for (size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    const size_t shards = std::min(n, workers_.size());
+    const size_t chunk = (n + shards - 1) / shards;
+    std::vector<std::future<void>> futs;
+    futs.reserve(shards);
+    for (size_t s = 0; s < shards; ++s) {
+      const size_t lo = s * chunk;
+      const size_t hi = std::min(n, lo + chunk);
+      if (lo >= hi) break;
+      futs.push_back(Submit([lo, hi, &fn] {
+        for (size_t i = lo; i < hi; ++i) fn(i);
+      }));
+    }
+    for (auto& f : futs) f.get();
+  }
+
+ private:
+  void WorkerLoop() {
+    while (true) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return stop_ || !tasks_.empty(); });
+        if (stop_ && tasks_.empty()) return;
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace apan
+
+#endif  // APAN_UTIL_THREAD_POOL_H_

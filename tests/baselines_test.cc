@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/dyrep.h"
+#include "baselines/gae.h"
+#include "baselines/jodie.h"
+#include "baselines/random_walk.h"
+#include "baselines/static_gnn.h"
+#include "baselines/temporal_attention.h"
+#include "baselines/tgat.h"
+#include "baselines/tgn.h"
+#include "data/synthetic.h"
+#include "train/apan_adapter.h"
+#include "train/link_trainer.h"
+#include "train/probe.h"
+
+namespace apan {
+namespace baselines {
+namespace {
+
+data::Dataset& SharedDataset() {
+  static data::Dataset ds = *data::GenerateSynthetic(
+      data::SyntheticConfig::WikipediaLike().Scaled(0.06));
+  return ds;
+}
+
+train::EventBatch FirstBatch(const data::Dataset& ds, size_t n) {
+  train::EventBatch batch{&ds, 0, n, {}};
+  for (size_t i = 0; i < n; ++i) {
+    batch.negatives.push_back(ds.events[i].dst);  // placeholder negatives
+  }
+  return batch;
+}
+
+// ---- Shape/protocol conformance for every TemporalModel -------------------
+
+class TemporalModelConformance
+    : public ::testing::TestWithParam<int> {
+ protected:
+  std::unique_ptr<train::TemporalModel> Make(int which) {
+    auto& ds = SharedDataset();
+    const int64_t n = ds.num_nodes, d = ds.feature_dim();
+    switch (which) {
+      case 0: {
+        core::ApanConfig c;
+        c.num_nodes = n;
+        c.embedding_dim = d;
+        return std::make_unique<train::ApanLinkModel>(c, &ds.features, 1);
+      }
+      case 1:
+        return std::make_unique<Tgat>(
+            Tgat::Options{.num_nodes = n, .dim = d, .num_layers = 1},
+            &ds.features, 1);
+      case 2:
+        return std::make_unique<Tgn>(
+            Tgn::Options{.num_nodes = n, .dim = d, .num_layers = 1},
+            &ds.features, 1);
+      case 3:
+        return std::make_unique<Jodie>(
+            Jodie::Options{
+                .num_nodes = n, .num_users = ds.num_users, .dim = d},
+            &ds.features, 1);
+      case 4:
+        return std::make_unique<DyRep>(
+            DyRep::Options{.num_nodes = n, .dim = d}, &ds.features, 1);
+      case 5:
+        return std::make_unique<StaticGnn>(
+            StaticGnn::Kind::kSage,
+            StaticGnn::Options{.num_nodes = n, .dim = d}, 1);
+      default:
+        return std::make_unique<StaticGnn>(
+            StaticGnn::Kind::kGat,
+            StaticGnn::Options{.num_nodes = n, .dim = d}, 1);
+    }
+  }
+};
+
+TEST_P(TemporalModelConformance, ScoreConsumeResetProtocol) {
+  auto& ds = SharedDataset();
+  auto model = Make(GetParam());
+  ASSERT_FALSE(model->name().empty());
+  EXPECT_EQ(model->embedding_dim(), ds.feature_dim());
+  EXPECT_FALSE(model->Parameters().empty());
+
+  auto batch = FirstBatch(ds, 32);
+  auto scores = model->ScoreLinks(batch);
+  EXPECT_EQ(scores.pos_logits.shape(), (tensor::Shape{32, 1}));
+  EXPECT_EQ(scores.neg_logits.shape(), (tensor::Shape{32, 1}));
+  for (int64_t i = 0; i < 32; ++i) {
+    EXPECT_TRUE(std::isfinite(scores.pos_logits.item(i)));
+  }
+
+  auto emb = model->EmbedEndpoints(batch);
+  EXPECT_EQ(emb.z_src.shape(),
+            (tensor::Shape{32, ds.feature_dim()}));
+  EXPECT_EQ(emb.z_dst.shape(),
+            (tensor::Shape{32, ds.feature_dim()}));
+
+  ASSERT_TRUE(model->Consume(batch).ok());
+  // Next chronological batch must also work.
+  train::EventBatch batch2{&ds, 32, 64, {}};
+  for (size_t i = 32; i < 64; ++i) {
+    batch2.negatives.push_back(ds.events[i].dst);
+  }
+  (void)model->ScoreLinks(batch2);
+  ASSERT_TRUE(model->Consume(batch2).ok());
+
+  model->ResetState();
+  // After reset, the stream restarts from the beginning.
+  (void)model->ScoreLinks(batch);
+  ASSERT_TRUE(model->Consume(batch).ok());
+}
+
+TEST_P(TemporalModelConformance, GradientsReachParameters) {
+  auto& ds = SharedDataset();
+  auto model = Make(GetParam());
+  auto batch = FirstBatch(ds, 16);
+  ASSERT_TRUE(model->Consume(batch).ok());  // give memory models pending
+  train::EventBatch batch2{&ds, 16, 32, {}};
+  for (size_t i = 16; i < 32; ++i) {
+    batch2.negatives.push_back(ds.events[i].dst);
+  }
+  auto scores = model->ScoreLinks(batch2);
+  tensor::Tensor loss = tensor::BceWithLogits(
+      scores.pos_logits, std::vector<float>(16, 1.0f));
+  ASSERT_TRUE(loss.Backward().ok());
+  int with_grad = 0;
+  for (auto& p : model->Parameters()) {
+    double norm = 0.0;
+    for (float g : p.GradToVector()) norm += std::abs(g);
+    if (norm > 0.0) ++with_grad;
+  }
+  EXPECT_GT(with_grad, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, TemporalModelConformance,
+                         ::testing::Range(0, 7));
+
+// ---- Model-specific behaviour ----------------------------------------------
+
+TEST(TgatTest, QueriesScaleWithLayers) {
+  auto& ds = SharedDataset();
+  Tgat one({.num_nodes = ds.num_nodes,
+            .dim = ds.feature_dim(),
+            .num_layers = 1},
+           &ds.features, 2);
+  Tgat two({.num_nodes = ds.num_nodes,
+            .dim = ds.feature_dim(),
+            .num_layers = 2},
+           &ds.features, 2);
+  auto batch = FirstBatch(ds, 32);
+  ASSERT_TRUE(one.Consume(batch).ok());
+  ASSERT_TRUE(two.Consume(batch).ok());
+  train::EventBatch batch2{&ds, 32, 64, {}};
+  for (size_t i = 32; i < 64; ++i) batch2.negatives.push_back(ds.events[i].dst);
+  (void)one.ScoreLinks(batch2);
+  (void)two.ScoreLinks(batch2);
+  EXPECT_GT(one.SyncPathGraphQueries(), 0);
+  EXPECT_GT(two.SyncPathGraphQueries(), 5 * one.SyncPathGraphQueries())
+      << "2-layer TGAT must fan out far more inference-path queries";
+}
+
+TEST(MemoryModelTest, ConsumeUpdatesMemory) {
+  auto& ds = SharedDataset();
+  Jodie model({.num_nodes = ds.num_nodes,
+               .num_users = ds.num_users,
+               .dim = ds.feature_dim()},
+              &ds.features, 3);
+  auto batch = FirstBatch(ds, 32);
+  ASSERT_TRUE(model.Consume(batch).ok());
+  // Pending messages exist but memory applies on the *next* consume.
+  train::EventBatch batch2{&ds, 32, 64, {}};
+  ASSERT_TRUE(model.Consume(batch2).ok());
+  // Memory of a node from batch 1 is now non-zero.
+  const graph::NodeId touched = ds.events[0].src;
+  auto emb = model.EmbedEndpoints(FirstBatch(ds, 1));
+  (void)touched;
+  float norm = 0.0f;
+  for (int64_t i = 0; i < emb.z_src.numel(); ++i) {
+    norm += std::abs(emb.z_src.item(i));
+  }
+  EXPECT_GT(norm, 0.0f);
+}
+
+TEST(StaticGnnTest, EmbeddingsTimeInvariant) {
+  auto& ds = SharedDataset();
+  StaticGnn sage(StaticGnn::Kind::kSage,
+                 {.num_nodes = ds.num_nodes,
+                  .dim = ds.feature_dim(),
+                  .fanout = 1000},  // take all neighbors: deterministic
+                 4);
+  sage.SetTraining(false);
+  auto batch = FirstBatch(ds, 8);
+  ASSERT_TRUE(sage.Consume(batch).ok());
+  tensor::NoGradGuard no_grad;
+  auto a = sage.EmbedEndpoints(batch);
+  ASSERT_TRUE(sage.Consume(batch).ok());  // "streaming" has no effect
+  auto b = sage.EmbedEndpoints(batch);
+  for (int64_t i = 0; i < a.z_src.numel(); ++i) {
+    EXPECT_FLOAT_EQ(a.z_src.item(i), b.z_src.item(i));
+  }
+}
+
+TEST(RandomWalkTest, FitProducesEmbeddings) {
+  auto& ds = SharedDataset();
+  for (auto kind : {RandomWalkEmbedding::Kind::kDeepWalk,
+                    RandomWalkEmbedding::Kind::kNode2Vec,
+                    RandomWalkEmbedding::Kind::kCtdne}) {
+    RandomWalkEmbedding model(kind, {.dim = 16, .walks_per_node = 2,
+                                     .walk_length = 8, .epochs = 1},
+                              5);
+    ASSERT_TRUE(model.Fit(ds).ok()) << model.name();
+    EXPECT_GT(model.num_walks(), 20u) << model.name();
+    auto e = model.Embedding(ds.events[0].src);
+    EXPECT_EQ(e.size(), 16u);
+    float norm = 0.0f;
+    for (float v : e) norm += std::abs(v);
+    EXPECT_GT(norm, 0.0f) << model.name();
+  }
+}
+
+TEST(RandomWalkTest, EmbeddingsReflectGraphStructure) {
+  // Two disconnected cliques: intra-clique similarity must exceed
+  // inter-clique similarity on average.
+  data::Dataset ds;
+  ds.name = "two-cliques";
+  ds.num_nodes = 10;
+  ds.num_users = 10;
+  ds.features = graph::EdgeFeatureStore(4);
+  double t = 0.0;
+  Rng rng(6);
+  for (int round = 0; round < 60; ++round) {
+    const int base = (round % 2) * 5;
+    const auto a = static_cast<graph::NodeId>(base + rng.UniformInt(5));
+    auto b = a;
+    while (b == a) {
+      b = static_cast<graph::NodeId>(base + rng.UniformInt(5));
+    }
+    t += 1.0;
+    ds.features.Append({0, 0, 0, 0});
+    ds.events.push_back({a, b, t, static_cast<graph::EdgeId>(round)});
+    ds.labels.push_back(-1);
+  }
+  ASSERT_TRUE(ds.SplitByFraction(0.9, 0.05).ok());
+  RandomWalkEmbedding dw(RandomWalkEmbedding::Kind::kDeepWalk,
+                         {.dim = 8, .walks_per_node = 10, .epochs = 3}, 7);
+  ASSERT_TRUE(dw.Fit(ds).ok());
+  auto cos = [&](graph::NodeId x, graph::NodeId y) {
+    auto ex = dw.Embedding(x), ey = dw.Embedding(y);
+    float dot = 0, nx = 0, ny = 0;
+    for (size_t i = 0; i < ex.size(); ++i) {
+      dot += ex[i] * ey[i];
+      nx += ex[i] * ex[i];
+      ny += ey[i] * ey[i];
+    }
+    return dot / (std::sqrt(nx) * std::sqrt(ny) + 1e-9f);
+  };
+  float intra = (cos(0, 1) + cos(2, 3) + cos(5, 6) + cos(7, 8)) / 4.0f;
+  float inter = (cos(0, 5) + cos(1, 7) + cos(3, 9) + cos(4, 6)) / 4.0f;
+  EXPECT_GT(intra, inter);
+}
+
+TEST(GaeTest, FitAndEmbedBothVariants) {
+  auto& ds = SharedDataset();
+  for (bool variational : {false, true}) {
+    Gae model({.num_nodes = ds.num_nodes,
+               .dim = ds.feature_dim(),
+               .epochs = 1,
+               .variational = variational},
+              8);
+    ASSERT_TRUE(model.Fit(ds).ok()) << model.name();
+    auto e = model.Embedding(0);
+    EXPECT_EQ(static_cast<int64_t>(e.size()), ds.feature_dim());
+  }
+}
+
+TEST(StaticLinkProbeTest, RunsEndToEnd) {
+  auto& ds = SharedDataset();
+  RandomWalkEmbedding dw(RandomWalkEmbedding::Kind::kDeepWalk,
+                         {.dim = 16, .walks_per_node = 3, .epochs = 1}, 9);
+  ASSERT_TRUE(dw.Fit(ds).ok());
+  train::ProbeConfig cfg;
+  cfg.epochs = 2;
+  auto result = train::EvaluateStaticLink(dw, ds, cfg);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->test.ap, 0.4);  // far above zero, below the dynamic models
+  EXPECT_EQ(result->test.num_events,
+            ds.events.size() - ds.val_end);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace apan

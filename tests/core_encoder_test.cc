@@ -1,0 +1,150 @@
+#include "core/encoder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace apan {
+namespace core {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+ApanConfig SmallConfig() {
+  ApanConfig c;
+  c.num_nodes = 10;
+  c.embedding_dim = 8;
+  c.num_heads = 2;
+  c.mailbox_slots = 4;
+  c.mlp_hidden = 16;
+  c.dropout = 0.0f;
+  return c;
+}
+
+TEST(ApanEncoderTest, OutputShapes) {
+  Rng rng(1);
+  ApanEncoder enc(SmallConfig(), &rng);
+  Mailbox box(10, 4, 8);
+  box.Deliver(3, std::vector<float>(8, 1.0f), 1.0);
+  auto read = box.ReadBatch({3, 5});
+  Tensor last = Tensor::Randn({2, 8}, &rng);
+  auto out = enc.Forward(last, read);
+  EXPECT_EQ(out.embeddings.shape(), (Shape{2, 8}));
+  EXPECT_EQ(out.attention.shape(), (Shape{2, 2, 4}));
+}
+
+TEST(ApanEncoderTest, DeterministicInEvalMode) {
+  Rng rng(2);
+  ApanEncoder enc(SmallConfig(), &rng);
+  enc.SetTraining(false);
+  Mailbox box(10, 4, 8);
+  box.Deliver(0, std::vector<float>(8, 0.5f), 1.0);
+  auto read = box.ReadBatch({0});
+  Tensor last = Tensor::Randn({1, 8}, &rng);
+  auto a = enc.Forward(last, read);
+  auto b = enc.Forward(last, read);
+  for (int64_t i = 0; i < 8; ++i) {
+    EXPECT_FLOAT_EQ(a.embeddings.item(i), b.embeddings.item(i));
+  }
+}
+
+TEST(ApanEncoderTest, ColdStartEmptyMailboxIsFinite) {
+  Rng rng(3);
+  ApanEncoder enc(SmallConfig(), &rng);
+  Mailbox box(10, 4, 8);
+  auto read = box.ReadBatch({7});
+  auto out = enc.Forward(Tensor::Zeros({1, 8}), read);
+  for (int64_t i = 0; i < out.embeddings.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(out.embeddings.item(i)));
+  }
+  // Uniform attention over the empty slots.
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(out.attention.item(i), 0.25f, 1e-4f);
+  }
+}
+
+TEST(ApanEncoderTest, InvariantToDeliveryOrderAfterSort) {
+  // Two mailboxes holding the same mails delivered in different orders
+  // must encode identically — the property that makes APAN robust to
+  // out-of-order streams.
+  Rng rng(4);
+  ApanEncoder enc(SmallConfig(), &rng);
+  enc.SetTraining(false);
+  Mailbox a(10, 4, 8), b(10, 4, 8);
+  std::vector<std::pair<double, float>> mails = {
+      {1.0, 0.1f}, {2.0, 0.2f}, {3.0, 0.3f}};
+  for (const auto& [t, v] : mails) {
+    a.Deliver(0, std::vector<float>(8, v), t);
+  }
+  for (auto it = mails.rbegin(); it != mails.rend(); ++it) {
+    b.Deliver(0, std::vector<float>(8, it->second), it->first);
+  }
+  Tensor last = Tensor::Randn({1, 8}, &rng);
+  auto oa = enc.Forward(last, a.ReadBatch({0}));
+  auto ob = enc.Forward(last, b.ReadBatch({0}));
+  for (int64_t i = 0; i < 8; ++i) {
+    EXPECT_FLOAT_EQ(oa.embeddings.item(i), ob.embeddings.item(i));
+  }
+}
+
+TEST(ApanEncoderTest, MailContentChangesOutput) {
+  Rng rng(5);
+  ApanEncoder enc(SmallConfig(), &rng);
+  enc.SetTraining(false);
+  Mailbox a(10, 4, 8), b(10, 4, 8);
+  a.Deliver(0, std::vector<float>(8, 1.0f), 1.0);
+  b.Deliver(0, std::vector<float>(8, -1.0f), 1.0);
+  Tensor last = Tensor::Zeros({1, 8});
+  auto oa = enc.Forward(last, a.ReadBatch({0}));
+  auto ob = enc.Forward(last, b.ReadBatch({0}));
+  float diff = 0.0f;
+  for (int64_t i = 0; i < 8; ++i) {
+    diff += std::abs(oa.embeddings.item(i) - ob.embeddings.item(i));
+  }
+  EXPECT_GT(diff, 1e-3f);
+}
+
+TEST(ApanEncoderTest, GradientsFlowToAllSubmodules) {
+  Rng rng(6);
+  ApanConfig cfg = SmallConfig();
+  ApanEncoder enc(cfg, &rng);
+  Mailbox box(10, 4, 8);
+  box.Deliver(0, std::vector<float>(8, 0.3f), 1.0);
+  box.Deliver(0, std::vector<float>(8, -0.2f), 2.0);
+  auto out = enc.Forward(Tensor::Randn({1, 8}, &rng), box.ReadBatch({0}));
+  ASSERT_TRUE(tensor::SumAll(out.embeddings).Backward().ok());
+  int with_grad = 0;
+  for (auto& p : enc.Parameters()) {
+    double norm = 0.0;
+    for (float g : p.GradToVector()) norm += std::abs(g);
+    if (norm > 0.0) ++with_grad;
+  }
+  // Positional table, attention (4), layer norm (2), MLP (4) all live.
+  EXPECT_GE(with_grad, 10);
+}
+
+TEST(ApanConfigTest, ValidationCatchesEachField) {
+  ApanConfig c = SmallConfig();
+  EXPECT_TRUE(c.Validate().ok());
+  c.num_heads = 3;  // does not divide 8
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+  c = SmallConfig();
+  c.embedding_dim = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = SmallConfig();
+  c.mailbox_slots = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = SmallConfig();
+  c.dropout = 1.0f;
+  EXPECT_FALSE(c.Validate().ok());
+  c = SmallConfig();
+  c.propagation_hops = -1;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace apan

@@ -1,0 +1,111 @@
+#include "core/mailbox.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/attention.h"
+
+namespace apan {
+namespace core {
+namespace {
+
+std::vector<float> MailOf(float v, int64_t dim = 4) {
+  return std::vector<float>(static_cast<size_t>(dim), v);
+}
+
+TEST(MailboxTest, DeliverAndCount) {
+  Mailbox box(3, 2, 4);
+  EXPECT_EQ(box.ValidCount(0), 0);
+  box.Deliver(0, MailOf(1.0f), 1.0);
+  EXPECT_EQ(box.ValidCount(0), 1);
+  EXPECT_EQ(box.ValidCount(1), 0);
+  EXPECT_EQ(box.NewestTimestamp(0), 1.0);
+  EXPECT_TRUE(std::isinf(box.NewestTimestamp(1)));
+}
+
+TEST(MailboxTest, FifoEviction) {
+  Mailbox box(1, 2, 4);
+  box.Deliver(0, MailOf(1.0f), 1.0);
+  box.Deliver(0, MailOf(2.0f), 2.0);
+  box.Deliver(0, MailOf(3.0f), 3.0);  // evicts the t=1 mail
+  EXPECT_EQ(box.ValidCount(0), 2);
+  auto read = box.ReadBatch({0});
+  EXPECT_FLOAT_EQ(read.mails.item(0), 2.0f);  // oldest kept first
+  EXPECT_FLOAT_EQ(read.mails.item(4), 3.0f);
+}
+
+TEST(MailboxTest, ReadBatchSortsByTimestamp) {
+  // Out-of-order delivery: the read-out must still be time-ascending
+  // (paper §3.6 — mailbox absorbs stream reordering).
+  Mailbox box(1, 3, 2);
+  box.Deliver(0, std::vector<float>{30.0f, 30.0f}, 3.0);
+  box.Deliver(0, std::vector<float>{10.0f, 10.0f}, 1.0);
+  box.Deliver(0, std::vector<float>{20.0f, 20.0f}, 2.0);
+  auto read = box.ReadBatch({0});
+  EXPECT_FLOAT_EQ(read.mails.item(0), 10.0f);
+  EXPECT_FLOAT_EQ(read.mails.item(2), 20.0f);
+  EXPECT_FLOAT_EQ(read.mails.item(4), 30.0f);
+  EXPECT_EQ(read.counts[0], 3);
+}
+
+TEST(MailboxTest, PaddingMaskSemantics) {
+  Mailbox box(2, 3, 2);
+  box.Deliver(0, std::vector<float>{1.0f, 1.0f}, 1.0);
+  auto read = box.ReadBatch({0, 1});
+  // Node 0: slot 0 valid, slots 1-2 masked.
+  EXPECT_EQ(read.mask[0], 0.0f);
+  EXPECT_EQ(read.mask[1], nn::MultiHeadAttention::kMaskedOut);
+  EXPECT_EQ(read.mask[2], nn::MultiHeadAttention::kMaskedOut);
+  // Node 1 (empty): all-valid mask over zero mails (cold-start rule).
+  EXPECT_EQ(read.mask[3], 0.0f);
+  EXPECT_EQ(read.mask[4], 0.0f);
+  EXPECT_EQ(read.counts[1], 0);
+  for (int64_t i = 6; i < 12; ++i) EXPECT_EQ(read.mails.item(i), 0.0f);
+}
+
+TEST(MailboxTest, RingKeepsLatestUnderChurn) {
+  Mailbox box(1, 4, 1);
+  for (int i = 0; i < 100; ++i) {
+    box.Deliver(0, std::vector<float>{static_cast<float>(i)}, static_cast<double>(i));
+  }
+  auto read = box.ReadBatch({0});
+  EXPECT_EQ(read.counts[0], 4);
+  EXPECT_FLOAT_EQ(read.mails.item(0), 96.0f);
+  EXPECT_FLOAT_EQ(read.mails.item(3), 99.0f);
+  EXPECT_EQ(box.NewestTimestamp(0), 99.0);
+}
+
+TEST(MailboxTest, ClearResetsEverything) {
+  Mailbox box(2, 2, 2);
+  box.Deliver(1, std::vector<float>{5.0f, 5.0f}, 1.0);
+  box.Clear();
+  EXPECT_EQ(box.ValidCount(1), 0);
+  auto read = box.ReadBatch({1});
+  for (int64_t i = 0; i < read.mails.numel(); ++i) {
+    EXPECT_EQ(read.mails.item(i), 0.0f);
+  }
+}
+
+TEST(MailboxTest, MemoryBoundedByNodesNotEdges) {
+  // §4.7: memory depends on node count and slots, not stream length.
+  Mailbox box(100, 10, 8);
+  const int64_t before = box.MemoryBytes();
+  for (int i = 0; i < 10000; ++i) {
+    box.Deliver(i % 100, MailOf(1.0f, 8), static_cast<double>(i));
+  }
+  EXPECT_EQ(box.MemoryBytes(), before);
+}
+
+TEST(MailboxTest, MultiNodeBatchLayout) {
+  Mailbox box(3, 2, 2);
+  box.Deliver(2, std::vector<float>{7.0f, 8.0f}, 1.0);
+  auto read = box.ReadBatch({2, 0, 2});
+  EXPECT_EQ(read.mails.shape(), (tensor::Shape{3, 2, 2}));
+  EXPECT_FLOAT_EQ(read.mails.item(0), 7.0f);       // row 0 = node 2
+  EXPECT_FLOAT_EQ(read.mails.item(2 * 2 * 2), 7.0f);  // row 2 = node 2 again
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace apan

@@ -1,0 +1,144 @@
+#include "core/apan_model.h"
+
+#include <gtest/gtest.h>
+
+namespace apan {
+namespace core {
+namespace {
+
+constexpr int64_t kDim = 8;
+
+ApanConfig Config() {
+  ApanConfig c;
+  c.num_nodes = 12;
+  c.embedding_dim = kDim;
+  c.num_heads = 2;
+  c.mailbox_slots = 4;
+  c.sampled_neighbors = 3;
+  c.propagation_hops = 1;
+  c.mlp_hidden = 16;
+  c.dropout = 0.0f;
+  return c;
+}
+
+struct Fixture {
+  Fixture() : features(kDim), model(Config(), &features, 99) {
+    for (int i = 0; i < 8; ++i) {
+      features.Append(std::vector<float>(kDim, 0.1f * (i + 1)));
+    }
+  }
+  InteractionRecord MakeRecord(graph::NodeId s, graph::NodeId d, double t,
+                               graph::EdgeId e) {
+    InteractionRecord r;
+    r.event = {s, d, t, e};
+    r.z_src.assign(kDim, 1.0f);
+    r.z_dst.assign(kDim, 2.0f);
+    return r;
+  }
+  graph::EdgeFeatureStore features;
+  ApanModel model;
+};
+
+TEST(ApanModelTest, SynchronousPathNeverQueriesGraph) {
+  Fixture f;
+  // Populate some history through the async path.
+  ASSERT_TRUE(f.model
+                  .ProcessBatchPostInference(
+                      {f.MakeRecord(0, 1, 1.0, 0), f.MakeRecord(1, 2, 2.0, 1)})
+                  .ok());
+  f.model.graph().ResetQueryCount();
+  // Inference link: encode + decode only.
+  tensor::NoGradGuard no_grad;
+  auto out = f.model.EncodeNodes({0, 1, 2, 5});
+  (void)f.model.link_decoder().Forward(
+      tensor::GatherRows(out.embeddings, {0, 1}),
+      tensor::GatherRows(out.embeddings, {2, 3}));
+  EXPECT_EQ(f.model.graph().query_count(), 0)
+      << "APAN's synchronous link must not touch the graph store";
+}
+
+TEST(ApanModelTest, AsynchronousPathDoesQueryGraph) {
+  Fixture f;
+  ASSERT_TRUE(
+      f.model.ProcessBatchPostInference({f.MakeRecord(0, 1, 1.0, 0)}).ok());
+  f.model.graph().ResetQueryCount();
+  ASSERT_TRUE(
+      f.model.ProcessBatchPostInference({f.MakeRecord(1, 2, 2.0, 1)}).ok());
+  EXPECT_GT(f.model.graph().query_count(), 0);
+}
+
+TEST(ApanModelTest, ProcessBatchUpdatesStateMailboxGraph) {
+  Fixture f;
+  ASSERT_TRUE(
+      f.model.ProcessBatchPostInference({f.MakeRecord(3, 4, 1.0, 2)}).ok());
+  // State: z(t−) overwritten with the record embeddings.
+  EXPECT_FLOAT_EQ(f.model.LastEmbedding(3)[0], 1.0f);
+  EXPECT_FLOAT_EQ(f.model.LastEmbedding(4)[0], 2.0f);
+  EXPECT_FLOAT_EQ(f.model.LastEmbedding(5)[0], 0.0f);
+  // Mailbox: both endpoints received the mail = 1 + e + 2.
+  EXPECT_EQ(f.model.mailbox().ValidCount(3), 1);
+  EXPECT_FLOAT_EQ(f.model.mailbox().RawSlot(3, 0)[0],
+                  1.0f + 0.1f * 3 + 2.0f);
+  // Graph: event appended.
+  EXPECT_EQ(f.model.graph().num_events(), 1);
+}
+
+TEST(ApanModelTest, LaterRecordWinsStateOnDuplicates) {
+  Fixture f;
+  auto r1 = f.MakeRecord(0, 1, 1.0, 0);
+  auto r2 = f.MakeRecord(0, 2, 2.0, 1);
+  r2.z_src.assign(kDim, 9.0f);
+  ASSERT_TRUE(f.model.ProcessBatchPostInference({r1, r2}).ok());
+  EXPECT_FLOAT_EQ(f.model.LastEmbedding(0)[0], 9.0f);
+}
+
+TEST(ApanModelTest, GatherAndUpdateRoundTrip) {
+  Fixture f;
+  tensor::Tensor vals = tensor::Tensor::Full({2, kDim}, 3.5f);
+  f.model.UpdateLastEmbeddings({7, 9}, vals);
+  tensor::Tensor back = f.model.GatherLastEmbeddings({9, 7, 0});
+  EXPECT_FLOAT_EQ(back.at(0, 0), 3.5f);
+  EXPECT_FLOAT_EQ(back.at(1, 0), 3.5f);
+  EXPECT_FLOAT_EQ(back.at(2, 0), 0.0f);
+}
+
+TEST(ApanModelTest, ResetStateClearsEverything) {
+  Fixture f;
+  ASSERT_TRUE(
+      f.model.ProcessBatchPostInference({f.MakeRecord(0, 1, 1.0, 0)}).ok());
+  f.model.ResetState();
+  EXPECT_FLOAT_EQ(f.model.LastEmbedding(0)[0], 0.0f);
+  EXPECT_EQ(f.model.mailbox().ValidCount(0), 0);
+  EXPECT_EQ(f.model.graph().num_events(), 0);
+  // Weights survive the reset.
+  EXPECT_GT(f.model.ParameterCount(), 0);
+}
+
+TEST(ApanModelTest, EncodeNodesUsesMailboxContent) {
+  Fixture f;
+  f.model.SetTraining(false);
+  tensor::NoGradGuard no_grad;
+  auto before = f.model.EncodeNodes({5});
+  ASSERT_TRUE(
+      f.model.ProcessBatchPostInference({f.MakeRecord(5, 6, 1.0, 0)}).ok());
+  // Zero out state so only the mailbox differs from the cold start.
+  f.model.UpdateLastEmbeddings({5},
+                               tensor::Tensor::Zeros({1, kDim}));
+  auto after = f.model.EncodeNodes({5});
+  float diff = 0.0f;
+  for (int64_t i = 0; i < kDim; ++i) {
+    diff += std::abs(after.embeddings.item(i) - before.embeddings.item(i));
+  }
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST(ApanModelTest, ParameterInventoryIncludesAllHeads) {
+  Fixture f;
+  // Encoder + link + edge + node decoders all contribute.
+  const auto params = f.model.Parameters();
+  EXPECT_GT(params.size(), 15u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace apan

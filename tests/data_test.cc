@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "data/batching.h"
+#include "data/csv.h"
+#include "data/negative_sampler.h"
+#include "data/synthetic.h"
+
+namespace apan {
+namespace data {
+namespace {
+
+TEST(SyntheticTest, WikipediaLikeShape) {
+  auto cfg = SyntheticConfig::WikipediaLike().Scaled(0.1);
+  auto ds = GenerateSynthetic(cfg);
+  ASSERT_TRUE(ds.ok()) << ds.status();
+  EXPECT_TRUE(ds->Validate().ok());
+  EXPECT_EQ(ds->num_events(), cfg.num_events);
+  EXPECT_EQ(ds->num_nodes, cfg.num_users + cfg.num_items);
+  EXPECT_EQ(ds->feature_dim(), cfg.feature_dim);
+  EXPECT_EQ(ds->label_kind, LabelKind::kNodeDynamic);
+  // Bipartite: src always a user, dst always an item.
+  for (const auto& e : ds->events) {
+    EXPECT_LT(e.src, cfg.num_users);
+    EXPECT_GE(e.dst, cfg.num_users);
+  }
+}
+
+TEST(SyntheticTest, SplitBoundaries) {
+  auto ds = GenerateSynthetic(SyntheticConfig::WikipediaLike().Scaled(0.1));
+  ASSERT_TRUE(ds.ok());
+  const auto n = ds->events.size();
+  EXPECT_NEAR(static_cast<double>(ds->train_end) / n, 0.70, 0.01);
+  EXPECT_NEAR(static_cast<double>(ds->val_end) / n, 0.85, 0.01);
+  EXPECT_EQ(ds->SplitOf(0), Split::kTrain);
+  EXPECT_EQ(ds->SplitOf(n - 1), Split::kTest);
+}
+
+TEST(SyntheticTest, UnseenNodeCohortExists) {
+  auto ds = GenerateSynthetic(SyntheticConfig::WikipediaLike().Scaled(0.2));
+  ASSERT_TRUE(ds.ok());
+  const auto stats = ds->ComputeTable1Stats();
+  EXPECT_GT(stats.unseen_nodes_in_eval, 0);
+  EXPECT_GT(stats.old_nodes_in_eval, stats.unseen_nodes_in_eval);
+  EXPECT_GT(stats.nodes_in_train, 0);
+  EXPECT_GT(stats.timespan, 0.0);
+}
+
+TEST(SyntheticTest, LabelsAreSparseAndSkewed) {
+  auto ds = GenerateSynthetic(SyntheticConfig::WikipediaLike().Scaled(0.3));
+  ASSERT_TRUE(ds.ok());
+  int64_t pos = 0, neg = 0, unlabeled = 0;
+  for (int8_t l : ds->labels) {
+    if (l == 1) {
+      ++pos;
+    } else if (l == 0) {
+      ++neg;
+    } else {
+      ++unlabeled;
+    }
+  }
+  EXPECT_GT(pos, 0);
+  EXPECT_GT(neg, pos);        // skew
+  EXPECT_GT(unlabeled, neg);  // sparse labeling, like Table 1
+}
+
+TEST(SyntheticTest, AlipayLikeIsGeneralGraphWithEdgeLabels) {
+  auto ds = GenerateSynthetic(SyntheticConfig::AlipayLike().Scaled(0.05));
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->label_kind, LabelKind::kEdge);
+  EXPECT_EQ(ds->num_users, ds->num_nodes);  // not bipartite
+  int64_t fraud = 0;
+  for (int8_t l : ds->labels) fraud += (l == 1);
+  EXPECT_GT(fraud, 0);
+  EXPECT_LT(fraud, ds->num_events() / 20);  // rare
+}
+
+TEST(SyntheticTest, DeterministicBySeed) {
+  auto cfg = SyntheticConfig::RedditLike().Scaled(0.05);
+  auto a = GenerateSynthetic(cfg);
+  auto b = GenerateSynthetic(cfg);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->events.size(), b->events.size());
+  for (size_t i = 0; i < a->events.size(); ++i) {
+    EXPECT_EQ(a->events[i].src, b->events[i].src);
+    EXPECT_EQ(a->events[i].dst, b->events[i].dst);
+    EXPECT_EQ(a->events[i].timestamp, b->events[i].timestamp);
+  }
+  cfg.seed += 1;
+  auto c = GenerateSynthetic(cfg);
+  ASSERT_TRUE(c.ok());
+  int diff = 0;
+  for (size_t i = 0; i < a->events.size(); ++i) {
+    diff += a->events[i].src != c->events[i].src;
+  }
+  EXPECT_GT(diff, 0);
+}
+
+TEST(SyntheticTest, RepeatStructurePresent) {
+  auto ds = GenerateSynthetic(SyntheticConfig::RedditLike().Scaled(0.1));
+  ASSERT_TRUE(ds.ok());
+  // Count events whose (src,dst) pair repeats an earlier event.
+  std::set<std::pair<graph::NodeId, graph::NodeId>> seen;
+  int64_t repeats = 0;
+  for (const auto& e : ds->events) {
+    if (!seen.insert({e.src, e.dst}).second) ++repeats;
+  }
+  EXPECT_GT(static_cast<double>(repeats) /
+                static_cast<double>(ds->num_events()),
+            0.4);
+}
+
+TEST(SyntheticTest, InvalidConfigsRejected) {
+  auto cfg = SyntheticConfig::WikipediaLike();
+  cfg.num_users = 0;
+  EXPECT_FALSE(GenerateSynthetic(cfg).ok());
+  cfg = SyntheticConfig::AlipayLike();
+  cfg.num_items = 10;  // edge labels need a general graph
+  EXPECT_FALSE(GenerateSynthetic(cfg).ok());
+}
+
+TEST(SyntheticTest, ScaledAdjustsCounts) {
+  auto base = SyntheticConfig::WikipediaLike();
+  auto half = base.Scaled(0.5);
+  EXPECT_EQ(half.num_events, base.num_events / 2);
+  EXPECT_EQ(half.num_users, base.num_users / 2);
+  // Floors protect tiny scales.
+  auto tiny = base.Scaled(1e-6);
+  EXPECT_GE(tiny.num_users, 10);
+  EXPECT_GE(tiny.num_events, 100);
+}
+
+TEST(NegativeSamplerTest, PoolGrowsAndExcludes) {
+  NegativeSampler sampler(10);
+  Rng rng(3);
+  EXPECT_EQ(sampler.Sample(&rng), -1);  // empty pool
+  sampler.Observe(4);
+  EXPECT_EQ(sampler.Sample(&rng), 4);
+  sampler.Observe(4);  // idempotent
+  EXPECT_EQ(sampler.pool_size(), 1u);
+  sampler.Observe(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(sampler.Sample(&rng, /*exclude=*/4), 7);
+  }
+}
+
+TEST(BatchIteratorTest, CoversSplitExactlyOnce) {
+  auto ds = GenerateSynthetic(SyntheticConfig::WikipediaLike().Scaled(0.05));
+  ASSERT_TRUE(ds.ok());
+  BatchIterator iter(*ds, Split::kTrain, 64);
+  size_t covered = 0;
+  size_t last_end = 0;
+  while (!iter.Done()) {
+    Batch b = iter.Next();
+    EXPECT_EQ(b.begin, last_end);
+    EXPECT_LE(b.size(), 64u);
+    covered += b.size();
+    last_end = b.end;
+  }
+  EXPECT_EQ(covered, ds->train_end);
+  EXPECT_EQ(iter.Remaining(), 0u);
+}
+
+TEST(BatchIteratorTest, ExplicitRangeAndZeroBatch) {
+  BatchIterator iter(10, 25, 0);  // batch clamps to 1
+  size_t n = 0;
+  while (!iter.Done()) {
+    iter.Next();
+    ++n;
+  }
+  EXPECT_EQ(n, 15u);
+}
+
+TEST(CsvTest, RoundTripPreservesData) {
+  auto ds = GenerateSynthetic(SyntheticConfig::WikipediaLike().Scaled(0.05));
+  ASSERT_TRUE(ds.ok());
+  const std::string path = ::testing::TempDir() + "/apan_roundtrip.csv";
+  ASSERT_TRUE(WriteCsv(*ds, path).ok());
+  auto back = ReadCsv(path, "roundtrip", ds->label_kind);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->num_events(), ds->num_events());
+  EXPECT_EQ(back->feature_dim(), ds->feature_dim());
+  for (size_t i = 0; i < ds->events.size(); i += 37) {
+    EXPECT_EQ(back->labels[i], ds->labels[i]);
+    EXPECT_NEAR(back->events[i].timestamp, ds->events[i].timestamp, 1e-6);
+    // Feature payload survives within float printing precision.
+    EXPECT_NEAR(back->features.Row(back->events[i].edge_id)[0],
+                ds->features.Row(ds->events[i].edge_id)[0], 1e-4);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsIoError) {
+  auto r = ReadCsv("/nonexistent/apan.csv", "x", LabelKind::kNodeDynamic);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace apan

@@ -1,0 +1,104 @@
+#include "graph/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/static_graph.h"
+
+namespace apan {
+namespace graph {
+namespace {
+
+TemporalGraph MakeStar() {
+  // Hub 0 connected to 1..4 at t=1..4; spoke 1 also touches 5 at t=5.
+  TemporalGraph g(6);
+  EXPECT_TRUE(g.AddEvent({0, 1, 1.0, -1}).ok());
+  EXPECT_TRUE(g.AddEvent({0, 2, 2.0, -1}).ok());
+  EXPECT_TRUE(g.AddEvent({0, 3, 3.0, -1}).ok());
+  EXPECT_TRUE(g.AddEvent({0, 4, 4.0, -1}).ok());
+  EXPECT_TRUE(g.AddEvent({1, 5, 5.0, -1}).ok());
+  return g;
+}
+
+TEST(KHopTest, SingleHopMostRecent) {
+  TemporalGraph g = MakeStar();
+  auto hops = KHopMostRecent(g, {0}, 10.0, 1, 2);
+  ASSERT_EQ(hops.size(), 2u);
+  // Two most recent neighbors of 0: nodes 3 (t=3) and 4 (t=4).
+  EXPECT_EQ(hops[0].node, 3);
+  EXPECT_EQ(hops[1].node, 4);
+  EXPECT_EQ(hops[0].hop, 1);
+}
+
+TEST(KHopTest, SecondHopExpandsFrontier) {
+  TemporalGraph g = MakeStar();
+  auto hops = KHopMostRecent(g, {5}, 10.0, 2, 3);
+  // Hop 1 from 5: node 1. Hop 2 from 1: nodes {0, 5}.
+  ASSERT_EQ(hops.size(), 3u);
+  EXPECT_EQ(hops[0].node, 1);
+  EXPECT_EQ(hops[0].hop, 1);
+  EXPECT_EQ(hops[1].hop, 2);
+  EXPECT_EQ(hops[2].hop, 2);
+}
+
+TEST(KHopTest, RespectsBeforeTime) {
+  TemporalGraph g = MakeStar();
+  auto hops = KHopMostRecent(g, {0}, 2.5, 1, 10);
+  ASSERT_EQ(hops.size(), 2u);  // only t=1, t=2 edges exist before 2.5
+  for (const auto& h : hops) EXPECT_LT(h.timestamp, 2.5);
+}
+
+TEST(KHopTest, DuplicatesPreserved) {
+  // Node reachable from both seeds appears twice — ρ deduplicates later.
+  TemporalGraph g(3);
+  ASSERT_TRUE(g.AddEvent({0, 2, 1.0, -1}).ok());
+  ASSERT_TRUE(g.AddEvent({1, 2, 2.0, -1}).ok());
+  auto hops = KHopMostRecent(g, {0, 1}, 10.0, 1, 5);
+  int count2 = 0;
+  for (const auto& h : hops) {
+    if (h.node == 2) ++count2;
+  }
+  EXPECT_EQ(count2, 2);
+}
+
+TEST(KHopTest, EmptyFrontierStopsEarly) {
+  TemporalGraph g(4);
+  auto hops = KHopMostRecent(g, {0}, 10.0, 3, 5);
+  EXPECT_TRUE(hops.empty());
+}
+
+TEST(KHopTest, ZeroHopsIsEmpty) {
+  TemporalGraph g = MakeStar();
+  EXPECT_TRUE(KHopMostRecent(g, {0}, 10.0, 0, 5).empty());
+}
+
+TEST(KHopProperty, AllEntriesRespectCutoffAndFanout) {
+  Rng rng(77);
+  TemporalGraph g(30);
+  double t = 0.0;
+  for (int i = 0; i < 800; ++i) {
+    t += rng.Exponential(1.0);
+    ASSERT_TRUE(g.AddEvent({static_cast<NodeId>(rng.UniformInt(30)),
+                            static_cast<NodeId>(rng.UniformInt(30)), t, -1})
+                    .ok());
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    const double cutoff = rng.Uniform(0.0, t);
+    const auto seeds = std::vector<NodeId>{
+        static_cast<NodeId>(rng.UniformInt(30)),
+        static_cast<NodeId>(rng.UniformInt(30))};
+    const int64_t fanout = 3;
+    auto hops = KHopMostRecent(g, seeds, cutoff, 2, fanout);
+    size_t hop1 = 0;
+    for (const auto& h : hops) {
+      EXPECT_LT(h.timestamp, cutoff);
+      EXPECT_GE(h.hop, 1);
+      EXPECT_LE(h.hop, 2);
+      if (h.hop == 1) ++hop1;
+    }
+    EXPECT_LE(hop1, seeds.size() * static_cast<size_t>(fanout));
+  }
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace apan

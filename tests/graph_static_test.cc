@@ -1,0 +1,94 @@
+#include "graph/static_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/edge_features.h"
+
+namespace apan {
+namespace graph {
+namespace {
+
+TEST(StaticGraphTest, CollapsesParallelEdges) {
+  TemporalGraph tg(3);
+  ASSERT_TRUE(tg.AddEvent({0, 1, 1.0, -1}).ok());
+  ASSERT_TRUE(tg.AddEvent({0, 1, 2.0, -1}).ok());
+  ASSERT_TRUE(tg.AddEvent({1, 0, 3.0, -1}).ok());  // same undirected pair
+  ASSERT_TRUE(tg.AddEvent({1, 2, 4.0, -1}).ok());
+  StaticGraph g = StaticGraph::FromTemporal(tg, 10.0);
+  EXPECT_EQ(g.num_edges(), 2);
+  ASSERT_EQ(g.Neighbors(1).size(), 2u);
+  // Multiplicity kept as weight.
+  EXPECT_FLOAT_EQ(g.Weights(1)[0], 3.0f);  // edge to 0
+  EXPECT_FLOAT_EQ(g.Weights(1)[1], 1.0f);  // edge to 2
+}
+
+TEST(StaticGraphTest, BeforeTimeFilters) {
+  TemporalGraph tg(3);
+  ASSERT_TRUE(tg.AddEvent({0, 1, 1.0, -1}).ok());
+  ASSERT_TRUE(tg.AddEvent({1, 2, 5.0, -1}).ok());
+  StaticGraph g = StaticGraph::FromTemporal(tg, 3.0);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 2));
+}
+
+TEST(StaticGraphTest, DegreeConservation) {
+  Rng rng(5);
+  TemporalGraph tg(25);
+  double t = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    t += 1.0;
+    NodeId a = static_cast<NodeId>(rng.UniformInt(25));
+    NodeId b = static_cast<NodeId>(rng.UniformInt(25));
+    ASSERT_TRUE(tg.AddEvent({a, b, t, -1}).ok());
+  }
+  StaticGraph g = StaticGraph::FromTemporal(tg, t + 1.0);
+  int64_t degree_sum = 0;
+  int64_t self_loops = 0;
+  for (NodeId v = 0; v < 25; ++v) degree_sum += g.Degree(v);
+  for (NodeId v = 0; v < 25; ++v) {
+    if (g.HasEdge(v, v)) ++self_loops;
+  }
+  // Each non-loop edge contributes 2 to the degree sum, loops 1.
+  EXPECT_EQ(degree_sum, 2 * g.num_edges() - self_loops);
+}
+
+TEST(StaticGraphTest, NeighborsSortedAscending) {
+  StaticGraph g = StaticGraph::FromEdges(5, {{3, 1}, {3, 4}, {3, 0}});
+  auto n = g.Neighbors(3);
+  ASSERT_EQ(n.size(), 3u);
+  EXPECT_EQ(n[0], 0);
+  EXPECT_EQ(n[1], 1);
+  EXPECT_EQ(n[2], 4);
+}
+
+TEST(StaticGraphTest, EmptyAndOutOfRange) {
+  StaticGraph g = StaticGraph::FromEdges(3, {});
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_TRUE(g.Neighbors(0).empty());
+  EXPECT_TRUE(g.Neighbors(99).empty());
+  EXPECT_FALSE(g.HasEdge(0, 1));
+}
+
+TEST(EdgeFeatureStoreTest, AppendAndRow) {
+  EdgeFeatureStore store(3);
+  EXPECT_EQ(store.Append({1, 2, 3}), 0);
+  EXPECT_EQ(store.Append({4, 5, 6}), 1);
+  EXPECT_EQ(store.num_edges(), 2);
+  EXPECT_FLOAT_EQ(store.Row(1)[2], 6.0f);
+}
+
+TEST(EdgeFeatureStoreTest, GatherWithPadding) {
+  EdgeFeatureStore store(2);
+  store.Append({1, 2});
+  store.Append({3, 4});
+  auto t = store.Gather({1, -1, 0});
+  EXPECT_EQ(t.shape(), (tensor::Shape{3, 2}));
+  EXPECT_FLOAT_EQ(t.at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 0), 0.0f);  // padding row zero
+  EXPECT_FLOAT_EQ(t.at(2, 1), 2.0f);
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace apan

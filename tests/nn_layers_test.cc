@@ -1,0 +1,143 @@
+#include "nn/layers.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace apan {
+namespace nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(LinearTest, ShapeAndBias) {
+  Rng rng(1);
+  Linear fc(4, 3, &rng);
+  Tensor x = Tensor::Ones({2, 4});
+  Tensor y = fc.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 3}));
+  EXPECT_EQ(fc.Parameters().size(), 2u);  // weight + bias
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  Rng rng(1);
+  Linear fc(4, 3, &rng, /*bias=*/false);
+  EXPECT_EQ(fc.Parameters().size(), 1u);
+  // Zero input -> zero output without bias.
+  Tensor y = fc.Forward(Tensor::Zeros({2, 4}));
+  for (int64_t i = 0; i < y.numel(); ++i) EXPECT_EQ(y.item(i), 0.0f);
+}
+
+TEST(LinearTest, Rank3InputFlattensOverLastDim) {
+  Rng rng(1);
+  Linear fc(4, 3, &rng);
+  Tensor x3 = Tensor::Ones({2, 5, 4});
+  Tensor y3 = fc.Forward(x3);
+  EXPECT_EQ(y3.shape(), (Shape{2, 5, 3}));
+  // Same values as the flattened rank-2 application.
+  Tensor y2 = fc.Forward(Tensor::Ones({10, 4}));
+  for (int64_t i = 0; i < y3.numel(); ++i) {
+    EXPECT_FLOAT_EQ(y3.item(i), y2.item(i));
+  }
+}
+
+TEST(LinearTest, MatchesManualMatmul) {
+  Rng rng(7);
+  Linear fc(2, 2, &rng, /*bias=*/false);
+  Tensor x = Tensor::FromVector({1, 2}, {1.0f, 2.0f});
+  Tensor y = fc.Forward(x);
+  const Tensor& w = fc.weight();
+  EXPECT_NEAR(y.item(0), 1.0f * w.at(0, 0) + 2.0f * w.at(1, 0), 1e-5f);
+  EXPECT_NEAR(y.item(1), 1.0f * w.at(0, 1) + 2.0f * w.at(1, 1), 1e-5f);
+}
+
+TEST(MlpTest, TwoLayerShapeAndGradients) {
+  Rng rng(2);
+  Mlp mlp(6, 80, 1, &rng);  // the paper's hidden width
+  Tensor x = Tensor::Randn({3, 6}, &rng);
+  Tensor y = mlp.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{3, 1}));
+  ASSERT_TRUE(tensor::SumAll(y).Backward().ok());
+  // All four parameter tensors receive gradients.
+  for (auto& p : mlp.Parameters()) {
+    const auto g = p.GradToVector();
+    ASSERT_FALSE(g.empty());
+  }
+}
+
+TEST(MlpTest, DropoutOnlyInTraining) {
+  Rng rng(3);
+  Mlp mlp(4, 8, 4, &rng, /*dropout=*/0.5f);
+  Tensor x = Tensor::Ones({1, 4});
+  mlp.SetTraining(false);
+  Tensor a = mlp.Forward(x, &rng);
+  Tensor b = mlp.Forward(x, &rng);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_FLOAT_EQ(a.item(i), b.item(i));  // eval is deterministic
+  }
+}
+
+TEST(LayerNormTest, NormalizesThenAffine) {
+  LayerNorm ln(4);
+  Tensor x = Tensor::FromVector({1, 4}, {1, 2, 3, 4});
+  Tensor y = ln.Forward(x);
+  // Default gain=1 bias=0: output is standardized.
+  float mean = 0.0f;
+  for (int c = 0; c < 4; ++c) mean += y.at(0, c);
+  EXPECT_NEAR(mean / 4.0f, 0.0f, 1e-4f);
+  EXPECT_EQ(ln.Parameters().size(), 2u);
+}
+
+TEST(LayerNormTest, GainBiasLearnable) {
+  LayerNorm ln(3);
+  auto params = ln.Parameters();
+  params[0].data()[0] = 2.0f;  // gain
+  params[1].data()[0] = 1.0f;  // bias
+  Tensor x = Tensor::FromVector({1, 3}, {1, 2, 3});
+  Tensor y = ln.Forward(x);
+  // First channel = 2*norm + 1.
+  Tensor plain = tensor::RowNormalize(x);
+  EXPECT_NEAR(y.at(0, 0), 2.0f * plain.at(0, 0) + 1.0f, 1e-4f);
+}
+
+TEST(EmbeddingTableTest, LookupAndScatterGrad) {
+  Rng rng(4);
+  EmbeddingTable table(5, 3, &rng);
+  Tensor e = table.Forward({1, 1, 4});
+  EXPECT_EQ(e.shape(), (Shape{3, 3}));
+  ASSERT_TRUE(tensor::SumAll(e).Backward().ok());
+  auto g = table.table().GradToVector();
+  // Row 1 hit twice, row 4 once, others zero.
+  EXPECT_FLOAT_EQ(g[1 * 3], 2.0f);
+  EXPECT_FLOAT_EQ(g[4 * 3], 1.0f);
+  EXPECT_FLOAT_EQ(g[0], 0.0f);
+}
+
+TEST(ModuleTest, ParameterCountAndStateRoundTrip) {
+  Rng rng(5);
+  Mlp mlp(4, 8, 2, &rng);
+  EXPECT_EQ(mlp.ParameterCount(), 4 * 8 + 8 + 8 * 2 + 2);
+  auto state = mlp.StateToVector();
+  // Perturb then restore.
+  for (auto& p : mlp.Parameters()) p.data()[0] += 1.0f;
+  ASSERT_TRUE(mlp.LoadStateFromVector(state).ok());
+  EXPECT_EQ(mlp.StateToVector(), state);
+  // Wrong-size state rejected.
+  state.pop_back();
+  EXPECT_TRUE(mlp.LoadStateFromVector(state).IsInvalidArgument());
+}
+
+TEST(ModuleTest, SetTrainingPropagatesToChildren) {
+  Rng rng(6);
+  Mlp mlp(2, 4, 2, &rng);
+  EXPECT_TRUE(mlp.training());
+  mlp.SetTraining(false);
+  EXPECT_FALSE(mlp.training());
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace apan

@@ -1,0 +1,93 @@
+#include "nn/recurrent.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+
+namespace apan {
+namespace nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(GruCellTest, OutputShape) {
+  Rng rng(1);
+  GruCell cell(6, 4, &rng);
+  Tensor x = Tensor::Randn({3, 6}, &rng);
+  Tensor h = Tensor::Randn({3, 4}, &rng);
+  Tensor h2 = cell.Forward(x, h);
+  EXPECT_EQ(h2.shape(), (Shape{3, 4}));
+  EXPECT_EQ(cell.input_dim(), 6);
+  EXPECT_EQ(cell.hidden_dim(), 4);
+}
+
+TEST(GruCellTest, OutputBounded) {
+  // GRU output is a convex combination of tanh(·) and previous state, so
+  // |h'| <= max(|h|, 1).
+  Rng rng(2);
+  GruCell cell(4, 4, &rng);
+  Tensor x = Tensor::Randn({8, 4}, &rng, 5.0f);
+  Tensor h = Tensor::Uniform({8, 4}, &rng, -1.0f, 1.0f);
+  Tensor h2 = cell.Forward(x, h);
+  for (int64_t i = 0; i < h2.numel(); ++i) {
+    EXPECT_LE(std::abs(h2.item(i)), 1.0f + 1e-5f);
+  }
+}
+
+TEST(GruCellTest, DeterministicForward) {
+  Rng rng(3);
+  GruCell cell(4, 4, &rng);
+  Tensor x = Tensor::Randn({2, 4}, &rng);
+  Tensor h = Tensor::Randn({2, 4}, &rng);
+  Tensor a = cell.Forward(x, h);
+  Tensor b = cell.Forward(x, h);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_FLOAT_EQ(a.item(i), b.item(i));
+  }
+}
+
+TEST(GruCellTest, GradientsFlowToAllWeights) {
+  Rng rng(4);
+  GruCell cell(3, 3, &rng);
+  Tensor x = Tensor::Randn({2, 3}, &rng);
+  Tensor h = Tensor::Randn({2, 3}, &rng);
+  Tensor out = cell.Forward(x, h);
+  ASSERT_TRUE(tensor::SumAll(out).Backward().ok());
+  int with_grad = 0;
+  for (auto& p : cell.Parameters()) {
+    double norm = 0.0;
+    for (float g : p.GradToVector()) norm += std::abs(g);
+    if (norm > 0.0) ++with_grad;
+  }
+  // 6 weight matrices + biases — all should participate.
+  EXPECT_EQ(with_grad, static_cast<int>(cell.Parameters().size()));
+}
+
+TEST(GruCellTest, LearnsToCopyInput) {
+  // Train the cell to output its input regardless of h: a trivial task a
+  // working GRU fits in a few hundred steps.
+  Rng rng(5);
+  GruCell cell(2, 2, &rng);
+  tensor::Adam opt(cell.Parameters(), {.lr = 0.02f});
+  float final_loss = 1e9f;
+  for (int step = 0; step < 400; ++step) {
+    Tensor x = Tensor::Uniform({8, 2}, &rng, -0.8f, 0.8f);
+    Tensor h = Tensor::Randn({8, 2}, &rng, 0.1f);
+    Tensor out = cell.Forward(x, h);
+    Tensor diff = tensor::Sub(out, x);
+    Tensor loss = tensor::MeanAll(tensor::Mul(diff, diff));
+    opt.ZeroGrad();
+    ASSERT_TRUE(loss.Backward().ok());
+    opt.Step();
+    final_loss = loss.item();
+  }
+  EXPECT_LT(final_loss, 0.05f);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace apan

@@ -1,0 +1,79 @@
+#include "nn/time_encoding.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace apan {
+namespace nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(TimeEncodingTest, Shape) {
+  Rng rng(1);
+  TimeEncoding enc(8, &rng);
+  Tensor phi = enc.Forward({0.0, 1.0, 2.5});
+  EXPECT_EQ(phi.shape(), (Shape{3, 8}));
+}
+
+TEST(TimeEncodingTest, ZeroDeltaIsCosPhase) {
+  Rng rng(2);
+  TimeEncoding enc(4, &rng);
+  Tensor phi = enc.Forward({0.0, 0.0});
+  // Φ(0) = cos(phase); phases start at 0 -> all ones, and the two rows
+  // are identical.
+  for (int64_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(phi.at(0, j), 1.0f, 1e-5f);
+    EXPECT_FLOAT_EQ(phi.at(0, j), phi.at(1, j));
+  }
+}
+
+TEST(TimeEncodingTest, ValuesBounded) {
+  Rng rng(3);
+  TimeEncoding enc(16, &rng);
+  Tensor phi = enc.Forward({0.001, 1.0, 100.0, 12345.0});
+  for (int64_t i = 0; i < phi.numel(); ++i) {
+    EXPECT_LE(std::abs(phi.item(i)), 1.0f + 1e-5f);
+  }
+}
+
+TEST(TimeEncodingTest, DistinctDeltasDistinctCodes) {
+  Rng rng(4);
+  TimeEncoding enc(16, &rng);
+  Tensor phi = enc.Forward({0.5, 5.0});
+  float diff = 0.0f;
+  for (int64_t j = 0; j < 16; ++j) {
+    diff += std::abs(phi.at(0, j) - phi.at(1, j));
+  }
+  EXPECT_GT(diff, 0.1f);
+}
+
+TEST(TimeEncodingTest, FrequencyLadderIsGeometric) {
+  // The untrained frequencies follow 10^{-4 i / d}; the first is 1.
+  Rng rng(5);
+  TimeEncoding enc(4, &rng);
+  auto params = enc.Parameters();
+  ASSERT_EQ(params.size(), 2u);  // omega, phase
+  EXPECT_NEAR(params[0].item(0), 1.0f, 1e-5f);
+  EXPECT_GT(params[0].item(0), params[0].item(3));
+}
+
+TEST(TimeEncodingTest, TrainableParametersReceiveGradients) {
+  Rng rng(6);
+  TimeEncoding enc(8, &rng);
+  Tensor phi = enc.Forward({1.0, 2.0});
+  ASSERT_TRUE(tensor::SumAll(phi).Backward().ok());
+  for (auto& p : enc.Parameters()) {
+    double norm = 0.0;
+    for (float g : p.GradToVector()) norm += std::abs(g);
+    EXPECT_GT(norm, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace apan

@@ -1,0 +1,296 @@
+// Finite-difference gradient verification for every differentiable op.
+//
+// For a scalar loss L(x) = sum(w ⊙ f(x)) with fixed random weights w, the
+// analytic dL/dx from Backward() must match the central difference
+// (L(x+h) - L(x-h)) / 2h at every coordinate.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace apan {
+namespace tensor {
+namespace {
+
+// Weighted sum reduction makes the loss sensitive to each output entry.
+Tensor WeightedSum(const Tensor& y, const std::vector<float>& w) {
+  Tensor weights = Tensor::FromVector(y.shape(), w);
+  return SumAll(Mul(y, weights));
+}
+
+std::vector<float> RandomWeights(int64_t n, Rng* rng) {
+  std::vector<float> w(static_cast<size_t>(n));
+  for (auto& x : w) x = static_cast<float>(rng->Uniform(0.5, 1.5));
+  return w;
+}
+
+// Checks d(loss)/d(input i) for every input tensor against central
+// differences. `fn` must rebuild the graph from the given inputs each call.
+void CheckGradients(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    std::vector<Tensor> inputs, float h = 1e-3f, float tol = 2e-2f) {
+  for (auto& in : inputs) in.set_requires_grad(true);
+  Tensor loss = fn(inputs);
+  ASSERT_EQ(loss.numel(), 1);
+  for (auto& in : inputs) in.ZeroGrad();
+  ASSERT_TRUE(loss.Backward().ok());
+
+  for (size_t t = 0; t < inputs.size(); ++t) {
+    Tensor& x = inputs[t];
+    const auto analytic = x.GradToVector();
+    ASSERT_EQ(analytic.size(), static_cast<size_t>(x.numel()));
+    for (int64_t i = 0; i < x.numel(); ++i) {
+      const float orig = x.item(i);
+      x.set_item(i, orig + h);
+      const float lp = fn(inputs).item();
+      x.set_item(i, orig - h);
+      const float lm = fn(inputs).item();
+      x.set_item(i, orig);
+      const float numeric = (lp - lm) / (2.0f * h);
+      const float a = analytic[static_cast<size_t>(i)];
+      const float scale = std::max({1.0f, std::abs(a), std::abs(numeric)});
+      EXPECT_NEAR(a, numeric, tol * scale)
+          << "input " << t << " coordinate " << i;
+    }
+  }
+}
+
+class GradCheckTest : public ::testing::Test {
+ protected:
+  Rng rng_{20240611};
+};
+
+TEST_F(GradCheckTest, Add) {
+  auto w = RandomWeights(6, &rng_);
+  CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        return WeightedSum(Add(in[0], in[1]), w);
+      },
+      {Tensor::Randn({2, 3}, &rng_), Tensor::Randn({2, 3}, &rng_)});
+}
+
+TEST_F(GradCheckTest, AddBroadcast) {
+  auto w = RandomWeights(6, &rng_);
+  CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        return WeightedSum(Add(in[0], in[1]), w);
+      },
+      {Tensor::Randn({2, 3}, &rng_), Tensor::Randn({3}, &rng_)});
+}
+
+TEST_F(GradCheckTest, SubBroadcast) {
+  auto w = RandomWeights(6, &rng_);
+  CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        return WeightedSum(Sub(in[0], in[1]), w);
+      },
+      {Tensor::Randn({2, 3}, &rng_), Tensor::Randn({3}, &rng_)});
+}
+
+TEST_F(GradCheckTest, MulElementwise) {
+  auto w = RandomWeights(4, &rng_);
+  CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        return WeightedSum(Mul(in[0], in[1]), w);
+      },
+      {Tensor::Randn({2, 2}, &rng_), Tensor::Randn({2, 2}, &rng_)});
+}
+
+TEST_F(GradCheckTest, MulBroadcast) {
+  auto w = RandomWeights(6, &rng_);
+  CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        return WeightedSum(Mul(in[0], in[1]), w);
+      },
+      {Tensor::Randn({3, 2}, &rng_), Tensor::Randn({2}, &rng_)});
+}
+
+TEST_F(GradCheckTest, Relu) {
+  auto w = RandomWeights(8, &rng_);
+  // Keep inputs away from the kink at 0.
+  Tensor x = Tensor::Randn({8}, &rng_);
+  for (int64_t i = 0; i < 8; ++i) {
+    if (std::abs(x.item(i)) < 0.1f) x.set_item(i, 0.5f);
+  }
+  CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        return WeightedSum(Relu(in[0]), w);
+      },
+      {x});
+}
+
+TEST_F(GradCheckTest, SigmoidTanhExp) {
+  auto w = RandomWeights(6, &rng_);
+  CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        return WeightedSum(Exp(Tanh(Sigmoid(in[0]))), w);
+      },
+      {Tensor::Randn({2, 3}, &rng_)});
+}
+
+TEST_F(GradCheckTest, LogOfSoftplusLikeComposite) {
+  auto w = RandomWeights(4, &rng_);
+  CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        return WeightedSum(Log(AddScalar(Exp(in[0]), 1.0f)), w);
+      },
+      {Tensor::Randn({4}, &rng_)});
+}
+
+TEST_F(GradCheckTest, MatMulBothSides) {
+  auto w = RandomWeights(6, &rng_);
+  CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        return WeightedSum(MatMul(in[0], in[1]), w);
+      },
+      {Tensor::Randn({2, 4}, &rng_), Tensor::Randn({4, 3}, &rng_)});
+}
+
+TEST_F(GradCheckTest, BmmBothSides) {
+  auto w = RandomWeights(2 * 2 * 2, &rng_);
+  CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        return WeightedSum(Bmm(in[0], in[1]), w);
+      },
+      {Tensor::Randn({2, 2, 3}, &rng_), Tensor::Randn({2, 3, 2}, &rng_)});
+}
+
+TEST_F(GradCheckTest, Permute) {
+  auto w = RandomWeights(24, &rng_);
+  CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        return WeightedSum(Permute(in[0], {2, 0, 1}), w);
+      },
+      {Tensor::Randn({2, 3, 4}, &rng_)});
+}
+
+TEST_F(GradCheckTest, ReshapeChain) {
+  auto w = RandomWeights(12, &rng_);
+  CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        return WeightedSum(Reshape(Reshape(in[0], {12}), {4, 3}), w);
+      },
+      {Tensor::Randn({3, 4}, &rng_)});
+}
+
+TEST_F(GradCheckTest, ConcatLastDim) {
+  auto w = RandomWeights(2 * 5, &rng_);
+  CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        return WeightedSum(ConcatLastDim({in[0], in[1]}), w);
+      },
+      {Tensor::Randn({2, 2}, &rng_), Tensor::Randn({2, 3}, &rng_)});
+}
+
+TEST_F(GradCheckTest, ConcatRows) {
+  auto w = RandomWeights(3 * 2, &rng_);
+  CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        return WeightedSum(ConcatRows({in[0], in[1]}), w);
+      },
+      {Tensor::Randn({1, 2}, &rng_), Tensor::Randn({2, 2}, &rng_)});
+}
+
+TEST_F(GradCheckTest, GatherRows) {
+  auto w = RandomWeights(3 * 2, &rng_);
+  CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        return WeightedSum(GatherRows(in[0], {0, 2, 0}), w);
+      },
+      {Tensor::Randn({3, 2}, &rng_)});
+}
+
+TEST_F(GradCheckTest, SliceCols) {
+  auto w = RandomWeights(2 * 2, &rng_);
+  CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        return WeightedSum(SliceCols(in[0], 1, 3), w);
+      },
+      {Tensor::Randn({2, 4}, &rng_)});
+}
+
+TEST_F(GradCheckTest, Softmax) {
+  auto w = RandomWeights(2 * 4, &rng_);
+  CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        return WeightedSum(SoftmaxLastDim(in[0]), w);
+      },
+      {Tensor::Randn({2, 4}, &rng_)});
+}
+
+TEST_F(GradCheckTest, LogSoftmax) {
+  auto w = RandomWeights(2 * 4, &rng_);
+  CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        return WeightedSum(LogSoftmaxLastDim(in[0]), w);
+      },
+      {Tensor::Randn({2, 4}, &rng_)});
+}
+
+TEST_F(GradCheckTest, RowNormalize) {
+  auto w = RandomWeights(2 * 5, &rng_);
+  CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        return WeightedSum(RowNormalize(in[0]), w);
+      },
+      {Tensor::Randn({2, 5}, &rng_)},
+      /*h=*/1e-2f, /*tol=*/5e-2f);
+}
+
+TEST_F(GradCheckTest, MeanDim1) {
+  auto w = RandomWeights(2 * 3, &rng_);
+  CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        return WeightedSum(MeanDim1(in[0]), w);
+      },
+      {Tensor::Randn({2, 4, 3}, &rng_)});
+}
+
+TEST_F(GradCheckTest, RowwiseDot) {
+  auto w = RandomWeights(3, &rng_);
+  CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        return WeightedSum(RowwiseDot(in[0], in[1]), w);
+      },
+      {Tensor::Randn({3, 4}, &rng_), Tensor::Randn({3, 4}, &rng_)});
+}
+
+TEST_F(GradCheckTest, BceWithLogits) {
+  std::vector<float> targets = {1.0f, 0.0f, 1.0f, 0.5f};
+  CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        return BceWithLogits(in[0], targets);
+      },
+      {Tensor::Randn({4}, &rng_)});
+}
+
+TEST_F(GradCheckTest, GaussianKl) {
+  CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        return GaussianKl(in[0], in[1]);
+      },
+      {Tensor::Randn({2, 3}, &rng_), Tensor::Randn({2, 3}, &rng_)});
+}
+
+TEST_F(GradCheckTest, AttentionShapedComposite) {
+  // End-to-end mini attention: softmax(QK^T/sqrt(d)) V with all three
+  // matrices trainable — the exact pattern ApanEncoder uses.
+  auto w = RandomWeights(2 * 1 * 3, &rng_);
+  CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        Tensor scores = Bmm(in[0], Permute(in[1], {0, 2, 1}));
+        Tensor attn = SoftmaxLastDim(MulScalar(scores, 1.0f / 2.0f));
+        return WeightedSum(Bmm(attn, in[2]), w);
+      },
+      {Tensor::Randn({2, 1, 4}, &rng_), Tensor::Randn({2, 5, 4}, &rng_),
+       Tensor::Randn({2, 5, 3}, &rng_)},
+      /*h=*/1e-2f, /*tol=*/5e-2f);
+}
+
+}  // namespace
+}  // namespace tensor
+}  // namespace apan

@@ -1,0 +1,311 @@
+#include "tensor/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace apan {
+namespace tensor {
+namespace {
+
+constexpr float kTol = 1e-5f;
+
+TEST(OpsTest, AddSameShape) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 2}, {10, 20, 30, 40});
+  Tensor c = Add(a, b);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 44.0f);
+}
+
+TEST(OpsTest, AddBroadcastLastDim) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor bias = Tensor::FromVector({3}, {10, 20, 30});
+  Tensor c = Add(a, bias);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 2), 36.0f);
+}
+
+TEST(OpsTest, AddBroadcastGradientSumsOverRows) {
+  Tensor a = Tensor::Ones({3, 2}, true);
+  Tensor bias = Tensor::Zeros({2}, true);
+  bias.set_requires_grad(true);
+  Tensor y = SumAll(Add(a, bias));
+  ASSERT_TRUE(y.Backward().ok());
+  auto g = bias.GradToVector();
+  EXPECT_FLOAT_EQ(g[0], 3.0f);
+  EXPECT_FLOAT_EQ(g[1], 3.0f);
+}
+
+TEST(OpsTest, SubAndNeg) {
+  Tensor a = Tensor::FromVector({2}, {5, 7});
+  Tensor b = Tensor::FromVector({2}, {2, 3});
+  Tensor c = Sub(a, b);
+  EXPECT_FLOAT_EQ(c.item(0), 3.0f);
+  EXPECT_FLOAT_EQ(Neg(c).item(1), -4.0f);
+}
+
+TEST(OpsTest, MulElementwiseAndScalar) {
+  Tensor a = Tensor::FromVector({2}, {3, 4});
+  Tensor b = Tensor::FromVector({2}, {5, 6});
+  EXPECT_FLOAT_EQ(Mul(a, b).item(1), 24.0f);
+  EXPECT_FLOAT_EQ(MulScalar(a, 0.5f).item(0), 1.5f);
+  EXPECT_FLOAT_EQ(AddScalar(a, 1.0f).item(0), 4.0f);
+}
+
+TEST(OpsTest, ActivationValues) {
+  Tensor x = Tensor::FromVector({4}, {-2, -0.5f, 0, 3});
+  Tensor r = Relu(x);
+  EXPECT_FLOAT_EQ(r.item(0), 0.0f);
+  EXPECT_FLOAT_EQ(r.item(3), 3.0f);
+  Tensor s = Sigmoid(x);
+  EXPECT_NEAR(s.item(2), 0.5f, kTol);
+  EXPECT_NEAR(s.item(3), 1.0f / (1.0f + std::exp(-3.0f)), kTol);
+  Tensor t = Tanh(x);
+  EXPECT_NEAR(t.item(2), 0.0f, kTol);
+  EXPECT_NEAR(t.item(0), std::tanh(-2.0f), kTol);
+}
+
+TEST(OpsTest, SigmoidExtremeInputsStable) {
+  Tensor x = Tensor::FromVector({2}, {-100.0f, 100.0f});
+  Tensor s = Sigmoid(x);
+  EXPECT_NEAR(s.item(0), 0.0f, 1e-6f);
+  EXPECT_NEAR(s.item(1), 1.0f, 1e-6f);
+  EXPECT_FALSE(std::isnan(s.item(0)));
+}
+
+TEST(OpsTest, ExpLog) {
+  Tensor x = Tensor::FromVector({2}, {0.0f, 1.0f});
+  EXPECT_NEAR(Exp(x).item(1), std::exp(1.0f), 1e-4f);
+  Tensor y = Tensor::FromVector({2}, {1.0f, std::exp(2.0f)});
+  EXPECT_NEAR(Log(y).item(1), 2.0f, 1e-4f);
+  // Log clamps non-positive inputs instead of producing -inf.
+  Tensor z = Tensor::FromVector({1}, {0.0f});
+  EXPECT_TRUE(std::isfinite(Log(z).item(0)));
+}
+
+TEST(OpsTest, MatMulKnownValues) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(OpsTest, BmmKnownValues) {
+  // Two independent 1x2 @ 2x1 products.
+  Tensor a = Tensor::FromVector({2, 1, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 2, 1}, {5, 6, 7, 8});
+  Tensor c = Bmm(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 1, 1}));
+  EXPECT_FLOAT_EQ(c.item(0), 17.0f);  // 1*5+2*6
+  EXPECT_FLOAT_EQ(c.item(1), 53.0f);  // 3*7+4*8
+}
+
+TEST(OpsTest, Transpose2D) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = Transpose2D(a);
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ(t.at(0, 1), 4.0f);
+  EXPECT_FLOAT_EQ(t.at(2, 0), 3.0f);
+}
+
+TEST(OpsTest, Permute3D) {
+  // {2,3,4} -> {4,2,3}
+  std::vector<float> vals(24);
+  for (int i = 0; i < 24; ++i) vals[i] = static_cast<float>(i);
+  Tensor a = Tensor::FromVector({2, 3, 4}, vals);
+  Tensor p = Permute(a, {2, 0, 1});
+  EXPECT_EQ(p.shape(), (Shape{4, 2, 3}));
+  // p[d][i][j] == a[i][j][d]; check (d=1, i=1, j=2) -> a flat 1*12+2*4+1=21
+  EXPECT_FLOAT_EQ(p.item(1 * 6 + 1 * 3 + 2), 21.0f);
+}
+
+TEST(OpsTest, ReshapePreservesData) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = Reshape(a, {3, 2});
+  EXPECT_EQ(r.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ(r.at(2, 1), 6.0f);
+}
+
+TEST(OpsTest, ConcatLastDim) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 1}, {9, 10});
+  Tensor c = ConcatLastDim({a, b});
+  EXPECT_EQ(c.shape(), (Shape{2, 3}));
+  EXPECT_FLOAT_EQ(c.at(0, 2), 9.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 3.0f);
+}
+
+TEST(OpsTest, ConcatRows) {
+  Tensor a = Tensor::FromVector({1, 2}, {1, 2});
+  Tensor b = Tensor::FromVector({2, 2}, {3, 4, 5, 6});
+  Tensor c = ConcatRows({a, b});
+  EXPECT_EQ(c.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ(c.at(2, 1), 6.0f);
+}
+
+TEST(OpsTest, GatherRowsSelectsAndRepeats) {
+  Tensor a = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor g = GatherRows(a, {2, 0, 2});
+  EXPECT_EQ(g.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ(g.at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(g.at(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(g.at(2, 1), 6.0f);
+}
+
+TEST(OpsTest, GatherRowsGradScatterAdds) {
+  Tensor a = Tensor::Ones({3, 2}, true);
+  Tensor g = GatherRows(a, {1, 1});
+  ASSERT_TRUE(SumAll(g).Backward().ok());
+  auto grad = a.GradToVector();
+  EXPECT_FLOAT_EQ(grad[0], 0.0f);  // row 0 untouched
+  EXPECT_FLOAT_EQ(grad[2], 2.0f);  // row 1 hit twice
+  EXPECT_FLOAT_EQ(grad[3], 2.0f);
+  EXPECT_FLOAT_EQ(grad[4], 0.0f);
+}
+
+TEST(OpsTest, SliceCols) {
+  Tensor a = Tensor::FromVector({2, 4}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor s = SliceCols(a, 1, 3);
+  EXPECT_EQ(s.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(s.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(s.at(1, 1), 7.0f);
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, -1, 0, 1});
+  Tensor s = SoftmaxLastDim(a);
+  for (int r = 0; r < 2; ++r) {
+    float sum = 0.0f;
+    for (int c = 0; c < 3; ++c) sum += s.at(r, c);
+    EXPECT_NEAR(sum, 1.0f, kTol);
+  }
+  EXPECT_GT(s.at(0, 2), s.at(0, 1));
+}
+
+TEST(OpsTest, SoftmaxInvariantToShift) {
+  Tensor a = Tensor::FromVector({1, 3}, {1, 2, 3});
+  Tensor b = Tensor::FromVector({1, 3}, {1001, 1002, 1003});
+  Tensor sa = SoftmaxLastDim(a);
+  Tensor sb = SoftmaxLastDim(b);
+  for (int c = 0; c < 3; ++c) EXPECT_NEAR(sa.at(0, c), sb.at(0, c), kTol);
+}
+
+TEST(OpsTest, LogSoftmaxMatchesLogOfSoftmax) {
+  Tensor a = Tensor::FromVector({1, 4}, {0.5f, -1.0f, 2.0f, 0.0f});
+  Tensor ls = LogSoftmaxLastDim(a);
+  Tensor s = SoftmaxLastDim(a);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_NEAR(ls.at(0, c), std::log(s.at(0, c)), 1e-4f);
+  }
+}
+
+TEST(OpsTest, RowNormalizeZeroMeanUnitVar) {
+  Tensor a = Tensor::FromVector({2, 4}, {1, 2, 3, 4, -5, 0, 5, 10});
+  Tensor y = RowNormalize(a);
+  for (int r = 0; r < 2; ++r) {
+    float mean = 0.0f, var = 0.0f;
+    for (int c = 0; c < 4; ++c) mean += y.at(r, c);
+    mean /= 4.0f;
+    for (int c = 0; c < 4; ++c) {
+      var += (y.at(r, c) - mean) * (y.at(r, c) - mean);
+    }
+    var /= 4.0f;
+    EXPECT_NEAR(mean, 0.0f, 1e-4f);
+    EXPECT_NEAR(var, 1.0f, 1e-3f);
+  }
+}
+
+TEST(OpsTest, RowNormalizeConstantRowIsFinite) {
+  Tensor a = Tensor::Full({1, 4}, 3.0f);
+  Tensor y = RowNormalize(a);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_TRUE(std::isfinite(y.at(0, c)));
+    EXPECT_NEAR(y.at(0, c), 0.0f, 1e-3f);
+  }
+}
+
+TEST(OpsTest, DropoutEvalIsIdentity) {
+  Rng rng(3);
+  Tensor a = Tensor::FromVector({4}, {1, 2, 3, 4});
+  Tensor y = Dropout(a, 0.5f, /*training=*/false, &rng);
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(y.item(i), a.item(i));
+}
+
+TEST(OpsTest, DropoutTrainKeepsExpectation) {
+  Rng rng(3);
+  Tensor a = Tensor::Ones({20000});
+  Tensor y = Dropout(a, 0.25f, /*training=*/true, &rng);
+  double sum = 0.0;
+  int zeros = 0;
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    sum += y.item(i);
+    if (y.item(i) == 0.0f) ++zeros;
+  }
+  EXPECT_NEAR(sum / y.numel(), 1.0, 0.03);  // inverted scaling
+  EXPECT_NEAR(zeros / 20000.0, 0.25, 0.02);
+}
+
+TEST(OpsTest, Reductions) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(SumAll(a).item(), 10.0f);
+  EXPECT_FLOAT_EQ(MeanAll(a).item(), 2.5f);
+}
+
+TEST(OpsTest, MeanDim1) {
+  Tensor a = Tensor::FromVector({2, 2, 2}, {1, 2, 3, 4, 10, 20, 30, 40});
+  Tensor m = MeanDim1(a);
+  EXPECT_EQ(m.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(m.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(m.at(0, 1), 3.0f);
+  EXPECT_FLOAT_EQ(m.at(1, 0), 20.0f);
+}
+
+TEST(OpsTest, RowwiseDot) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({2, 3}, {1, 1, 1, 2, 2, 2});
+  Tensor d = RowwiseDot(a, b);
+  EXPECT_EQ(d.shape(), (Shape{2, 1}));
+  EXPECT_FLOAT_EQ(d.item(0), 6.0f);
+  EXPECT_FLOAT_EQ(d.item(1), 30.0f);
+}
+
+TEST(OpsTest, BceWithLogitsKnownValue) {
+  // x=0, t=1 -> log(2); x=0, t=0 -> log(2).
+  Tensor logits = Tensor::Zeros({2});
+  Tensor loss = BceWithLogits(logits, {1.0f, 0.0f});
+  EXPECT_NEAR(loss.item(), std::log(2.0f), 1e-5f);
+}
+
+TEST(OpsTest, BceWithLogitsExtremeLogitsFinite) {
+  Tensor logits = Tensor::FromVector({2}, {80.0f, -80.0f});
+  Tensor loss = BceWithLogits(logits, {1.0f, 0.0f});
+  EXPECT_TRUE(std::isfinite(loss.item()));
+  EXPECT_NEAR(loss.item(), 0.0f, 1e-4f);
+}
+
+TEST(OpsTest, BceGradientSign) {
+  Tensor logits = Tensor::Zeros({1}, true);
+  Tensor loss = BceWithLogits(logits, {1.0f});
+  ASSERT_TRUE(loss.Backward().ok());
+  EXPECT_LT(logits.GradToVector()[0], 0.0f);  // push logit up for target 1
+}
+
+TEST(OpsTest, GaussianKlZeroAtStandardNormal) {
+  Tensor mu = Tensor::Zeros({3, 2});
+  Tensor logvar = Tensor::Zeros({3, 2});
+  EXPECT_NEAR(GaussianKl(mu, logvar).item(), 0.0f, 1e-6f);
+}
+
+TEST(OpsTest, GaussianKlPositiveOffOrigin) {
+  Tensor mu = Tensor::Ones({2, 2});
+  Tensor logvar = Tensor::Zeros({2, 2});
+  EXPECT_GT(GaussianKl(mu, logvar).item(), 0.0f);
+}
+
+}  // namespace
+}  // namespace tensor
+}  // namespace apan

@@ -1,0 +1,142 @@
+#include "tensor/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace apan {
+namespace tensor {
+namespace {
+
+// Quadratic bowl: L(w) = sum((w - target)^2). Any sane optimizer converges.
+float QuadraticStep(Optimizer* opt, Tensor w, const Tensor& target) {
+  opt->ZeroGrad();
+  Tensor diff = Sub(w, target);
+  Tensor loss = SumAll(Mul(diff, diff));
+  EXPECT_TRUE(loss.Backward().ok());
+  const float l = loss.item();
+  opt->Step();
+  return l;
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Rng rng(1);
+  Tensor w = Tensor::Randn({4}, &rng, 1.0f, true);
+  Tensor target = Tensor::FromVector({4}, {1, -2, 3, 0.5f});
+  Sgd opt({w}, {.lr = 0.1f});
+  float last = 1e9f;
+  for (int i = 0; i < 100; ++i) last = QuadraticStep(&opt, w, target);
+  EXPECT_LT(last, 1e-4f);
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(w.item(i), target.item(i), 1e-2f);
+  }
+}
+
+TEST(SgdTest, MomentumAcceleratesDescent) {
+  Rng rng(1);
+  Tensor w1 = Tensor::Full({4}, 5.0f, true);
+  Tensor w2 = Tensor::Full({4}, 5.0f, true);
+  Tensor target = Tensor::Zeros({4});
+  Sgd plain({w1}, {.lr = 0.01f});
+  Sgd heavy({w2}, {.lr = 0.01f, .momentum = 0.9f});
+  float l1 = 0, l2 = 0;
+  for (int i = 0; i < 30; ++i) {
+    l1 = QuadraticStep(&plain, w1, target);
+    l2 = QuadraticStep(&heavy, w2, target);
+  }
+  EXPECT_LT(l2, l1);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Rng rng(2);
+  Tensor w = Tensor::Randn({8}, &rng, 2.0f, true);
+  Tensor target = Tensor::Zeros({8});
+  Adam opt({w}, {.lr = 0.05f});
+  float last = 1e9f;
+  for (int i = 0; i < 300; ++i) last = QuadraticStep(&opt, w, target);
+  EXPECT_LT(last, 1e-3f);
+}
+
+TEST(AdamTest, WeightDecayShrinksWeights) {
+  Tensor w = Tensor::Full({2}, 1.0f, true);
+  Adam opt({w}, {.lr = 0.01f, .weight_decay = 1.0f});
+  // Loss gradient is zero; only decay acts.
+  for (int i = 0; i < 50; ++i) {
+    opt.ZeroGrad();
+    w.grad_data();  // ensure grad buffer exists (all zeros)
+    opt.Step();
+  }
+  EXPECT_LT(std::abs(w.item(0)), 1.0f);
+}
+
+TEST(AdamTest, FirstStepMagnitudeIsLr) {
+  // With bias correction, |Δw| of the first step ≈ lr regardless of grad
+  // magnitude.
+  Tensor w = Tensor::Zeros({1}, true);
+  Adam opt({w}, {.lr = 0.1f});
+  opt.ZeroGrad();
+  w.grad_data()[0] = 1000.0f;
+  opt.Step();
+  EXPECT_NEAR(std::abs(w.item(0)), 0.1f, 1e-3f);
+}
+
+TEST(OptimizerTest, ClipGradNormRescales) {
+  Tensor w = Tensor::Zeros({3}, true);
+  Sgd opt({w}, {.lr = 1.0f});
+  float* g = w.grad_data();
+  g[0] = 3.0f;
+  g[1] = 4.0f;
+  g[2] = 0.0f;
+  const double pre = opt.ClipGradNorm(1.0);
+  EXPECT_NEAR(pre, 5.0, 1e-6);
+  const auto clipped = w.GradToVector();
+  const double post = std::sqrt(clipped[0] * clipped[0] +
+                                clipped[1] * clipped[1] +
+                                clipped[2] * clipped[2]);
+  EXPECT_NEAR(post, 1.0, 1e-5);
+}
+
+TEST(OptimizerTest, ClipGradNormNoOpBelowThreshold) {
+  Tensor w = Tensor::Zeros({2}, true);
+  Sgd opt({w}, {.lr = 1.0f});
+  w.grad_data()[0] = 0.3f;
+  opt.ClipGradNorm(10.0);
+  EXPECT_FLOAT_EQ(w.GradToVector()[0], 0.3f);
+}
+
+TEST(OptimizerTest, ZeroGradClearsAllParams) {
+  Tensor a = Tensor::Zeros({2}, true);
+  Tensor b = Tensor::Zeros({2}, true);
+  Adam opt({a, b}, {});
+  a.grad_data()[0] = 1.0f;
+  b.grad_data()[1] = 2.0f;
+  opt.ZeroGrad();
+  EXPECT_FLOAT_EQ(a.GradToVector()[0], 0.0f);
+  EXPECT_FLOAT_EQ(b.GradToVector()[1], 0.0f);
+}
+
+TEST(OptimizerTest, TrainsTinyLinearRegression) {
+  // y = x * W; fit W to a known matrix from noisy-free data.
+  Rng rng(7);
+  Tensor w_true = Tensor::FromVector({2, 2}, {1.0f, -0.5f, 0.25f, 2.0f});
+  Tensor w = Tensor::Zeros({2, 2}, true);
+  Adam opt({w}, {.lr = 0.05f});
+  for (int step = 0; step < 400; ++step) {
+    Tensor x = Tensor::Randn({8, 2}, &rng);
+    Tensor y_true = MatMul(x, w_true);
+    opt.ZeroGrad();
+    Tensor diff = Sub(MatMul(x, w), y_true);
+    Tensor loss = MeanAll(Mul(diff, diff));
+    ASSERT_TRUE(loss.Backward().ok());
+    opt.Step();
+  }
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(w.item(i), w_true.item(i), 0.05f);
+  }
+}
+
+}  // namespace
+}  // namespace tensor
+}  // namespace apan

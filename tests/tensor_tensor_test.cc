@@ -1,0 +1,170 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+
+namespace apan {
+namespace tensor {
+namespace {
+
+TEST(TensorTest, ZerosShapeAndValues) {
+  Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_EQ(t.shape(), (Shape{2, 3}));
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.numel(), 6);
+  for (int64_t i = 0; i < 6; ++i) EXPECT_EQ(t.item(i), 0.0f);
+}
+
+TEST(TensorTest, FullAndOnes) {
+  Tensor t = Tensor::Full({4}, 2.5f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(t.item(i), 2.5f);
+  Tensor o = Tensor::Ones({2, 2});
+  EXPECT_EQ(o.item(3), 1.0f);
+}
+
+TEST(TensorTest, FromVectorRoundTrip) {
+  Tensor t = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(TensorTest, ScalarShape) {
+  Tensor s = Tensor::Scalar(3.0f);
+  EXPECT_EQ(s.shape(), (Shape{1}));
+  EXPECT_EQ(s.item(), 3.0f);
+}
+
+TEST(TensorTest, RandnIsSeedDeterministic) {
+  Rng r1(9), r2(9);
+  Tensor a = Tensor::Randn({8}, &r1);
+  Tensor b = Tensor::Randn({8}, &r2);
+  for (int64_t i = 0; i < 8; ++i) EXPECT_EQ(a.item(i), b.item(i));
+}
+
+TEST(TensorTest, XavierBounds) {
+  Rng rng(5);
+  Tensor w = Tensor::XavierUniform(64, 64, &rng);
+  const float bound = std::sqrt(6.0f / 128.0f);
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    EXPECT_LE(std::abs(w.item(i)), bound);
+  }
+  EXPECT_TRUE(w.requires_grad());
+}
+
+TEST(TensorTest, CopyAliasesStorage) {
+  Tensor a = Tensor::Zeros({2});
+  Tensor b = a;
+  b.set_item(0, 5.0f);
+  EXPECT_EQ(a.item(0), 5.0f);
+}
+
+TEST(TensorTest, CloneIsDeep) {
+  Tensor a = Tensor::Zeros({2});
+  Tensor b = a.Clone();
+  b.set_item(0, 5.0f);
+  EXPECT_EQ(a.item(0), 0.0f);
+}
+
+TEST(TensorTest, DetachSnapshotsValuesOutsideGraph) {
+  Rng rng(1);
+  Tensor a = Tensor::Randn({3}, &rng, 1.0f, /*requires_grad=*/true);
+  Tensor b = MulScalar(a, 2.0f);
+  Tensor d = b.Detach();
+  EXPECT_FALSE(d.requires_grad());
+  for (int64_t i = 0; i < 3; ++i) EXPECT_EQ(d.item(i), b.item(i));
+  // Backward through b does not touch d.
+  ASSERT_TRUE(SumAll(b).Backward().ok());
+  EXPECT_TRUE(d.GradToVector().empty());
+}
+
+TEST(TensorTest, BackwardRequiresScalarRoot) {
+  Tensor a = Tensor::Ones({2, 2}, /*requires_grad=*/true);
+  Status s = a.Backward();
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_TRUE(a.Backward({1, 1, 1, 1}).ok());
+}
+
+TEST(TensorTest, BackwardAccumulatesSimpleChain) {
+  Tensor a = Tensor::FromVector({2}, {1.0f, 2.0f}, true);
+  Tensor y = SumAll(MulScalar(a, 3.0f));
+  ASSERT_TRUE(y.Backward().ok());
+  auto g = a.GradToVector();
+  ASSERT_EQ(g.size(), 2u);
+  EXPECT_FLOAT_EQ(g[0], 3.0f);
+  EXPECT_FLOAT_EQ(g[1], 3.0f);
+}
+
+TEST(TensorTest, GradAccumulatesAcrossBackwardCalls) {
+  Tensor a = Tensor::FromVector({1}, {2.0f}, true);
+  Tensor y1 = MulScalar(a, 2.0f);
+  ASSERT_TRUE(y1.Backward().ok());
+  Tensor y2 = MulScalar(a, 4.0f);
+  ASSERT_TRUE(y2.Backward().ok());
+  EXPECT_FLOAT_EQ(a.GradToVector()[0], 6.0f);
+  a.ZeroGrad();
+  EXPECT_FLOAT_EQ(a.GradToVector()[0], 0.0f);
+}
+
+TEST(TensorTest, DiamondGraphSumsGradients) {
+  // y = a*2 + a*3 -> dy/da = 5.
+  Tensor a = Tensor::FromVector({1}, {1.0f}, true);
+  Tensor y = Add(MulScalar(a, 2.0f), MulScalar(a, 3.0f));
+  ASSERT_TRUE(SumAll(y).Backward().ok());
+  EXPECT_FLOAT_EQ(a.GradToVector()[0], 5.0f);
+}
+
+TEST(TensorTest, NoGradGuardDisablesGraph) {
+  Tensor a = Tensor::Ones({2}, true);
+  {
+    NoGradGuard guard;
+    EXPECT_FALSE(NoGradGuard::GradEnabled());
+    Tensor y = MulScalar(a, 2.0f);
+    EXPECT_FALSE(y.requires_grad());
+  }
+  EXPECT_TRUE(NoGradGuard::GradEnabled());
+  Tensor y = MulScalar(a, 2.0f);
+  EXPECT_TRUE(y.requires_grad());
+}
+
+TEST(TensorTest, NestedNoGradGuardRestores) {
+  {
+    NoGradGuard g1;
+    {
+      NoGradGuard g2;
+      EXPECT_FALSE(NoGradGuard::GradEnabled());
+    }
+    EXPECT_FALSE(NoGradGuard::GradEnabled());
+  }
+  EXPECT_TRUE(NoGradGuard::GradEnabled());
+}
+
+TEST(TensorTest, CopyDataFromValidatesShape) {
+  Tensor a = Tensor::Zeros({2, 2});
+  Tensor b = Tensor::Ones({2, 2});
+  ASSERT_TRUE(a.CopyDataFrom(b).ok());
+  EXPECT_EQ(a.item(0), 1.0f);
+  Tensor c = Tensor::Ones({4});
+  EXPECT_TRUE(a.CopyDataFrom(c).IsInvalidArgument());
+}
+
+TEST(TensorTest, LongChainBackwardDoesNotOverflowStack) {
+  // 20k-node chain exercises the iterative topo sort.
+  Tensor a = Tensor::Scalar(1.0f, true);
+  Tensor y = a;
+  for (int i = 0; i < 20000; ++i) y = AddScalar(y, 0.0f);
+  ASSERT_TRUE(y.Backward().ok());
+  EXPECT_FLOAT_EQ(a.GradToVector()[0], 1.0f);
+}
+
+TEST(ShapeTest, NumElementsAndToString) {
+  EXPECT_EQ(NumElements({2, 3, 4}), 24);
+  EXPECT_EQ(ShapeToString({2, 3}), "[2, 3]");
+  EXPECT_EQ(NumElements({}), 0);
+}
+
+}  // namespace
+}  // namespace tensor
+}  // namespace apan

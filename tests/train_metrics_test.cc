@@ -1,0 +1,77 @@
+#include "train/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace apan {
+namespace train {
+namespace {
+
+TEST(AveragePrecisionTest, PerfectRanking) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({0.9f, 0.8f, 0.2f, 0.1f}, {1, 1, 0, 0}),
+                   1.0);
+}
+
+TEST(AveragePrecisionTest, WorstRanking) {
+  // Positives ranked last: AP = (1/3 + 2/4) / 2.
+  EXPECT_NEAR(AveragePrecision({0.9f, 0.8f, 0.2f, 0.1f}, {0, 0, 1, 1}),
+              (1.0 / 3.0 + 2.0 / 4.0) / 2.0, 1e-9);
+}
+
+TEST(AveragePrecisionTest, SklearnCrossCheck) {
+  // sklearn.metrics.average_precision_score(
+  //   [0,0,1,1], [0.1,0.4,0.35,0.8]) == 0.8333333...
+  EXPECT_NEAR(AveragePrecision({0.1f, 0.4f, 0.35f, 0.8f}, {0, 0, 1, 1}),
+              0.8333333, 1e-5);
+}
+
+TEST(AveragePrecisionTest, AllSameScoreEqualsPrevalence) {
+  // Uniform scores: AP collapses to the positive rate.
+  EXPECT_NEAR(AveragePrecision({0.5f, 0.5f, 0.5f, 0.5f}, {1, 0, 1, 0}), 0.5,
+              0.1);
+}
+
+TEST(AveragePrecisionTest, NoPositivesIsZero) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({0.5f, 0.4f}, {0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(AveragePrecision({}, {}), 0.0);
+}
+
+TEST(RocAucTest, PerfectAndInverted) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.9f, 0.8f, 0.2f, 0.1f}, {1, 1, 0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(RocAuc({0.9f, 0.8f, 0.2f, 0.1f}, {0, 0, 1, 1}), 0.0);
+}
+
+TEST(RocAucTest, KnownMidValue) {
+  // Pairs: (pos 0.35 vs neg {0.1, 0.4}) + (pos 0.8 vs both) =
+  // (1 + 0 + 1 + 1) / 4 = 0.75.
+  EXPECT_NEAR(RocAuc({0.1f, 0.4f, 0.35f, 0.8f}, {0, 0, 1, 1}), 0.75, 1e-9);
+}
+
+TEST(RocAucTest, TiesGetHalfCredit) {
+  EXPECT_NEAR(RocAuc({0.5f, 0.5f}, {1, 0}), 0.5, 1e-9);
+}
+
+TEST(RocAucTest, DegenerateClassReturnsHalf) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.9f, 0.1f}, {1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(RocAuc({0.9f, 0.1f}, {0, 0}), 0.5);
+}
+
+TEST(AccuracyTest, ThresholdBehaviour) {
+  EXPECT_DOUBLE_EQ(
+      AccuracyAtThreshold({0.7f, 0.3f, 0.6f, 0.4f}, {1, 0, 0, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(AccuracyAtThreshold({0.7f, 0.3f}, {1, 0}), 1.0);
+  // Exactly at threshold counts as positive.
+  EXPECT_DOUBLE_EQ(AccuracyAtThreshold({0.5f}, {1}), 1.0);
+  EXPECT_DOUBLE_EQ(AccuracyAtThreshold({}, {}), 0.0);
+}
+
+TEST(SummarizeTest, MeanAndStdDev) {
+  auto s = Summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, 1.29099, 1e-4);
+  EXPECT_DOUBLE_EQ(Summarize({5.0}).stddev, 0.0);
+  EXPECT_DOUBLE_EQ(Summarize({}).mean, 0.0);
+}
+
+}  // namespace
+}  // namespace train
+}  // namespace apan

@@ -1,0 +1,154 @@
+#include "train/link_trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/tgn.h"
+#include "data/synthetic.h"
+#include "train/apan_adapter.h"
+#include "train/probe.h"
+
+namespace apan {
+namespace train {
+namespace {
+
+data::Dataset TinyDataset() {
+  auto cfg = data::SyntheticConfig::WikipediaLike().Scaled(0.08);
+  return *data::GenerateSynthetic(cfg);
+}
+
+core::ApanConfig ApanFor(const data::Dataset& ds) {
+  core::ApanConfig c;
+  c.num_nodes = ds.num_nodes;
+  c.embedding_dim = ds.feature_dim();
+  return c;
+}
+
+TEST(LinkTrainerTest, TrainingImprovesOverUntrained) {
+  data::Dataset ds = TinyDataset();
+  ApanLinkModel model(ApanFor(ds), &ds.features, 42);
+  LinkTrainConfig cfg;
+  cfg.max_epochs = 3;
+  cfg.patience = 3;
+  LinkTrainer trainer(cfg);
+
+  auto untrained = trainer.Evaluate(&model, ds);
+  ASSERT_TRUE(untrained.ok()) << untrained.status();
+  auto report = trainer.Run(&model, ds);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_GT(report->test.ap, untrained->test.ap + 0.02);
+  EXPECT_GT(report->validation.ap, 0.5);
+  EXPECT_GE(report->epochs_run, 1);
+  EXPECT_GT(report->mean_train_seconds_per_epoch, 0.0);
+}
+
+TEST(LinkTrainerTest, EvaluateIsDeterministic) {
+  data::Dataset ds = TinyDataset();
+  ApanLinkModel model(ApanFor(ds), &ds.features, 42);
+  LinkTrainConfig cfg;
+  LinkTrainer trainer(cfg);
+  auto a = trainer.Evaluate(&model, ds);
+  auto b = trainer.Evaluate(&model, ds);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->test.ap, b->test.ap);
+  EXPECT_DOUBLE_EQ(a->validation.ap, b->validation.ap);
+  EXPECT_EQ(a->test.num_events, b->test.num_events);
+}
+
+TEST(LinkTrainerTest, ApanSyncPathIsQueryFree) {
+  data::Dataset ds = TinyDataset();
+  ApanLinkModel apan(ApanFor(ds), &ds.features, 42);
+  LinkTrainer trainer({});
+  auto eval = trainer.Evaluate(&apan, ds);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_EQ(eval->sync_graph_queries, 0)
+      << "APAN inference must not query the temporal graph";
+}
+
+TEST(LinkTrainerTest, SynchronousBaselineDoesQuery) {
+  data::Dataset ds = TinyDataset();
+  baselines::Tgn tgn({.num_nodes = ds.num_nodes,
+                      .dim = ds.feature_dim(),
+                      .num_layers = 1},
+                     &ds.features, 42);
+  LinkTrainer trainer({});
+  auto eval = trainer.Evaluate(&tgn, ds);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_GT(eval->sync_graph_queries, 0)
+      << "TGN must query temporal neighbors on the inference path";
+}
+
+TEST(LinkTrainerTest, RejectsEmptyTrainSplit) {
+  data::Dataset ds = TinyDataset();
+  ds.train_end = 0;
+  ds.val_end = 0;
+  ApanLinkModel model(ApanFor(ds), &ds.features, 42);
+  LinkTrainer trainer({});
+  EXPECT_FALSE(trainer.Run(&model, ds).ok());
+}
+
+TEST(ProbeTest, ClassificationProbeLearnsPlantedSignal) {
+  // Rows where feature[0] determines the label: probe must reach high AUC.
+  Rng rng(1);
+  std::vector<EmbeddingRow> rows;
+  for (int i = 0; i < 600; ++i) {
+    EmbeddingRow r;
+    r.label = rng.Bernoulli(0.3) ? 1 : 0;
+    r.features = {r.label == 1 ? 1.0f : -1.0f,
+                  static_cast<float>(rng.Normal()),
+                  static_cast<float>(rng.Normal())};
+    r.split = i < 400 ? data::Split::kTrain
+                      : (i < 500 ? data::Split::kValidation
+                                 : data::Split::kTest);
+    rows.push_back(std::move(r));
+  }
+  ProbeConfig cfg;
+  cfg.epochs = 20;
+  auto result = TrainClassificationProbe(rows, cfg);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->val_auc, 0.95);
+  EXPECT_GT(result->test_auc, 0.95);
+}
+
+TEST(ProbeTest, ClassificationProbeRequiresRows) {
+  std::vector<EmbeddingRow> rows;
+  EXPECT_FALSE(TrainClassificationProbe(rows, {}).ok());
+  // Only train rows, no eval rows.
+  EmbeddingRow r;
+  r.features = {1.0f};
+  r.label = 1;
+  r.split = data::Split::kTrain;
+  rows.push_back(r);
+  EXPECT_FALSE(TrainClassificationProbe(rows, {}).ok());
+}
+
+TEST(ProbeTest, CollectTemporalRowsMatchesLabeledEvents) {
+  data::Dataset ds = TinyDataset();
+  ApanLinkModel model(ApanFor(ds), &ds.features, 42);
+  auto rows = CollectTemporalRows(&model, ds, 100);
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  int64_t labeled = 0;
+  for (int8_t l : ds.labels) labeled += (l >= 0);
+  EXPECT_EQ(static_cast<int64_t>(rows->size()), labeled);
+  for (const auto& r : *rows) {
+    EXPECT_EQ(static_cast<int64_t>(r.features.size()), ds.feature_dim());
+  }
+}
+
+TEST(ProbeTest, EdgeTaskRowsConcatenateFeatures) {
+  auto ds = *data::GenerateSynthetic(
+      data::SyntheticConfig::AlipayLike().Scaled(0.02));
+  core::ApanConfig cfg;
+  cfg.num_nodes = ds.num_nodes;
+  cfg.embedding_dim = ds.feature_dim();
+  ApanLinkModel model(cfg, &ds.features, 42);
+  auto rows = CollectTemporalRows(&model, ds, 100);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_FALSE(rows->empty());
+  // [z_src ‖ e ‖ z_dst]
+  EXPECT_EQ(static_cast<int64_t>(rows->front().features.size()),
+            3 * ds.feature_dim());
+}
+
+}  // namespace
+}  // namespace train
+}  // namespace apan

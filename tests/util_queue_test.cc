@@ -1,0 +1,119 @@
+#include "util/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace apan {
+namespace {
+
+TEST(BoundedQueueTest, FifoOrder) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.Push(i).ok());
+  for (int i = 0; i < 5; ++i) {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(BoundedQueueTest, TryPopEmptyReturnsNullopt) {
+  BoundedQueue<int> q(4);
+  EXPECT_FALSE(q.TryPop().has_value());
+  ASSERT_TRUE(q.Push(1).ok());
+  EXPECT_TRUE(q.TryPop().has_value());
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(BoundedQueueTest, DropNewestRejectsWhenFull) {
+  BoundedQueue<int> q(2, OverflowPolicy::kDropNewest);
+  ASSERT_TRUE(q.Push(1).ok());
+  ASSERT_TRUE(q.Push(2).ok());
+  Status s = q.Push(3);
+  EXPECT_TRUE(s.IsResourceExhausted());
+  EXPECT_EQ(q.dropped(), 1u);
+  EXPECT_EQ(*q.Pop(), 1);
+  EXPECT_EQ(*q.Pop(), 2);
+}
+
+TEST(BoundedQueueTest, DropOldestEvicts) {
+  BoundedQueue<int> q(2, OverflowPolicy::kDropOldest);
+  ASSERT_TRUE(q.Push(1).ok());
+  ASSERT_TRUE(q.Push(2).ok());
+  ASSERT_TRUE(q.Push(3).ok());
+  EXPECT_EQ(q.dropped(), 1u);
+  EXPECT_EQ(*q.Pop(), 2);
+  EXPECT_EQ(*q.Pop(), 3);
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenSignalsEnd) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.Push(7).ok());
+  q.Close();
+  EXPECT_EQ(q.Push(8).code(), StatusCode::kCancelled);
+  auto v = q.Pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BoundedQueueTest, BlockingPushUnblocksOnPop) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1).ok());
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(q.Push(2).ok());
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(*q.Pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(*q.Pop(), 2);
+}
+
+TEST(BoundedQueueTest, ConcurrentProducersConsumersDeliverAll) {
+  BoundedQueue<int> q(16);
+  constexpr int kPerProducer = 500;
+  constexpr int kProducers = 4;
+  std::atomic<int> consumed{0};
+  std::atomic<long long> checksum{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(p * kPerProducer + i).ok());
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      while (true) {
+        auto v = q.Pop();
+        if (!v.has_value()) return;
+        checksum += *v;
+        ++consumed;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(consumed.load(), kPerProducer * kProducers);
+  const long long n = kPerProducer * kProducers;
+  EXPECT_EQ(checksum.load(), n * (n - 1) / 2);
+}
+
+TEST(BoundedQueueTest, ZeroCapacityClampsToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  ASSERT_TRUE(q.Push(1).ok());
+  EXPECT_EQ(*q.Pop(), 1);
+}
+
+}  // namespace
+}  // namespace apan

@@ -1,0 +1,180 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+namespace apan {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent(7);
+  Rng c1 = parent.Fork(0);
+  Rng c2 = parent.Fork(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (c1.Next() == c2.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(42);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.UniformInt(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit in 1000 draws
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+  // Degenerate single-point range.
+  EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(RngTest, NormalMomentsApproximate) {
+  Rng rng(42);
+  const int n = 50000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(42);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(42);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(42);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  std::map<size_t, int> counts;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, CategoricalZeroMassSignalsFailure) {
+  Rng rng(42);
+  std::vector<double> w = {0.0, 0.0};
+  EXPECT_EQ(rng.Categorical(w), w.size());
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(42);
+  const uint64_t n = 1000;
+  int low = 0, high = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t v = rng.Zipf(n, 1.2);
+    ASSERT_LT(v, n);
+    if (v < 10) ++low;
+    if (v >= n - 10) ++high;
+  }
+  EXPECT_GT(low, 10 * high);  // strong head concentration
+}
+
+TEST(RngTest, ZipfAlphaZeroIsUniform) {
+  Rng rng(42);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 30000; ++i) ++counts[rng.Zipf(3, 0.0)];
+  for (const auto& [k, c] : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / 30000.0, 1.0 / 3.0, 0.02)
+        << "bucket " << k;
+  }
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(42);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(42);
+  auto s = rng.SampleWithoutReplacement(100, 10);
+  EXPECT_EQ(s.size(), 10u);
+  std::set<size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 10u);
+  for (size_t x : uniq) EXPECT_LT(x, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementSmallPopulation) {
+  Rng rng(42);
+  auto s = rng.SampleWithoutReplacement(3, 10);
+  EXPECT_EQ(s.size(), 3u);
+  std::set<size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq, (std::set<size_t>{0, 1, 2}));
+}
+
+TEST(SplitMix64Test, KnownSequenceIsStable) {
+  SplitMix64 a(0), b(0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.Next(), b.Next());
+  SplitMix64 c(1);
+  EXPECT_NE(SplitMix64(0).Next(), c.Next());
+}
+
+}  // namespace
+}  // namespace apan
