@@ -1,0 +1,108 @@
+// Sharded serving throughput: end-to-end events/sec versus shard count.
+//
+// The stream is replayed through serve::ShardedEngine at 1, 2, 4, and 8
+// shards (plus the single-worker AsyncPipeline as the unsharded
+// baseline). Throughput counts the complete pipeline — synchronous
+// scoring, cross-shard mail routing, and full propagation (timing stops
+// after Flush) — so it measures the asynchronous link's scaling, which is
+// the bottleneck the shard partition parallelizes. The cross-shard column
+// reports what fraction of mail left its home shard: the out-of-order
+// delivery the paper's §3.6 mailbox tolerates by construction.
+//
+//   ./build/bench/fig10_sharded_throughput
+//   APAN_BENCH_SCALE=4 ./build/bench/fig10_sharded_throughput
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "serve/async_pipeline.h"
+#include "serve/sharded_engine.h"
+
+namespace {
+
+struct RunResult {
+  double events_per_sec = 0.0;
+  double sync_p50_ms = 0.0;
+  double cross_shard_pct = 0.0;
+};
+
+template <typename Engine>
+RunResult Replay(Engine& engine, const apan::data::Dataset& dataset,
+                 size_t batch) {
+  using namespace apan;
+  Stopwatch watch;
+  size_t served = 0;
+  for (size_t lo = 0; lo + batch <= dataset.events.size(); lo += batch) {
+    std::vector<graph::Event> events(dataset.events.begin() + lo,
+                                     dataset.events.begin() + lo + batch);
+    auto result = engine.InferBatch(events);
+    APAN_CHECK_MSG(result.ok(), result.status().ToString());
+    served += result->scores.size();
+  }
+  engine.Flush();
+  RunResult out;
+  out.events_per_sec =
+      static_cast<double>(served) / watch.ElapsedSeconds();
+  out.sync_p50_ms = engine.sync_latency().P50();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace apan;
+  std::printf(
+      "== Sharded serving throughput: events/sec vs shard count, "
+      "wikipedia-like ==\n\n");
+
+  data::Dataset wiki = bench::MakeWikipedia();
+  core::ApanConfig config;
+  config.num_nodes = wiki.num_nodes;
+  config.embedding_dim = wiki.feature_dim();
+  config.propagation_hops = 1;
+  config.dropout = 0.0f;
+  const size_t batch = 200;  // paper's serving batch
+
+  std::printf("%zu events, %lld nodes, batches of %zu\n\n",
+              wiki.events.size(), (long long)wiki.num_nodes, batch);
+  std::printf("%-18s | %12s | %12s | %12s\n", "Engine", "events/s",
+              "sync p50 ms", "cross-shard");
+  bench::PrintRule(64);
+
+  double baseline_eps = 0.0;
+  {
+    core::ApanModel model(config, &wiki.features, /*seed=*/2021);
+    serve::AsyncPipeline pipeline(&model, {});
+    const RunResult r = Replay(pipeline, wiki, batch);
+    baseline_eps = r.events_per_sec;
+    std::printf("%-18s | %12.0f | %12.3f | %12s\n", "AsyncPipeline",
+                r.events_per_sec, r.sync_p50_ms, "-");
+    std::fflush(stdout);
+  }
+
+  for (const int shards : {1, 2, 4, 8}) {
+    core::ApanModel model(config, &wiki.features, /*seed=*/2021);
+    serve::ShardedEngine::Options options;
+    options.num_shards = shards;
+    serve::ShardedEngine engine(&model, options);
+    RunResult r = Replay(engine, wiki, batch);
+    const auto stats = engine.stats();
+    r.cross_shard_pct =
+        stats.mails_routed > 0
+            ? 100.0 * static_cast<double>(stats.mails_cross_shard) /
+                  static_cast<double>(stats.mails_routed)
+            : 0.0;
+    char label[32];
+    std::snprintf(label, sizeof(label), "Sharded x%d", shards);
+    std::printf("%-18s | %12.0f | %12.3f | %11.1f%%\n", label,
+                r.events_per_sec, r.sync_p50_ms, r.cross_shard_pct);
+    std::fflush(stdout);
+  }
+  bench::PrintRule(64);
+  std::printf(
+      "baseline = single-worker AsyncPipeline (%.0f ev/s). Speedup needs\n"
+      "hardware parallelism: on a 1-core box expect parity, not scaling.\n",
+      baseline_eps);
+  return 0;
+}

@@ -97,6 +97,17 @@ std::vector<float> ApanModel::LastEmbedding(graph::NodeId node) const {
       state_.begin() + static_cast<size_t>((node + 1) * d));
 }
 
+void ApanModel::SetLastEmbedding(graph::NodeId node,
+                                 std::span<const float> z) {
+  APAN_CHECK_MSG(node >= 0 && node < config_.num_nodes,
+                 "node id out of range");
+  APAN_CHECK_MSG(static_cast<int64_t>(z.size()) == config_.embedding_dim,
+                 "embedding dimension mismatch");
+  std::copy(z.begin(), z.end(),
+            state_.begin() +
+                static_cast<size_t>(node * config_.embedding_dim));
+}
+
 void ApanModel::ApplyEmbeddings(
     const std::vector<InteractionRecord>& records) {
   // When a node appears several times in a batch, the later record (newer

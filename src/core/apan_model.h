@@ -12,6 +12,7 @@
 #define APAN_CORE_APAN_MODEL_H_
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/config.h"
@@ -88,6 +89,11 @@ class ApanModel : public nn::Module {
 
   /// Raw read of one node's stored embedding (tests / examples).
   std::vector<float> LastEmbedding(graph::NodeId node) const;
+
+  /// Raw write of one node's stored embedding z(t−). The sharded serving
+  /// engine uses this to apply routed per-node state updates; `z` must
+  /// hold embedding_dim floats.
+  void SetLastEmbedding(graph::NodeId node, std::span<const float> z);
 
   // ---- Lifecycle -----------------------------------------------------------
 

@@ -21,6 +21,14 @@
 namespace apan {
 namespace core {
 
+/// One reduced mail addressed to one node.
+struct MailDelivery {
+  graph::NodeId recipient = -1;
+  std::vector<float> mail;
+  double timestamp = 0.0;
+  int64_t contributions = 0;  ///< Mails merged by ρ into this delivery.
+};
+
 /// \brief Fixed-capacity per-node mail storage for a whole graph.
 ///
 /// Memory is O(num_nodes * slots * dim) — bounded by the node count, not
@@ -38,6 +46,14 @@ class Mailbox {
   /// mail when the ring is full. Out-of-order timestamps are accepted.
   void Deliver(graph::NodeId node, std::span<const float> mail,
                double timestamp);
+
+  /// \brief Delivers a batch of mails, grouping deliveries per node so the
+  /// ring bookkeeping (head/count/base offset) is computed once per
+  /// recipient instead of once per mail. Equivalent to calling Deliver()
+  /// per entry: mails addressed to the same node land in their span order
+  /// (grouping is stable), and inter-node order never affects state.
+  /// \return number of mails stored.
+  int64_t DeliverBatch(std::span<const MailDelivery> deliveries);
 
   /// Number of mails currently held for `node` (0..slots()).
   int64_t ValidCount(graph::NodeId node) const;

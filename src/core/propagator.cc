@@ -1,6 +1,7 @@
 #include "core/propagator.h"
 
 #include <algorithm>
+#include <numeric>
 #include <unordered_map>
 
 namespace apan {
@@ -32,9 +33,12 @@ std::vector<float> MailPropagator::MakeMail(
   return mail;
 }
 
-std::vector<MailDelivery> MailPropagator::ComputeDeliveries(
-    const std::vector<InteractionRecord>& batch) const {
-  std::vector<MailDelivery> out;
+PartialPropagation MailPropagator::ComputePartial(
+    std::span<const InteractionRecord> records,
+    std::span<const int64_t> event_index) const {
+  APAN_CHECK_MSG(records.size() == event_index.size(),
+                 "one event index per record");
+  PartialPropagation out;
   const int64_t d = config_.embedding_dim;
 
   // Hop 0: each event's mail goes to both endpoints *unreduced* — a node's
@@ -48,7 +52,8 @@ std::vector<MailDelivery> MailPropagator::ComputeDeliveries(
   };
   std::unordered_map<graph::NodeId, Accumulator> propagated;
 
-  for (const InteractionRecord& record : batch) {
+  for (size_t r = 0; r < records.size(); ++r) {
+    const InteractionRecord& record = records[r];
     std::vector<float> mail = MakeMail(record);
     const double t = record.event.timestamp;
 
@@ -80,34 +85,56 @@ std::vector<MailDelivery> MailPropagator::ComputeDeliveries(
       }
     }
 
+    const int64_t seq = 2 * event_index[r];
     MailDelivery to_src{record.event.src, mail, t, 1};
     if (record.event.dst != record.event.src) {
-      out.push_back(to_src);
-      out.push_back({record.event.dst, std::move(mail), t, 1});
+      out.hop0.push_back({seq, to_src});
+      out.hop0.push_back(
+          {seq + 1, {record.event.dst, std::move(mail), t, 1}});
     } else {
-      out.push_back(std::move(to_src));
+      out.hop0.push_back({seq, std::move(to_src)});
     }
   }
 
-  // ρ: mean-reduce the propagated mails to one per recipient per batch.
-  std::vector<MailDelivery> reduced;
-  reduced.reserve(propagated.size());
+  out.partial.reserve(propagated.size());
   for (auto& [recipient, acc] : propagated) {
-    MailDelivery delivery;
-    delivery.recipient = recipient;
-    delivery.mail = std::move(acc.sum);
-    const float inv = 1.0f / static_cast<float>(acc.count);
-    for (auto& v : delivery.mail) v *= inv;
-    delivery.timestamp = acc.newest;
-    delivery.contributions = acc.count;
-    reduced.push_back(std::move(delivery));
+    out.partial.push_back(
+        {recipient, std::move(acc.sum), acc.newest, acc.count});
   }
-  std::sort(reduced.begin(), reduced.end(),
-            [](const MailDelivery& a, const MailDelivery& b) {
+  std::sort(out.partial.begin(), out.partial.end(),
+            [](const PartialPropagation::PartialReduce& a,
+               const PartialPropagation::PartialReduce& b) {
               return a.recipient < b.recipient;
             });
-  out.insert(out.end(), std::make_move_iterator(reduced.begin()),
-             std::make_move_iterator(reduced.end()));
+  return out;
+}
+
+MailDelivery MailPropagator::FinalizeReduce(
+    PartialPropagation::PartialReduce&& partial) {
+  APAN_CHECK_MSG(partial.count > 0, "FinalizeReduce on empty partial");
+  MailDelivery delivery;
+  delivery.recipient = partial.recipient;
+  delivery.mail = std::move(partial.sum);
+  const float inv = 1.0f / static_cast<float>(partial.count);
+  for (auto& v : delivery.mail) v *= inv;
+  delivery.timestamp = partial.newest;
+  delivery.contributions = partial.count;
+  return delivery;
+}
+
+std::vector<MailDelivery> MailPropagator::ComputeDeliveries(
+    const std::vector<InteractionRecord>& batch) const {
+  std::vector<int64_t> event_index(batch.size());
+  std::iota(event_index.begin(), event_index.end(), 0);
+  PartialPropagation part = ComputePartial(batch, event_index);
+
+  std::vector<MailDelivery> out;
+  out.reserve(part.hop0.size() + part.partial.size());
+  for (auto& tagged : part.hop0) out.push_back(std::move(tagged.delivery));
+  // ρ: mean-reduce the propagated mails to one per recipient per batch.
+  for (auto& partial : part.partial) {
+    out.push_back(FinalizeReduce(std::move(partial)));
+  }
   return out;
 }
 
@@ -115,10 +142,7 @@ int64_t MailPropagator::Propagate(
     const std::vector<InteractionRecord>& batch, Mailbox* mailbox) const {
   APAN_CHECK(mailbox != nullptr);
   const auto deliveries = ComputeDeliveries(batch);
-  for (const MailDelivery& d : deliveries) {
-    mailbox->Deliver(d.recipient, d.mail, d.timestamp);
-  }
-  return static_cast<int64_t>(deliveries.size());
+  return mailbox->DeliverBatch(deliveries);
 }
 
 }  // namespace core

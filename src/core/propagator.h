@@ -22,6 +22,7 @@
 #ifndef APAN_CORE_PROPAGATOR_H_
 #define APAN_CORE_PROPAGATOR_H_
 
+#include <span>
 #include <vector>
 
 #include "core/config.h"
@@ -41,12 +42,35 @@ struct InteractionRecord {
   std::vector<float> z_dst;
 };
 
-/// One reduced mail addressed to one node.
-struct MailDelivery {
-  graph::NodeId recipient = -1;
-  std::vector<float> mail;
-  double timestamp = 0.0;
-  int64_t contributions = 0;  ///< Mails merged by ρ into this delivery.
+// MailDelivery lives in core/mailbox.h (it is the unit Mailbox consumes);
+// re-exported here for existing includers.
+
+/// \brief Unreduced propagation output for a slice of a batch — the
+/// shardable form of ComputeDeliveries (serve::ShardedEngine).
+///
+/// Hop-0 deliveries carry a sequence tag (derived from the event's global
+/// position in the batch) so a recipient that gathers slices from several
+/// shards can reconstruct the exact per-node delivery order. Hops 1..k are
+/// returned as per-recipient partial *sums*; the recipient finalizes ρ
+/// (divide by the total contribution count) only after merging every
+/// slice, so the reduced mail spans the whole batch exactly as in the
+/// single-worker path.
+struct PartialPropagation {
+  struct TaggedDelivery {
+    /// 2 * global event index + {0: src endpoint, 1: dst endpoint}.
+    int64_t sequence = 0;
+    MailDelivery delivery;
+  };
+  struct PartialReduce {
+    graph::NodeId recipient = -1;
+    std::vector<float> sum;  ///< Σ of propagated mails, not yet ρ-averaged.
+    double newest = 0.0;
+    int64_t count = 0;
+  };
+  /// In event order (src before dst within an event).
+  std::vector<TaggedDelivery> hop0;
+  /// Sorted by recipient; one entry per distinct hop-1..k recipient.
+  std::vector<PartialReduce> partial;
 };
 
 /// \brief Stateless propagation logic; mailbox state lives in Mailbox.
@@ -67,6 +91,21 @@ class MailPropagator {
   /// section for mails they already received directly.
   std::vector<MailDelivery> ComputeDeliveries(
       const std::vector<InteractionRecord>& batch) const;
+
+  /// \brief φ + N + f for a *slice* of a batch, leaving ρ unfinalized.
+  ///
+  /// `event_index[i]` is records[i]'s position in the full batch; it seeds
+  /// the hop-0 sequence tags. ComputeDeliveries(batch) is exactly
+  /// ComputePartial over the whole batch followed by FinalizeReduce on
+  /// each partial entry. Thread-safe for concurrent calls under
+  /// PropagationSampling::kMostRecent (kUniform draws from a shared RNG).
+  PartialPropagation ComputePartial(
+      std::span<const InteractionRecord> records,
+      std::span<const int64_t> event_index) const;
+
+  /// ρ for one recipient: divides the merged sum by the contribution
+  /// count. `partial.count` must be positive.
+  static MailDelivery FinalizeReduce(PartialPropagation::PartialReduce&& partial);
 
   /// \brief Full propagation: ComputeDeliveries then ψ (mailbox append).
   /// \return number of deliveries made.

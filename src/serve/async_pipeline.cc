@@ -87,9 +87,19 @@ Result<AsyncPipeline::InferenceResult> AsyncPipeline::InferBatch(
     std::lock_guard<std::mutex> lock(pending_mu_);
     ++pending_;
   }
-  Status push = queue_.Push(std::move(job));
+  const int64_t job_records = static_cast<int64_t>(job.records.size());
+  std::optional<Job> evicted;
+  Status push = queue_.Push(std::move(job), &evicted);
+  if (evicted.has_value()) {
+    // kDropOldest displaced an accepted batch; its mail is lost.
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    mails_dropped_ += static_cast<int64_t>(evicted->records.size());
+    --pending_;
+    pending_cv_.notify_all();
+  }
   if (!push.ok()) {
     std::lock_guard<std::mutex> lock(pending_mu_);
+    if (push.IsResourceExhausted()) mails_dropped_ += job_records;
     --pending_;
     pending_cv_.notify_all();
     // Drop policies surface as ResourceExhausted; the inference result is
@@ -122,9 +132,7 @@ void AsyncPipeline::WorkerLoop() {
           to_deliver.push_back(std::move(d));
         }
       }
-      for (const auto& d : to_deliver) {
-        model_->mailbox().Deliver(d.recipient, d.mail, d.timestamp);
-      }
+      model_->mailbox().DeliverBatch(to_deliver);
       const Status append = model_->AppendEvents(job->records);
       APAN_CHECK_MSG(append.ok(), append.ToString());
     }
@@ -143,9 +151,7 @@ void AsyncPipeline::Flush() {
   pending_cv_.wait(lock, [&] { return pending_ == 0; });
   // Flush any held-back (out-of-order) mail so state is complete.
   std::lock_guard<std::mutex> model_lock(model_mu_);
-  for (const auto& d : held_back_) {
-    model_->mailbox().Deliver(d.recipient, d.mail, d.timestamp);
-  }
+  model_->mailbox().DeliverBatch(held_back_);
   held_back_.clear();
 }
 
@@ -157,11 +163,22 @@ void AsyncPipeline::Shutdown() {
   }
   queue_.Close();
   if (worker_.joinable()) worker_.join();
+  // The worker has drained the backlog and exited; deliver any mail the
+  // out-of-order injector was still holding back, exactly as Flush()
+  // would — shutting down must not silently lose accepted mail.
+  std::lock_guard<std::mutex> model_lock(model_mu_);
+  model_->mailbox().DeliverBatch(held_back_);
+  held_back_.clear();
 }
 
 int64_t AsyncPipeline::batches_propagated() const {
   std::lock_guard<std::mutex> lock(pending_mu_);
   return propagated_batches_;
+}
+
+int64_t AsyncPipeline::mails_dropped() const {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  return mails_dropped_;
 }
 
 }  // namespace serve

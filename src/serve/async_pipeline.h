@@ -71,7 +71,11 @@ class AsyncPipeline {
   /// Blocks until every enqueued batch has been fully propagated.
   void Flush();
 
-  /// Stops the worker (idempotent; also called by the destructor).
+  /// Stops the worker (idempotent; also called by the destructor). The
+  /// backlog is drained and any mail held back by the out-of-order
+  /// injector is delivered before the pipeline goes quiet — Shutdown
+  /// never loses accepted mail (only an overflow drop policy can, which
+  /// mails_dropped() accounts for).
   void Shutdown();
 
   /// Latency of the synchronous path per batch (what the user waits for).
@@ -80,6 +84,10 @@ class AsyncPipeline {
   const LatencyRecorder& async_latency() const { return async_latency_; }
   /// Batches fully processed by the worker.
   int64_t batches_propagated() const;
+  /// Interaction records whose asynchronous work was lost to an overflow
+  /// drop policy (their mail was never propagated). Always 0 under
+  /// OverflowPolicy::kBlock.
+  int64_t mails_dropped() const;
 
  private:
   struct Job {
@@ -100,6 +108,7 @@ class AsyncPipeline {
   std::condition_variable pending_cv_;
   int64_t pending_ = 0;
   int64_t propagated_batches_ = 0;
+  int64_t mails_dropped_ = 0;
   bool shutdown_ = false;
   // Deliveries deferred by the out-of-order injector.
   std::vector<core::MailDelivery> held_back_;

@@ -1,0 +1,51 @@
+#include "serve/shard_router.h"
+
+#include "util/random.h"
+
+namespace apan {
+namespace serve {
+
+ShardRouter::ShardRouter(int num_shards, int64_t num_nodes)
+    : num_shards_(num_shards), num_nodes_(num_nodes) {
+  APAN_CHECK_MSG(num_shards > 0, "ShardRouter needs at least one shard");
+  APAN_CHECK_MSG(num_nodes > 0, "ShardRouter needs a positive node count");
+}
+
+int ShardRouter::ShardOf(graph::NodeId node) const {
+  APAN_CHECK_MSG(node >= 0 && node < num_nodes_,
+                 "node id out of range in ShardOf");
+  if (num_shards_ == 1) return 0;
+  SplitMix64 hash(static_cast<uint64_t>(node));
+  return static_cast<int>(hash.Next() % static_cast<uint64_t>(num_shards_));
+}
+
+std::vector<std::vector<graph::NodeId>> ShardRouter::PartitionNodes(
+    std::span<const graph::NodeId> nodes) const {
+  std::vector<std::vector<graph::NodeId>> out(
+      static_cast<size_t>(num_shards_));
+  for (const graph::NodeId node : nodes) {
+    out[static_cast<size_t>(ShardOf(node))].push_back(node);
+  }
+  return out;
+}
+
+std::vector<std::vector<int64_t>> ShardRouter::PartitionEvents(
+    std::span<const graph::Event> events) const {
+  std::vector<std::vector<int64_t>> out(static_cast<size_t>(num_shards_));
+  for (size_t i = 0; i < events.size(); ++i) {
+    out[static_cast<size_t>(HomeShardOf(events[i]))].push_back(
+        static_cast<int64_t>(i));
+  }
+  return out;
+}
+
+std::vector<int64_t> ShardRouter::OwnedNodeCounts() const {
+  std::vector<int64_t> counts(static_cast<size_t>(num_shards_), 0);
+  for (graph::NodeId v = 0; v < num_nodes_; ++v) {
+    ++counts[static_cast<size_t>(ShardOf(v))];
+  }
+  return counts;
+}
+
+}  // namespace serve
+}  // namespace apan

@@ -1,0 +1,69 @@
+// Deterministic hash partition of the node id space into shards.
+//
+// APAN's mailbox is partitionable by node: every write (ψ mail append,
+// z(t−) update) and every synchronous read (mailbox read-out + last
+// embedding) touches per-node rows only, so giving each shard exclusive
+// ownership of a node subset makes shard-local state access lock-free
+// with respect to other shards. The paper's §3.6 tolerance for
+// out-of-order mail is what makes the cross-shard routing correct: a
+// recipient's FIFO mailbox sorts on read, so mail arriving from many
+// shards in arbitrary interleavings converges to the same read-out.
+
+#ifndef APAN_SERVE_SHARD_ROUTER_H_
+#define APAN_SERVE_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/temporal_graph.h"
+#include "util/status.h"
+
+namespace apan {
+namespace serve {
+
+/// \brief Maps node ids (and events, via their source endpoint) to shards.
+///
+/// Node ids are scrambled through SplitMix64 before the modulo so that
+/// contiguous id ranges (users registered together, dataset reindexing)
+/// spread across shards instead of piling onto one. The mapping is a pure
+/// function of (node, num_shards) — stable across runs and processes, so
+/// a distributed deployment can compute it on every tier without
+/// coordination.
+class ShardRouter {
+ public:
+  ShardRouter(int num_shards, int64_t num_nodes);
+
+  int num_shards() const { return num_shards_; }
+  int64_t num_nodes() const { return num_nodes_; }
+
+  /// Owner shard of `node`'s mailbox + memory rows.
+  int ShardOf(graph::NodeId node) const;
+
+  /// Home shard of an event: the shard that computes its mail (φ) and
+  /// k-hop fan-out (N), namely the source endpoint's owner.
+  int HomeShardOf(const graph::Event& event) const {
+    return ShardOf(event.src);
+  }
+
+  /// \brief Stable partition of `nodes` into per-shard lists (input order
+  /// preserved within each shard).
+  std::vector<std::vector<graph::NodeId>> PartitionNodes(
+      std::span<const graph::NodeId> nodes) const;
+
+  /// \brief Indices into `events` grouped by home shard, order preserved.
+  std::vector<std::vector<int64_t>> PartitionEvents(
+      std::span<const graph::Event> events) const;
+
+  /// Number of owned nodes per shard (load-balance diagnostics).
+  std::vector<int64_t> OwnedNodeCounts() const;
+
+ private:
+  int num_shards_;
+  int64_t num_nodes_;
+};
+
+}  // namespace serve
+}  // namespace apan
+
+#endif  // APAN_SERVE_SHARD_ROUTER_H_

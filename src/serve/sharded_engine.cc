@@ -1,0 +1,460 @@
+#include "serve/sharded_engine.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "tensor/ops.h"
+
+namespace apan {
+namespace serve {
+
+using core::InteractionRecord;
+using core::MailDelivery;
+using core::MailPropagator;
+using core::PartialPropagation;
+
+ShardedEngine::ShardedEngine(core::ApanModel* model, Options options)
+    : model_(model),
+      options_(options),
+      router_(options.num_shards, model != nullptr ? model->config().num_nodes
+                                                   : 1),
+      encode_pool_(options.encode_threads > 0
+                       ? options.encode_threads
+                       : static_cast<size_t>(options.num_shards)) {
+  APAN_CHECK(model != nullptr);
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  APAN_CHECK_MSG(
+      model->config().sampling == core::PropagationSampling::kMostRecent,
+      "ShardedEngine requires kMostRecent sampling: kUniform draws from a "
+      "shared RNG, which shard-concurrent sampling would race on");
+  model_->SetTraining(false);
+  shards_.reserve(static_cast<size_t>(options_.num_shards));
+  for (int s = 0; s < options_.num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  for (int s = 0; s < options_.num_shards; ++s) {
+    shards_[static_cast<size_t>(s)]->worker =
+        std::thread([this, s] { WorkerLoop(s); });
+  }
+}
+
+ShardedEngine::~ShardedEngine() { Shutdown(); }
+
+Result<ShardedEngine::InferenceResult> ShardedEngine::InferBatch(
+    const std::vector<graph::Event>& events) {
+  if (events.empty()) {
+    return Status::InvalidArgument("InferBatch on empty batch");
+  }
+  std::lock_guard<std::mutex> infer_lock(infer_mu_);
+  if (shutdown_) return Status::Cancelled("engine is shut down");
+
+  InferenceResult result;
+  Stopwatch watch;
+  const int num_shards = options_.num_shards;
+  const int64_t d = model_->config().embedding_dim;
+  std::vector<InteractionRecord> records;
+  {
+    // ---- Synchronous link: shard-parallel encoding over local state. ----
+    tensor::NoGradGuard no_grad;
+
+    // Deduplicate nodes: each node's embedding is generated once per batch
+    // (paper §3.2), then split the unique set by owner shard.
+    std::vector<graph::NodeId> unique_nodes;
+    std::unordered_map<graph::NodeId, size_t> index_of;
+    auto intern = [&](graph::NodeId v) {
+      auto [it, inserted] = index_of.try_emplace(v, unique_nodes.size());
+      if (inserted) unique_nodes.push_back(v);
+      return it->second;
+    };
+    std::vector<int64_t> src_rows, dst_rows;
+    src_rows.reserve(events.size());
+    dst_rows.reserve(events.size());
+    for (const auto& e : events) {
+      src_rows.push_back(static_cast<int64_t>(intern(e.src)));
+      dst_rows.push_back(static_cast<int64_t>(intern(e.dst)));
+    }
+
+    // locator[u] = (shard, row within that shard's encode batch).
+    std::vector<std::vector<graph::NodeId>> shard_nodes(
+        static_cast<size_t>(num_shards));
+    std::vector<std::pair<int, int64_t>> locator(unique_nodes.size());
+    for (size_t u = 0; u < unique_nodes.size(); ++u) {
+      const int s = router_.ShardOf(unique_nodes[u]);
+      auto& nodes = shard_nodes[static_cast<size_t>(s)];
+      locator[u] = {s, static_cast<int64_t>(nodes.size())};
+      nodes.push_back(unique_nodes[u]);
+    }
+
+    // Encode each shard's slice concurrently; every task reads only its
+    // shard's mailbox/state rows, under that shard's state lock.
+    std::vector<core::ApanEncoder::Output> outputs(
+        static_cast<size_t>(num_shards));
+    std::vector<std::future<void>> futures;
+    for (int s = 0; s < num_shards; ++s) {
+      if (shard_nodes[static_cast<size_t>(s)].empty()) continue;
+      futures.push_back(encode_pool_.Submit([this, s, &shard_nodes,
+                                             &outputs] {
+        tensor::NoGradGuard task_no_grad;
+        Shard& shard = *shards_[static_cast<size_t>(s)];
+        std::lock_guard<std::mutex> state_lock(shard.state_mu);
+        outputs[static_cast<size_t>(s)] =
+            model_->EncodeNodes(shard_nodes[static_cast<size_t>(s)]);
+      }));
+    }
+    for (auto& f : futures) f.get();
+
+    // Reassemble the per-shard slices into one {unique, d} matrix in
+    // first-appearance order, then decode on the calling thread.
+    std::vector<float> emb(unique_nodes.size() * static_cast<size_t>(d));
+    for (size_t u = 0; u < unique_nodes.size(); ++u) {
+      const auto [s, row] = locator[u];
+      const float* src_ptr = outputs[static_cast<size_t>(s)]
+                                 .embeddings.data() +
+                             row * d;
+      std::copy_n(src_ptr, d, emb.data() + u * static_cast<size_t>(d));
+    }
+    tensor::Tensor embeddings = tensor::Tensor::FromVector(
+        {static_cast<int64_t>(unique_nodes.size()), d}, std::move(emb));
+    tensor::Tensor z_src = tensor::GatherRows(embeddings, src_rows);
+    tensor::Tensor z_dst = tensor::GatherRows(embeddings, dst_rows);
+    tensor::Tensor logits = model_->ScoreLinkLogits(z_src, z_dst);
+    tensor::Tensor probs = tensor::Sigmoid(logits);
+    result.scores.assign(probs.data(), probs.data() + probs.numel());
+
+    // Package the asynchronous work while we still hold the embeddings.
+    records.reserve(events.size());
+    const float* flat = embeddings.data();
+    for (size_t i = 0; i < events.size(); ++i) {
+      InteractionRecord rec;
+      rec.event = events[i];
+      const float* zs = flat + src_rows[i] * d;
+      const float* zd = flat + dst_rows[i] * d;
+      rec.z_src.assign(zs, zs + d);
+      rec.z_dst.assign(zd, zd + d);
+      records.push_back(std::move(rec));
+    }
+  }
+  result.sync_millis = watch.ElapsedMillis();
+  sync_latency_.Record(result.sync_millis);
+
+  // ---- Hand off to the asynchronous link. ----
+  if (options_.overflow == OverflowPolicy::kBlock) {
+    for (auto& shard : shards_) {
+      std::unique_lock<std::mutex> lock(shard->mu);
+      shard->cv.wait(lock, [&] {
+        return shard->jobs_in_flight < options_.queue_capacity;
+      });
+    }
+  } else {
+    // A batch is dropped whole: enqueueing it on a subset of shards would
+    // leave the reassembly barrier waiting forever. The inference result
+    // stays valid — the mail is simply lost, as in an overloaded broker.
+    bool any_full = false;
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      any_full |= shard->jobs_in_flight >= options_.queue_capacity;
+    }
+    if (any_full) {
+      std::lock_guard<std::mutex> lock(flush_mu_);
+      stats_.mails_dropped += static_cast<int64_t>(events.size());
+      return result;
+    }
+  }
+
+  auto ctx = std::make_shared<BatchContext>();
+  ctx->batch = next_batch_++;
+  ctx->events = events;
+  ctx->sampling_remaining.store(num_shards, std::memory_order_relaxed);
+  ctx->apply_remaining.store(num_shards, std::memory_order_relaxed);
+
+  // Home every record on its source endpoint's shard.
+  std::vector<BatchJob> jobs(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    jobs[static_cast<size_t>(s)].ctx = ctx;
+  }
+  for (size_t i = 0; i < records.size(); ++i) {
+    const int home = router_.HomeShardOf(records[i].event);
+    auto& job = jobs[static_cast<size_t>(home)];
+    job.records.push_back(std::move(records[i]));
+    job.event_index.push_back(static_cast<int64_t>(i));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    inflight_ += 2 * static_cast<int64_t>(num_shards);
+    ++stats_.batches_ingested;
+  }
+  for (int s = 0; s < num_shards; ++s) {
+    Shard& shard = *shards_[static_cast<size_t>(s)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.jobs_in_flight;
+    shard.jobs.push_back(std::move(jobs[static_cast<size_t>(s)]));
+    shard.cv.notify_all();
+  }
+  return result;
+}
+
+void ShardedEngine::WorkerLoop(int shard_id) {
+  Shard& shard = *shards_[static_cast<size_t>(shard_id)];
+  while (true) {
+    ShardPartial mail;
+    BatchJob job;
+    enum { kNone, kMail, kJob } next = kNone;
+    {
+      std::unique_lock<std::mutex> lock(shard.mu);
+      shard.cv.wait(lock, [&] {
+        return shard.closed || !shard.mail.empty() || !shard.jobs.empty();
+      });
+      // Mail first: applying a finished batch is cheap and unblocks
+      // Flush; jobs do the expensive sampling.
+      if (!shard.mail.empty()) {
+        mail = std::move(shard.mail.front());
+        shard.mail.pop_front();
+        next = kMail;
+      } else if (!shard.jobs.empty()) {
+        job = std::move(shard.jobs.front());
+        shard.jobs.pop_front();
+        next = kJob;
+      } else {
+        return;  // closed and fully drained
+      }
+    }
+    if (next == kMail) {
+      OnMail(shard_id, std::move(mail));
+    } else {
+      ProcessJob(shard_id, std::move(job));
+    }
+  }
+}
+
+void ShardedEngine::ProcessJob(int shard_id, BatchJob job) {
+  const int64_t batch = job.ctx->batch;
+  // Bulk-synchronous epoch gate: sample batch b only after batches
+  // 0..b-1 are appended, so every shard's neighborhoods reflect the graph
+  // at batch start and never overlap an append.
+  {
+    std::unique_lock<std::mutex> lock(epoch_mu_);
+    epoch_cv_.wait(lock, [&] { return epoch_ >= batch; });
+  }
+
+  // φ + N over this shard's home events (concurrent across shards; the
+  // graph is read-only during a sampling epoch).
+  PartialPropagation propagation = model_->propagator().ComputePartial(
+      job.records, job.event_index);
+  RouteMail(shard_id, job, std::move(propagation));
+
+  // Sampling barrier: the last shard appends the batch's events and opens
+  // the next epoch.
+  if (job.ctx->sampling_remaining.fetch_sub(1, std::memory_order_acq_rel) ==
+      1) {
+    {
+      std::lock_guard<std::mutex> lock(epoch_mu_);
+      for (const graph::Event& e : job.ctx->events) {
+        const Status append = model_->graph().AddEvent(e);
+        APAN_CHECK_MSG(append.ok(), append.ToString());
+      }
+      epoch_ = batch + 1;
+    }
+    epoch_cv_.notify_all();
+  }
+
+  Shard& shard = *shards_[static_cast<size_t>(shard_id)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    --shard.jobs_in_flight;
+    shard.cv.notify_all();  // wake back-pressured InferBatch callers
+  }
+  {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    if (--inflight_ == 0) flush_cv_.notify_all();
+  }
+}
+
+void ShardedEngine::RouteMail(int from_shard, BatchJob& job,
+                              PartialPropagation&& propagation) {
+  const int num_shards = options_.num_shards;
+  std::vector<ShardPartial> outbound(static_cast<size_t>(num_shards));
+  for (int t = 0; t < num_shards; ++t) {
+    outbound[static_cast<size_t>(t)].ctx = job.ctx;
+    outbound[static_cast<size_t>(t)].from_shard = from_shard;
+  }
+
+  // z(t−) write-backs go to each endpoint's owner; sequence tags let the
+  // owner replay them in global event order (later events win).
+  for (size_t i = 0; i < job.records.size(); ++i) {
+    InteractionRecord& rec = job.records[i];
+    const int64_t seq = 2 * job.event_index[i];
+    outbound[static_cast<size_t>(router_.ShardOf(rec.event.src))]
+        .state_updates.push_back(
+            {seq, rec.event.src, std::move(rec.z_src)});
+    outbound[static_cast<size_t>(router_.ShardOf(rec.event.dst))]
+        .state_updates.push_back(
+            {seq + 1, rec.event.dst, std::move(rec.z_dst)});
+  }
+  for (auto& tagged : propagation.hop0) {
+    outbound[static_cast<size_t>(
+                 router_.ShardOf(tagged.delivery.recipient))]
+        .hop0.push_back(std::move(tagged));
+  }
+  for (auto& partial : propagation.partial) {
+    outbound[static_cast<size_t>(router_.ShardOf(partial.recipient))]
+        .partial.push_back(std::move(partial));
+  }
+
+  int64_t routed = 0;
+  int64_t cross_shard = 0;
+  for (int t = 0; t < num_shards; ++t) {
+    ShardPartial& out = outbound[static_cast<size_t>(t)];
+    const int64_t mails =
+        static_cast<int64_t>(out.hop0.size() + out.partial.size());
+    routed += mails;
+    if (t != from_shard) cross_shard += mails;
+    Shard& target = *shards_[static_cast<size_t>(t)];
+    std::lock_guard<std::mutex> lock(target.mu);
+    target.mail.push_back(std::move(out));
+    target.cv.notify_all();
+  }
+  std::lock_guard<std::mutex> lock(flush_mu_);
+  stats_.mails_routed += routed;
+  stats_.mails_cross_shard += cross_shard;
+}
+
+void ShardedEngine::OnMail(int shard_id, ShardPartial partial) {
+  Shard& shard = *shards_[static_cast<size_t>(shard_id)];
+  shard.pending[partial.ctx->batch].push_back(std::move(partial));
+  // Batches complete in order: every sender emits its partials in batch
+  // order, so once all senders reported for next_merge, every earlier
+  // batch has already been merged.
+  while (true) {
+    auto it = shard.pending.find(shard.next_merge);
+    if (it == shard.pending.end() ||
+        static_cast<int>(it->second.size()) != options_.num_shards) {
+      break;
+    }
+    std::vector<ShardPartial> parts = std::move(it->second);
+    shard.pending.erase(it);
+    ApplyMergedBatch(shard_id, std::move(parts));
+    ++shard.next_merge;
+  }
+}
+
+void ShardedEngine::ApplyMergedBatch(int shard_id,
+                                     std::vector<ShardPartial> parts) {
+  Stopwatch watch;
+  // Deterministic merge order: contributions sorted by sender shard.
+  std::sort(parts.begin(), parts.end(),
+            [](const ShardPartial& a, const ShardPartial& b) {
+              return a.from_shard < b.from_shard;
+            });
+  std::shared_ptr<BatchContext> ctx = parts.front().ctx;
+
+  // 1. z(t−) write-backs in global event order (later events win).
+  std::vector<StateUpdate> updates;
+  for (auto& part : parts) {
+    std::move(part.state_updates.begin(), part.state_updates.end(),
+              std::back_inserter(updates));
+    part.state_updates.clear();
+  }
+  std::sort(updates.begin(), updates.end(),
+            [](const StateUpdate& a, const StateUpdate& b) {
+              return a.sequence < b.sequence;
+            });
+
+  // 2. Hop-0 mail replayed in global event order — exactly the per-node
+  // delivery order the single-worker pipeline produces.
+  std::vector<PartialPropagation::TaggedDelivery> tagged;
+  for (auto& part : parts) {
+    std::move(part.hop0.begin(), part.hop0.end(),
+              std::back_inserter(tagged));
+    part.hop0.clear();
+  }
+  std::sort(tagged.begin(), tagged.end(),
+            [](const PartialPropagation::TaggedDelivery& a,
+               const PartialPropagation::TaggedDelivery& b) {
+              return a.sequence < b.sequence;
+            });
+  std::vector<MailDelivery> hop0;
+  hop0.reserve(tagged.size());
+  for (auto& t : tagged) hop0.push_back(std::move(t.delivery));
+
+  // 3. ρ across the whole batch: merge per-recipient partial sums from
+  // all senders, then finalize to one reduced mail per recipient.
+  std::vector<PartialPropagation::PartialReduce> partials;
+  for (auto& part : parts) {
+    std::move(part.partial.begin(), part.partial.end(),
+              std::back_inserter(partials));
+    part.partial.clear();
+  }
+  std::stable_sort(partials.begin(), partials.end(),
+                   [](const PartialPropagation::PartialReduce& a,
+                      const PartialPropagation::PartialReduce& b) {
+                     return a.recipient < b.recipient;
+                   });
+  std::vector<MailDelivery> reduced;
+  size_t i = 0;
+  while (i < partials.size()) {
+    PartialPropagation::PartialReduce merged = std::move(partials[i]);
+    for (++i; i < partials.size() &&
+              partials[i].recipient == merged.recipient;
+         ++i) {
+      const auto& extra = partials[i];
+      for (size_t k = 0; k < merged.sum.size(); ++k) {
+        merged.sum[k] += extra.sum[k];
+      }
+      merged.newest = std::max(merged.newest, extra.newest);
+      merged.count += extra.count;
+    }
+    reduced.push_back(MailPropagator::FinalizeReduce(std::move(merged)));
+  }
+
+  {
+    Shard& shard = *shards_[static_cast<size_t>(shard_id)];
+    std::lock_guard<std::mutex> state_lock(shard.state_mu);
+    for (const StateUpdate& u : updates) {
+      model_->SetLastEmbedding(u.node, u.z);
+    }
+    model_->mailbox().DeliverBatch(hop0);
+    model_->mailbox().DeliverBatch(reduced);
+  }
+  async_latency_.Record(watch.ElapsedMillis());
+
+  const bool batch_complete =
+      ctx->apply_remaining.fetch_sub(1, std::memory_order_acq_rel) == 1;
+  std::lock_guard<std::mutex> lock(flush_mu_);
+  if (batch_complete) ++stats_.batches_propagated;
+  if (--inflight_ == 0) flush_cv_.notify_all();
+}
+
+void ShardedEngine::Flush() {
+  std::unique_lock<std::mutex> lock(flush_mu_);
+  flush_cv_.wait(lock, [&] { return inflight_ == 0; });
+}
+
+void ShardedEngine::Shutdown() {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  if (joined_) return;
+  {
+    std::lock_guard<std::mutex> lock(infer_mu_);
+    shutdown_ = true;
+  }
+  // Drain everything first — shutting down never loses accepted mail.
+  Flush();
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->closed = true;
+    shard->cv.notify_all();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  joined_ = true;
+}
+
+ShardedEngine::Stats ShardedEngine::stats() const {
+  std::lock_guard<std::mutex> lock(flush_mu_);
+  return stats_;
+}
+
+}  // namespace serve
+}  // namespace apan

@@ -1,0 +1,237 @@
+// The sharded serving engine — AsyncPipeline scaled out across a node
+// partition (paper §3.6: "APAN can be deployed on distributed streaming
+// systems ... mails may arrive out of order", which the sort-on-read
+// mailbox absorbs).
+//
+// A ShardRouter hash-partitions the node space into N shards. Each shard
+// exclusively owns its nodes' mailbox rows and z(t−) memory rows, has a
+// bounded inbox of batch jobs, and runs one propagation worker. The
+// division of labour per batch:
+//
+//   Synchronous link (InferBatch, what the caller waits for)
+//     · the batch's unique nodes are split by owner shard and encoded
+//       concurrently on a thread pool — each encode touches only its
+//       shard's rows, under that shard's state lock;
+//     · link scores are decoded on the calling thread and returned.
+//
+//   Asynchronous link (per-shard workers, off the latency path)
+//     · every event is homed on its source endpoint's shard; the home
+//       shard computes the event's mail (φ) and samples its k-hop
+//       fan-out (N) — shards sample a batch concurrently;
+//     · each resulting MailDelivery and z(t−) write-back is *routed* to
+//       its recipient's owner shard as a ShardPartial message. Cross-shard
+//       mail therefore arrives interleaved with other shards' traffic —
+//       out of order by construction;
+//     · a recipient shard reassembles a batch once partials from all N
+//       shards have arrived, then applies state updates and mail to its
+//       rows in global event order (sequence tags), restoring exactly the
+//       per-node delivery order of the single-worker AsyncPipeline;
+//     · the last shard to finish sampling a batch appends the batch's
+//       events to the temporal graph and opens the next graph epoch —
+//       batch sampling is bulk-synchronous over epochs, so neighborhoods
+//       always reflect the graph at batch start.
+//
+// Determinism: because per-node delivery order and ρ-reduction are
+// reconstructed exactly, the final mailbox timestamps and counts after
+// Flush() are bitwise-identical to the single-worker AsyncPipeline on the
+// same stream (mail *payloads* agree up to floating-point summation
+// order; tests/serve_sharded_test.cc asserts both).
+//
+// Deadlock freedom: batch-job inboxes are bounded (back-pressure on the
+// caller), but shard-to-shard mail is unbounded — if mail pushes could
+// block, two shards flooding each other would deadlock.
+
+#ifndef APAN_SERVE_SHARDED_ENGINE_H_
+#define APAN_SERVE_SHARDED_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/apan_model.h"
+#include "serve/shard_router.h"
+#include "util/bounded_queue.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace apan {
+namespace serve {
+
+/// \brief Runs one ApanModel behind an N-shard partition of the node
+/// space: per-shard mailbox/memory ownership, per-shard propagation
+/// workers, cross-shard mail routing.
+class ShardedEngine {
+ public:
+  struct Options {
+    int num_shards = 4;
+    /// Maximum in-flight batches per shard before InferBatch applies the
+    /// overflow policy.
+    size_t queue_capacity = 256;
+    /// kBlock waits for space. Any drop policy drops the *incoming* batch
+    /// whole (a partially enqueued batch would wedge the cross-shard
+    /// reassembly barrier); kDropOldest degrades to dropping the incoming
+    /// batch for the same reason.
+    OverflowPolicy overflow = OverflowPolicy::kBlock;
+    /// Threads encoding shard slices on the synchronous link; 0 means one
+    /// per shard.
+    size_t encode_threads = 0;
+  };
+
+  /// `model` must outlive the engine and must not be used concurrently by
+  /// other threads while the engine is running. Requires
+  /// PropagationSampling::kMostRecent (kUniform draws from a shared RNG,
+  /// which shard-concurrent sampling would race on).
+  ShardedEngine(core::ApanModel* model, Options options);
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  struct InferenceResult {
+    /// P(edge) per event, from the link decoder.
+    std::vector<float> scores;
+    /// Wall-clock milliseconds of the synchronous path for this batch.
+    double sync_millis = 0.0;
+  };
+
+  /// \brief Scores a batch of interactions on the synchronous link
+  /// (shard-parallel encoding) and enqueues the per-shard asynchronous
+  /// work. Events must arrive in non-decreasing time order across calls;
+  /// concurrent callers are serialized. \return Cancelled after Shutdown.
+  Result<InferenceResult> InferBatch(const std::vector<graph::Event>& events);
+
+  /// Blocks until every accepted batch has been sampled, routed, and
+  /// applied on every shard.
+  void Flush();
+
+  /// Drains all accepted work, then stops the workers (idempotent; also
+  /// called by the destructor). Shutdown never loses accepted mail.
+  void Shutdown();
+
+  struct Stats {
+    int64_t batches_ingested = 0;
+    /// Batches fully applied on every shard.
+    int64_t batches_propagated = 0;
+    /// MailDeliveries routed shard→shard (hop-0 plus reduced).
+    int64_t mails_routed = 0;
+    /// Subset of mails_routed whose sender and owner shards differ.
+    int64_t mails_cross_shard = 0;
+    /// Interaction records dropped whole by the overflow policy.
+    int64_t mails_dropped = 0;
+  };
+  Stats stats() const;
+
+  const ShardRouter& router() const { return router_; }
+  /// Latency of the synchronous path per batch (what the user waits for).
+  const LatencyRecorder& sync_latency() const { return sync_latency_; }
+  /// Latency of per-shard batch application (merge + mailbox append).
+  const LatencyRecorder& async_latency() const { return async_latency_; }
+
+ private:
+  /// One routed z(t−) write-back; sequence = 2 * event index + endpoint.
+  struct StateUpdate {
+    int64_t sequence = 0;
+    graph::NodeId node = -1;
+    std::vector<float> z;
+  };
+
+  /// Shared per-batch bookkeeping: the sampling barrier (last shard to
+  /// finish appends the events and opens the next epoch) and the apply
+  /// barrier (last shard to apply completes the batch).
+  struct BatchContext {
+    int64_t batch = 0;
+    std::vector<graph::Event> events;
+    std::atomic<int> sampling_remaining{0};
+    std::atomic<int> apply_remaining{0};
+  };
+
+  /// One shard's slice of one batch's propagation output, addressed to
+  /// one recipient shard. Sent for every (sender, recipient, batch)
+  /// triple — empty slices included — so the recipient can detect batch
+  /// completion by counting senders.
+  struct ShardPartial {
+    std::shared_ptr<BatchContext> ctx;
+    int from_shard = 0;
+    std::vector<StateUpdate> state_updates;
+    std::vector<core::PartialPropagation::TaggedDelivery> hop0;
+    std::vector<core::PartialPropagation::PartialReduce> partial;
+  };
+
+  /// A batch's home-events slice for one shard.
+  struct BatchJob {
+    std::shared_ptr<BatchContext> ctx;
+    std::vector<core::InteractionRecord> records;
+    std::vector<int64_t> event_index;  ///< Global batch positions.
+  };
+
+  struct Shard {
+    /// Guards this shard's rows of the mailbox and the z(t−) table.
+    std::mutex state_mu;
+
+    /// Inbox. Jobs are bounded by Options::queue_capacity (client
+    /// back-pressure); mail is unbounded (see deadlock note above).
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<BatchJob> jobs;
+    std::deque<ShardPartial> mail;
+    size_t jobs_in_flight = 0;  ///< Queued + running; guarded by mu.
+    bool closed = false;
+
+    /// Worker-local per-batch reassembly (worker thread only).
+    std::map<int64_t, std::vector<ShardPartial>> pending;
+    int64_t next_merge = 0;
+
+    std::thread worker;
+  };
+
+  void WorkerLoop(int shard_id);
+  void ProcessJob(int shard_id, BatchJob job);
+  void OnMail(int shard_id, ShardPartial partial);
+  void ApplyMergedBatch(int shard_id, std::vector<ShardPartial> parts);
+  void RouteMail(int from_shard, BatchJob& job,
+                 core::PartialPropagation&& propagation);
+
+  core::ApanModel* model_;
+  Options options_;
+  ShardRouter router_;
+  ThreadPool encode_pool_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Serializes InferBatch callers (stream-order contract) and guards the
+  /// shutdown flag + batch sequencing.
+  std::mutex infer_mu_;
+  bool shutdown_ = false;
+  int64_t next_batch_ = 0;
+
+  /// Serializes Shutdown callers end-to-end.
+  std::mutex shutdown_mu_;
+  bool joined_ = false;  ///< Guarded by shutdown_mu_.
+
+  /// Graph epoch = number of batches appended. A worker samples batch b
+  /// only once epoch_ reaches b, making the asynchronous link
+  /// bulk-synchronous over batches: sampling never overlaps an append.
+  std::mutex epoch_mu_;
+  std::condition_variable epoch_cv_;
+  int64_t epoch_ = 0;
+
+  /// Outstanding work legs for Flush: each accepted batch contributes
+  /// num_shards sampling legs + num_shards application legs.
+  mutable std::mutex flush_mu_;
+  std::condition_variable flush_cv_;
+  int64_t inflight_ = 0;
+  Stats stats_;  ///< Guarded by flush_mu_.
+
+  LatencyRecorder sync_latency_;
+  LatencyRecorder async_latency_;
+};
+
+}  // namespace serve
+}  // namespace apan
+
+#endif  // APAN_SERVE_SHARDED_ENGINE_H_

@@ -33,9 +33,15 @@ class BoundedQueue {
       : capacity_(capacity == 0 ? 1 : capacity), policy_(policy) {}
 
   /// \brief Enqueues an item according to the overflow policy.
+  ///
+  /// When `evicted` is non-null and kDropOldest displaces a queued item,
+  /// the displaced item is moved into `*evicted` instead of being silently
+  /// destroyed — producers that must account for every lost item (e.g.
+  /// serve::AsyncPipeline's mails_dropped counter) inspect it.
   /// \return OK on success; ResourceExhausted when kDropNewest rejected the
   ///         item; Cancelled when the queue was closed.
-  Status Push(T item) {
+  Status Push(T item, std::optional<T>* evicted = nullptr) {
+    if (evicted != nullptr) evicted->reset();
     std::unique_lock<std::mutex> lock(mu_);
     if (closed_) return Status::Cancelled("queue closed");
     if (items_.size() >= capacity_) {
@@ -50,6 +56,7 @@ class BoundedQueue {
           ++dropped_;
           return Status::ResourceExhausted("queue full; item dropped");
         case OverflowPolicy::kDropOldest:
+          if (evicted != nullptr) *evicted = std::move(items_.front());
           items_.pop_front();
           ++dropped_;
           break;

@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 namespace apan {
@@ -34,24 +35,30 @@ class Stopwatch {
 
 /// \brief Accumulates latency samples and reports order statistics.
 ///
-/// Used by bench/fig6_inference_latency and serve::AsyncPipeline to report
-/// mean / p50 / p99 per-batch latencies.
+/// Used by bench/fig6_inference_latency and the serving engines to report
+/// mean / p50 / p99 per-batch latencies. Thread-safe: the serving engines
+/// record from worker threads while benches read concurrently.
 class LatencyRecorder {
  public:
-  void Record(double millis) { samples_.push_back(millis); }
+  void Record(double millis) {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples_.push_back(millis);
+  }
 
-  size_t count() const { return samples_.size(); }
+  size_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return samples_.size();
+  }
 
   double Mean() const {
-    if (samples_.empty()) return 0.0;
-    double s = 0.0;
-    for (double x : samples_) s += x;
-    return s / static_cast<double>(samples_.size());
+    std::lock_guard<std::mutex> lock(mu_);
+    return MeanLocked();
   }
 
   double StdDev() const {
+    std::lock_guard<std::mutex> lock(mu_);
     if (samples_.size() < 2) return 0.0;
-    const double m = Mean();
+    const double m = MeanLocked();
     double s = 0.0;
     for (double x : samples_) s += (x - m) * (x - m);
     return std::sqrt(s / static_cast<double>(samples_.size() - 1));
@@ -59,8 +66,12 @@ class LatencyRecorder {
 
   /// \brief q-th quantile in [0,1] by linear interpolation.
   double Quantile(double q) const {
-    if (samples_.empty()) return 0.0;
-    std::vector<double> sorted = samples_;
+    std::vector<double> sorted;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      sorted = samples_;
+    }
+    if (sorted.empty()) return 0.0;
     std::sort(sorted.begin(), sorted.end());
     const double pos = q * static_cast<double>(sorted.size() - 1);
     const size_t lo = static_cast<size_t>(pos);
@@ -72,9 +83,20 @@ class LatencyRecorder {
   double P50() const { return Quantile(0.50); }
   double P99() const { return Quantile(0.99); }
 
-  void Clear() { samples_.clear(); }
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples_.clear();
+  }
 
  private:
+  double MeanLocked() const {
+    if (samples_.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : samples_) s += x;
+    return s / static_cast<double>(samples_.size());
+  }
+
+  mutable std::mutex mu_;
   std::vector<double> samples_;
 };
 

@@ -48,6 +48,30 @@ TEST(BoundedQueueTest, DropOldestEvicts) {
   EXPECT_EQ(*q.Pop(), 3);
 }
 
+TEST(BoundedQueueTest, DropOldestReportsEvictedItem) {
+  BoundedQueue<int> q(2, OverflowPolicy::kDropOldest);
+  std::optional<int> evicted;
+  ASSERT_TRUE(q.Push(1, &evicted).ok());
+  EXPECT_FALSE(evicted.has_value());
+  ASSERT_TRUE(q.Push(2, &evicted).ok());
+  EXPECT_FALSE(evicted.has_value());
+  ASSERT_TRUE(q.Push(3, &evicted).ok());
+  ASSERT_TRUE(evicted.has_value());  // producers can account for the loss
+  EXPECT_EQ(*evicted, 1);
+  // A non-evicting push clears a reused out-param — no stale item.
+  ASSERT_TRUE(q.Pop().has_value());
+  ASSERT_TRUE(q.Push(4, &evicted).ok());
+  EXPECT_FALSE(evicted.has_value());
+}
+
+TEST(BoundedQueueTest, DropNewestLeavesEvictedEmpty) {
+  BoundedQueue<int> q(1, OverflowPolicy::kDropNewest);
+  std::optional<int> evicted;
+  ASSERT_TRUE(q.Push(1, &evicted).ok());
+  EXPECT_TRUE(q.Push(2, &evicted).IsResourceExhausted());
+  EXPECT_FALSE(evicted.has_value());  // the incoming item was rejected
+}
+
 TEST(BoundedQueueTest, CloseDrainsThenSignalsEnd) {
   BoundedQueue<int> q(4);
   ASSERT_TRUE(q.Push(7).ok());
