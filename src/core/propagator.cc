@@ -36,8 +36,36 @@ std::vector<float> MailPropagator::MakeMail(
 PartialPropagation MailPropagator::ComputePartial(
     std::span<const InteractionRecord> records,
     std::span<const int64_t> event_index) const {
+  // N: sample each record's neighborhood on the local monolithic graph,
+  // then run the graph-free stage. Most-recent sampling is the paper's
+  // choice; uniform is the §3.5 alternative.
+  std::vector<std::vector<graph::HopEntry>> hops(records.size());
+  if (config_.propagation_hops > 0) {
+    for (size_t r = 0; r < records.size(); ++r) {
+      const InteractionRecord& record = records[r];
+      const double t = record.event.timestamp;
+      hops[r] =
+          config_.sampling == PropagationSampling::kMostRecent
+              ? graph::KHopMostRecent(
+                    *graph_, {record.event.src, record.event.dst}, t,
+                    config_.propagation_hops, config_.sampled_neighbors)
+              : graph::KHopUniform(
+                    *graph_, {record.event.src, record.event.dst}, t,
+                    config_.propagation_hops, config_.sampled_neighbors,
+                    &sampling_rng_);
+    }
+  }
+  return ComputePartialFromHops(records, event_index, hops);
+}
+
+PartialPropagation MailPropagator::ComputePartialFromHops(
+    std::span<const InteractionRecord> records,
+    std::span<const int64_t> event_index,
+    std::span<const std::vector<graph::HopEntry>> hops) const {
   APAN_CHECK_MSG(records.size() == event_index.size(),
                  "one event index per record");
+  APAN_CHECK_MSG(records.size() == hops.size(),
+                 "one hop expansion per record");
   PartialPropagation out;
   const int64_t d = config_.embedding_dim;
 
@@ -57,32 +85,20 @@ PartialPropagation MailPropagator::ComputePartial(
     std::vector<float> mail = MakeMail(record);
     const double t = record.event.timestamp;
 
-    // Hops 1..k: sampled neighborhood at time t (mail passing f is the
-    // identity, so every hop receives the same payload). Most-recent
-    // sampling is the paper's choice; uniform is the §3.5 alternative.
-    if (config_.propagation_hops > 0) {
-      const auto hops =
-          config_.sampling == PropagationSampling::kMostRecent
-              ? graph::KHopMostRecent(
-                    *graph_, {record.event.src, record.event.dst}, t,
-                    config_.propagation_hops, config_.sampled_neighbors)
-              : graph::KHopUniform(
-                    *graph_, {record.event.src, record.event.dst}, t,
-                    config_.propagation_hops, config_.sampled_neighbors,
-                    &sampling_rng_);
-      for (const auto& entry : hops) {
-        if (entry.node == record.event.src ||
-            entry.node == record.event.dst) {
-          continue;  // endpoints already receive the mail directly
-        }
-        auto& acc = propagated[entry.node];
-        if (acc.sum.empty()) acc.sum.assign(static_cast<size_t>(d), 0.0f);
-        for (int64_t i = 0; i < d; ++i) {
-          acc.sum[static_cast<size_t>(i)] += mail[static_cast<size_t>(i)];
-        }
-        acc.newest = std::max(acc.newest, t);
-        ++acc.count;
+    // Hops 1..k: mail passing f is the identity, so every sampled
+    // occurrence receives the same payload.
+    for (const auto& entry : hops[r]) {
+      if (entry.node == record.event.src ||
+          entry.node == record.event.dst) {
+        continue;  // endpoints already receive the mail directly
       }
+      auto& acc = propagated[entry.node];
+      if (acc.sum.empty()) acc.sum.assign(static_cast<size_t>(d), 0.0f);
+      for (int64_t i = 0; i < d; ++i) {
+        acc.sum[static_cast<size_t>(i)] += mail[static_cast<size_t>(i)];
+      }
+      acc.newest = std::max(acc.newest, t);
+      ++acc.count;
     }
 
     const int64_t seq = 2 * event_index[r];

@@ -103,6 +103,21 @@ class MailPropagator {
       std::span<const InteractionRecord> records,
       std::span<const int64_t> event_index) const;
 
+  /// \brief φ + f + unfinalized ρ over *externally sampled* neighborhoods.
+  ///
+  /// `hops[i]` is records[i]'s k-hop expansion (hop order, as produced by
+  /// graph::KHopMostRecent — or reassembled from per-owner-shard slice
+  /// reads, which is how serve::ShardedEngine samples across
+  /// graph::ShardedTemporalGraph slices). ComputePartial is exactly
+  /// sampling each record's neighborhood locally, then delegating here;
+  /// accumulation order (record-major, hop-entry order) is identical, so
+  /// the two paths produce bitwise-equal partials for equal hop lists.
+  /// No graph access; thread-safe.
+  PartialPropagation ComputePartialFromHops(
+      std::span<const InteractionRecord> records,
+      std::span<const int64_t> event_index,
+      std::span<const std::vector<graph::HopEntry>> hops) const;
+
   /// ρ for one recipient: divides the merged sum by the contribution
   /// count. `partial.count` must be positive.
   static MailDelivery FinalizeReduce(PartialPropagation::PartialReduce&& partial);

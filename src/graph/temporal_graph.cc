@@ -96,6 +96,14 @@ void TemporalGraph::Reset() {
   latest_timestamp_ = 0.0;
 }
 
+int64_t TemporalGraph::MemoryBytes() const {
+  int64_t bytes = static_cast<int64_t>(events_.size() * sizeof(Event));
+  for (const auto& adj : adjacency_) {
+    bytes += static_cast<int64_t>(adj.size() * sizeof(TemporalNeighbor));
+  }
+  return bytes;
+}
+
 int64_t TemporalGraph::Degree(NodeId node) const {
   if (!ValidNode(node)) return 0;
   return static_cast<int64_t>(adjacency_[static_cast<size_t>(node)].size());

@@ -51,19 +51,26 @@ class TemporalGraph {
   explicit TemporalGraph(int64_t num_nodes);
 
   // Movable (the atomic query counter's value is carried over); not
-  // copyable — copies of a graph store are almost always a bug.
+  // copyable — copies of a graph store are almost always a bug. The
+  // moved-from graph is left with zero nodes: a stale num_nodes_ would
+  // let AddEvent pass validation and index the emptied adjacency (UB).
   TemporalGraph(TemporalGraph&& other) noexcept
       : num_nodes_(other.num_nodes_),
         events_(std::move(other.events_)),
         adjacency_(std::move(other.adjacency_)),
         latest_timestamp_(other.latest_timestamp_),
-        query_count_(other.query_count_.load()) {}
+        query_count_(other.query_count_.load()) {
+    other.ResetMovedFrom();
+  }
   TemporalGraph& operator=(TemporalGraph&& other) noexcept {
-    num_nodes_ = other.num_nodes_;
-    events_ = std::move(other.events_);
-    adjacency_ = std::move(other.adjacency_);
-    latest_timestamp_ = other.latest_timestamp_;
-    query_count_.store(other.query_count_.load());
+    if (this != &other) {
+      num_nodes_ = other.num_nodes_;
+      events_ = std::move(other.events_);
+      adjacency_ = std::move(other.adjacency_);
+      latest_timestamp_ = other.latest_timestamp_;
+      query_count_.store(other.query_count_.load());
+      other.ResetMovedFrom();
+    }
     return *this;
   }
   TemporalGraph(const TemporalGraph&) = delete;
@@ -117,9 +124,22 @@ class TemporalGraph {
   /// through this.)
   void Reset();
 
+  /// Bytes of event-log + adjacency payload storage (the monolithic
+  /// counterpart of ShardedTemporalGraph::MemoryBytes).
+  int64_t MemoryBytes() const;
+
  private:
   bool ValidNode(NodeId node) const {
     return node >= 0 && node < num_nodes_;
+  }
+
+  /// Leaves a moved-from graph inert: no nodes, so every AddEvent /
+  /// neighbor query fails validation instead of indexing freed storage.
+  void ResetMovedFrom() {
+    num_nodes_ = 0;
+    events_.clear();
+    adjacency_.clear();
+    latest_timestamp_ = 0.0;
   }
 
   int64_t num_nodes_;

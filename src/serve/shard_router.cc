@@ -1,6 +1,6 @@
 #include "serve/shard_router.h"
 
-#include "util/random.h"
+#include "graph/sharded_temporal_graph.h"
 
 namespace apan {
 namespace serve {
@@ -14,9 +14,9 @@ ShardRouter::ShardRouter(int num_shards, int64_t num_nodes)
 int ShardRouter::ShardOf(graph::NodeId node) const {
   APAN_CHECK_MSG(node >= 0 && node < num_nodes_,
                  "node id out of range in ShardOf");
-  if (num_shards_ == 1) return 0;
-  SplitMix64 hash(static_cast<uint64_t>(node));
-  return static_cast<int>(hash.Next() % static_cast<uint64_t>(num_shards_));
+  // Delegates to the shared ownership hash so mailbox/memory shards and
+  // graph::ShardedTemporalGraph slices agree on every node's owner.
+  return graph::NodeShardOf(node, num_shards_);
 }
 
 std::vector<std::vector<graph::NodeId>> ShardRouter::PartitionNodes(

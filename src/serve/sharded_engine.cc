@@ -19,6 +19,8 @@ ShardedEngine::ShardedEngine(core::ApanModel* model, Options options)
       options_(options),
       router_(options.num_shards, model != nullptr ? model->config().num_nodes
                                                    : 1),
+      graph_(options.num_shards,
+             model != nullptr ? model->config().num_nodes : 1),
       encode_pool_(options.encode_threads > 0
                        ? options.encode_threads
                        : static_cast<size_t>(options.num_shards)) {
@@ -157,6 +159,7 @@ Result<ShardedEngine::InferenceResult> ShardedEngine::InferBatch(
     }
     if (any_full) {
       std::lock_guard<std::mutex> lock(flush_mu_);
+      ++stats_.batches_rejected;
       stats_.mails_dropped += static_cast<int64_t>(events.size());
       return result;
     }
@@ -164,8 +167,9 @@ Result<ShardedEngine::InferenceResult> ShardedEngine::InferBatch(
 
   auto ctx = std::make_shared<BatchContext>();
   ctx->batch = next_batch_++;
+  ctx->base_ordinal = next_ordinal_;
+  next_ordinal_ += static_cast<int64_t>(events.size());
   ctx->events = events;
-  ctx->sampling_remaining.store(num_shards, std::memory_order_relaxed);
   ctx->apply_remaining.store(num_shards, std::memory_order_relaxed);
 
   // Home every record on its source endpoint's shard.
@@ -198,20 +202,21 @@ Result<ShardedEngine::InferenceResult> ShardedEngine::InferBatch(
 void ShardedEngine::WorkerLoop(int shard_id) {
   Shard& shard = *shards_[static_cast<size_t>(shard_id)];
   while (true) {
-    ShardPartial mail;
+    ShardMessage message;
     BatchJob job;
-    enum { kNone, kMail, kJob } next = kNone;
+    enum { kNone, kMessage, kJob } next = kNone;
     {
       std::unique_lock<std::mutex> lock(shard.mu);
       shard.cv.wait(lock, [&] {
         return shard.closed || !shard.mail.empty() || !shard.jobs.empty();
       });
-      // Mail first: applying a finished batch is cheap and unblocks
-      // Flush; jobs do the expensive sampling.
+      // Messages first: applying a finished batch or answering a frontier
+      // request is cheap and unblocks other shards; jobs do the expensive
+      // sampling.
       if (!shard.mail.empty()) {
-        mail = std::move(shard.mail.front());
+        message = std::move(shard.mail.front());
         shard.mail.pop_front();
-        next = kMail;
+        next = kMessage;
       } else if (!shard.jobs.empty()) {
         job = std::move(shard.jobs.front());
         shard.jobs.pop_front();
@@ -220,44 +225,47 @@ void ShardedEngine::WorkerLoop(int shard_id) {
         return;  // closed and fully drained
       }
     }
-    if (next == kMail) {
-      OnMail(shard_id, std::move(mail));
+    if (next == kMessage) {
+      DispatchMessage(shard_id, std::move(message));
     } else {
       ProcessJob(shard_id, std::move(job));
     }
   }
 }
 
+void ShardedEngine::DispatchMessage(int shard_id, ShardMessage message) {
+  if (auto* partial = std::get_if<ShardPartial>(&message)) {
+    OnMail(shard_id, std::move(*partial));
+  } else if (auto* request = std::get_if<FrontierRequest>(&message)) {
+    HandleFrontierRequest(shard_id, std::move(*request));
+  } else {
+    // Responses are consumed inside WaitForFrontierResponses before the
+    // requesting expansion returns; one in the main loop is a protocol
+    // violation.
+    APAN_CHECK_MSG(false, "frontier response with no expansion awaiting it");
+  }
+}
+
 void ShardedEngine::ProcessJob(int shard_id, BatchJob job) {
   const int64_t batch = job.ctx->batch;
-  // Bulk-synchronous epoch gate: sample batch b only after batches
-  // 0..b-1 are appended, so every shard's neighborhoods reflect the graph
-  // at batch start and never overlap an append.
-  {
-    std::unique_lock<std::mutex> lock(epoch_mu_);
-    epoch_cv_.wait(lock, [&] { return epoch_ >= batch; });
-  }
+  // Shard-local append replaces the old bulk-synchronous epoch gate: the
+  // worker first absorbs the batch's events into its own graph slice
+  // (advancing the per-shard watermark), and every slice read below is
+  // versioned by the batch's base ordinal — sampling sees exactly the
+  // events of batches 0..b-1 no matter how far ahead any shard has run.
+  const Status append = graph_.AppendBatchSlice(
+      shard_id, batch, job.ctx->events, job.ctx->base_ordinal);
+  APAN_CHECK_MSG(append.ok(), append.ToString());
+  // The append may unblock foreign expansions waiting on this slice.
+  ServeDeferredRequests(shard_id);
 
-  // φ + N over this shard's home events (concurrent across shards; the
-  // graph is read-only during a sampling epoch).
-  PartialPropagation propagation = model_->propagator().ComputePartial(
-      job.records, job.event_index);
+  // φ + N over this shard's home events; hops whose frontier nodes are
+  // owned elsewhere are forwarded to their owner shards.
+  std::vector<std::vector<graph::HopEntry>> hops = ExpandKHop(shard_id, job);
+  PartialPropagation propagation =
+      model_->propagator().ComputePartialFromHops(job.records,
+                                                  job.event_index, hops);
   RouteMail(shard_id, job, std::move(propagation));
-
-  // Sampling barrier: the last shard appends the batch's events and opens
-  // the next epoch.
-  if (job.ctx->sampling_remaining.fetch_sub(1, std::memory_order_acq_rel) ==
-      1) {
-    {
-      std::lock_guard<std::mutex> lock(epoch_mu_);
-      for (const graph::Event& e : job.ctx->events) {
-        const Status append = model_->graph().AddEvent(e);
-        APAN_CHECK_MSG(append.ok(), append.ToString());
-      }
-      epoch_ = batch + 1;
-    }
-    epoch_cv_.notify_all();
-  }
 
   Shard& shard = *shards_[static_cast<size_t>(shard_id)];
   {
@@ -269,6 +277,176 @@ void ShardedEngine::ProcessJob(int shard_id, BatchJob job) {
     std::lock_guard<std::mutex> lock(flush_mu_);
     if (--inflight_ == 0) flush_cv_.notify_all();
   }
+}
+
+std::vector<std::vector<graph::HopEntry>> ShardedEngine::ExpandKHop(
+    int shard_id, const BatchJob& job) {
+  std::vector<std::vector<graph::HopEntry>> hops(job.records.size());
+  const int32_t num_hops = model_->config().propagation_hops;
+  const int64_t fanout = model_->config().sampled_neighbors;
+  if (num_hops <= 0 || job.records.empty()) return hops;
+  const int num_shards = options_.num_shards;
+  const int64_t ordinal_limit = job.ctx->base_ordinal;
+
+  // frontier[i] = record i's nodes to expand this hop (seeds at hop 1).
+  std::vector<std::vector<graph::NodeId>> frontier(job.records.size());
+  for (size_t i = 0; i < job.records.size(); ++i) {
+    frontier[i] = {job.records[i].event.src, job.records[i].event.dst};
+  }
+  int64_t requests_sent = 0;
+  int64_t nodes_forwarded = 0;
+  for (int32_t hop = 1; hop <= num_hops; ++hop) {
+    // Flatten the frontiers into slots in record-major order; the slot id
+    // is the sequence tag that fixes the reassembled expansion order to
+    // exactly the monolithic per-record KHopExpand sequence.
+    struct Slot {
+      size_t record;
+      graph::NodeId node;
+    };
+    std::vector<Slot> slots;
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      for (const graph::NodeId v : frontier[i]) slots.push_back({i, v});
+    }
+    if (slots.empty()) break;
+
+    std::vector<std::vector<graph::TemporalNeighbor>> sampled(slots.size());
+    std::vector<FrontierRequest> outbound(static_cast<size_t>(num_shards));
+    std::vector<size_t> local_slots;
+    for (size_t s = 0; s < slots.size(); ++s) {
+      const int owner = graph_.OwnerOf(slots[s].node);
+      if (owner == shard_id) {
+        local_slots.push_back(s);
+      } else {
+        const double t = job.records[slots[s].record].event.timestamp;
+        outbound[static_cast<size_t>(owner)].items.push_back(
+            {static_cast<int64_t>(s), slots[s].node, t});
+      }
+    }
+
+    // Requests go out before any local sampling so foreign owners work on
+    // their slots while this shard works on its own — hop latency is
+    // max(local, remote), not local + remote.
+    int awaiting = 0;
+    for (int target = 0; target < num_shards; ++target) {
+      FrontierRequest& request = outbound[static_cast<size_t>(target)];
+      if (request.items.empty()) continue;
+      nodes_forwarded += static_cast<int64_t>(request.items.size());
+      ++requests_sent;
+      request.batch = job.ctx->batch;
+      request.hop = hop;
+      request.from_shard = shard_id;
+      request.ordinal_limit = ordinal_limit;
+      request.fanout = fanout;
+      PushMessage(target, ShardMessage(std::move(request)));
+      ++awaiting;
+    }
+    for (const size_t s : local_slots) {
+      const double t = job.records[slots[s].record].event.timestamp;
+      sampled[s] = graph_.MostRecentNeighborsAsOf(slots[s].node, t, fanout,
+                                                  ordinal_limit);
+    }
+    if (awaiting > 0) {
+      WaitForFrontierResponses(shard_id, job.ctx->batch, hop, awaiting,
+                               sampled);
+    }
+
+    // Reassemble in slot order and build the next frontier.
+    std::vector<std::vector<graph::NodeId>> next(job.records.size());
+    for (size_t s = 0; s < slots.size(); ++s) {
+      auto& record_hops = hops[slots[s].record];
+      auto& record_next = next[slots[s].record];
+      for (const graph::TemporalNeighbor& n : sampled[s]) {
+        record_hops.push_back({n.node, n.edge_id, n.timestamp, hop});
+        record_next.push_back(n.node);
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  if (requests_sent > 0) {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    stats_.frontier_requests += requests_sent;
+    stats_.frontier_nodes_forwarded += nodes_forwarded;
+  }
+  return hops;
+}
+
+void ShardedEngine::WaitForFrontierResponses(
+    int shard_id, int64_t batch, int32_t hop, int awaiting,
+    std::vector<std::vector<graph::TemporalNeighbor>>& sampled) {
+  Shard& shard = *shards_[static_cast<size_t>(shard_id)];
+  while (awaiting > 0) {
+    ShardMessage message;
+    {
+      std::unique_lock<std::mutex> lock(shard.mu);
+      shard.cv.wait(lock, [&] { return !shard.mail.empty(); });
+      message = std::move(shard.mail.front());
+      shard.mail.pop_front();
+    }
+    if (auto* response = std::get_if<FrontierResponse>(&message)) {
+      APAN_CHECK_MSG(response->batch == batch && response->hop == hop,
+                     "frontier response for a different expansion");
+      for (size_t i = 0; i < response->slots.size(); ++i) {
+        sampled[static_cast<size_t>(response->slots[i])] =
+            std::move(response->neighbors[i]);
+      }
+      --awaiting;
+    } else {
+      // Serving requests (and applying finished batches) while blocked is
+      // what keeps the frontier protocol deadlock-free: the shard at the
+      // minimum outstanding batch can always be answered by everyone.
+      DispatchMessage(shard_id, std::move(message));
+    }
+  }
+}
+
+void ShardedEngine::HandleFrontierRequest(int shard_id,
+                                          FrontierRequest request) {
+  if (graph_.watermark(shard_id) < request.batch) {
+    // This slice has not absorbed batches 0..request.batch-1 yet; answer
+    // after the append that advances the watermark far enough.
+    shards_[static_cast<size_t>(shard_id)]->deferred_requests.push_back(
+        std::move(request));
+    return;
+  }
+  AnswerFrontierRequest(shard_id, request);
+}
+
+void ShardedEngine::AnswerFrontierRequest(int /*shard_id*/,
+                                          const FrontierRequest& request) {
+  FrontierResponse response;
+  response.batch = request.batch;
+  response.hop = request.hop;
+  response.slots.reserve(request.items.size());
+  response.neighbors.reserve(request.items.size());
+  for (const FrontierItem& item : request.items) {
+    response.slots.push_back(item.slot);
+    response.neighbors.push_back(graph_.MostRecentNeighborsAsOf(
+        item.node, item.before_time, request.fanout, request.ordinal_limit));
+  }
+  PushMessage(request.from_shard, ShardMessage(std::move(response)));
+}
+
+void ShardedEngine::ServeDeferredRequests(int shard_id) {
+  Shard& shard = *shards_[static_cast<size_t>(shard_id)];
+  if (shard.deferred_requests.empty()) return;
+  const int64_t watermark = graph_.watermark(shard_id);
+  std::vector<FrontierRequest> still_deferred;
+  for (FrontierRequest& request : shard.deferred_requests) {
+    if (request.batch <= watermark) {
+      AnswerFrontierRequest(shard_id, request);
+    } else {
+      still_deferred.push_back(std::move(request));
+    }
+  }
+  shard.deferred_requests = std::move(still_deferred);
+}
+
+void ShardedEngine::PushMessage(int to_shard, ShardMessage message) {
+  Shard& target = *shards_[static_cast<size_t>(to_shard)];
+  std::lock_guard<std::mutex> lock(target.mu);
+  target.mail.push_back(std::move(message));
+  target.cv.notify_all();
 }
 
 void ShardedEngine::RouteMail(int from_shard, BatchJob& job,
@@ -310,10 +488,7 @@ void ShardedEngine::RouteMail(int from_shard, BatchJob& job,
         static_cast<int64_t>(out.hop0.size() + out.partial.size());
     routed += mails;
     if (t != from_shard) cross_shard += mails;
-    Shard& target = *shards_[static_cast<size_t>(t)];
-    std::lock_guard<std::mutex> lock(target.mu);
-    target.mail.push_back(std::move(out));
-    target.cv.notify_all();
+    PushMessage(t, ShardMessage(std::move(out)));
   }
   std::lock_guard<std::mutex> lock(flush_mu_);
   stats_.mails_routed += routed;

@@ -4,8 +4,10 @@
 // mailbox absorbs).
 //
 // A ShardRouter hash-partitions the node space into N shards. Each shard
-// exclusively owns its nodes' mailbox rows and z(t−) memory rows, has a
-// bounded inbox of batch jobs, and runs one propagation worker. The
+// exclusively owns its nodes' mailbox rows, z(t−) memory rows, AND its
+// slice of the temporal graph (graph::ShardedTemporalGraph: the owned
+// nodes' adjacency rows plus the event-log entries the shard homes). It
+// has a bounded inbox of batch jobs and runs one propagation worker. The
 // division of labour per batch:
 //
 //   Synchronous link (InferBatch, what the caller waits for)
@@ -15,9 +17,21 @@
 //     · link scores are decoded on the calling thread and returned.
 //
 //   Asynchronous link (per-shard workers, off the latency path)
+//     · a worker starting batch b first appends the batch's events to its
+//       own graph slice — a shard-local append that advances the shard's
+//       watermark to b+1. There is no global epoch gate: shards run ahead
+//       of each other freely, because every slice read is versioned by
+//       global event ordinal, so sampling batch b always sees exactly the
+//       events of batches 0..b-1 no matter how far any slice has advanced;
 //     · every event is homed on its source endpoint's shard; the home
-//       shard computes the event's mail (φ) and samples its k-hop
-//       fan-out (N) — shards sample a batch concurrently;
+//       shard computes the event's mail (φ) and drives its k-hop fan-out
+//       (N). A hop whose frontier node is owned by a foreign shard is
+//       *forwarded* to the owner as a frontier-request message through the
+//       same shard-to-shard mail routing; the owner samples its slice
+//       (deferring the request until its watermark reaches b) and replies
+//       with the sampled neighbors. Slot-sequence tags let the home shard
+//       reassemble every hop in the exact monolithic expansion order, so
+//       the sampled neighborhood is deterministic;
 //     · each resulting MailDelivery and z(t−) write-back is *routed* to
 //       its recipient's owner shard as a ShardPartial message. Cross-shard
 //       mail therefore arrives interleaved with other shards' traffic —
@@ -25,21 +39,23 @@
 //     · a recipient shard reassembles a batch once partials from all N
 //       shards have arrived, then applies state updates and mail to its
 //       rows in global event order (sequence tags), restoring exactly the
-//       per-node delivery order of the single-worker AsyncPipeline;
-//     · the last shard to finish sampling a batch appends the batch's
-//       events to the temporal graph and opens the next graph epoch —
-//       batch sampling is bulk-synchronous over epochs, so neighborhoods
-//       always reflect the graph at batch start.
+//       per-node delivery order of the single-worker AsyncPipeline.
 //
-// Determinism: because per-node delivery order and ρ-reduction are
-// reconstructed exactly, the final mailbox timestamps and counts after
-// Flush() are bitwise-identical to the single-worker AsyncPipeline on the
-// same stream (mail *payloads* agree up to floating-point summation
-// order; tests/serve_sharded_test.cc asserts both).
+// Determinism: because neighborhood expansion, per-node delivery order and
+// ρ-reduction are reconstructed exactly, the final mailbox timestamps and
+// counts after Flush() are bitwise-identical to the single-worker
+// AsyncPipeline on the same stream (mail *payloads* agree up to
+// floating-point summation order; tests/serve_sharded_test.cc asserts
+// both).
 //
 // Deadlock freedom: batch-job inboxes are bounded (back-pressure on the
-// caller), but shard-to-shard mail is unbounded — if mail pushes could
-// block, two shards flooding each other would deadlock.
+// caller), but shard-to-shard messages are unbounded — if message pushes
+// could block, two shards flooding each other would deadlock. A worker
+// blocked waiting for frontier responses keeps serving incoming requests
+// and mail from its own inbox, and a request it cannot answer yet (its
+// watermark is behind the requested batch) is deferred until its own next
+// slice append — the shard at the minimum outstanding batch can always be
+// answered by everyone, so expansion always makes progress.
 
 #ifndef APAN_SERVE_SHARDED_ENGINE_H_
 #define APAN_SERVE_SHARDED_ENGINE_H_
@@ -51,9 +67,11 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <variant>
 #include <vector>
 
 #include "core/apan_model.h"
+#include "graph/sharded_temporal_graph.h"
 #include "serve/shard_router.h"
 #include "util/bounded_queue.h"
 #include "util/status.h"
@@ -64,8 +82,8 @@ namespace apan {
 namespace serve {
 
 /// \brief Runs one ApanModel behind an N-shard partition of the node
-/// space: per-shard mailbox/memory ownership, per-shard propagation
-/// workers, cross-shard mail routing.
+/// space: per-shard mailbox/memory/graph-slice ownership, per-shard
+/// propagation workers, cross-shard mail + frontier routing.
 class ShardedEngine {
  public:
   struct Options {
@@ -86,7 +104,9 @@ class ShardedEngine {
   /// `model` must outlive the engine and must not be used concurrently by
   /// other threads while the engine is running. Requires
   /// PropagationSampling::kMostRecent (kUniform draws from a shared RNG,
-  /// which shard-concurrent sampling would race on).
+  /// which shard-concurrent sampling would race on). The engine appends
+  /// served events to its own sharded graph slices, NOT to
+  /// model->graph(), which stays empty.
   ShardedEngine(core::ApanModel* model, Options options);
   ~ShardedEngine();
 
@@ -118,16 +138,27 @@ class ShardedEngine {
     int64_t batches_ingested = 0;
     /// Batches fully applied on every shard.
     int64_t batches_propagated = 0;
+    /// Batches refused whole by a drop overflow policy (their records are
+    /// also counted in mails_dropped). The accounting identity is
+    /// batches_ingested == batches attempted − batches_rejected.
+    int64_t batches_rejected = 0;
     /// MailDeliveries routed shard→shard (hop-0 plus reduced).
     int64_t mails_routed = 0;
     /// Subset of mails_routed whose sender and owner shards differ.
     int64_t mails_cross_shard = 0;
     /// Interaction records dropped whole by the overflow policy.
     int64_t mails_dropped = 0;
+    /// Frontier-request messages sent to foreign graph-slice owners.
+    int64_t frontier_requests = 0;
+    /// Frontier nodes whose sampling was forwarded to a foreign owner.
+    int64_t frontier_nodes_forwarded = 0;
   };
   Stats stats() const;
 
   const ShardRouter& router() const { return router_; }
+  /// The engine-owned shard-local graph slices (quiescent inspection:
+  /// call after Flush).
+  const graph::ShardedTemporalGraph& sharded_graph() const { return graph_; }
   /// Latency of the synchronous path per batch (what the user waits for).
   const LatencyRecorder& sync_latency() const { return sync_latency_; }
   /// Latency of per-shard batch application (merge + mailbox append).
@@ -141,13 +172,16 @@ class ShardedEngine {
     std::vector<float> z;
   };
 
-  /// Shared per-batch bookkeeping: the sampling barrier (last shard to
-  /// finish appends the events and opens the next epoch) and the apply
-  /// barrier (last shard to apply completes the batch).
+  /// Shared per-batch bookkeeping: the apply barrier (last shard to apply
+  /// completes the batch) plus what every shard needs to append its own
+  /// slice of the batch.
   struct BatchContext {
     int64_t batch = 0;
+    /// Global index of events[0] in the accepted stream; sampling for
+    /// this batch reads slices as-of this ordinal (events of batches
+    /// 0..batch-1 only).
+    int64_t base_ordinal = 0;
     std::vector<graph::Event> events;
-    std::atomic<int> sampling_remaining{0};
     std::atomic<int> apply_remaining{0};
   };
 
@@ -163,6 +197,41 @@ class ShardedEngine {
     std::vector<core::PartialPropagation::PartialReduce> partial;
   };
 
+  /// One foreign frontier node to sample, tagged with its slot in the
+  /// requesting shard's expansion (the sequence tag that makes the
+  /// reassembled hop order deterministic).
+  struct FrontierItem {
+    int64_t slot = 0;
+    graph::NodeId node = -1;
+    double before_time = 0.0;
+  };
+
+  /// A batched ask: "sample these nodes of yours, as the graph stood
+  /// before batch `batch`". Answerable once the owner's watermark
+  /// reaches `batch`; deferred until then.
+  struct FrontierRequest {
+    int64_t batch = 0;
+    int32_t hop = 0;
+    int from_shard = 0;
+    int64_t ordinal_limit = 0;
+    int64_t fanout = 0;
+    std::vector<FrontierItem> items;
+  };
+
+  /// The owner's reply: per requested slot, the sampled neighbors.
+  struct FrontierResponse {
+    int64_t batch = 0;
+    int32_t hop = 0;
+    std::vector<int64_t> slots;
+    std::vector<std::vector<graph::TemporalNeighbor>> neighbors;
+  };
+
+  /// Shard-to-shard message on the unbounded mail lane. A variant (not a
+  /// product struct) so a queued message stores only its own payload and a
+  /// kind/payload mismatch is unrepresentable.
+  using ShardMessage =
+      std::variant<ShardPartial, FrontierRequest, FrontierResponse>;
+
   /// A batch's home-events slice for one shard.
   struct BatchJob {
     std::shared_ptr<BatchContext> ctx;
@@ -175,50 +244,65 @@ class ShardedEngine {
     std::mutex state_mu;
 
     /// Inbox. Jobs are bounded by Options::queue_capacity (client
-    /// back-pressure); mail is unbounded (see deadlock note above).
+    /// back-pressure); messages are unbounded (see deadlock note above).
     std::mutex mu;
     std::condition_variable cv;
     std::deque<BatchJob> jobs;
-    std::deque<ShardPartial> mail;
+    std::deque<ShardMessage> mail;
     size_t jobs_in_flight = 0;  ///< Queued + running; guarded by mu.
     bool closed = false;
 
     /// Worker-local per-batch reassembly (worker thread only).
     std::map<int64_t, std::vector<ShardPartial>> pending;
     int64_t next_merge = 0;
+    /// Frontier requests for batches this slice has not appended yet;
+    /// re-checked after every slice append (worker thread only).
+    std::vector<FrontierRequest> deferred_requests;
 
     std::thread worker;
   };
 
   void WorkerLoop(int shard_id);
   void ProcessJob(int shard_id, BatchJob job);
+  void DispatchMessage(int shard_id, ShardMessage message);
   void OnMail(int shard_id, ShardPartial partial);
   void ApplyMergedBatch(int shard_id, std::vector<ShardPartial> parts);
   void RouteMail(int from_shard, BatchJob& job,
                  core::PartialPropagation&& propagation);
+  void PushMessage(int to_shard, ShardMessage message);
+
+  /// k-hop expansion for a job's records against the sharded graph
+  /// as-of the job's batch: local frontiers sampled from the own slice,
+  /// foreign frontiers forwarded to their owners.
+  std::vector<std::vector<graph::HopEntry>> ExpandKHop(int shard_id,
+                                                       const BatchJob& job);
+  /// Blocks until `awaiting` responses for (batch, hop) arrived, serving
+  /// interleaved requests/partials from the own inbox meanwhile.
+  void WaitForFrontierResponses(
+      int shard_id, int64_t batch, int32_t hop, int awaiting,
+      std::vector<std::vector<graph::TemporalNeighbor>>& sampled);
+  void HandleFrontierRequest(int shard_id, FrontierRequest request);
+  void AnswerFrontierRequest(int shard_id, const FrontierRequest& request);
+  /// Answers deferred requests the latest slice append unblocked.
+  void ServeDeferredRequests(int shard_id);
 
   core::ApanModel* model_;
   Options options_;
   ShardRouter router_;
+  graph::ShardedTemporalGraph graph_;
   ThreadPool encode_pool_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
   /// Serializes InferBatch callers (stream-order contract) and guards the
-  /// shutdown flag + batch sequencing.
+  /// shutdown flag + batch/ordinal sequencing.
   std::mutex infer_mu_;
   bool shutdown_ = false;
   int64_t next_batch_ = 0;
+  int64_t next_ordinal_ = 0;  ///< Events accepted so far (guarded by infer_mu_).
 
   /// Serializes Shutdown callers end-to-end.
   std::mutex shutdown_mu_;
   bool joined_ = false;  ///< Guarded by shutdown_mu_.
-
-  /// Graph epoch = number of batches appended. A worker samples batch b
-  /// only once epoch_ reaches b, making the asynchronous link
-  /// bulk-synchronous over batches: sampling never overlaps an append.
-  std::mutex epoch_mu_;
-  std::condition_variable epoch_cv_;
-  int64_t epoch_ = 0;
 
   /// Outstanding work legs for Flush: each accepted batch contributes
   /// num_shards sampling legs + num_shards application legs.

@@ -64,7 +64,10 @@ class LatencyRecorder {
     return std::sqrt(s / static_cast<double>(samples_.size() - 1));
   }
 
-  /// \brief q-th quantile in [0,1] by linear interpolation.
+  /// \brief q-th quantile by linear interpolation. `q` is clamped to
+  /// [0, 1]: below 0 it would wrap through the size_t index cast, above 1
+  /// it would read past the sorted sample array. NaN maps to 1 (fmin/fmax
+  /// eat NaN; std::clamp would pass it through into the index cast — UB).
   double Quantile(double q) const {
     std::vector<double> sorted;
     {
@@ -73,6 +76,7 @@ class LatencyRecorder {
     }
     if (sorted.empty()) return 0.0;
     std::sort(sorted.begin(), sorted.end());
+    q = std::fmax(0.0, std::fmin(q, 1.0));
     const double pos = q * static_cast<double>(sorted.size() - 1);
     const size_t lo = static_cast<size_t>(pos);
     const size_t hi = std::min(lo + 1, sorted.size() - 1);

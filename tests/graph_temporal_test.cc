@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <utility>
 
 namespace apan {
 namespace graph {
@@ -116,6 +117,33 @@ TEST(TemporalGraphTest, ResetKeepsNodeCount) {
   EXPECT_EQ(g.num_events(), 0);
   EXPECT_EQ(g.Degree(1), 0);
   EXPECT_TRUE(g.AddEvent({0, 1, 0.5, -1}).ok());  // time restarts
+}
+
+// Regression: a moved-from graph used to keep its num_nodes_ and
+// latest_timestamp_ while its adjacency was emptied, so a later AddEvent
+// passed validation and indexed an empty vector (UB). The moved-from
+// object must be inert: every mutation and query fails validation.
+TEST(TemporalGraphTest, MovedFromGraphIsInert) {
+  TemporalGraph g = MakeLine();
+  TemporalGraph taken = std::move(g);
+  EXPECT_EQ(taken.num_nodes(), 4);
+  EXPECT_EQ(taken.num_events(), 4);
+  EXPECT_EQ(g.num_nodes(), 0);
+  EXPECT_EQ(g.num_events(), 0);
+  EXPECT_EQ(g.latest_timestamp(), 0.0);
+  EXPECT_TRUE(g.AddEvent({0, 1, 9.0, -1}).IsInvalidArgument());
+  EXPECT_TRUE(g.NeighborsBefore(0, 10.0).empty());
+  EXPECT_EQ(g.Degree(0), 0);
+
+  TemporalGraph assigned(2);
+  assigned = std::move(taken);
+  EXPECT_EQ(assigned.num_nodes(), 4);
+  EXPECT_EQ(assigned.num_events(), 4);
+  EXPECT_EQ(taken.num_nodes(), 0);
+  EXPECT_TRUE(taken.AddEvent({0, 1, 9.0, -1}).IsInvalidArgument());
+  // The move target keeps working.
+  EXPECT_TRUE(assigned.AddEvent({0, 1, 9.0, -1}).ok());
+  EXPECT_EQ(assigned.num_events(), 5);
 }
 
 // Property: adjacency is time-sorted and queries never leak the future,

@@ -165,13 +165,64 @@ TEST(ShardedEngineTest, MatchesAsyncPipelineMailboxBitwise) {
   pipeline.Flush();
   engine.Flush();
 
-  EXPECT_EQ(piped.graph().num_events(), sharded.graph().num_events());
+  // The engine appends into its own shard-local graph slices; the model's
+  // monolithic graph stays empty. Homed slice logs cover every event.
+  EXPECT_EQ(sharded.graph().num_events(), 0);
+  EXPECT_EQ(piped.graph().num_events(), engine.sharded_graph().num_events());
   ExpectMailboxesBitwiseEqual(piped, sharded, f.config.num_nodes);
+
+  // Per-shard watermarks replaced the global epoch gate: after Flush every
+  // slice has absorbed every accepted batch.
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(engine.sharded_graph().watermark(s), 8) << "shard " << s;
+  }
+
+  // Summed slice memory is ~1x the monolithic graph (each adjacency
+  // occurrence lives in exactly one slice; entries carry one extra
+  // ordinal), not num_shards x.
+  const double slice_bytes =
+      static_cast<double>(engine.sharded_graph().MemoryBytes());
+  const double mono_bytes = static_cast<double>(piped.graph().MemoryBytes());
+  EXPECT_GT(slice_bytes, 0.9 * mono_bytes);
+  EXPECT_LT(slice_bytes, 1.5 * mono_bytes);
 
   const auto stats = engine.stats();
   EXPECT_EQ(stats.batches_ingested, 8);
   EXPECT_EQ(stats.batches_propagated, 8);
+  EXPECT_EQ(stats.batches_rejected, 0);
   EXPECT_GT(stats.mails_cross_shard, 0) << "4 shards must exchange mail";
+  // Even 1-hop expansion crosses slices: an event's dst endpoint is
+  // foreign for ~3/4 of events under a 4-way hash partition.
+  EXPECT_GT(stats.frontier_requests, 0) << "expansion must cross slices";
+  EXPECT_GT(stats.frontier_nodes_forwarded, 0);
+}
+
+TEST(ShardedEngineTest, MatchesAsyncPipelineBitwiseTwoHops) {
+  // Two-hop fan-out: hop-2 frontiers routinely land on nodes owned by a
+  // third shard, so the frontier-forwarding protocol (request → owner
+  // slice sample → response, slot-tag reassembly) is exercised across
+  // chained foreign hops — and must still reproduce the single-worker
+  // mailbox bitwise.
+  Fixture f;
+  f.config.propagation_hops = 2;
+  core::ApanModel piped(f.config, &f.dataset.features, 21);
+  core::ApanModel sharded(f.config, &f.dataset.features, 21);
+  AsyncPipeline pipeline(&piped, {});
+  ShardedEngine::Options options;
+  options.num_shards = 4;
+  ShardedEngine engine(&sharded, options);
+
+  for (size_t lo = 0; lo < 300; lo += 50) {
+    auto events = f.BatchEvents(lo, lo + 50);
+    ASSERT_TRUE(pipeline.InferBatch(events).ok());
+    ASSERT_TRUE(engine.InferBatch(events).ok());
+  }
+  pipeline.Flush();
+  engine.Flush();
+
+  ExpectMailboxesBitwiseEqual(piped, sharded, f.config.num_nodes);
+  const auto stats = engine.stats();
+  EXPECT_GT(stats.frontier_nodes_forwarded, 0);
 }
 
 TEST(ShardedEngineTest, SingleShardMatchesAsyncPipeline) {
@@ -326,6 +377,13 @@ TEST(ShardedEngineTest, DropPolicyAccountsEveryRecord) {
                 stats.mails_dropped,
             static_cast<int64_t>(pushed));
   EXPECT_EQ(stats.batches_propagated, stats.batches_ingested);
+  // Refused batches are visible, not silent: the rejection counter
+  // reconciles attempts against ingested, and mails_dropped is exactly
+  // the rejected batches' records.
+  EXPECT_EQ(stats.batches_ingested + stats.batches_rejected,
+            static_cast<int64_t>(pushed / batch));
+  EXPECT_EQ(stats.mails_dropped,
+            stats.batches_rejected * static_cast<int64_t>(batch));
 }
 
 TEST(ShardedEngineTest, ConcurrentFlushInferShutdownStress) {

@@ -1,0 +1,67 @@
+#include "util/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace apan {
+namespace {
+
+TEST(LatencyRecorderTest, EmptyRecorderReturnsZeroNotNaN) {
+  LatencyRecorder rec;
+  EXPECT_EQ(rec.count(), 0u);
+  EXPECT_EQ(rec.Mean(), 0.0);
+  EXPECT_EQ(rec.StdDev(), 0.0);
+  EXPECT_EQ(rec.Quantile(0.5), 0.0);
+  EXPECT_EQ(rec.P50(), 0.0);
+  EXPECT_EQ(rec.P99(), 0.0);
+  EXPECT_FALSE(std::isnan(rec.Mean()));
+  EXPECT_FALSE(std::isnan(rec.StdDev()));
+}
+
+TEST(LatencyRecorderTest, SingleSampleStdDevIsZero) {
+  LatencyRecorder rec;
+  rec.Record(4.0);
+  EXPECT_EQ(rec.Mean(), 4.0);
+  EXPECT_EQ(rec.StdDev(), 0.0);
+  EXPECT_FALSE(std::isnan(rec.StdDev()));
+}
+
+TEST(LatencyRecorderTest, QuantileInterpolates) {
+  LatencyRecorder rec;
+  for (const double v : {1.0, 2.0, 3.0, 4.0, 5.0}) rec.Record(v);
+  EXPECT_EQ(rec.Quantile(0.0), 1.0);
+  EXPECT_EQ(rec.Quantile(0.5), 3.0);
+  EXPECT_EQ(rec.Quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(rec.Quantile(0.875), 4.5);
+}
+
+// Regression: q outside [0,1] used to index past the sorted array (q > 1)
+// or wrap through the size_t cast (q < 0). Out-of-range q now clamps to
+// the extreme order statistics.
+TEST(LatencyRecorderTest, QuantileClampsOutOfRangeQ) {
+  LatencyRecorder rec;
+  for (const double v : {10.0, 20.0, 30.0}) rec.Record(v);
+  EXPECT_EQ(rec.Quantile(1.5), 30.0);
+  EXPECT_EQ(rec.Quantile(100.0), 30.0);
+  EXPECT_EQ(rec.Quantile(-0.3), 10.0);
+  EXPECT_EQ(rec.Quantile(-100.0), 10.0);
+  // NaN q maps to a defined extreme, never into the index cast.
+  EXPECT_EQ(rec.Quantile(std::nan("")), 30.0);
+  // Clamping applies on the empty recorder too.
+  LatencyRecorder empty;
+  EXPECT_EQ(empty.Quantile(7.0), 0.0);
+  EXPECT_EQ(empty.Quantile(-7.0), 0.0);
+}
+
+TEST(LatencyRecorderTest, ClearResets) {
+  LatencyRecorder rec;
+  rec.Record(1.0);
+  rec.Clear();
+  EXPECT_EQ(rec.count(), 0u);
+  EXPECT_EQ(rec.Mean(), 0.0);
+  EXPECT_EQ(rec.Quantile(0.99), 0.0);
+}
+
+}  // namespace
+}  // namespace apan
