@@ -9,15 +9,26 @@
 // reports what fraction of mail left its home shard: the out-of-order
 // delivery the paper's §3.6 mailbox tolerates by construction.
 //
+// --transport selects the shard-to-shard messaging plane:
+//   inproc  synchronous in-process delivery (default; the PR 2 numbers)
+//   uds     Unix-domain-socket lane per shard pair, serve/wire.h framing
+// With uds the bench prints BOTH planes per shard count, so the
+// serialization + syscall tax of leaving shared memory reads directly
+// off adjacent rows.
+//
 //   ./build/bench/fig10_sharded_throughput
+//   ./build/bench/fig10_sharded_throughput --transport=uds
 //   APAN_BENCH_SCALE=4 ./build/bench/fig10_sharded_throughput
 
 #include <cstdio>
+#include <cstring>
+#include <string_view>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "serve/async_pipeline.h"
 #include "serve/sharded_engine.h"
+#include "serve/transport.h"
 
 namespace {
 
@@ -50,8 +61,35 @@ RunResult Replay(Engine& engine, const apan::data::Dataset& dataset,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apan;
+
+  serve::TransportKind requested = serve::TransportKind::kInProcess;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--transport=", 0) == 0) {
+      auto kind = serve::ParseTransportKind(arg.substr(strlen("--transport=")));
+      if (!kind.ok()) {
+        std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+        return 1;
+      }
+      requested = *kind;
+    } else {
+      std::fprintf(stderr, "usage: %s [--transport=inproc|uds]\n", argv[0]);
+      return 1;
+    }
+  }
+  if (requested == serve::TransportKind::kUnixSocket &&
+      !serve::UnixSocketTransport::Available()) {
+    std::fprintf(stderr, "--transport=uds: AF_UNIX unavailable here\n");
+    return 1;
+  }
+  std::vector<serve::TransportKind> planes = {
+      serve::TransportKind::kInProcess};
+  if (requested == serve::TransportKind::kUnixSocket) {
+    planes.push_back(serve::TransportKind::kUnixSocket);
+  }
+
   std::printf(
       "== Sharded serving throughput: events/sec vs shard count, "
       "wikipedia-like ==\n\n");
@@ -66,9 +104,9 @@ int main() {
 
   std::printf("%zu events, %lld nodes, batches of %zu\n\n",
               wiki.events.size(), (long long)wiki.num_nodes, batch);
-  std::printf("%-18s | %12s | %12s | %12s\n", "Engine", "events/s",
-              "sync p50 ms", "cross-shard");
-  bench::PrintRule(64);
+  std::printf("%-18s | %9s | %12s | %12s | %12s\n", "Engine", "transport",
+              "events/s", "sync p50 ms", "cross-shard");
+  bench::PrintRule(76);
 
   double baseline_eps = 0.0;
   int64_t mono_graph_bytes = 0;
@@ -78,36 +116,49 @@ int main() {
     const RunResult r = Replay(pipeline, wiki, batch);
     baseline_eps = r.events_per_sec;
     mono_graph_bytes = model.graph().MemoryBytes();
-    std::printf("%-18s | %12.0f | %12.3f | %12s\n", "AsyncPipeline",
+    std::printf("%-18s | %9s | %12.0f | %12.3f | %12s\n", "AsyncPipeline", "-",
                 r.events_per_sec, r.sync_p50_ms, "-");
     std::fflush(stdout);
   }
 
   std::vector<std::pair<int, int64_t>> slice_bytes;
   for (const int shards : {1, 2, 4, 8}) {
-    core::ApanModel model(config, &wiki.features, /*seed=*/2021);
-    serve::ShardedEngine::Options options;
-    options.num_shards = shards;
-    serve::ShardedEngine engine(&model, options);
-    RunResult r = Replay(engine, wiki, batch);
-    const auto stats = engine.stats();
-    r.cross_shard_pct =
-        stats.mails_routed > 0
-            ? 100.0 * static_cast<double>(stats.mails_cross_shard) /
-                  static_cast<double>(stats.mails_routed)
-            : 0.0;
-    slice_bytes.emplace_back(shards, engine.sharded_graph().MemoryBytes());
-    char label[32];
-    std::snprintf(label, sizeof(label), "Sharded x%d", shards);
-    std::printf("%-18s | %12.0f | %12.3f | %11.1f%%\n", label,
-                r.events_per_sec, r.sync_p50_ms, r.cross_shard_pct);
-    std::fflush(stdout);
+    for (const serve::TransportKind plane : planes) {
+      core::ApanModel model(config, &wiki.features, /*seed=*/2021);
+      serve::ShardedEngine::Options options;
+      options.num_shards = shards;
+      options.transport = serve::MakeTransportFactory(plane);
+      serve::ShardedEngine engine(&model, options);
+      RunResult r = Replay(engine, wiki, batch);
+      const auto stats = engine.stats();
+      r.cross_shard_pct =
+          stats.mails_routed > 0
+              ? 100.0 * static_cast<double>(stats.mails_cross_shard) /
+                    static_cast<double>(stats.mails_routed)
+              : 0.0;
+      if (plane == serve::TransportKind::kInProcess) {
+        slice_bytes.emplace_back(shards,
+                                 engine.sharded_graph().MemoryBytes());
+      }
+      char label[32];
+      std::snprintf(label, sizeof(label), "Sharded x%d", shards);
+      std::printf("%-18s | %9s | %12.0f | %12.3f | %11.1f%%\n", label,
+                  engine.transport_name(), r.events_per_sec, r.sync_p50_ms,
+                  r.cross_shard_pct);
+      std::fflush(stdout);
+    }
   }
-  bench::PrintRule(64);
+  bench::PrintRule(76);
   std::printf(
       "baseline = single-worker AsyncPipeline (%.0f ev/s). Speedup needs\n"
       "hardware parallelism: on a 1-core box expect parity, not scaling.\n",
       baseline_eps);
+  if (planes.size() > 1) {
+    std::printf(
+        "uds rows route every shard-to-shard message through a socketpair\n"
+        "lane as length-prefixed wire frames; the gap vs the inproc row is\n"
+        "the serialization + syscall tax of leaving shared memory.\n");
+  }
 
   // Shard-local graph slices store each adjacency occurrence exactly once
   // (plus a per-entry ordinal for versioned reads), so summed slice

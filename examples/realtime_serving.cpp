@@ -5,17 +5,46 @@
 // per-shard background workers, with cross-shard mail routed between
 // them (out of order by construction — the §3.6 mailbox absorbs it).
 //
+// --transport=inproc|uds picks the shard-to-shard messaging plane:
+// in-process delivery, or a Unix-domain-socket lane per shard pair
+// carrying serve/wire.h frames (the distributed-deployment shape).
+//
 //   ./build/examples/realtime_serving
+//   ./build/examples/realtime_serving --transport=uds
 
 #include <cstdio>
+#include <cstring>
+#include <string_view>
 
 #include "data/synthetic.h"
 #include "serve/sharded_engine.h"
+#include "serve/transport.h"
 #include "train/apan_adapter.h"
 #include "train/link_trainer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apan;
+
+  serve::TransportKind transport = serve::TransportKind::kInProcess;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--transport=", 0) == 0) {
+      auto kind = serve::ParseTransportKind(arg.substr(strlen("--transport=")));
+      if (!kind.ok()) {
+        std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+        return 1;
+      }
+      transport = *kind;
+    } else {
+      std::fprintf(stderr, "usage: %s [--transport=inproc|uds]\n", argv[0]);
+      return 1;
+    }
+  }
+  if (transport == serve::TransportKind::kUnixSocket &&
+      !serve::UnixSocketTransport::Available()) {
+    std::fprintf(stderr, "--transport=uds: AF_UNIX unavailable here\n");
+    return 1;
+  }
 
   auto dataset = data::GenerateSynthetic(
       data::SyntheticConfig::WikipediaLike().Scaled(0.2));
@@ -48,6 +77,7 @@ int main() {
   serve::ShardedEngine::Options options;
   options.num_shards = 4;
   options.queue_capacity = 64;
+  options.transport = serve::MakeTransportFactory(transport);
   serve::ShardedEngine engine(&trained.model(), options);
 
   const size_t batch = 200;  // paper's serving batch
@@ -65,9 +95,11 @@ int main() {
   engine.Flush();
 
   const auto stats = engine.stats();
-  std::printf("served %zu interactions in %lld batches across %d shards\n",
-              served, (long long)stats.batches_ingested,
-              engine.router().num_shards());
+  std::printf(
+      "served %zu interactions in %lld batches across %d shards "
+      "(transport: %s)\n",
+      served, (long long)stats.batches_ingested,
+      engine.router().num_shards(), engine.transport_name());
   std::printf("\nsynchronous link (what the user waits for):\n");
   std::printf("  mean %.3f ms/batch | p50 %.3f | p99 %.3f\n",
               engine.sync_latency().Mean(), engine.sync_latency().P50(),

@@ -21,6 +21,8 @@ ShardedEngine::ShardedEngine(core::ApanModel* model, Options options)
                                                    : 1),
       graph_(options.num_shards,
              model != nullptr ? model->config().num_nodes : 1),
+      transport_(options_.transport ? options_.transport()
+                                    : std::make_unique<InProcessTransport>()),
       encode_pool_(options.encode_threads > 0
                        ? options.encode_threads
                        : static_cast<size_t>(options.num_shards)) {
@@ -33,8 +35,18 @@ ShardedEngine::ShardedEngine(core::ApanModel* model, Options options)
   model_->SetTraining(false);
   shards_.reserve(static_cast<size_t>(options_.num_shards));
   for (int s = 0; s < options_.num_shards; ++s) {
-    shards_.push_back(std::make_unique<Shard>());
+    auto shard = std::make_unique<Shard>();
+    shard->accepted_request.assign(
+        static_cast<size_t>(options_.num_shards), ExpansionKey{-1, 0});
+    shards_.push_back(std::move(shard));
   }
+  // The transport comes up before the workers: a worker's very first
+  // expansion may Send.
+  const Status transport_up = transport_->Start(
+      options_.num_shards, [this](int to_shard, ShardMessage message) {
+        EnqueueMessage(to_shard, std::move(message));
+      });
+  APAN_CHECK_MSG(transport_up.ok(), transport_up.ToString());
   for (int s = 0; s < options_.num_shards; ++s) {
     shards_[static_cast<size_t>(s)]->worker =
         std::thread([this, s] { WorkerLoop(s); });
@@ -170,7 +182,6 @@ Result<ShardedEngine::InferenceResult> ShardedEngine::InferBatch(
   ctx->base_ordinal = next_ordinal_;
   next_ordinal_ += static_cast<int64_t>(events.size());
   ctx->events = events;
-  ctx->apply_remaining.store(num_shards, std::memory_order_relaxed);
 
   // Home every record on its source endpoint's shard.
   std::vector<BatchJob> jobs(static_cast<size_t>(num_shards));
@@ -187,6 +198,7 @@ Result<ShardedEngine::InferenceResult> ShardedEngine::InferBatch(
   {
     std::lock_guard<std::mutex> lock(flush_mu_);
     inflight_ += 2 * static_cast<int64_t>(num_shards);
+    apply_remaining_.emplace(ctx->batch, num_shards);
     ++stats_.batches_ingested;
   }
   for (int s = 0; s < num_shards; ++s) {
@@ -240,9 +252,15 @@ void ShardedEngine::DispatchMessage(int shard_id, ShardMessage message) {
     HandleFrontierRequest(shard_id, std::move(*request));
   } else {
     // Responses are consumed inside WaitForFrontierResponses before the
-    // requesting expansion returns; one in the main loop is a protocol
-    // violation.
-    APAN_CHECK_MSG(false, "frontier response with no expansion awaiting it");
+    // requesting expansion returns, so one reaching the main loop is
+    // either a transport re-delivery of an already-completed wait
+    // (dropped by tag) or a protocol violation.
+    const auto& response = std::get<FrontierResponse>(message);
+    Shard& shard = *shards_[static_cast<size_t>(shard_id)];
+    APAN_CHECK_MSG(
+        ExpansionKey(response.batch, response.hop) <= shard.last_wait,
+        "frontier response with no expansion awaiting it");
+    CountDuplicateDropped();
   }
 }
 
@@ -326,6 +344,7 @@ std::vector<std::vector<graph::HopEntry>> ShardedEngine::ExpandKHop(
     // Requests go out before any local sampling so foreign owners work on
     // their slots while this shard works on its own — hop latency is
     // max(local, remote), not local + remote.
+    std::vector<char> awaiting_from(static_cast<size_t>(num_shards), 0);
     int awaiting = 0;
     for (int target = 0; target < num_shards; ++target) {
       FrontierRequest& request = outbound[static_cast<size_t>(target)];
@@ -337,7 +356,8 @@ std::vector<std::vector<graph::HopEntry>> ShardedEngine::ExpandKHop(
       request.from_shard = shard_id;
       request.ordinal_limit = ordinal_limit;
       request.fanout = fanout;
-      PushMessage(target, ShardMessage(std::move(request)));
+      SendMessage(shard_id, target, ShardMessage(std::move(request)));
+      awaiting_from[static_cast<size_t>(target)] = 1;
       ++awaiting;
     }
     for (const size_t s : local_slots) {
@@ -346,7 +366,7 @@ std::vector<std::vector<graph::HopEntry>> ShardedEngine::ExpandKHop(
                                                   ordinal_limit);
     }
     if (awaiting > 0) {
-      WaitForFrontierResponses(shard_id, job.ctx->batch, hop, awaiting,
+      WaitForFrontierResponses(shard_id, job.ctx->batch, hop, awaiting_from,
                                sampled);
     }
 
@@ -372,9 +392,13 @@ std::vector<std::vector<graph::HopEntry>> ShardedEngine::ExpandKHop(
 }
 
 void ShardedEngine::WaitForFrontierResponses(
-    int shard_id, int64_t batch, int32_t hop, int awaiting,
+    int shard_id, int64_t batch, int32_t hop,
+    std::vector<char>& awaiting_from,
     std::vector<std::vector<graph::TemporalNeighbor>>& sampled) {
   Shard& shard = *shards_[static_cast<size_t>(shard_id)];
+  const ExpansionKey current(batch, hop);
+  int awaiting = 0;
+  for (const char pending : awaiting_from) awaiting += pending != 0;
   while (awaiting > 0) {
     ShardMessage message;
     {
@@ -384,13 +408,34 @@ void ShardedEngine::WaitForFrontierResponses(
       shard.mail.pop_front();
     }
     if (auto* response = std::get_if<FrontierResponse>(&message)) {
-      APAN_CHECK_MSG(response->batch == batch && response->hop == hop,
-                     "frontier response for a different expansion");
-      for (size_t i = 0; i < response->slots.size(); ++i) {
-        sampled[static_cast<size_t>(response->slots[i])] =
-            std::move(response->neighbors[i]);
+      const ExpansionKey key(response->batch, response->hop);
+      if (key == current) {
+        char& pending = awaiting_from[static_cast<size_t>(
+            response->from_shard)];
+        if (pending == 0) {
+          // Transport re-delivery of a responder we already consumed.
+          CountDuplicateDropped();
+          continue;
+        }
+        pending = 0;
+        APAN_CHECK_MSG(response->neighbors.size() == response->slots.size(),
+                       "frontier response with mismatched slot/neighbor rows");
+        for (size_t i = 0; i < response->slots.size(); ++i) {
+          const int64_t slot = response->slots[i];
+          APAN_CHECK_MSG(
+              slot >= 0 && static_cast<size_t>(slot) < sampled.size(),
+              "frontier response slot outside the requested expansion");
+          sampled[static_cast<size_t>(slot)] =
+              std::move(response->neighbors[i]);
+        }
+        --awaiting;
+      } else {
+        // A response for a later expansion cannot exist (its request has
+        // not been sent); an earlier key is a re-delivered duplicate.
+        APAN_CHECK_MSG(key < current,
+                       "frontier response for a future expansion");
+        CountDuplicateDropped();
       }
-      --awaiting;
     } else {
       // Serving requests (and applying finished batches) while blocked is
       // what keeps the frontier protocol deadlock-free: the shard at the
@@ -398,25 +443,39 @@ void ShardedEngine::WaitForFrontierResponses(
       DispatchMessage(shard_id, std::move(message));
     }
   }
+  shard.last_wait = current;
 }
 
 void ShardedEngine::HandleFrontierRequest(int shard_id,
                                           FrontierRequest request) {
+  Shard& shard = *shards_[static_cast<size_t>(shard_id)];
+  // Replay protection: a requester has at most one request outstanding
+  // per owner, at strictly increasing (batch, hop) — anything at or below
+  // the accepted watermark is a transport re-delivery (it was already
+  // answered or deferred, else the requester could not have progressed).
+  ExpansionKey& watermark =
+      shard.accepted_request[static_cast<size_t>(request.from_shard)];
+  const ExpansionKey key(request.batch, request.hop);
+  if (key <= watermark) {
+    CountDuplicateDropped();
+    return;
+  }
+  watermark = key;
   if (graph_.watermark(shard_id) < request.batch) {
     // This slice has not absorbed batches 0..request.batch-1 yet; answer
     // after the append that advances the watermark far enough.
-    shards_[static_cast<size_t>(shard_id)]->deferred_requests.push_back(
-        std::move(request));
+    shard.deferred_requests.push_back(std::move(request));
     return;
   }
   AnswerFrontierRequest(shard_id, request);
 }
 
-void ShardedEngine::AnswerFrontierRequest(int /*shard_id*/,
+void ShardedEngine::AnswerFrontierRequest(int shard_id,
                                           const FrontierRequest& request) {
   FrontierResponse response;
   response.batch = request.batch;
   response.hop = request.hop;
+  response.from_shard = shard_id;
   response.slots.reserve(request.items.size());
   response.neighbors.reserve(request.items.size());
   for (const FrontierItem& item : request.items) {
@@ -424,7 +483,7 @@ void ShardedEngine::AnswerFrontierRequest(int /*shard_id*/,
     response.neighbors.push_back(graph_.MostRecentNeighborsAsOf(
         item.node, item.before_time, request.fanout, request.ordinal_limit));
   }
-  PushMessage(request.from_shard, ShardMessage(std::move(response)));
+  SendMessage(shard_id, request.from_shard, ShardMessage(std::move(response)));
 }
 
 void ShardedEngine::ServeDeferredRequests(int shard_id) {
@@ -442,11 +501,43 @@ void ShardedEngine::ServeDeferredRequests(int shard_id) {
   shard.deferred_requests = std::move(still_deferred);
 }
 
-void ShardedEngine::PushMessage(int to_shard, ShardMessage message) {
+void ShardedEngine::SendMessage(int from_shard, int to_shard,
+                                ShardMessage message) {
+  const Status sent = transport_->Send(from_shard, to_shard,
+                                       std::move(message));
+  APAN_CHECK_MSG(sent.ok(), sent.ToString());
+}
+
+void ShardedEngine::EnqueueMessage(int to_shard, ShardMessage message) {
+  // The transport is a pluggable extension point and (over a socket) the
+  // message crossed a deserialization boundary, so shard ids are validated
+  // before they index anything: wire.cc's "no UB" guarantee covers frame
+  // structure, this covers field ranges. A violation is a broken transport
+  // or peer — abort with a message, like the reader-thread decode checks.
+  const auto valid_shard = [this](int shard) {
+    return shard >= 0 && shard < options_.num_shards;
+  };
+  APAN_CHECK_MSG(valid_shard(to_shard),
+                 "transport delivered a message to an out-of-range shard");
+  int from_shard = -1;
+  if (const auto* partial = std::get_if<ShardPartial>(&message)) {
+    from_shard = partial->from_shard;
+  } else if (const auto* request = std::get_if<FrontierRequest>(&message)) {
+    from_shard = request->from_shard;
+  } else {
+    from_shard = std::get<FrontierResponse>(message).from_shard;
+  }
+  APAN_CHECK_MSG(valid_shard(from_shard),
+                 "transport delivered a message with an out-of-range sender");
   Shard& target = *shards_[static_cast<size_t>(to_shard)];
   std::lock_guard<std::mutex> lock(target.mu);
   target.mail.push_back(std::move(message));
   target.cv.notify_all();
+}
+
+void ShardedEngine::CountDuplicateDropped() {
+  std::lock_guard<std::mutex> lock(flush_mu_);
+  ++stats_.duplicates_dropped;
 }
 
 void ShardedEngine::RouteMail(int from_shard, BatchJob& job,
@@ -454,7 +545,7 @@ void ShardedEngine::RouteMail(int from_shard, BatchJob& job,
   const int num_shards = options_.num_shards;
   std::vector<ShardPartial> outbound(static_cast<size_t>(num_shards));
   for (int t = 0; t < num_shards; ++t) {
-    outbound[static_cast<size_t>(t)].ctx = job.ctx;
+    outbound[static_cast<size_t>(t)].batch = job.ctx->batch;
     outbound[static_cast<size_t>(t)].from_shard = from_shard;
   }
 
@@ -488,7 +579,7 @@ void ShardedEngine::RouteMail(int from_shard, BatchJob& job,
         static_cast<int64_t>(out.hop0.size() + out.partial.size());
     routed += mails;
     if (t != from_shard) cross_shard += mails;
-    PushMessage(t, ShardMessage(std::move(out)));
+    SendMessage(from_shard, t, ShardMessage(std::move(out)));
   }
   std::lock_guard<std::mutex> lock(flush_mu_);
   stats_.mails_routed += routed;
@@ -497,7 +588,22 @@ void ShardedEngine::RouteMail(int from_shard, BatchJob& job,
 
 void ShardedEngine::OnMail(int shard_id, ShardPartial partial) {
   Shard& shard = *shards_[static_cast<size_t>(shard_id)];
-  shard.pending[partial.ctx->batch].push_back(std::move(partial));
+  // Replay protection: a partial for an already-merged batch, or from a
+  // sender already represented in the pending set, is a transport
+  // re-delivery — applying it twice would double mail and wedge the
+  // sender-count completion barrier.
+  if (partial.batch < shard.next_merge) {
+    CountDuplicateDropped();
+    return;
+  }
+  std::vector<ShardPartial>& parts = shard.pending[partial.batch];
+  for (const ShardPartial& existing : parts) {
+    if (existing.from_shard == partial.from_shard) {
+      CountDuplicateDropped();
+      return;
+    }
+  }
+  parts.push_back(std::move(partial));
   // Batches complete in order: every sender emits its partials in batch
   // order, so once all senders reported for next_merge, every earlier
   // batch has already been merged.
@@ -507,9 +613,9 @@ void ShardedEngine::OnMail(int shard_id, ShardPartial partial) {
         static_cast<int>(it->second.size()) != options_.num_shards) {
       break;
     }
-    std::vector<ShardPartial> parts = std::move(it->second);
+    std::vector<ShardPartial> merged = std::move(it->second);
     shard.pending.erase(it);
-    ApplyMergedBatch(shard_id, std::move(parts));
+    ApplyMergedBatch(shard_id, std::move(merged));
     ++shard.next_merge;
   }
 }
@@ -522,7 +628,7 @@ void ShardedEngine::ApplyMergedBatch(int shard_id,
             [](const ShardPartial& a, const ShardPartial& b) {
               return a.from_shard < b.from_shard;
             });
-  std::shared_ptr<BatchContext> ctx = parts.front().ctx;
+  const int64_t batch = parts.front().batch;
 
   // 1. z(t−) write-backs in global event order (later events win).
   std::vector<StateUpdate> updates;
@@ -594,10 +700,14 @@ void ShardedEngine::ApplyMergedBatch(int shard_id,
   }
   async_latency_.Record(watch.ElapsedMillis());
 
-  const bool batch_complete =
-      ctx->apply_remaining.fetch_sub(1, std::memory_order_acq_rel) == 1;
   std::lock_guard<std::mutex> lock(flush_mu_);
-  if (batch_complete) ++stats_.batches_propagated;
+  auto remaining = apply_remaining_.find(batch);
+  APAN_CHECK_MSG(remaining != apply_remaining_.end(),
+                 "merged a batch with no apply barrier");
+  if (--remaining->second == 0) {
+    apply_remaining_.erase(remaining);
+    ++stats_.batches_propagated;
+  }
   if (--inflight_ == 0) flush_cv_.notify_all();
 }
 
@@ -615,6 +725,13 @@ void ShardedEngine::Shutdown() {
   }
   // Drain everything first — shutting down never loses accepted mail.
   Flush();
+  // Then drain the transport *before* the workers go away: a socket lane
+  // (or a fault decorator's delay buffer) can still hold frames after
+  // Flush — necessarily re-deliveries, since Flush proved every batch
+  // applied — and the workers must stay alive to receive and drop them;
+  // stopping the transport also guarantees no delivery callback runs
+  // into a dead engine.
+  transport_->Stop();
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     shard->closed = true;

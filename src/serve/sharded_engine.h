@@ -27,11 +27,10 @@
 //       shard computes the event's mail (φ) and drives its k-hop fan-out
 //       (N). A hop whose frontier node is owned by a foreign shard is
 //       *forwarded* to the owner as a frontier-request message through the
-//       same shard-to-shard mail routing; the owner samples its slice
+//       same shard-to-shard message lane; the owner samples its slice
 //       (deferring the request until its watermark reaches b) and replies
 //       with the sampled neighbors. Slot-sequence tags let the home shard
-//       reassemble every hop in the exact monolithic expansion order, so
-//       the sampled neighborhood is deterministic;
+//       reassemble every hop in the exact monolithic expansion order;
 //     · each resulting MailDelivery and z(t−) write-back is *routed* to
 //       its recipient's owner shard as a ShardPartial message. Cross-shard
 //       mail therefore arrives interleaved with other shards' traffic —
@@ -41,12 +40,23 @@
 //       rows in global event order (sequence tags), restoring exactly the
 //       per-node delivery order of the single-worker AsyncPipeline.
 //
+// Transport plane: every ShardMessage crosses shards through a pluggable
+// serve::Transport (Options::transport) — synchronous in-process delivery
+// by default, or a Unix-domain-socket lane per shard pair carrying
+// serve/wire.h frames. The engine assumes only at-least-once delivery
+// with no ordering: sequence tags reconstruct every order that matters,
+// and duplicated deliveries are dropped by tag — ShardPartials by
+// (batch, sender), frontier requests/responses by monotonic (batch, hop)
+// watermarks per peer. Memory and graph slices stay in-process; only the
+// messaging plane is transport-agnostic (docs/serving.md).
+//
 // Determinism: because neighborhood expansion, per-node delivery order and
 // ρ-reduction are reconstructed exactly, the final mailbox timestamps and
 // counts after Flush() are bitwise-identical to the single-worker
 // AsyncPipeline on the same stream (mail *payloads* agree up to
 // floating-point summation order; tests/serve_sharded_test.cc asserts
-// both).
+// both — and tests/serve_transport_test.cc re-asserts it over a socket
+// transport and under injected delay/reorder/duplication faults).
 //
 // Deadlock freedom: batch-job inboxes are bounded (back-pressure on the
 // caller), but shard-to-shard messages are unbounded — if message pushes
@@ -60,19 +70,20 @@
 #ifndef APAN_SERVE_SHARDED_ENGINE_H_
 #define APAN_SERVE_SHARDED_ENGINE_H_
 
-#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
-#include <variant>
+#include <utility>
 #include <vector>
 
 #include "core/apan_model.h"
 #include "graph/sharded_temporal_graph.h"
+#include "serve/shard_message.h"
 #include "serve/shard_router.h"
+#include "serve/transport.h"
 #include "util/bounded_queue.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
@@ -83,7 +94,8 @@ namespace serve {
 
 /// \brief Runs one ApanModel behind an N-shard partition of the node
 /// space: per-shard mailbox/memory/graph-slice ownership, per-shard
-/// propagation workers, cross-shard mail + frontier routing.
+/// propagation workers, cross-shard mail + frontier routing over a
+/// pluggable transport.
 class ShardedEngine {
  public:
   struct Options {
@@ -99,6 +111,9 @@ class ShardedEngine {
     /// Threads encoding shard slices on the synchronous link; 0 means one
     /// per shard.
     size_t encode_threads = 0;
+    /// Builds the shard-to-shard message transport; null means
+    /// InProcessTransport (the pre-transport deque semantics).
+    TransportFactory transport;
   };
 
   /// `model` must outlive the engine and must not be used concurrently by
@@ -130,8 +145,9 @@ class ShardedEngine {
   /// applied on every shard.
   void Flush();
 
-  /// Drains all accepted work, then stops the workers (idempotent; also
-  /// called by the destructor). Shutdown never loses accepted mail.
+  /// Drains all accepted work AND the transport (a socket lane can hold
+  /// frames a deque never could), then stops the workers (idempotent;
+  /// also called by the destructor). Shutdown never loses accepted mail.
   void Shutdown();
 
   struct Stats {
@@ -152,10 +168,15 @@ class ShardedEngine {
     int64_t frontier_requests = 0;
     /// Frontier nodes whose sampling was forwarded to a foreign owner.
     int64_t frontier_nodes_forwarded = 0;
+    /// Messages dropped as transport re-deliveries (by replay tag). Zero
+    /// under an exactly-once transport; positive under FaultyTransport.
+    int64_t duplicates_dropped = 0;
   };
   Stats stats() const;
 
   const ShardRouter& router() const { return router_; }
+  /// The transport the engine is running over ("inproc", "uds", ...).
+  const char* transport_name() const { return transport_->name(); }
   /// The engine-owned shard-local graph slices (quiescent inspection:
   /// call after Flush).
   const graph::ShardedTemporalGraph& sharded_graph() const { return graph_; }
@@ -165,16 +186,10 @@ class ShardedEngine {
   const LatencyRecorder& async_latency() const { return async_latency_; }
 
  private:
-  /// One routed z(t−) write-back; sequence = 2 * event index + endpoint.
-  struct StateUpdate {
-    int64_t sequence = 0;
-    graph::NodeId node = -1;
-    std::vector<float> z;
-  };
-
-  /// Shared per-batch bookkeeping: the apply barrier (last shard to apply
-  /// completes the batch) plus what every shard needs to append its own
-  /// slice of the batch.
+  /// Shared per-batch bookkeeping for the in-process job path: what every
+  /// shard needs to append its own slice of the batch. (The apply barrier
+  /// lives in apply_remaining_, keyed by batch — ShardPartials cross the
+  /// transport and cannot carry pointers.)
   struct BatchContext {
     int64_t batch = 0;
     /// Global index of events[0] in the accepted stream; sampling for
@@ -182,62 +197,20 @@ class ShardedEngine {
     /// 0..batch-1 only).
     int64_t base_ordinal = 0;
     std::vector<graph::Event> events;
-    std::atomic<int> apply_remaining{0};
   };
 
-  /// One shard's slice of one batch's propagation output, addressed to
-  /// one recipient shard. Sent for every (sender, recipient, batch)
-  /// triple — empty slices included — so the recipient can detect batch
-  /// completion by counting senders.
-  struct ShardPartial {
-    std::shared_ptr<BatchContext> ctx;
-    int from_shard = 0;
-    std::vector<StateUpdate> state_updates;
-    std::vector<core::PartialPropagation::TaggedDelivery> hop0;
-    std::vector<core::PartialPropagation::PartialReduce> partial;
-  };
-
-  /// One foreign frontier node to sample, tagged with its slot in the
-  /// requesting shard's expansion (the sequence tag that makes the
-  /// reassembled hop order deterministic).
-  struct FrontierItem {
-    int64_t slot = 0;
-    graph::NodeId node = -1;
-    double before_time = 0.0;
-  };
-
-  /// A batched ask: "sample these nodes of yours, as the graph stood
-  /// before batch `batch`". Answerable once the owner's watermark
-  /// reaches `batch`; deferred until then.
-  struct FrontierRequest {
-    int64_t batch = 0;
-    int32_t hop = 0;
-    int from_shard = 0;
-    int64_t ordinal_limit = 0;
-    int64_t fanout = 0;
-    std::vector<FrontierItem> items;
-  };
-
-  /// The owner's reply: per requested slot, the sampled neighbors.
-  struct FrontierResponse {
-    int64_t batch = 0;
-    int32_t hop = 0;
-    std::vector<int64_t> slots;
-    std::vector<std::vector<graph::TemporalNeighbor>> neighbors;
-  };
-
-  /// Shard-to-shard message on the unbounded mail lane. A variant (not a
-  /// product struct) so a queued message stores only its own payload and a
-  /// kind/payload mismatch is unrepresentable.
-  using ShardMessage =
-      std::variant<ShardPartial, FrontierRequest, FrontierResponse>;
-
-  /// A batch's home-events slice for one shard.
+  /// A batch's home-events slice for one shard. Jobs stay in-process
+  /// (they carry the caller's encoder output); only ShardMessages travel
+  /// the transport.
   struct BatchJob {
     std::shared_ptr<BatchContext> ctx;
     std::vector<core::InteractionRecord> records;
     std::vector<int64_t> event_index;  ///< Global batch positions.
   };
+
+  /// An expansion's identity, ordered as expansions run: batch-major,
+  /// hop-minor. Used as the replay watermark for frontier dedup.
+  using ExpansionKey = std::pair<int64_t, int32_t>;
 
   struct Shard {
     /// Guards this shard's rows of the mailbox and the z(t−) table.
@@ -259,6 +232,13 @@ class ShardedEngine {
     /// re-checked after every slice append (worker thread only).
     std::vector<FrontierRequest> deferred_requests;
 
+    /// Replay protection (worker thread only). A requester issues
+    /// frontier requests to a given owner at strictly increasing
+    /// (batch, hop) and never has two outstanding at once, so one
+    /// watermark per peer suffices to drop transport re-deliveries.
+    std::vector<ExpansionKey> accepted_request;  ///< Per requester shard.
+    ExpansionKey last_wait{-1, 0};  ///< Newest completed response wait.
+
     std::thread worker;
   };
 
@@ -269,17 +249,24 @@ class ShardedEngine {
   void ApplyMergedBatch(int shard_id, std::vector<ShardPartial> parts);
   void RouteMail(int from_shard, BatchJob& job,
                  core::PartialPropagation&& propagation);
-  void PushMessage(int to_shard, ShardMessage message);
+  /// Hands `message` to the transport (which delivers it back through
+  /// EnqueueMessage, possibly on another thread, possibly more than once).
+  void SendMessage(int from_shard, int to_shard, ShardMessage message);
+  /// Transport delivery handler: pushes onto the target shard's inbox.
+  void EnqueueMessage(int to_shard, ShardMessage message);
+  void CountDuplicateDropped();
 
   /// k-hop expansion for a job's records against the sharded graph
   /// as-of the job's batch: local frontiers sampled from the own slice,
   /// foreign frontiers forwarded to their owners.
   std::vector<std::vector<graph::HopEntry>> ExpandKHop(int shard_id,
                                                        const BatchJob& job);
-  /// Blocks until `awaiting` responses for (batch, hop) arrived, serving
-  /// interleaved requests/partials from the own inbox meanwhile.
+  /// Blocks until each shard flagged in `awaiting_from` responded for
+  /// (batch, hop), serving interleaved requests/partials from the own
+  /// inbox meanwhile. Re-delivered responses are dropped by tag.
   void WaitForFrontierResponses(
-      int shard_id, int64_t batch, int32_t hop, int awaiting,
+      int shard_id, int64_t batch, int32_t hop,
+      std::vector<char>& awaiting_from,
       std::vector<std::vector<graph::TemporalNeighbor>>& sampled);
   void HandleFrontierRequest(int shard_id, FrontierRequest request);
   void AnswerFrontierRequest(int shard_id, const FrontierRequest& request);
@@ -290,6 +277,7 @@ class ShardedEngine {
   Options options_;
   ShardRouter router_;
   graph::ShardedTemporalGraph graph_;
+  std::unique_ptr<Transport> transport_;
   ThreadPool encode_pool_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
@@ -309,6 +297,9 @@ class ShardedEngine {
   mutable std::mutex flush_mu_;
   std::condition_variable flush_cv_;
   int64_t inflight_ = 0;
+  /// Apply barrier per in-flight batch: shards yet to merge it. The last
+  /// one to reach zero completes the batch. Guarded by flush_mu_.
+  std::map<int64_t, int> apply_remaining_;
   Stats stats_;  ///< Guarded by flush_mu_.
 
   LatencyRecorder sync_latency_;

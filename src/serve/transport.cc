@@ -1,0 +1,313 @@
+#include "serve/transport.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "serve/wire.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define APAN_HAVE_AF_UNIX 1
+#include <cerrno>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define APAN_HAVE_AF_UNIX 0
+#endif
+
+namespace apan {
+namespace serve {
+
+// ---- InProcessTransport ----------------------------------------------------
+
+Status InProcessTransport::Start(int num_shards, Handler handler) {
+  if (started_) return Status::FailedPrecondition("transport already started");
+  if (num_shards <= 0 || handler == nullptr) {
+    return Status::InvalidArgument("Start needs shards > 0 and a handler");
+  }
+  num_shards_ = num_shards;
+  handler_ = std::move(handler);
+  started_ = true;
+  return Status::OK();
+}
+
+Status InProcessTransport::Send(int from_shard, int to_shard,
+                                ShardMessage message) {
+  if (!started_ || stopped_) {
+    return Status::FailedPrecondition("transport is not running");
+  }
+  if (from_shard < 0 || from_shard >= num_shards_ || to_shard < 0 ||
+      to_shard >= num_shards_) {
+    return Status::InvalidArgument("shard id out of range");
+  }
+  handler_(to_shard, std::move(message));
+  return Status::OK();
+}
+
+// ---- UnixSocketTransport ---------------------------------------------------
+
+bool UnixSocketTransport::Available() { return APAN_HAVE_AF_UNIX != 0; }
+
+#if APAN_HAVE_AF_UNIX
+
+UnixSocketTransport::~UnixSocketTransport() { Stop(); }
+
+Status UnixSocketTransport::Start(int num_shards, Handler handler) {
+  if (started_) return Status::FailedPrecondition("transport already started");
+  if (num_shards <= 0 || handler == nullptr) {
+    return Status::InvalidArgument("Start needs shards > 0 and a handler");
+  }
+  num_shards_ = num_shards;
+  handler_ = std::move(handler);
+  const size_t lane_count =
+      static_cast<size_t>(num_shards) * static_cast<size_t>(num_shards);
+  lanes_.reserve(lane_count);
+  for (size_t i = 0; i < lane_count; ++i) {
+    auto lane = std::make_unique<Lane>();
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+      const int err = errno;
+      for (auto& open_lane : lanes_) {
+        ::close(open_lane->write_fd);
+        ::close(open_lane->read_fd);
+      }
+      lanes_.clear();
+      return Status::IoError(
+          internal::StrCat("socketpair failed: errno ", err));
+    }
+    lane->write_fd = fds[0];
+    lane->read_fd = fds[1];
+    lanes_.push_back(std::move(lane));
+  }
+  for (int from = 0; from < num_shards; ++from) {
+    for (int to = 0; to < num_shards; ++to) {
+      Lane* lane = &LaneFor(from, to);
+      lane->reader = std::thread([this, lane, to] { ReaderLoop(lane, to); });
+    }
+  }
+  started_ = true;
+  return Status::OK();
+}
+
+void UnixSocketTransport::ReaderLoop(Lane* lane, int to_shard) {
+  // 1 = got n bytes, 0 = clean EOF before the first byte, -1 = error or
+  // EOF mid-read.
+  const auto read_exact = [lane](uint8_t* buf, size_t n) -> int {
+    size_t got = 0;
+    while (got < n) {
+      const ssize_t r = ::read(lane->read_fd, buf + got, n - got);
+      if (r == 0) return got == 0 ? 0 : -1;
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return -1;
+      }
+      got += static_cast<size_t>(r);
+    }
+    return 1;
+  };
+
+  std::vector<uint8_t> payload;
+  while (true) {
+    uint8_t header[wire::kFrameHeaderBytes];
+    const int header_read = read_exact(header, sizeof(header));
+    if (header_read == 0) return;  // write side closed at a frame boundary
+    APAN_CHECK_MSG(header_read == 1, "uds lane died mid-frame-header");
+    Result<uint32_t> length =
+        wire::DecodeFrameLength(std::span<const uint8_t, 4>(header));
+    APAN_CHECK_MSG(length.ok(), length.status().ToString());
+    payload.resize(*length);
+    APAN_CHECK_MSG(read_exact(payload.data(), payload.size()) == 1,
+                   "uds lane died mid-frame-payload");
+    Result<ShardMessage> message = wire::DecodeMessage(payload);
+    APAN_CHECK_MSG(message.ok(), message.status().ToString());
+    handler_(to_shard, std::move(*message));
+  }
+}
+
+Status UnixSocketTransport::Send(int from_shard, int to_shard,
+                                 ShardMessage message) {
+  if (!started_) return Status::FailedPrecondition("transport not started");
+  if (from_shard < 0 || from_shard >= num_shards_ || to_shard < 0 ||
+      to_shard >= num_shards_) {
+    return Status::InvalidArgument("shard id out of range");
+  }
+  std::vector<uint8_t> frame;
+  wire::AppendFrame(message, &frame);
+
+  Lane& lane = LaneFor(from_shard, to_shard);
+  std::lock_guard<std::mutex> lock(lane.write_mu);
+  if (lane.write_fd < 0) {
+    return Status::FailedPrecondition("transport is stopped");
+  }
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t w =
+        ::write(lane.write_fd, frame.data() + sent, frame.size() - sent);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(
+          internal::StrCat("uds lane write failed: errno ", errno));
+    }
+    sent += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+void UnixSocketTransport::Stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  // Closing the write side delivers EOF to the reader *after* every byte
+  // already written — a stream socket never drops queued data on a
+  // SHUT_WR-style close — so readers drain all accepted frames, then exit.
+  for (auto& lane : lanes_) {
+    std::lock_guard<std::mutex> lock(lane->write_mu);
+    ::close(lane->write_fd);
+    lane->write_fd = -1;
+  }
+  for (auto& lane : lanes_) {
+    if (lane->reader.joinable()) lane->reader.join();
+  }
+  for (auto& lane : lanes_) {
+    ::close(lane->read_fd);
+    lane->read_fd = -1;
+  }
+}
+
+#else  // !APAN_HAVE_AF_UNIX
+
+UnixSocketTransport::~UnixSocketTransport() = default;
+
+Status UnixSocketTransport::Start(int, Handler) {
+  return Status::NotImplemented("AF_UNIX is unavailable on this platform");
+}
+
+Status UnixSocketTransport::Send(int, int, ShardMessage) {
+  return Status::NotImplemented("AF_UNIX is unavailable on this platform");
+}
+
+void UnixSocketTransport::Stop() {}
+
+#endif  // APAN_HAVE_AF_UNIX
+
+// ---- FaultyTransport -------------------------------------------------------
+
+FaultyTransport::FaultyTransport(std::unique_ptr<Transport> inner,
+                                 Options options)
+    : inner_(std::move(inner)), options_(options), rng_(options.seed) {
+  APAN_CHECK(inner_ != nullptr);
+}
+
+FaultyTransport::~FaultyTransport() { Stop(); }
+
+Status FaultyTransport::Start(int num_shards, Handler handler) {
+  if (started_) return Status::FailedPrecondition("transport already started");
+  APAN_RETURN_NOT_OK(inner_->Start(num_shards, std::move(handler)));
+  flusher_ = std::thread([this] { FlusherLoop(); });
+  started_ = true;
+  return Status::OK();
+}
+
+Status FaultyTransport::Send(int from_shard, int to_shard,
+                             ShardMessage message) {
+  if (!started_) return Status::FailedPrecondition("transport not started");
+  std::vector<ShardMessage> inline_sends;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return Status::FailedPrecondition("transport is stopped");
+    const int copies = rng_.Bernoulli(options_.duplicate_probability) ? 2 : 1;
+    for (int c = 0; c < copies; ++c) {
+      ShardMessage copy = (c + 1 == copies) ? std::move(message) : message;
+      if (rng_.Bernoulli(options_.delay_probability)) {
+        const auto delay = std::chrono::microseconds(rng_.UniformInt(
+            int64_t{0}, std::max<int64_t>(options_.max_delay_micros, 0)));
+        held_.push_back({std::chrono::steady_clock::now() + delay, from_shard,
+                         to_shard, std::move(copy)});
+      } else {
+        inline_sends.push_back(std::move(copy));
+      }
+    }
+  }
+  for (ShardMessage& m : inline_sends) {
+    APAN_RETURN_NOT_OK(inner_->Send(from_shard, to_shard, std::move(m)));
+  }
+  return Status::OK();
+}
+
+Status FaultyTransport::FlushDue(bool drain) {
+  std::vector<Held> due;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto now = std::chrono::steady_clock::now();
+    auto keep = held_.begin();
+    for (auto it = held_.begin(); it != held_.end(); ++it) {
+      if (drain || it->release <= now) {
+        due.push_back(std::move(*it));
+      } else {
+        // Guard against self-move: moving an element onto itself empties
+        // the vectors inside the message while keeping its tags, which
+        // would silently deliver a hollowed frame.
+        if (keep != it) *keep = std::move(*it);
+        ++keep;
+      }
+    }
+    held_.erase(keep, held_.end());
+    // Shuffled release on top of random hold times: two messages held on
+    // the same lane can come back in either order.
+    rng_.Shuffle(&due);
+  }
+  for (Held& h : due) {
+    APAN_RETURN_NOT_OK(
+        inner_->Send(h.from_shard, h.to_shard, std::move(h.message)));
+  }
+  return Status::OK();
+}
+
+void FaultyTransport::FlusherLoop() {
+  const auto period = std::chrono::microseconds(
+      std::max<int64_t>(options_.flush_period_micros, 1));
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, period, [this] { return stop_; });
+      if (stop_) return;
+    }
+    const Status flushed = FlushDue(/*drain=*/false);
+    APAN_CHECK_MSG(flushed.ok(), flushed.ToString());
+  }
+}
+
+void FaultyTransport::Stop() {
+  if (!flusher_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  flusher_.join();
+  // Faults degrade ordering and multiplicity, never delivery: everything
+  // still held goes out before the inner transport is allowed to drain.
+  const Status drained = FlushDue(/*drain=*/true);
+  APAN_CHECK_MSG(drained.ok(), drained.ToString());
+  inner_->Stop();
+}
+
+// ---- Factories -------------------------------------------------------------
+
+Result<TransportKind> ParseTransportKind(std::string_view name) {
+  if (name == "inproc") return TransportKind::kInProcess;
+  if (name == "uds") return TransportKind::kUnixSocket;
+  return Status::InvalidArgument(internal::StrCat(
+      "unknown transport \"", std::string(name), "\" (inproc|uds)"));
+}
+
+TransportFactory MakeTransportFactory(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kUnixSocket:
+      return [] { return std::make_unique<UnixSocketTransport>(); };
+    case TransportKind::kInProcess:
+    default:
+      return [] { return std::make_unique<InProcessTransport>(); };
+  }
+}
+
+}  // namespace serve
+}  // namespace apan

@@ -1,0 +1,203 @@
+// The pluggable shard-to-shard messaging plane.
+//
+// serve::ShardedEngine routes every cross-shard interaction — mail
+// partials, z(t−) write-backs, frontier requests and responses — through a
+// Transport. The engine only assumes:
+//
+//   · at-least-once delivery: every accepted Send is delivered at least
+//     once before Stop() returns (duplicates are allowed — the engine
+//     drops them by tag);
+//   · thread-safe Send from any engine thread, and a handler that may be
+//     invoked from any transport thread (the engine's inbox push is
+//     mutex-guarded);
+//   · no ordering at all: sequence-tag replay reconstructs every order
+//     that matters (docs/serving.md, "Transport plane").
+//
+// Implementations:
+//   · InProcessTransport — Send invokes the handler synchronously on the
+//     calling thread, preserving the pre-transport deque semantics
+//     byte-for-byte (no serialization, no copies, per-lane FIFO).
+//   · UnixSocketTransport — each directed (sender → receiver) lane is a
+//     SOCK_STREAM socketpair carrying wire.h frames, with one reader
+//     thread per lane decoding into the handler. The shards still share a
+//     process, but no message crosses a shard boundary through shared
+//     memory — the step that lets a future PR put shards in separate
+//     processes by swapping socketpair() for connected AF_UNIX/TCP
+//     sockets. Unavailable() on platforms without AF_UNIX.
+//   · FaultyTransport — a decorator that delays, reorders, and duplicates
+//     messages under a seeded RNG; the determinism soak tests run the
+//     engine over it to prove tag replay absorbs an adversarial network.
+
+#ifndef APAN_SERVE_TRANSPORT_H_
+#define APAN_SERVE_TRANSPORT_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "serve/shard_message.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace apan {
+namespace serve {
+
+/// \brief Moves ShardMessages between shards. Lifecycle: Start once, Send
+/// from any thread, Stop once (idempotent; also run by the destructor).
+class Transport {
+ public:
+  /// Delivery callback. May be invoked concurrently from transport
+  /// threads; must not call back into the transport.
+  using Handler = std::function<void(int to_shard, ShardMessage message)>;
+
+  virtual ~Transport() = default;
+
+  /// Registers the delivery handler and brings up the lanes. Must be
+  /// called exactly once, before any Send.
+  virtual Status Start(int num_shards, Handler handler) = 0;
+
+  /// Queues `message` for delivery to `to_shard`. Every shard pair is a
+  /// lane, including from_shard == to_shard (self-mail takes the same
+  /// path as foreign mail). Fails after Stop.
+  virtual Status Send(int from_shard, int to_shard, ShardMessage message) = 0;
+
+  /// Drains every accepted Send to its handler, then tears the lanes
+  /// down. No Send may be in flight concurrently with Stop; after it
+  /// returns no handler invocation is running or pending.
+  virtual void Stop() = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// Builds a fresh transport per engine (an engine owns its transport).
+using TransportFactory = std::function<std::unique_ptr<Transport>()>;
+
+/// \brief The pre-transport semantics: synchronous handler invocation on
+/// the sender's thread.
+class InProcessTransport : public Transport {
+ public:
+  Status Start(int num_shards, Handler handler) override;
+  Status Send(int from_shard, int to_shard, ShardMessage message) override;
+  void Stop() override { stopped_ = true; }
+  const char* name() const override { return "inproc"; }
+
+ private:
+  Handler handler_;
+  int num_shards_ = 0;
+  /// Start-before-Send and Send-after-Stop are caller contract
+  /// violations; these flags turn them into Status, not UB. Sends are
+  /// externally synchronized with Start/Stop per the lifecycle contract.
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+/// \brief Every directed lane is a Unix-domain stream socket carrying
+/// length-prefixed wire.h frames; one reader thread per lane.
+class UnixSocketTransport : public Transport {
+ public:
+  UnixSocketTransport() = default;
+  ~UnixSocketTransport() override;
+
+  /// False on platforms without AF_UNIX (tests skip, not fail).
+  static bool Available();
+
+  Status Start(int num_shards, Handler handler) override;
+  Status Send(int from_shard, int to_shard, ShardMessage message) override;
+  void Stop() override;
+  const char* name() const override { return "uds"; }
+
+ private:
+  struct Lane {
+    int write_fd = -1;
+    int read_fd = -1;
+    /// Serializes writers (a fault decorator's flusher can race the
+    /// worker) and guards write_fd against the close in Stop.
+    std::mutex write_mu;
+    std::thread reader;
+  };
+
+  Lane& LaneFor(int from_shard, int to_shard) {
+    return *lanes_[static_cast<size_t>(from_shard) *
+                       static_cast<size_t>(num_shards_) +
+                   static_cast<size_t>(to_shard)];
+  }
+  void ReaderLoop(Lane* lane, int to_shard);
+
+  Handler handler_;
+  int num_shards_ = 0;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+/// \brief Fault-injecting decorator: under a seeded RNG, each message may
+/// be duplicated and each copy may be held back for a random interval — a
+/// background flusher releases due messages in shuffled order, so
+/// deliveries reorder across and within lanes. Stop releases everything
+/// still held before stopping the inner transport: faults degrade
+/// ordering and multiplicity, never delivery.
+class FaultyTransport : public Transport {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    /// Probability a message copy is held back instead of sent inline.
+    double delay_probability = 0.5;
+    /// Probability a message is sent twice (the duplicate is delayed
+    /// independently).
+    double duplicate_probability = 0.25;
+    /// Held copies release after U[0, max_delay] microseconds.
+    int64_t max_delay_micros = 2000;
+    /// Flusher wake period.
+    int64_t flush_period_micros = 100;
+  };
+
+  FaultyTransport(std::unique_ptr<Transport> inner, Options options);
+  ~FaultyTransport() override;
+
+  Status Start(int num_shards, Handler handler) override;
+  Status Send(int from_shard, int to_shard, ShardMessage message) override;
+  void Stop() override;
+  const char* name() const override { return "faulty"; }
+
+ private:
+  struct Held {
+    std::chrono::steady_clock::time_point release;
+    int from_shard = 0;
+    int to_shard = 0;
+    ShardMessage message;
+  };
+
+  void FlusherLoop();
+  /// Sends every held message whose deadline passed (all of them when
+  /// `drain`), in RNG-shuffled order.
+  Status FlushDue(bool drain);
+
+  std::unique_ptr<Transport> inner_;
+  Options options_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  Rng rng_;                  ///< Guarded by mu_.
+  std::vector<Held> held_;   ///< Guarded by mu_.
+  bool stop_ = false;        ///< Guarded by mu_.
+  std::thread flusher_;
+  bool started_ = false;
+};
+
+/// Named transports for --transport= flags.
+enum class TransportKind { kInProcess, kUnixSocket };
+
+/// "inproc" or "uds" → kind; anything else is InvalidArgument.
+Result<TransportKind> ParseTransportKind(std::string_view name);
+
+TransportFactory MakeTransportFactory(TransportKind kind);
+
+}  // namespace serve
+}  // namespace apan
+
+#endif  // APAN_SERVE_TRANSPORT_H_

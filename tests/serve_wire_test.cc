@@ -1,0 +1,321 @@
+#include "serve/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/random.h"
+
+namespace apan {
+namespace serve {
+namespace {
+
+// ---- Bitwise equality helpers ----------------------------------------------
+// Doubles are compared through their bit patterns so that NaN payloads and
+// negative zero count as round-trip-preserved, not as mismatches.
+
+bool SameBits(double a, double b) {
+  return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
+}
+
+bool SameBits(float a, float b) {
+  return std::bit_cast<uint32_t>(a) == std::bit_cast<uint32_t>(b);
+}
+
+bool SameFloats(const std::vector<float>& a, const std::vector<float>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!SameBits(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+bool Equal(const core::MailDelivery& a, const core::MailDelivery& b) {
+  return a.recipient == b.recipient && SameFloats(a.mail, b.mail) &&
+         SameBits(a.timestamp, b.timestamp) &&
+         a.contributions == b.contributions;
+}
+
+bool Equal(const ShardPartial& a, const ShardPartial& b) {
+  if (a.batch != b.batch || a.from_shard != b.from_shard ||
+      a.state_updates.size() != b.state_updates.size() ||
+      a.hop0.size() != b.hop0.size() || a.partial.size() != b.partial.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.state_updates.size(); ++i) {
+    const StateUpdate& u = a.state_updates[i];
+    const StateUpdate& v = b.state_updates[i];
+    if (u.sequence != v.sequence || u.node != v.node || !SameFloats(u.z, v.z)) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < a.hop0.size(); ++i) {
+    if (a.hop0[i].sequence != b.hop0[i].sequence ||
+        !Equal(a.hop0[i].delivery, b.hop0[i].delivery)) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < a.partial.size(); ++i) {
+    const core::PartialPropagation::PartialReduce& p = a.partial[i];
+    const core::PartialPropagation::PartialReduce& q = b.partial[i];
+    if (p.recipient != q.recipient || !SameFloats(p.sum, q.sum) ||
+        !SameBits(p.newest, q.newest) || p.count != q.count) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Equal(const FrontierRequest& a, const FrontierRequest& b) {
+  if (a.batch != b.batch || a.hop != b.hop || a.from_shard != b.from_shard ||
+      a.ordinal_limit != b.ordinal_limit || a.fanout != b.fanout ||
+      a.items.size() != b.items.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.items.size(); ++i) {
+    if (a.items[i].slot != b.items[i].slot ||
+        a.items[i].node != b.items[i].node ||
+        !SameBits(a.items[i].before_time, b.items[i].before_time)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Equal(const FrontierResponse& a, const FrontierResponse& b) {
+  if (a.batch != b.batch || a.hop != b.hop || a.from_shard != b.from_shard ||
+      a.slots != b.slots || a.neighbors.size() != b.neighbors.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.neighbors.size(); ++i) {
+    if (a.neighbors[i].size() != b.neighbors[i].size()) return false;
+    for (size_t j = 0; j < a.neighbors[i].size(); ++j) {
+      const graph::TemporalNeighbor& n = a.neighbors[i][j];
+      const graph::TemporalNeighbor& m = b.neighbors[i][j];
+      if (n.node != m.node || n.edge_id != m.edge_id ||
+          !SameBits(n.timestamp, m.timestamp)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool Equal(const ShardMessage& a, const ShardMessage& b) {
+  if (a.index() != b.index()) return false;
+  if (const auto* p = std::get_if<ShardPartial>(&a)) {
+    return Equal(*p, std::get<ShardPartial>(b));
+  }
+  if (const auto* r = std::get_if<FrontierRequest>(&a)) {
+    return Equal(*r, std::get<FrontierRequest>(b));
+  }
+  return Equal(std::get<FrontierResponse>(a), std::get<FrontierResponse>(b));
+}
+
+void ExpectRoundTrip(const ShardMessage& message) {
+  const std::vector<uint8_t> payload = wire::EncodeMessage(message);
+  Result<ShardMessage> decoded = wire::DecodeMessage(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(Equal(message, *decoded));
+}
+
+// ---- Exemplar messages (every alternative, edge values included) -----------
+
+ShardPartial MakePartial() {
+  ShardPartial m;
+  m.batch = 41;
+  m.from_shard = 3;
+  // Negative timestamps, empty mail payloads, zero-length z, NaN and -0.0
+  // are all representable states the wire must carry bitwise.
+  m.state_updates.push_back({0, 7, {1.0f, -2.5f, 0.0f}});
+  m.state_updates.push_back({std::numeric_limits<int64_t>::max(), 0, {}});
+  core::PartialPropagation::TaggedDelivery hop0;
+  hop0.sequence = 5;
+  hop0.delivery = {11, {}, -123.5, 1};  // empty mail payload, negative time
+  m.hop0.push_back(hop0);
+  hop0.sequence = 6;
+  hop0.delivery = {12,
+                   {std::numeric_limits<float>::quiet_NaN(), -0.0f},
+                   std::numeric_limits<double>::infinity(),
+                   2};
+  m.hop0.push_back(hop0);
+  core::PartialPropagation::PartialReduce reduce;
+  reduce.recipient = 9;
+  reduce.sum = {0.25f, 0.75f};
+  reduce.newest = -0.0;
+  reduce.count = 3;
+  m.partial.push_back(reduce);
+  return m;
+}
+
+FrontierRequest MakeRequest() {
+  FrontierRequest m;
+  m.batch = 12;
+  m.hop = 2;
+  m.from_shard = 1;
+  // Max-ordinal limit (the "everything appended" sentinel) and max slot
+  // tags must survive unclipped.
+  m.ordinal_limit = std::numeric_limits<int64_t>::max();
+  m.fanout = 10;
+  m.items.push_back({std::numeric_limits<int64_t>::max(), 4, -7.25});
+  m.items.push_back({0, 0, 0.0});
+  return m;
+}
+
+FrontierResponse MakeResponse() {
+  FrontierResponse m;
+  m.batch = 12;
+  m.hop = 2;
+  m.from_shard = 2;
+  m.slots = {std::numeric_limits<int64_t>::max(), 0, 3};
+  m.neighbors.push_back({{5, 17, -1.5}, {6, 18, 2.25}});
+  m.neighbors.push_back({});  // isolated node: empty sample
+  m.neighbors.push_back({{7, 19, std::numeric_limits<double>::lowest()}});
+  return m;
+}
+
+std::vector<ShardMessage> Exemplars() {
+  std::vector<ShardMessage> out;
+  out.push_back(MakePartial());
+  out.push_back(ShardPartial{});  // all-empty partial (the batch sentinel)
+  out.push_back(MakeRequest());
+  out.push_back(FrontierRequest{});
+  out.push_back(MakeResponse());
+  out.push_back(FrontierResponse{});
+  return out;
+}
+
+// ---- Round trips -----------------------------------------------------------
+
+TEST(WireTest, RoundTripsEveryAlternative) {
+  for (const ShardMessage& message : Exemplars()) {
+    ExpectRoundTrip(message);
+  }
+}
+
+TEST(WireTest, FrameRoundTrip) {
+  std::vector<uint8_t> stream;
+  const std::vector<ShardMessage> messages = Exemplars();
+  for (const ShardMessage& message : messages) {
+    wire::AppendFrame(message, &stream);
+  }
+  // Replay the stream the way a socket reader does: header, payload,
+  // repeat; the frames must reproduce the messages in order.
+  size_t pos = 0;
+  for (const ShardMessage& expected : messages) {
+    ASSERT_GE(stream.size() - pos, wire::kFrameHeaderBytes);
+    Result<uint32_t> length = wire::DecodeFrameLength(
+        std::span<const uint8_t, wire::kFrameHeaderBytes>(
+            stream.data() + pos, wire::kFrameHeaderBytes));
+    ASSERT_TRUE(length.ok()) << length.status();
+    pos += wire::kFrameHeaderBytes;
+    ASSERT_GE(stream.size() - pos, *length);
+    Result<ShardMessage> decoded = wire::DecodeMessage(
+        std::span<const uint8_t>(stream.data() + pos, *length));
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_TRUE(Equal(expected, *decoded));
+    pos += *length;
+  }
+  EXPECT_EQ(pos, stream.size());
+}
+
+// ---- Malformed input -------------------------------------------------------
+
+TEST(WireTest, EveryTruncationFailsCleanly) {
+  for (const ShardMessage& message : Exemplars()) {
+    const std::vector<uint8_t> payload = wire::EncodeMessage(message);
+    for (size_t cut = 0; cut < payload.size(); ++cut) {
+      Result<ShardMessage> decoded = wire::DecodeMessage(
+          std::span<const uint8_t>(payload.data(), cut));
+      EXPECT_FALSE(decoded.ok())
+          << "prefix of " << cut << "/" << payload.size()
+          << " bytes decoded as a full message";
+    }
+  }
+}
+
+TEST(WireTest, TrailingBytesRejected) {
+  std::vector<uint8_t> payload = wire::EncodeMessage(ShardMessage(MakeRequest()));
+  payload.push_back(0);
+  EXPECT_FALSE(wire::DecodeMessage(payload).ok());
+}
+
+TEST(WireTest, UnknownKindRejected) {
+  std::vector<uint8_t> payload = {0xEE};
+  EXPECT_FALSE(wire::DecodeMessage(payload).ok());
+  EXPECT_FALSE(wire::DecodeMessage({}).ok());
+}
+
+TEST(WireTest, CorruptCountRejectedBeforeAllocation) {
+  // A partial whose state_updates count claims 2^61 entries: the decoder
+  // must reject against the bytes remaining, not try to resize.
+  std::vector<uint8_t> payload = wire::EncodeMessage(ShardMessage(ShardPartial{}));
+  // Layout: kind(1) + batch(8) + from_shard(4) + state_updates count(8).
+  ASSERT_GE(payload.size(), 21u);
+  for (size_t i = 13; i < 21; ++i) payload[i] = 0xFF;
+  Result<ShardMessage> decoded = wire::DecodeMessage(payload);
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(WireTest, FrameLengthValidation) {
+  const uint8_t zero[4] = {0, 0, 0, 0};
+  EXPECT_FALSE(
+      wire::DecodeFrameLength(std::span<const uint8_t, 4>(zero, 4)).ok());
+  const uint8_t huge[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+  EXPECT_FALSE(
+      wire::DecodeFrameLength(std::span<const uint8_t, 4>(huge, 4)).ok());
+  const uint8_t ok[4] = {1, 0, 0, 0};
+  Result<uint32_t> one =
+      wire::DecodeFrameLength(std::span<const uint8_t, 4>(ok, 4));
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(*one, 1u);
+}
+
+// ---- Fuzz-style mutation loop ----------------------------------------------
+
+TEST(WireTest, MutationFuzz) {
+  Rng rng(0x55AA77);
+  const std::vector<ShardMessage> exemplars = Exemplars();
+  int rejected = 0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::vector<uint8_t> payload = wire::EncodeMessage(
+        exemplars[static_cast<size_t>(rng.UniformInt(
+            uint64_t{exemplars.size()}))]);
+    // Mutate: flip up to 4 bytes, then maybe truncate or extend.
+    const int flips = static_cast<int>(rng.UniformInt(uint64_t{5}));
+    for (int f = 0; f < flips && !payload.empty(); ++f) {
+      const size_t at =
+          static_cast<size_t>(rng.UniformInt(uint64_t{payload.size()}));
+      payload[at] = static_cast<uint8_t>(rng.Next());
+    }
+    if (rng.Bernoulli(0.3) && !payload.empty()) {
+      payload.resize(
+          static_cast<size_t>(rng.UniformInt(uint64_t{payload.size()})));
+    } else if (rng.Bernoulli(0.2)) {
+      payload.push_back(static_cast<uint8_t>(rng.Next()));
+    }
+    // The only acceptable outcomes: a clean Status error or a valid
+    // decode (a mutation can land on a don't-care byte). Crashing or
+    // hanging is the bug this test exists to catch.
+    Result<ShardMessage> decoded = wire::DecodeMessage(payload);
+    rejected += decoded.ok() ? 0 : 1;
+  }
+  // Random mutation overwhelmingly corrupts structure; if nearly
+  // everything decoded the checks are not actually running.
+  EXPECT_GT(rejected, 1000);
+}
+
+TEST(WireTest, RandomGarbageNeverCrashes) {
+  Rng rng(0xBADF00D);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::vector<uint8_t> garbage(
+        static_cast<size_t>(rng.UniformInt(uint64_t{257})));
+    for (auto& b : garbage) b = static_cast<uint8_t>(rng.Next());
+    (void)wire::DecodeMessage(garbage);  // must return, cleanly, every time
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace apan
