@@ -1,8 +1,5 @@
 #include "core/apan_model.h"
 
-#include <algorithm>
-#include <cmath>
-
 #include "tensor/ops.h"
 
 namespace apan {
@@ -16,7 +13,6 @@ ApanModel::ApanModel(const ApanConfig& config,
       features_(features),
       rng_(seed),
       graph_(config.num_nodes),
-      mailbox_(config.num_nodes, config.mailbox_slots, config.embedding_dim),
       encoder_(config, &rng_),
       link_decoder_(config.embedding_dim, config.mlp_hidden, &rng_),
       edge_decoder_(config.embedding_dim,
@@ -24,9 +20,7 @@ ApanModel::ApanModel(const ApanConfig& config,
                                         : config.embedding_dim,
                     config.mlp_hidden, &rng_),
       node_decoder_(config.embedding_dim, config.mlp_hidden, &rng_),
-      propagator_(config, &graph_, features),
-      state_(static_cast<size_t>(config.num_nodes * config.embedding_dim),
-             0.0f) {
+      propagator_(config, &graph_, features) {
   APAN_CHECK(features != nullptr);
   APAN_CHECK_MSG(features->dim() == config.embedding_dim,
                  "APAN requires embedding_dim == edge feature dim");
@@ -40,86 +34,56 @@ ApanModel::ApanModel(const ApanConfig& config,
   RegisterChild(&node_decoder_);
 }
 
+NodeStateStore& ApanModel::DefaultStore() const {
+  std::call_once(store_once_, [this] {
+    store_ = std::make_unique<NodeStateStore>(
+        config_.num_nodes, config_.mailbox_slots, config_.embedding_dim);
+  });
+  return *store_;
+}
+
+ApanWeights ApanModel::weights() const {
+  return ApanWeights(&config_, &encoder_, &link_decoder_, &edge_decoder_,
+                     &node_decoder_, &propagator_, &link_scale_, &link_bias_);
+}
+
 Tensor ApanModel::ScoreLinkLogits(const Tensor& z_src,
                                   const Tensor& z_dst) const {
-  const float inv_sqrt_d =
-      1.0f / std::sqrt(static_cast<float>(config_.embedding_dim));
-  Tensor dot =
-      tensor::MulScalar(tensor::RowwiseDot(z_src, z_dst), inv_sqrt_d);
-  return tensor::Add(tensor::MatMul(dot, link_scale_), link_bias_);
+  return weights().ScoreLinkLogits(z_src, z_dst);
 }
 
 Tensor ApanModel::GatherLastEmbeddings(
     const std::vector<graph::NodeId>& nodes) const {
-  const int64_t d = config_.embedding_dim;
-  std::vector<float> out(nodes.size() * static_cast<size_t>(d));
-  for (size_t i = 0; i < nodes.size(); ++i) {
-    const graph::NodeId v = nodes[i];
-    APAN_CHECK_MSG(v >= 0 && v < config_.num_nodes,
-                   "node id out of range in GatherLastEmbeddings");
-    std::copy_n(state_.data() + static_cast<size_t>(v * d), d,
-                out.data() + i * static_cast<size_t>(d));
-  }
-  return Tensor::FromVector({static_cast<int64_t>(nodes.size()), d},
-                            std::move(out));
+  return DefaultStore().GatherLastEmbeddings(nodes);
 }
 
 ApanEncoder::Output ApanModel::EncodeNodes(
     const std::vector<graph::NodeId>& nodes) {
-  APAN_CHECK_MSG(!nodes.empty(), "EncodeNodes on empty node list");
-  const Tensor last = GatherLastEmbeddings(nodes);
-  const Mailbox::ReadResult read = mailbox_.ReadBatch(nodes);
-  return encoder_.Forward(last, read, &rng_);
+  return encoder_.EncodeNodes(DefaultStore(), nodes, &rng_);
 }
 
 void ApanModel::UpdateLastEmbeddings(
     const std::vector<graph::NodeId>& nodes, const Tensor& embeddings) {
-  const int64_t d = config_.embedding_dim;
-  APAN_CHECK(embeddings.defined() && embeddings.rank() == 2);
-  APAN_CHECK(embeddings.dim(0) == static_cast<int64_t>(nodes.size()) &&
-             embeddings.dim(1) == d);
-  const float* src = embeddings.data();
-  for (size_t i = 0; i < nodes.size(); ++i) {
-    const graph::NodeId v = nodes[i];
-    APAN_CHECK_MSG(v >= 0 && v < config_.num_nodes,
-                   "node id out of range in UpdateLastEmbeddings");
-    std::copy_n(src + i * static_cast<size_t>(d), d,
-                state_.data() + static_cast<size_t>(v * d));
-  }
+  DefaultStore().UpdateLastEmbeddings(nodes, embeddings);
 }
 
 std::vector<float> ApanModel::LastEmbedding(graph::NodeId node) const {
-  APAN_CHECK_MSG(node >= 0 && node < config_.num_nodes,
-                 "node id out of range");
-  const int64_t d = config_.embedding_dim;
-  return std::vector<float>(
-      state_.begin() + static_cast<size_t>(node * d),
-      state_.begin() + static_cast<size_t>((node + 1) * d));
+  return DefaultStore().LastEmbedding(node);
 }
 
 void ApanModel::SetLastEmbedding(graph::NodeId node,
                                  std::span<const float> z) {
-  APAN_CHECK_MSG(node >= 0 && node < config_.num_nodes,
-                 "node id out of range");
-  APAN_CHECK_MSG(static_cast<int64_t>(z.size()) == config_.embedding_dim,
-                 "embedding dimension mismatch");
-  std::copy(z.begin(), z.end(),
-            state_.begin() +
-                static_cast<size_t>(node * config_.embedding_dim));
+  DefaultStore().SetLastEmbedding(node, z);
 }
 
 void ApanModel::ApplyEmbeddings(
     const std::vector<InteractionRecord>& records) {
   // When a node appears several times in a batch, the later record (newer
   // timestamp) wins — records are required to be time-ordered.
-  const int64_t d = config_.embedding_dim;
+  NodeStateStore& store = DefaultStore();
   for (const InteractionRecord& r : records) {
-    APAN_CHECK(static_cast<int64_t>(r.z_src.size()) == d &&
-               static_cast<int64_t>(r.z_dst.size()) == d);
-    std::copy(r.z_src.begin(), r.z_src.end(),
-              state_.begin() + static_cast<size_t>(r.event.src * d));
-    std::copy(r.z_dst.begin(), r.z_dst.end(),
-              state_.begin() + static_cast<size_t>(r.event.dst * d));
+    store.SetLastEmbedding(r.event.src, r.z_src);
+    store.SetLastEmbedding(r.event.dst, r.z_dst);
   }
 }
 
@@ -137,13 +101,13 @@ Status ApanModel::ProcessBatchPostInference(
   // Propagation samples neighborhoods before the batch's edges are
   // appended, so they reflect the graph at batch start — endpoints still
   // receive their own mail directly (hop 0).
-  propagator_.Propagate(records, &mailbox_);
+  propagator_.Propagate(records, &DefaultStore().mailbox());
   return AppendEvents(records);
 }
 
 void ApanModel::ResetState() {
-  std::fill(state_.begin(), state_.end(), 0.0f);
-  mailbox_.Clear();
+  // Reset without materializing: an unallocated store is already reset.
+  if (store_ != nullptr) store_->Reset();
   graph_.Reset();
 }
 

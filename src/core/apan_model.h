@@ -1,24 +1,35 @@
-// ApanModel — the full APAN system (paper Figure 3): per-node state
-// z(t−), mailbox, attention encoder, task decoders, and mail propagator,
-// wired to a TemporalGraph + EdgeFeatureStore.
+// ApanModel — the full APAN system (paper Figure 3), factored into the
+// two planes a distributed deployment needs (paper §3.6):
 //
-// The synchronous path (EncodeNodes → decoder) touches only local state —
-// node embeddings and mailboxes — and never queries the temporal graph;
-// the test suite asserts this via TemporalGraph::query_count(). The
-// asynchronous path (ProcessBatchPostInference) appends events to the
-// graph and runs the propagator.
+//   · shared serve-time *weights* — encoder, task decoders, link
+//     calibration — small, immutable during serving, replicable on every
+//     shard (exposed as the const-only core::ApanWeights view);
+//   · mutable per-node *state* — the z(t−) table and the mailbox — held
+//     in a core::NodeStateStore. The model owns one default store
+//     covering all nodes (the monolithic layout that training and the
+//     single-worker AsyncPipeline use); serve::ShardedEngine replaces it
+//     with N disjoint per-shard stores and never touches this one.
+//
+// The synchronous path (EncodeNodes → decoder) touches only the state
+// store — node embeddings and mailboxes — and never queries the temporal
+// graph; the test suite asserts this via TemporalGraph::query_count().
+// The asynchronous path (ProcessBatchPostInference) appends events to
+// the graph and runs the propagator.
 
 #ifndef APAN_CORE_APAN_MODEL_H_
 #define APAN_CORE_APAN_MODEL_H_
 
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
+#include "core/apan_weights.h"
 #include "core/config.h"
 #include "core/decoder.h"
 #include "core/encoder.h"
 #include "core/mailbox.h"
+#include "core/node_state_store.h"
 #include "core/propagator.h"
 #include "graph/edge_features.h"
 #include "graph/temporal_graph.h"
@@ -38,12 +49,33 @@ class ApanModel : public nn::Module {
   const ApanConfig& config() const { return config_; }
   graph::TemporalGraph& graph() { return graph_; }
   const graph::TemporalGraph& graph() const { return graph_; }
-  Mailbox& mailbox() { return mailbox_; }
+  /// The default (all-nodes) state store's mailbox. Local rows equal
+  /// global node ids here, so it is addressed by node id as always.
+  Mailbox& mailbox() { return DefaultStore().mailbox(); }
+  const Mailbox& mailbox() const { return DefaultStore().mailbox(); }
+  /// The default all-nodes state store (z(t−) rows + mailbox). Allocated
+  /// lazily on first monolithic-state access: a process that serves only
+  /// through ShardedEngine (which never touches it) does not pay
+  /// O(num_nodes · slots · dim) for a plane it replaced with per-shard
+  /// stores — weights-only replicas stay weights-only.
+  NodeStateStore& state_store() { return DefaultStore(); }
+  const NodeStateStore& state_store() const { return DefaultStore(); }
+  /// Whether the default store has been materialized (quiescent
+  /// inspection; false for a model used exclusively through
+  /// ShardedEngine).
+  bool state_store_allocated() const { return store_ != nullptr; }
   ApanEncoder& encoder() { return encoder_; }
+  const ApanEncoder& encoder() const { return encoder_; }
   LinkDecoder& link_decoder() { return link_decoder_; }
   EdgeDecoder& edge_decoder() { return edge_decoder_; }
   NodeDecoder& node_decoder() { return node_decoder_; }
   Rng* rng() { return &rng_; }
+
+  /// Const view over the replicable serve-time weights (encoder,
+  /// decoders, link calibration). Cheap to construct; the model must
+  /// outlive it. This is the only handle serve::ShardedEngine uses while
+  /// running — everything mutable lives in per-shard NodeStateStores.
+  ApanWeights weights() const;
 
   // ---- Synchronous link ----------------------------------------------------
 
@@ -52,8 +84,9 @@ class ApanModel : public nn::Module {
       const std::vector<graph::NodeId>& nodes) const;
 
   /// \brief Encoder pass for a set of nodes: reads mailboxes + last
-  /// embeddings, returns new embeddings (in the autograd graph when
-  /// training) and attention weights. No graph queries.
+  /// embeddings from the default store, returns new embeddings (in the
+  /// autograd graph when training) and attention weights. No graph
+  /// queries.
   ApanEncoder::Output EncodeNodes(const std::vector<graph::NodeId>& nodes);
 
   /// \brief Link-prediction logits per the paper's Eq. 7: a scaled dot
@@ -88,11 +121,12 @@ class ApanModel : public nn::Module {
                             const tensor::Tensor& embeddings);
 
   /// Raw read of one node's stored embedding (tests / examples).
+  /// Bounds-checked: aborts on an out-of-range node.
   std::vector<float> LastEmbedding(graph::NodeId node) const;
 
-  /// Raw write of one node's stored embedding z(t−). The sharded serving
-  /// engine uses this to apply routed per-node state updates; `z` must
-  /// hold embedding_dim floats.
+  /// Raw write of one node's stored embedding z(t−). Bounds-checked:
+  /// `node` must be in range and `z` must hold embedding_dim floats — a
+  /// violation aborts instead of silently indexing out of range.
   void SetLastEmbedding(graph::NodeId node, std::span<const float> z);
 
   // ---- Lifecycle -----------------------------------------------------------
@@ -105,11 +139,17 @@ class ApanModel : public nn::Module {
   const MailPropagator& propagator() const { return propagator_; }
 
  private:
+  /// Lazily materializes the default all-nodes store (thread-safe
+  /// creation; access synchronization stays the caller's contract, as
+  /// it always was for the mailbox and z table).
+  NodeStateStore& DefaultStore() const;
+
   ApanConfig config_;
   const graph::EdgeFeatureStore* features_;
   Rng rng_;
   graph::TemporalGraph graph_;
-  Mailbox mailbox_;
+  mutable std::once_flag store_once_;
+  mutable std::unique_ptr<NodeStateStore> store_;  // default all-nodes store
   ApanEncoder encoder_;
   LinkDecoder link_decoder_;
   EdgeDecoder edge_decoder_;
@@ -117,7 +157,6 @@ class ApanModel : public nn::Module {
   MailPropagator propagator_;
   tensor::Tensor link_scale_;  // {1, 1} Eq. 7 calibration
   tensor::Tensor link_bias_;   // {1}
-  std::vector<float> state_;   // num_nodes * dim, z(t−) per node
 };
 
 }  // namespace core

@@ -25,6 +25,8 @@
 namespace apan {
 namespace core {
 
+class NodeStateStore;
+
 /// \brief The encoder network. One instance serves every node.
 class ApanEncoder : public nn::Module {
  public:
@@ -43,6 +45,15 @@ class ApanEncoder : public nn::Module {
   Output Forward(const tensor::Tensor& last_embeddings,
                  const Mailbox::ReadResult& mailbox_read,
                  Rng* dropout_rng = nullptr) const;
+
+  /// \brief Full encoder pass for `nodes` against a caller-supplied state
+  /// store: reads the store's mailbox rows + last embeddings, then
+  /// Forward. The store must own every node; no graph queries. This is
+  /// how a sharded deployment encodes against shard-local state with
+  /// replicated weights.
+  Output EncodeNodes(const NodeStateStore& store,
+                     const std::vector<graph::NodeId>& nodes,
+                     Rng* dropout_rng = nullptr) const;
 
   int64_t dim() const { return dim_; }
   int64_t slots() const { return slots_; }

@@ -11,8 +11,10 @@ namespace core {
 
 Mailbox::Mailbox(int64_t num_nodes, int64_t slots, int64_t dim)
     : num_nodes_(num_nodes), slots_(slots), dim_(dim) {
-  APAN_CHECK_MSG(num_nodes > 0 && slots > 0 && dim > 0,
-                 "Mailbox dimensions must be positive");
+  // num_nodes == 0 is a valid (empty) mailbox: a NodeStateStore for a
+  // shard that happens to own no nodes still needs a well-formed slice.
+  APAN_CHECK_MSG(num_nodes >= 0 && slots > 0 && dim > 0,
+                 "Mailbox needs num_nodes >= 0 and positive slots/dim");
   data_.assign(static_cast<size_t>(num_nodes) * slots * dim, 0.0f);
   timestamps_.assign(static_cast<size_t>(num_nodes) * slots, 0.0);
   head_.assign(static_cast<size_t>(num_nodes), 0);

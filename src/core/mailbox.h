@@ -29,11 +29,14 @@ struct MailDelivery {
   int64_t contributions = 0;  ///< Mails merged by ρ into this delivery.
 };
 
-/// \brief Fixed-capacity per-node mail storage for a whole graph.
+/// \brief Fixed-capacity per-node mail storage over a dense row range.
 ///
 /// Memory is O(num_nodes * slots * dim) — bounded by the node count, not
 /// the (unbounded) edge count; §4.7 argues this is why the mailbox is not
-/// the system's memory bottleneck.
+/// the system's memory bottleneck. Rows are whatever the owner maps them
+/// to: the whole graph (ApanModel's default store) or one shard's owned
+/// nodes behind NodeStateStore's dense local index. num_nodes == 0 is a
+/// valid empty mailbox (a shard that owns no nodes).
 class Mailbox {
  public:
   Mailbox(int64_t num_nodes, int64_t slots, int64_t dim);

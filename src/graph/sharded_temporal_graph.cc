@@ -25,6 +25,16 @@ ShardedTemporalGraph::ShardedTemporalGraph(int num_shards, int64_t num_nodes)
   }
 }
 
+void ShardedTemporalGraph::ResetSlice(int shard) {
+  APAN_CHECK_MSG(shard >= 0 && shard < num_shards_,
+                 "shard id out of range in ResetSlice");
+  Slice& slice = *slices_[static_cast<size_t>(shard)];
+  for (auto& row : slice.rows) row.clear();
+  slice.homed_events.clear();
+  slice.latest_timestamp = -std::numeric_limits<double>::infinity();
+  slice.watermark.store(0, std::memory_order_release);
+}
+
 Status ShardedTemporalGraph::AppendBatchSlice(int shard, int64_t batch,
                                               std::span<const Event> events,
                                               int64_t base_ordinal) {

@@ -86,6 +86,13 @@ class ShardedTemporalGraph {
                           std::span<const Event> events,
                           int64_t base_ordinal);
 
+  /// \brief Resets one slice to its freshly-constructed state: adjacency
+  /// rows and homed event log emptied, latest timestamp back to -inf,
+  /// watermark back to 0. Thread contract as AppendBatchSlice: call only
+  /// from the slice owner's thread (serve::ShardedEngine routes epoch
+  /// resets through each shard's worker for exactly this reason).
+  void ResetSlice(int shard);
+
   /// Batches appended into `shard`'s slice. Written by the slice's owner
   /// thread, readable from anywhere.
   int64_t watermark(int shard) const {

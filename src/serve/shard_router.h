@@ -37,7 +37,7 @@ class ShardRouter {
   int num_shards() const { return num_shards_; }
   int64_t num_nodes() const { return num_nodes_; }
 
-  /// Owner shard of `node`'s mailbox + memory rows.
+  /// Owner shard of `node`'s state-store rows (mailbox slice + z(t−)).
   int ShardOf(graph::NodeId node) const;
 
   /// Home shard of an event: the shard that computes its mail (φ) and

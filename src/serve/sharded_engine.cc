@@ -32,10 +32,23 @@ ShardedEngine::ShardedEngine(core::ApanModel* model, Options options)
       model->config().sampling == core::PropagationSampling::kMostRecent,
       "ShardedEngine requires kMostRecent sampling: kUniform draws from a "
       "shared RNG, which shard-concurrent sampling would race on");
-  model_->SetTraining(false);
+  // The one and only model mutation: eval mode, before the engine runs.
+  // From here on the model is weights-only to the engine (const access);
+  // every mutable byte the engine serves lives in the per-shard stores.
+  model->SetTraining(false);
+  // Partition the node space into disjoint per-shard state stores. The
+  // router mapping becomes one shared dense index (owner + local row per
+  // node, built once) that all N stores reference — per-store copies
+  // would scale index memory O(num_shards * num_nodes).
+  const core::ApanConfig& config = model->config();
+  const auto partition = core::NodeStateStore::Partition::Build(
+      config.num_nodes, options_.num_shards,
+      [this](graph::NodeId v) { return router_.ShardOf(v); });
   shards_.reserve(static_cast<size_t>(options_.num_shards));
   for (int s = 0; s < options_.num_shards; ++s) {
     auto shard = std::make_unique<Shard>();
+    shard->store = std::make_unique<core::NodeStateStore>(
+        partition, s, config.mailbox_slots, config.embedding_dim);
     shard->accepted_request.assign(
         static_cast<size_t>(options_.num_shards), ExpansionKey{-1, 0});
     shards_.push_back(std::move(shard));
@@ -100,8 +113,9 @@ Result<ShardedEngine::InferenceResult> ShardedEngine::InferBatch(
       nodes.push_back(unique_nodes[u]);
     }
 
-    // Encode each shard's slice concurrently; every task reads only its
-    // shard's mailbox/state rows, under that shard's state lock.
+    // Encode each shard's slice concurrently against that shard's own
+    // state store — replicated weights over partitioned state, so the
+    // only cache lines an encode touches are the shard's private rows.
     std::vector<core::ApanEncoder::Output> outputs(
         static_cast<size_t>(num_shards));
     std::vector<std::future<void>> futures;
@@ -112,8 +126,8 @@ Result<ShardedEngine::InferenceResult> ShardedEngine::InferBatch(
         tensor::NoGradGuard task_no_grad;
         Shard& shard = *shards_[static_cast<size_t>(s)];
         std::lock_guard<std::mutex> state_lock(shard.state_mu);
-        outputs[static_cast<size_t>(s)] =
-            model_->EncodeNodes(shard_nodes[static_cast<size_t>(s)]);
+        outputs[static_cast<size_t>(s)] = model_->weights().EncodeNodes(
+            *shard.store, shard_nodes[static_cast<size_t>(s)]);
       }));
     }
     for (auto& f : futures) f.get();
@@ -265,6 +279,18 @@ void ShardedEngine::DispatchMessage(int shard_id, ShardMessage message) {
 }
 
 void ShardedEngine::ProcessJob(int shard_id, BatchJob job) {
+  if (job.reset) {
+    ResetShardLocal(shard_id);
+    Shard& shard = *shards_[static_cast<size_t>(shard_id)];
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      --shard.jobs_in_flight;
+      shard.cv.notify_all();
+    }
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    if (--inflight_ == 0) flush_cv_.notify_all();
+    return;
+  }
   const int64_t batch = job.ctx->batch;
   // Shard-local append replaces the old bulk-synchronous epoch gate: the
   // worker first absorbs the batch's events into its own graph slice
@@ -690,13 +716,16 @@ void ShardedEngine::ApplyMergedBatch(int shard_id,
   }
 
   {
+    // Everything this batch touches is the owner shard's private store:
+    // routed state updates and mail land in shard-local memory, never in
+    // the model or another shard's rows.
     Shard& shard = *shards_[static_cast<size_t>(shard_id)];
     std::lock_guard<std::mutex> state_lock(shard.state_mu);
     for (const StateUpdate& u : updates) {
-      model_->SetLastEmbedding(u.node, u.z);
+      shard.store->SetLastEmbedding(u.node, u.z);
     }
-    model_->mailbox().DeliverBatch(hop0);
-    model_->mailbox().DeliverBatch(reduced);
+    shard.store->DeliverBatch(std::move(hop0));
+    shard.store->DeliverBatch(std::move(reduced));
   }
   async_latency_.Record(watch.ElapsedMillis());
 
@@ -714,6 +743,66 @@ void ShardedEngine::ApplyMergedBatch(int shard_id,
 void ShardedEngine::Flush() {
   std::unique_lock<std::mutex> lock(flush_mu_);
   flush_cv_.wait(lock, [&] { return inflight_ == 0; });
+}
+
+void ShardedEngine::ResetShardLocal(int shard_id) {
+  Shard& shard = *shards_[static_cast<size_t>(shard_id)];
+  {
+    // The encode pool also reads the store (though ResetState's infer
+    // lock means no encode can be running); keep the lock discipline.
+    std::lock_guard<std::mutex> state_lock(shard.state_mu);
+    shard.store->Reset();
+  }
+  graph_.ResetSlice(shard_id);
+  // Worker-confined replay state, reset on the worker's own thread:
+  // batch numbering restarts at 0, so the merge cursor and the frontier
+  // watermarks must rewind with it.
+  shard.pending.clear();
+  shard.next_merge = 0;
+  shard.deferred_requests.clear();
+  shard.accepted_request.assign(static_cast<size_t>(options_.num_shards),
+                                ExpansionKey{-1, 0});
+  shard.last_wait = ExpansionKey{-1, 0};
+}
+
+void ShardedEngine::ResetState() {
+  // Holding infer_mu_ end-to-end serializes against InferBatch: no new
+  // batch can interleave with the reset, and batch/ordinal sequencing
+  // below is rewound under the same lock that advances it.
+  std::lock_guard<std::mutex> infer_lock(infer_mu_);
+  if (shutdown_) return;
+  // Enforced, not just documented: rewinding the replay watermarks under
+  // a duplicating transport would let a re-delivered pre-reset frame be
+  // accepted as new-epoch state — silent corruption, so abort loudly.
+  APAN_CHECK_MSG(transport_->exactly_once(),
+                 "ResetState requires an exactly-once transport: a rewound "
+                 "replay watermark cannot drop a pre-reset re-delivery");
+  // Settle everything accepted so far. After this, every inbox and every
+  // exactly-once transport lane is empty (Flush proves all application
+  // legs ran, and legs are only reachable via delivered messages).
+  Flush();
+  // Route the reset through each shard's worker so the worker-confined
+  // state (merge cursor, frontier watermarks, graph slice) is only ever
+  // touched by its own thread.
+  {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    inflight_ += options_.num_shards;
+  }
+  for (int s = 0; s < options_.num_shards; ++s) {
+    Shard& shard = *shards_[static_cast<size_t>(s)];
+    BatchJob job;
+    job.reset = true;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.jobs_in_flight;
+    shard.jobs.push_back(std::move(job));
+    shard.cv.notify_all();
+  }
+  {
+    std::unique_lock<std::mutex> lock(flush_mu_);
+    flush_cv_.wait(lock, [&] { return inflight_ == 0; });
+  }
+  next_batch_ = 0;
+  next_ordinal_ = 0;
 }
 
 void ShardedEngine::Shutdown() {

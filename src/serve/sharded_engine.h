@@ -4,11 +4,17 @@
 // mailbox absorbs).
 //
 // A ShardRouter hash-partitions the node space into N shards. Each shard
-// exclusively owns its nodes' mailbox rows, z(t−) memory rows, AND its
-// slice of the temporal graph (graph::ShardedTemporalGraph: the owned
-// nodes' adjacency rows plus the event-log entries the shard homes). It
-// has a bounded inbox of batch jobs and runs one propagation worker. The
-// division of labour per batch:
+// exclusively owns its nodes' mutable state — a core::NodeStateStore
+// holding its mailbox slice and z(t−) rows — AND its slice of the
+// temporal graph (graph::ShardedTemporalGraph: the owned nodes'
+// adjacency rows plus the event-log entries the shard homes). The model
+// itself is touched only through the const core::ApanWeights view (the
+// weights are replicated, the state is partitioned): the engine never
+// locks or writes a byte of ApanModel's mutable state while running, so
+// the model's default store stays empty and Shard::state_mu guards
+// genuinely shard-private memory — no false sharing on the synchronous
+// link. Each shard has a bounded inbox of batch jobs and runs one
+// propagation worker. The division of labour per batch:
 //
 //   Synchronous link (InferBatch, what the caller waits for)
 //     · the batch's unique nodes are split by owner shard and encoded
@@ -47,8 +53,11 @@
 // with no ordering: sequence tags reconstruct every order that matters,
 // and duplicated deliveries are dropped by tag — ShardPartials by
 // (batch, sender), frontier requests/responses by monotonic (batch, hop)
-// watermarks per peer. Memory and graph slices stay in-process; only the
-// messaging plane is transport-agnostic (docs/serving.md).
+// watermarks per peer. With the state plane split into per-shard stores,
+// nothing crosses a shard boundary through shared memory: a shard's
+// entire mutable footprint (store + graph slice) is address-space
+// independent, and only connected sockets separate this from a true
+// multi-process deployment (docs/serving.md).
 //
 // Determinism: because neighborhood expansion, per-node delivery order and
 // ρ-reduction are reconstructed exactly, the final mailbox timestamps and
@@ -80,6 +89,7 @@
 #include <vector>
 
 #include "core/apan_model.h"
+#include "core/node_state_store.h"
 #include "graph/sharded_temporal_graph.h"
 #include "serve/shard_message.h"
 #include "serve/shard_router.h"
@@ -119,9 +129,11 @@ class ShardedEngine {
   /// `model` must outlive the engine and must not be used concurrently by
   /// other threads while the engine is running. Requires
   /// PropagationSampling::kMostRecent (kUniform draws from a shared RNG,
-  /// which shard-concurrent sampling would race on). The engine appends
-  /// served events to its own sharded graph slices, NOT to
-  /// model->graph(), which stays empty.
+  /// which shard-concurrent sampling would race on). The model is put in
+  /// eval mode once here; afterwards the engine accesses it const-only
+  /// (core::ApanWeights): served state lands in the engine's own
+  /// per-shard NodeStateStores and graph slices, NOT in model->graph(),
+  /// model->mailbox() or model->state_store(), which all stay empty.
   ShardedEngine(core::ApanModel* model, Options options);
   ~ShardedEngine();
 
@@ -149,6 +161,20 @@ class ShardedEngine {
   /// frames a deque never could), then stops the workers (idempotent;
   /// also called by the destructor). Shutdown never loses accepted mail.
   void Shutdown();
+
+  /// \brief Resets all streaming state between epochs, mirroring
+  /// ApanModel::ResetState for the sharded layout: flushes accepted work,
+  /// then routes a reset through every shard's worker that zeroes its
+  /// NodeStateStore, empties its graph slice, and rewinds its replay
+  /// watermarks; batch/ordinal numbering restarts at 0. After it returns
+  /// the engine reproduces a fresh engine bitwise on the same stream.
+  /// Stats and latency recorders stay cumulative. Callers must not run
+  /// InferBatch concurrently. CHECK-enforced: the transport must report
+  /// exactly_once() (inproc and uds do — their lanes are provably empty
+  /// after the internal flush); a duplicating transport could re-deliver
+  /// a pre-reset frame whose replay tag the reset rewound, so the engine
+  /// aborts instead of corrupting silently. No-op after Shutdown.
+  void ResetState();
 
   struct Stats {
     int64_t batches_ingested = 0;
@@ -180,6 +206,12 @@ class ShardedEngine {
   /// The engine-owned shard-local graph slices (quiescent inspection:
   /// call after Flush).
   const graph::ShardedTemporalGraph& sharded_graph() const { return graph_; }
+  /// One shard's mutable node state — its mailbox slice + z(t−) rows
+  /// (quiescent inspection: call after Flush). Stitching the per-shard
+  /// stores by router ownership reconstructs the monolithic state.
+  const core::NodeStateStore& state_store(int shard) const {
+    return *shards_[static_cast<size_t>(shard)]->store;
+  }
   /// Latency of the synchronous path per batch (what the user waits for).
   const LatencyRecorder& sync_latency() const { return sync_latency_; }
   /// Latency of per-shard batch application (merge + mailbox append).
@@ -206,6 +238,9 @@ class ShardedEngine {
     std::shared_ptr<BatchContext> ctx;
     std::vector<core::InteractionRecord> records;
     std::vector<int64_t> event_index;  ///< Global batch positions.
+    /// Epoch-reset control job (ResetState): clears the shard's store,
+    /// slice, and replay state instead of propagating a batch.
+    bool reset = false;
   };
 
   /// An expansion's identity, ordered as expansions run: batch-major,
@@ -213,7 +248,12 @@ class ShardedEngine {
   using ExpansionKey = std::pair<int64_t, int32_t>;
 
   struct Shard {
-    /// Guards this shard's rows of the mailbox and the z(t−) table.
+    /// This shard's mutable node state: its mailbox slice + z(t−) rows,
+    /// dense over the nodes the router assigns to it. Exclusively owned —
+    /// no other shard (and not the model) ever touches these bytes.
+    std::unique_ptr<core::NodeStateStore> store;
+    /// Guards `store` between the encode pool (synchronous link) and this
+    /// shard's worker (batch application).
     std::mutex state_mu;
 
     /// Inbox. Jobs are bounded by Options::queue_capacity (client
@@ -244,6 +284,9 @@ class ShardedEngine {
 
   void WorkerLoop(int shard_id);
   void ProcessJob(int shard_id, BatchJob job);
+  /// Worker-side half of ResetState: runs on the shard's own thread so
+  /// the worker-confined replay state and graph slice stay thread-local.
+  void ResetShardLocal(int shard_id);
   void DispatchMessage(int shard_id, ShardMessage message);
   void OnMail(int shard_id, ShardPartial partial);
   void ApplyMergedBatch(int shard_id, std::vector<ShardPartial> parts);
@@ -273,7 +316,9 @@ class ShardedEngine {
   /// Answers deferred requests the latest slice append unblocked.
   void ServeDeferredRequests(int shard_id);
 
-  core::ApanModel* model_;
+  /// Const-only while running: weights are read through model_->weights();
+  /// all mutable serve state lives in the per-shard stores above.
+  const core::ApanModel* model_;
   Options options_;
   ShardRouter router_;
   graph::ShardedTemporalGraph graph_;

@@ -72,6 +72,17 @@ class Transport {
   virtual void Stop() = 0;
 
   virtual const char* name() const = 0;
+
+  /// True when every accepted Send is delivered exactly once (no
+  /// duplication) — the in-process and socket lanes qualify; a
+  /// fault-injecting decorator (or any future retrying transport) does
+  /// not. Gates operations that rewind the engine's replay watermarks
+  /// (ShardedEngine::ResetState): after a rewind, a re-delivered
+  /// pre-rewind frame would be accepted as new rather than dropped by
+  /// tag. Pure virtual on purpose: the safe default is to make every
+  /// transport author declare this property, not inherit a permissive
+  /// one.
+  virtual bool exactly_once() const = 0;
 };
 
 /// Builds a fresh transport per engine (an engine owns its transport).
@@ -85,6 +96,8 @@ class InProcessTransport : public Transport {
   Status Send(int from_shard, int to_shard, ShardMessage message) override;
   void Stop() override { stopped_ = true; }
   const char* name() const override { return "inproc"; }
+  /// Synchronous handler call: one delivery per Send, by construction.
+  bool exactly_once() const override { return true; }
 
  private:
   Handler handler_;
@@ -110,6 +123,8 @@ class UnixSocketTransport : public Transport {
   Status Send(int from_shard, int to_shard, ShardMessage message) override;
   void Stop() override;
   const char* name() const override { return "uds"; }
+  /// Lossless FIFO socketpair lanes: one frame per Send.
+  bool exactly_once() const override { return true; }
 
  private:
   struct Lane {
@@ -163,6 +178,7 @@ class FaultyTransport : public Transport {
   Status Send(int from_shard, int to_shard, ShardMessage message) override;
   void Stop() override;
   const char* name() const override { return "faulty"; }
+  bool exactly_once() const override { return false; }
 
  private:
   struct Held {

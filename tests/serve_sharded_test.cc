@@ -9,10 +9,14 @@
 
 #include "data/synthetic.h"
 #include "serve/async_pipeline.h"
+#include "serve_state_util.h"
 
 namespace apan {
 namespace serve {
 namespace {
+
+using testutil::ExpectModelStateUntouched;
+using testutil::ExpectStitchedMailboxEqual;
 
 struct Fixture {
   Fixture()
@@ -123,28 +127,12 @@ TEST(ShardedEngineTest, ScoresEveryEvent) {
 }
 
 // The tentpole determinism claim: cross-shard mail arrives out of order by
-// construction, yet after Flush() the mailbox timestamps and counts are
-// bitwise-identical to the single-worker AsyncPipeline on the same stream
-// (sequence-tagged replay restores per-node delivery order, and ρ is
-// finalized over the whole batch after merging every shard's partials).
-void ExpectMailboxesBitwiseEqual(core::ApanModel& a, core::ApanModel& b,
-                                 int64_t num_nodes) {
-  int64_t nonempty = 0;
-  for (graph::NodeId v = 0; v < num_nodes; ++v) {
-    ASSERT_EQ(a.mailbox().ValidCount(v), b.mailbox().ValidCount(v))
-        << "node " << v;
-    if (a.mailbox().ValidCount(v) == 0) continue;
-    ++nonempty;
-    const auto ra = a.mailbox().ReadBatch({v});
-    const auto rb = b.mailbox().ReadBatch({v});
-    ASSERT_EQ(ra.counts[0], rb.counts[0]) << "node " << v;
-    for (size_t i = 0; i < ra.timestamps.size(); ++i) {
-      ASSERT_EQ(ra.timestamps[i], rb.timestamps[i])
-          << "node " << v << " slot " << i;  // bitwise: no tolerance
-    }
-  }
-  EXPECT_GT(nonempty, 20);
-}
+// construction, yet after Flush() the engine's per-shard stores, stitched
+// by ownership, hold mailbox timestamps and counts bitwise-identical to
+// the single-worker AsyncPipeline on the same stream (sequence-tagged
+// replay restores per-node delivery order, and ρ is finalized over the
+// whole batch after merging every shard's partials). The stitched helper
+// lives in serve_state_util.h, shared with the transport + state tests.
 
 TEST(ShardedEngineTest, MatchesAsyncPipelineMailboxBitwise) {
   Fixture f;
@@ -165,11 +153,17 @@ TEST(ShardedEngineTest, MatchesAsyncPipelineMailboxBitwise) {
   pipeline.Flush();
   engine.Flush();
 
-  // The engine appends into its own shard-local graph slices; the model's
-  // monolithic graph stays empty. Homed slice logs cover every event.
+  // The engine serves out of its own shard-local graph slices AND state
+  // stores; the model's monolithic graph stays empty and its lazily-
+  // allocated default store was never even materialized (weights are
+  // accessed const-only — the strongest form of "untouched").
   EXPECT_EQ(sharded.graph().num_events(), 0);
   EXPECT_EQ(piped.graph().num_events(), engine.sharded_graph().num_events());
-  ExpectMailboxesBitwiseEqual(piped, sharded, f.config.num_nodes);
+  EXPECT_FALSE(sharded.state_store_allocated())
+      << "engine materialized the model's state plane";
+  ExpectModelStateUntouched(sharded, f.config.num_nodes);
+  ExpectStitchedMailboxEqual(engine, piped, f.config.num_nodes,
+                             /*min_nonempty=*/20);
 
   // Per-shard watermarks replaced the global epoch gate: after Flush every
   // slice has absorbed every accepted batch.
@@ -220,7 +214,8 @@ TEST(ShardedEngineTest, MatchesAsyncPipelineBitwiseTwoHops) {
   pipeline.Flush();
   engine.Flush();
 
-  ExpectMailboxesBitwiseEqual(piped, sharded, f.config.num_nodes);
+  ExpectStitchedMailboxEqual(engine, piped, f.config.num_nodes,
+                             /*min_nonempty=*/20);
   const auto stats = engine.stats();
   EXPECT_GT(stats.frontier_nodes_forwarded, 0);
 }
@@ -240,7 +235,8 @@ TEST(ShardedEngineTest, SingleShardMatchesAsyncPipeline) {
   }
   pipeline.Flush();
   engine.Flush();
-  ExpectMailboxesBitwiseEqual(piped, sharded, f.config.num_nodes);
+  ExpectStitchedMailboxEqual(engine, piped, f.config.num_nodes,
+                             /*min_nonempty=*/20);
   EXPECT_EQ(engine.stats().mails_cross_shard, 0);
 }
 
@@ -274,11 +270,16 @@ TEST(ShardedEngineTest, FlushSteppedPayloadsAndScoresTrackPipeline) {
   EXPECT_LT(score_gap / static_cast<double>(scored), 1e-3);
 
   for (graph::NodeId v = 0; v < f.config.num_nodes; ++v) {
+    // Stitch: v's mail lives in its owner shard's store. The ring
+    // sequence per node is identical to the monolithic mailbox, so even
+    // the raw storage order matches slot for slot.
+    const core::NodeStateStore& store =
+        engine.state_store(engine.router().ShardOf(v));
     const int64_t count = piped.mailbox().ValidCount(v);
-    ASSERT_EQ(count, sharded.mailbox().ValidCount(v)) << "node " << v;
+    ASSERT_EQ(count, store.ValidCount(v)) << "node " << v;
     for (int64_t slot = 0; slot < count; ++slot) {
       const auto a = piped.mailbox().RawSlot(v, slot);
-      const auto b = sharded.mailbox().RawSlot(v, slot);
+      const auto b = store.RawSlot(v, slot);
       for (size_t i = 0; i < a.size(); ++i) {
         ASSERT_NEAR(a[i], b[i], 1e-3f)
             << "node " << v << " slot " << slot << " dim " << i;
@@ -337,22 +338,23 @@ TEST(ShardedEngineTest, ShutdownDrainsAcceptedWork) {
   core::ApanModel drained(f.config, &f.dataset.features, 9);
   core::ApanModel reference(f.config, &f.dataset.features, 9);
   {
-    ShardedEngine::Options options;
-    options.num_shards = 4;
-    ShardedEngine engine(&drained, options);
-    for (size_t lo = 0; lo < 200; lo += 50) {
-      ASSERT_TRUE(engine.InferBatch(f.BatchEvents(lo, lo + 50)).ok());
-    }
-    engine.Shutdown();  // no Flush first
-  }
-  {
     AsyncPipeline pipeline(&reference, {});
     for (size_t lo = 0; lo < 200; lo += 50) {
       ASSERT_TRUE(pipeline.InferBatch(f.BatchEvents(lo, lo + 50)).ok());
     }
     pipeline.Flush();
   }
-  ExpectMailboxesBitwiseEqual(drained, reference, f.config.num_nodes);
+  ShardedEngine::Options options;
+  options.num_shards = 4;
+  ShardedEngine engine(&drained, options);
+  for (size_t lo = 0; lo < 200; lo += 50) {
+    ASSERT_TRUE(engine.InferBatch(f.BatchEvents(lo, lo + 50)).ok());
+  }
+  engine.Shutdown();  // no Flush first
+  // The stores outlive Shutdown (they die with the engine), so drained
+  // state is still inspectable here.
+  ExpectStitchedMailboxEqual(engine, reference, f.config.num_nodes,
+                             /*min_nonempty=*/20);
 }
 
 TEST(ShardedEngineTest, DropPolicyAccountsEveryRecord) {

@@ -1,0 +1,73 @@
+// Shared test helper: stitched-mailbox equality between a ShardedEngine's
+// per-shard NodeStateStores and a reference model's monolithic mailbox.
+//
+// After the state-plane split the engine's served state lives in N
+// disjoint per-shard stores, not in the model. Determinism is asserted by
+// *stitching*: for every node, read the owner shard's store and compare
+// against the single-worker reference — counts and timestamps must match
+// bitwise (no tolerance), which is the acceptance bar inherited from the
+// pre-split tests. Used by serve_sharded_test, serve_transport_test, and
+// serve_state_test.
+
+#ifndef APAN_TESTS_SERVE_STATE_UTIL_H_
+#define APAN_TESTS_SERVE_STATE_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/apan_model.h"
+#include "serve/sharded_engine.h"
+
+namespace apan {
+namespace serve {
+namespace testutil {
+
+/// Asserts the engine's stitched per-shard mailbox state is bitwise-equal
+/// (valid counts + time-sorted timestamps) to `reference`'s monolithic
+/// mailbox, and that at least `min_nonempty` nodes actually hold mail (a
+/// trivially-empty comparison must not pass). Call after Flush/Shutdown
+/// while the engine is still alive (the stores live in the engine).
+inline void ExpectStitchedMailboxEqual(const ShardedEngine& engine,
+                                       const core::ApanModel& reference,
+                                       int64_t num_nodes,
+                                       int64_t min_nonempty = 10) {
+  int64_t nonempty = 0;
+  for (graph::NodeId v = 0; v < num_nodes; ++v) {
+    const core::NodeStateStore& store =
+        engine.state_store(engine.router().ShardOf(v));
+    ASSERT_TRUE(store.Owns(v)) << "router/store ownership disagree, node " << v;
+    ASSERT_EQ(store.ValidCount(v), reference.mailbox().ValidCount(v))
+        << "node " << v;
+    if (store.ValidCount(v) == 0) continue;
+    ++nonempty;
+    const auto ra = store.ReadBatch({v});
+    const auto rb = reference.mailbox().ReadBatch({v});
+    ASSERT_EQ(ra.counts[0], rb.counts[0]) << "node " << v;
+    for (size_t i = 0; i < ra.timestamps.size(); ++i) {
+      ASSERT_EQ(ra.timestamps[i], rb.timestamps[i])
+          << "node " << v << " slot " << i;  // bitwise: no tolerance
+    }
+  }
+  EXPECT_GT(nonempty, min_nonempty);
+}
+
+/// Asserts the engine left the model's own mutable state untouched. The
+/// strongest form holds when nothing else used the model monolithically:
+/// the lazily-allocated default store was never even materialized. When
+/// another actor did materialize it (e.g. offline training before
+/// deployment), fall back to checking it holds no mail.
+inline void ExpectModelStateUntouched(const core::ApanModel& model,
+                                      int64_t num_nodes) {
+  if (!model.state_store_allocated()) return;  // never materialized
+  for (graph::NodeId v = 0; v < num_nodes; ++v) {
+    ASSERT_EQ(model.mailbox().ValidCount(v), 0)
+        << "engine wrote the model's mailbox, node " << v;
+  }
+}
+
+}  // namespace testutil
+}  // namespace serve
+}  // namespace apan
+
+#endif  // APAN_TESTS_SERVE_STATE_UTIL_H_

@@ -16,10 +16,13 @@
 #include "data/synthetic.h"
 #include "serve/async_pipeline.h"
 #include "serve/sharded_engine.h"
+#include "serve_state_util.h"
 
 namespace apan {
 namespace serve {
 namespace {
+
+using testutil::ExpectStitchedMailboxEqual;
 
 struct Fixture {
   Fixture()
@@ -42,25 +45,6 @@ struct Fixture {
   core::ApanConfig config;
 };
 
-void ExpectMailboxesBitwiseEqual(core::ApanModel& a, core::ApanModel& b,
-                                 int64_t num_nodes) {
-  int64_t nonempty = 0;
-  for (graph::NodeId v = 0; v < num_nodes; ++v) {
-    ASSERT_EQ(a.mailbox().ValidCount(v), b.mailbox().ValidCount(v))
-        << "node " << v;
-    if (a.mailbox().ValidCount(v) == 0) continue;
-    ++nonempty;
-    const auto ra = a.mailbox().ReadBatch({v});
-    const auto rb = b.mailbox().ReadBatch({v});
-    ASSERT_EQ(ra.counts[0], rb.counts[0]) << "node " << v;
-    for (size_t i = 0; i < ra.timestamps.size(); ++i) {
-      ASSERT_EQ(ra.timestamps[i], rb.timestamps[i])
-          << "node " << v << " slot " << i;  // bitwise: no tolerance
-    }
-  }
-  EXPECT_GT(nonempty, 10);
-}
-
 /// Reference run: the single-worker pipeline over the first `n` events.
 std::unique_ptr<core::ApanModel> RunPipeline(const Fixture& f, size_t n,
                                              size_t batch) {
@@ -75,7 +59,11 @@ std::unique_ptr<core::ApanModel> RunPipeline(const Fixture& f, size_t n,
 }
 
 struct ShardedRun {
+  // Declaration order matters: the engine reads the model's weights and
+  // holds the served state, so it must be destroyed first (it is — members
+  // destruct in reverse order).
   std::unique_ptr<core::ApanModel> model;
+  std::unique_ptr<ShardedEngine> engine;  ///< Kept alive: owns the stores.
   ShardedEngine::Stats stats;
 };
 
@@ -89,16 +77,16 @@ ShardedRun RunSharded(const Fixture& f, TransportFactory factory, size_t n,
   ShardedEngine::Options options;
   options.num_shards = 4;
   options.transport = std::move(factory);
-  ShardedEngine engine(run.model.get(), options);
+  run.engine = std::make_unique<ShardedEngine>(run.model.get(), options);
   for (size_t lo = 0; lo + batch <= n; lo += batch) {
-    EXPECT_TRUE(engine.InferBatch(f.BatchEvents(lo, lo + batch)).ok());
+    EXPECT_TRUE(run.engine->InferBatch(f.BatchEvents(lo, lo + batch)).ok());
   }
   if (shutdown_without_flush) {
-    engine.Shutdown();  // must drain the transport, not just the deques
+    run.engine->Shutdown();  // must drain the transport, not just the deques
   } else {
-    engine.Flush();
+    run.engine->Flush();
   }
-  run.stats = engine.stats();
+  run.stats = run.engine->stats();
   return run;
 }
 
@@ -123,7 +111,7 @@ TEST(TransportTest, InProcessTransportMatchesPipelineBitwise) {
   const auto reference = RunPipeline(f, 400, 50);
   const auto run =
       RunSharded(f, MakeTransportFactory(TransportKind::kInProcess), 400, 50);
-  ExpectMailboxesBitwiseEqual(*reference, *run.model, f.config.num_nodes);
+  ExpectStitchedMailboxEqual(*run.engine, *reference, f.config.num_nodes);
   EXPECT_EQ(run.stats.duplicates_dropped, 0);
 }
 
@@ -135,7 +123,7 @@ TEST(TransportTest, UnixSocketMatchesPipelineBitwiseOneHop) {
   const auto reference = RunPipeline(f, 400, 50);
   const auto run =
       RunSharded(f, MakeTransportFactory(TransportKind::kUnixSocket), 400, 50);
-  ExpectMailboxesBitwiseEqual(*reference, *run.model, f.config.num_nodes);
+  ExpectStitchedMailboxEqual(*run.engine, *reference, f.config.num_nodes);
   // A lossless FIFO lane delivers exactly once.
   EXPECT_EQ(run.stats.duplicates_dropped, 0);
   EXPECT_GT(run.stats.mails_cross_shard, 0);
@@ -150,7 +138,7 @@ TEST(TransportTest, UnixSocketMatchesPipelineBitwiseTwoHops) {
   const auto reference = RunPipeline(f, 300, 50);
   const auto run =
       RunSharded(f, MakeTransportFactory(TransportKind::kUnixSocket), 300, 50);
-  ExpectMailboxesBitwiseEqual(*reference, *run.model, f.config.num_nodes);
+  ExpectStitchedMailboxEqual(*run.engine, *reference, f.config.num_nodes);
   EXPECT_GT(run.stats.frontier_nodes_forwarded, 0);
 }
 
@@ -173,7 +161,7 @@ void FaultySoak(int32_t hops, TransportKind inner, uint64_t seed_base) {
     SCOPED_TRACE(testing::Message() << "seed " << seed);
     const auto run =
         RunSharded(f, FaultyFactory(inner, seed), events, batch);
-    ExpectMailboxesBitwiseEqual(*reference, *run.model, f.config.num_nodes);
+    ExpectStitchedMailboxEqual(*run.engine, *reference, f.config.num_nodes);
     duplicates_dropped += run.stats.duplicates_dropped;
   }
   // With duplicate_probability 0.3 over hundreds of messages, the soak
@@ -206,7 +194,7 @@ TEST(TransportFaultSoakTest, EveryMessageDuplicatedIsDroppedByTag) {
   const auto run = RunSharded(
       f, FaultyFactory(TransportKind::kInProcess, 99, /*duplicate=*/1.0),
       200, 50);
-  ExpectMailboxesBitwiseEqual(*reference, *run.model, f.config.num_nodes);
+  ExpectStitchedMailboxEqual(*run.engine, *reference, f.config.num_nodes);
   EXPECT_GT(run.stats.duplicates_dropped, 0);
 }
 
@@ -225,7 +213,7 @@ TEST(TransportShutdownTest, ShutdownUnderLoadDrainsUnixSocketLanes) {
   const auto run =
       RunSharded(f, MakeTransportFactory(TransportKind::kUnixSocket), 300, 50,
                  /*shutdown_without_flush=*/true);
-  ExpectMailboxesBitwiseEqual(*reference, *run.model, f.config.num_nodes);
+  ExpectStitchedMailboxEqual(*run.engine, *reference, f.config.num_nodes);
 }
 
 TEST(TransportShutdownTest, ShutdownUnderLoadFlushesHeldFaultFrames) {
@@ -239,7 +227,7 @@ TEST(TransportShutdownTest, ShutdownUnderLoadFlushesHeldFaultFrames) {
     const auto run =
         RunSharded(f, FaultyFactory(TransportKind::kInProcess, seed), 300, 50,
                    /*shutdown_without_flush=*/true);
-    ExpectMailboxesBitwiseEqual(*reference, *run.model, f.config.num_nodes);
+    ExpectStitchedMailboxEqual(*run.engine, *reference, f.config.num_nodes);
   }
 }
 
