@@ -39,6 +39,15 @@ inline int EnvEpochs(int fallback) {
   return s != nullptr ? std::atoi(s) : fallback;
 }
 
+/// Where the machine-readable BENCH_*.json lands: the repo root by
+/// convention (run benches from there), overridable with
+/// APAN_BENCH_JSON_DIR. Schema: docs/performance.md.
+inline std::string JsonOutPath(const char* filename) {
+  const char* dir = std::getenv("APAN_BENCH_JSON_DIR");
+  if (dir == nullptr || dir[0] == '\0') return filename;
+  return std::string(dir) + "/" + filename;
+}
+
 /// Bench-default dataset sizes: small enough for a 2-core box, large
 /// enough that model ordering is stable. Scale with APAN_BENCH_SCALE.
 inline data::Dataset MakeWikipedia() {
@@ -135,6 +144,81 @@ inline void PrintRule(int width = 78) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
 }
+
+/// \brief Minimal streaming JSON writer for the BENCH_*.json files
+/// (schema documented in docs/performance.md). No dependency, no
+/// escaping needs beyond plain ASCII keys/values, which is all the
+/// benches emit. Values print with %.6g; open objects/arrays must be
+/// closed in LIFO order.
+class JsonWriter {
+ public:
+  explicit JsonWriter(const std::string& path)
+      : file_(std::fopen(path.c_str(), "w")) {
+    if (file_ == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    }
+  }
+  ~JsonWriter() {
+    if (file_ != nullptr) {
+      std::fputc('\n', file_);
+      std::fclose(file_);
+    }
+  }
+  bool ok() const { return file_ != nullptr; }
+
+  void BeginObject() {
+    Separate();
+    Raw("{");
+    fresh_ = true;
+  }
+  void EndObject() {
+    Raw("}");
+    fresh_ = false;
+  }
+  void BeginArray(const char* key) {
+    Separate();
+    KeyRaw(key);
+    Raw("[");
+    fresh_ = true;
+  }
+  void EndArray() {
+    Raw("]");
+    fresh_ = false;
+  }
+
+  void Field(const char* key, const std::string& value) {
+    Separate();
+    KeyRaw(key);
+    if (file_ != nullptr) std::fprintf(file_, "\"%s\"", value.c_str());
+    fresh_ = false;
+  }
+  void Field(const char* key, double value) {
+    Separate();
+    KeyRaw(key);
+    if (file_ != nullptr) std::fprintf(file_, "%.6g", value);
+    fresh_ = false;
+  }
+  void Field(const char* key, int64_t value) {
+    Separate();
+    KeyRaw(key);
+    if (file_ != nullptr) std::fprintf(file_, "%lld", (long long)value);
+    fresh_ = false;
+  }
+
+ private:
+  void Raw(const char* s) {
+    if (file_ != nullptr) std::fputs(s, file_);
+  }
+  void Separate() {
+    if (!fresh_) Raw(", ");
+  }
+  void KeyRaw(const char* key) {
+    if (file_ != nullptr) std::fprintf(file_, "\"%s\": ", key);
+  }
+
+  std::FILE* file_;
+  bool fresh_ = true;  ///< Right after an opening bracket: no comma.
+};
 
 }  // namespace bench
 }  // namespace apan

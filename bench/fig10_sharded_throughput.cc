@@ -46,6 +46,14 @@ struct RunResult {
   double cross_shard_pct = 0.0;
 };
 
+/// One table row, retained for BENCH_fig10.json.
+struct JsonRow {
+  std::string engine;
+  std::string transport;
+  int shards = 0;
+  RunResult r;
+};
+
 template <typename Engine>
 RunResult Replay(Engine& engine, const apan::data::Dataset& dataset,
                  size_t batch) {
@@ -121,6 +129,7 @@ int main(int argc, char** argv) {
   double baseline_eps = 0.0;
   int64_t mono_graph_bytes = 0;
   int64_t mono_state_bytes = 0;
+  std::vector<JsonRow> json_rows;
   {
     core::ApanModel model(config, &wiki.features, /*seed=*/2021);
     serve::AsyncPipeline pipeline(&model, {});
@@ -132,6 +141,7 @@ int main(int argc, char** argv) {
                 "AsyncPipeline", "-", r.events_per_sec, r.sync_p50_ms,
                 r.sync_p99_ms, "-");
     std::fflush(stdout);
+    json_rows.push_back({"AsyncPipeline", "-", 0, r});
   }
 
   struct MemoryRow {
@@ -169,6 +179,8 @@ int main(int argc, char** argv) {
                   label, engine.transport_name(), r.events_per_sec,
                   r.sync_p50_ms, r.sync_p99_ms, r.cross_shard_pct);
       std::fflush(stdout);
+      json_rows.push_back(
+          {"ShardedEngine", engine.transport_name(), shards, r});
     }
   }
   bench::PrintRule(91);
@@ -211,5 +223,51 @@ int main(int argc, char** argv) {
                                    static_cast<double>(mono_state_bytes)
                              : 0.0);
   }
+
+  // Machine-readable mirror of the tables above (schema:
+  // docs/performance.md) so the throughput/latency/memory trajectory is
+  // diffable across PRs.
+  bench::JsonWriter json(bench::JsonOutPath("BENCH_fig10.json"));
+  json.BeginObject();
+  json.Field("figure", std::string("fig10_sharded_throughput"));
+  json.Field("dataset", std::string("wikipedia-like"));
+  json.Field("batch_size", static_cast<int64_t>(batch));
+  json.Field("events", static_cast<int64_t>(wiki.events.size()));
+  json.BeginArray("rows");
+  for (const JsonRow& row : json_rows) {
+    json.BeginObject();
+    json.Field("engine", row.engine);
+    json.Field("transport", row.transport);
+    json.Field("shards", static_cast<int64_t>(row.shards));
+    json.Field("events_per_sec", row.r.events_per_sec);
+    json.Field("sync_p50_ms", row.r.sync_p50_ms);
+    json.Field("sync_p99_ms", row.r.sync_p99_ms);
+    json.Field("cross_shard_pct", row.r.cross_shard_pct);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.BeginArray("memory");
+  for (const MemoryRow& row : memory_rows) {
+    json.BeginObject();
+    json.Field("shards", static_cast<int64_t>(row.shards));
+    json.Field("graph_bytes", row.slice_bytes);
+    json.Field("graph_ratio_vs_monolithic",
+               mono_graph_bytes > 0
+                   ? static_cast<double>(row.slice_bytes) /
+                         static_cast<double>(mono_graph_bytes)
+                   : 0.0);
+    json.Field("state_bytes", row.state_bytes);
+    json.Field("state_ratio_vs_monolithic",
+               mono_state_bytes > 0
+                   ? static_cast<double>(row.state_bytes) /
+                         static_cast<double>(mono_state_bytes)
+                   : 0.0);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Field("monolithic_graph_bytes", mono_graph_bytes);
+  json.Field("monolithic_state_bytes", mono_state_bytes);
+  json.Field("baseline_events_per_sec", baseline_eps);
+  json.EndObject();
   return 0;
 }

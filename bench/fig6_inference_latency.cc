@@ -5,18 +5,26 @@
 // (paper: 8.7x vs TGN-2layers) and *does not grow* with propagation
 // layers, because propagation is off the inference path. The graph-query
 // column shows why: APAN issues zero inference-path queries.
+//
+// Besides the table this bench writes BENCH_fig6.json (repo root when run
+// from there; APAN_BENCH_JSON_DIR overrides) with mean/p50/p99 ms per
+// batch and AP per model, so the serving-latency trajectory is tracked
+// across PRs. Schema: docs/performance.md.
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "tensor/kernels.h"
 
 int main() {
   using namespace apan;
   std::printf(
       "== Figure 6: inference latency (ms/batch of 200) vs AP, "
       "wikipedia-like ==\n\n");
+  std::printf("kernel isa: %s\n\n",
+              tensor::kernels::IsaName(tensor::kernels::ActiveIsa()));
 
   data::Dataset wiki = bench::MakeWikipedia();
   train::LinkTrainConfig cfg;
@@ -28,19 +36,39 @@ int main() {
       "JODIE",        "DyRep",        "TGAT-1layer", "TGAT-2layers",
       "TGN-1layer",   "TGN-2layers",  "APAN-1layer", "APAN-2layers"};
 
-  std::printf("%-14s | %12s | %9s | %16s\n", "Model", "ms/batch", "AP (%)",
-              "sync graph qs");
-  bench::PrintRule(62);
+  std::printf("%-14s | %9s | %9s | %9s | %7s | %14s\n", "Model", "ms mean",
+              "ms p50", "ms p99", "AP (%)", "sync graph qs");
+  bench::PrintRule(78);
   double apan2_ms = 0, tgn2_ms = 0;
+
+  bench::JsonWriter json(bench::JsonOutPath("BENCH_fig6.json"));
+  json.BeginObject();
+  json.Field("figure", std::string("fig6_inference_latency"));
+  json.Field("dataset", std::string("wikipedia-like"));
+  json.Field("batch_size", static_cast<int64_t>(cfg.batch_size));
+  json.Field("kernel_isa",
+             std::string(tensor::kernels::IsaName(
+                 tensor::kernels::ActiveIsa())));
+  json.BeginArray("models");
+
   for (const auto& name : models) {
     auto model = bench::MakeTemporalModel(name, wiki, /*seed=*/2021);
     auto report = trainer.Run(model.get(), wiki);
     APAN_CHECK_MSG(report.ok(), report.status().ToString());
-    std::printf("%-14s | %12.2f | %9.2f | %16lld\n", name.c_str(),
-                report->mean_inference_millis_per_batch,
+    std::printf("%-14s | %9.2f | %9.2f | %9.2f | %7.2f | %14lld\n",
+                name.c_str(), report->mean_inference_millis_per_batch,
+                report->inference_p50_millis, report->inference_p99_millis,
                 100 * report->test.ap,
                 (long long)report->sync_graph_queries);
     std::fflush(stdout);
+    json.BeginObject();
+    json.Field("name", name);
+    json.Field("ms_per_batch_mean", report->mean_inference_millis_per_batch);
+    json.Field("ms_per_batch_p50", report->inference_p50_millis);
+    json.Field("ms_per_batch_p99", report->inference_p99_millis);
+    json.Field("test_ap", report->test.ap);
+    json.Field("sync_graph_queries", report->sync_graph_queries);
+    json.EndObject();
     if (name == "APAN-2layers") {
       apan2_ms = report->mean_inference_millis_per_batch;
     }
@@ -48,7 +76,9 @@ int main() {
       tgn2_ms = report->mean_inference_millis_per_batch;
     }
   }
-  bench::PrintRule(62);
+  json.EndArray();
+  json.EndObject();
+  bench::PrintRule(78);
   if (apan2_ms > 0) {
     std::printf(
         "speedup TGN-2layers / APAN-2layers = %.1fx (paper reports 8.7x "

@@ -5,18 +5,30 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <vector>
+
+#include "core/encoder.h"
 #include "core/mailbox.h"
+#include "core/node_state_store.h"
 #include "core/propagator.h"
 #include "graph/sampling.h"
 #include "graph/temporal_graph.h"
 #include "nn/attention.h"
+#include "tensor/arena.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "util/bounded_queue.h"
 
 namespace apan {
 namespace {
 
+namespace kernels = tensor::kernels;
+
 // ---- Tensor ops -------------------------------------------------------------
+// The *Reference variants run the naive serial loops (the pre-kernel
+// substrate) against the same shapes — the before/after pair for every
+// dispatched kernel.
 
 void BM_MatMul(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -31,9 +43,39 @@ void BM_MatMul(benchmark::State& state) {
 }
 BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
 
+void BM_MatMulReference(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  std::vector<float> a(static_cast<size_t>(n * n)), b(a.size()), c(a.size());
+  for (auto& v : a) v = static_cast<float>(rng.Normal());
+  for (auto& v : b) v = static_cast<float>(rng.Normal());
+  for (auto _ : state) {
+    kernels::reference::MatMul(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulReference)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Bmm(benchmark::State& state) {
+  // The attention score shape before fusion: {b*h, 1, m} x {b*h, m, dh}.
+  const int64_t bs = state.range(0);
+  Rng rng(12);
+  tensor::NoGradGuard no_grad;
+  tensor::Tensor a = tensor::Tensor::Randn({bs, 1, 10}, &rng);
+  tensor::Tensor b = tensor::Tensor::Randn({bs, 10, 16}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::Bmm(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * bs);
+}
+BENCHMARK(BM_Bmm)->Arg(128)->Arg(512);
+
 void BM_BatchedAttentionForward(benchmark::State& state) {
   // The exact shape of APAN's encoder attention: batch x 1 query over
-  // m = 10 mailbox slots, d = 32, 2 heads.
+  // m = 10 mailbox slots, d = 32, 2 heads. Runs the fused inference path
+  // (NoGradGuard) with a per-iteration arena scope — the serve-time
+  // configuration.
   const int64_t batch = state.range(0);
   Rng rng(2);
   tensor::NoGradGuard no_grad;
@@ -41,6 +83,7 @@ void BM_BatchedAttentionForward(benchmark::State& state) {
   tensor::Tensor q = tensor::Tensor::Randn({batch, 32}, &rng);
   tensor::Tensor kv = tensor::Tensor::Randn({batch, 10, 32}, &rng);
   for (auto _ : state) {
+    tensor::ArenaScope arena;
     benchmark::DoNotOptimize(mha.Forward(q, kv, kv));
   }
   state.SetItemsProcessed(state.iterations() * batch);
@@ -56,6 +99,168 @@ void BM_SoftmaxLastDim(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SoftmaxLastDim)->Arg(1024)->Arg(8192);
+
+void BM_SoftmaxReference(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  Rng rng(3);
+  std::vector<float> x(static_cast<size_t>(rows * 10)), y(x.size());
+  for (auto& v : x) v = static_cast<float>(rng.Normal());
+  for (auto _ : state) {
+    kernels::reference::SoftmaxLastDim(x.data(), y.data(), rows, 10);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_SoftmaxReference)->Arg(1024)->Arg(8192);
+
+void BM_MaskedSoftmax(benchmark::State& state) {
+  // The fused mask+softmax over {b, h=2, m=10} scores with a {b, m}
+  // additive mask — replaces mask expansion + Add + SoftmaxLastDim.
+  const int64_t b = state.range(0);
+  Rng rng(13);
+  std::vector<float> scores(static_cast<size_t>(b * 2 * 10)),
+      mask(static_cast<size_t>(b * 10), 0.0f), y(scores.size());
+  for (auto& v : scores) v = static_cast<float>(rng.Normal());
+  for (size_t i = 0; i < mask.size(); i += 3) {
+    mask[i] = nn::MultiHeadAttention::kMaskedOut;
+  }
+  for (auto _ : state) {
+    kernels::MaskedSoftmax(scores.data(), mask.data(), y.data(), b, 2, 10);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * b);
+}
+BENCHMARK(BM_MaskedSoftmax)->Arg(256)->Arg(1024);
+
+void BM_RowNormalize(benchmark::State& state) {
+  Rng rng(14);
+  tensor::NoGradGuard no_grad;
+  tensor::Tensor x = tensor::Tensor::Randn({state.range(0), 32}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::RowNormalize(x));
+  }
+}
+BENCHMARK(BM_RowNormalize)->Arg(1024)->Arg(8192);
+
+void BM_RowNormalizeReference(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  Rng rng(14);
+  std::vector<float> x(static_cast<size_t>(rows * 32)), y(x.size());
+  for (auto& v : x) v = static_cast<float>(rng.Normal());
+  for (auto _ : state) {
+    kernels::reference::RowNormalize(x.data(), y.data(), rows, 32, 1e-5f,
+                                     nullptr);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_RowNormalizeReference)->Arg(1024)->Arg(8192);
+
+void BM_AddBiasRelu(benchmark::State& state) {
+  // The fused Linear epilogue at the MLP's hidden shape (80 wide).
+  const int64_t rows = state.range(0);
+  Rng rng(15);
+  tensor::NoGradGuard no_grad;
+  tensor::Tensor x = tensor::Tensor::Randn({rows, 80}, &rng);
+  tensor::Tensor bias = tensor::Tensor::Randn({80}, &rng);
+  for (auto _ : state) {
+    tensor::ArenaScope arena;
+    benchmark::DoNotOptimize(tensor::AddBiasRelu(x, bias));
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_AddBiasRelu)->Arg(256)->Arg(1024);
+
+void BM_AddBiasReluReference(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  Rng rng(15);
+  std::vector<float> x(static_cast<size_t>(rows * 80)), bias(80), y(x.size());
+  for (auto& v : x) v = static_cast<float>(rng.Normal());
+  for (auto& v : bias) v = static_cast<float>(rng.Normal());
+  for (auto _ : state) {
+    kernels::reference::AddBiasRelu(x.data(), bias.data(), y.data(), rows,
+                                    80);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_AddBiasReluReference)->Arg(256)->Arg(1024);
+
+// ---- Encoder serve forward ---------------------------------------------------
+
+std::unique_ptr<core::NodeStateStore> MakeWarmStore(
+    const core::ApanConfig& config) {
+  auto store = std::make_unique<core::NodeStateStore>(
+      config.num_nodes, config.mailbox_slots, config.embedding_dim);
+  Rng rng(16);
+  std::vector<core::MailDelivery> mails;
+  for (graph::NodeId v = 0; v < config.num_nodes; ++v) {
+    std::vector<float> z(static_cast<size_t>(config.embedding_dim));
+    for (auto& x : z) x = static_cast<float>(rng.Normal());
+    store->SetLastEmbedding(v, z);
+    const int count = 2 + static_cast<int>(rng.UniformInt(8));
+    for (int i = 0; i < count; ++i) {
+      std::vector<float> mail(static_cast<size_t>(config.embedding_dim));
+      for (auto& x : mail) x = static_cast<float>(rng.Normal());
+      mails.push_back({v, std::move(mail), 0.1 * i, 1});
+    }
+  }
+  store->DeliverBatch(std::move(mails));
+  return store;
+}
+
+/// Shared fixture for the serve-encode benchmarks: one change to the
+/// shape/seeds changes both the arena and no-arena rows, keeping the
+/// comparison apples-to-apples.
+struct ServeEncodeFixture {
+  core::ApanConfig config;
+  Rng rng{17};
+  core::ApanEncoder encoder;
+  std::unique_ptr<core::NodeStateStore> store;
+  std::vector<graph::NodeId> nodes;
+
+  explicit ServeEncodeFixture(int64_t batch)
+      : config(MakeConfig()), encoder(config, &rng) {
+    encoder.SetTraining(false);
+    store = MakeWarmStore(config);
+    Rng pick(18);
+    for (int64_t i = 0; i < batch; ++i) {
+      nodes.push_back(static_cast<graph::NodeId>(
+          pick.UniformInt(config.num_nodes)));
+    }
+  }
+
+  static core::ApanConfig MakeConfig() {
+    core::ApanConfig config;
+    config.num_nodes = 4000;
+    config.embedding_dim = 32;
+    config.dropout = 0.0f;
+    return config;
+  }
+};
+
+void BM_EncoderServeForward(benchmark::State& state) {
+  // The full serve-path encode at the paper's shape (d=32, m=10 slots,
+  // 2 heads) — fused kernels + arena, exactly what both engines run per
+  // batch on the synchronous link.
+  ServeEncodeFixture f(state.range(0));
+  tensor::NoGradGuard no_grad;
+  for (auto _ : state) {
+    tensor::ArenaScope arena;
+    benchmark::DoNotOptimize(f.encoder.EncodeNodes(*f.store, f.nodes));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EncoderServeForward)->Arg(100)->Arg(200)->Arg(500);
+
+void BM_EncoderServeForwardNoArena(benchmark::State& state) {
+  // Same forward without an arena scope: isolates the allocation tax.
+  ServeEncodeFixture f(state.range(0));
+  tensor::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.encoder.EncodeNodes(*f.store, f.nodes));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EncoderServeForwardNoArena)->Arg(200);
 
 // ---- Temporal graph ----------------------------------------------------------
 

@@ -1,12 +1,67 @@
 #include "core/encoder.h"
 
 #include "core/node_state_store.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 
 namespace apan {
 namespace core {
 
 using tensor::Tensor;
+
+namespace {
+
+/// Thread-local learned-position id cache: the table is the same for
+/// every encode at a given (batch, slots), so rebuild only when either
+/// changes. Thread-local keeps the encoder's Forward const and safe for
+/// the shard-concurrent encode pool.
+struct PositionIdCache {
+  std::vector<int64_t> ids;
+  int64_t batch = -1;
+  int64_t slots = -1;
+  int64_t rebuilds = 0;
+};
+thread_local PositionIdCache t_position_ids;
+
+const std::vector<int64_t>& PositionIds(int64_t batch, int64_t slots) {
+  PositionIdCache& cache = t_position_ids;
+  if (cache.batch != batch || cache.slots != slots) {
+    cache.ids.resize(static_cast<size_t>(batch * slots));
+    for (int64_t b = 0; b < batch; ++b) {
+      for (int64_t p = 0; p < slots; ++p) {
+        cache.ids[static_cast<size_t>(b * slots + p)] = p;
+      }
+    }
+    cache.batch = batch;
+    cache.slots = slots;
+    ++cache.rebuilds;
+  }
+  return cache.ids;
+}
+
+/// Mail ages for the time-kernel positional mode (thread-local reuse).
+std::vector<double>& TimeDeltas(const Mailbox::ReadResult& read,
+                                int64_t batch, int64_t slots) {
+  thread_local std::vector<double> deltas;
+  deltas.assign(static_cast<size_t>(batch * slots), 0.0);
+  for (int64_t b = 0; b < batch; ++b) {
+    const int64_t c = read.counts[static_cast<size_t>(b)];
+    if (c == 0) continue;
+    const double newest =
+        read.timestamps[static_cast<size_t>(b * slots + c - 1)];
+    for (int64_t p = 0; p < c; ++p) {
+      deltas[static_cast<size_t>(b * slots + p)] =
+          newest - read.timestamps[static_cast<size_t>(b * slots + p)];
+    }
+  }
+  return deltas;
+}
+
+}  // namespace
+
+int64_t ApanEncoder::position_ids_rebuilds() {
+  return t_position_ids.rebuilds;
+}
 
 ApanEncoder::ApanEncoder(const ApanConfig& config, Rng* rng)
     : dim_(config.embedding_dim),
@@ -53,37 +108,24 @@ ApanEncoder::Output ApanEncoder::Forward(
   const int64_t batch = last_embeddings.dim(0);
   APAN_CHECK(mails.dim(0) == batch);
 
+  if (!tensor::NoGradGuard::GradEnabled()) {
+    return ForwardInference(last_embeddings, mailbox_read);
+  }
+
   Tensor flat = tensor::Reshape(mails, {batch * slots_, dim_});
   Tensor pos;
   if (positional_mode_ == PositionalMode::kLearnedPosition) {
     // Positional encoding (Eq. 2): slot position p (time-sorted order)
     // gets row p of the learnable table, identically per batch element.
-    std::vector<int64_t> position_ids(static_cast<size_t>(batch * slots_));
-    for (int64_t b = 0; b < batch; ++b) {
-      for (int64_t p = 0; p < slots_; ++p) {
-        position_ids[static_cast<size_t>(b * slots_ + p)] = p;
-      }
-    }
-    pos = positional_.Forward(position_ids);  // {b*m, d}
+    pos = positional_.Forward(PositionIds(batch, slots_));  // {b*m, d}
   } else {
     // §3.6 extension: Bochner time kernel over (newest mail − mail) age.
     APAN_CHECK_MSG(
         mailbox_read.timestamps.size() ==
             static_cast<size_t>(batch * slots_),
         "time-kernel positional mode needs mailbox timestamps");
-    std::vector<double> deltas(static_cast<size_t>(batch * slots_), 0.0);
-    for (int64_t b = 0; b < batch; ++b) {
-      const int64_t c = mailbox_read.counts[static_cast<size_t>(b)];
-      if (c == 0) continue;
-      const double newest =
-          mailbox_read.timestamps[static_cast<size_t>(b * slots_ + c - 1)];
-      for (int64_t p = 0; p < c; ++p) {
-        deltas[static_cast<size_t>(b * slots_ + p)] =
-            newest -
-            mailbox_read.timestamps[static_cast<size_t>(b * slots_ + p)];
-      }
-    }
-    pos = time_positional_.Forward(deltas);  // {b*m, d}
+    pos = time_positional_.Forward(
+        TimeDeltas(mailbox_read, batch, slots_));  // {b*m, d}
   }
   Tensor enriched = tensor::Add(flat, pos);
   enriched = tensor::Reshape(enriched, {batch, slots_, dim_});
@@ -101,6 +143,46 @@ ApanEncoder::Output ApanEncoder::Forward(
   }
   Tensor normed = layer_norm_.Forward(residual);
   Tensor out = mlp_.Forward(normed, dropout_rng);
+
+  Output result;
+  result.embeddings = out;
+  result.attention = attn.weights;
+  return result;
+}
+
+ApanEncoder::Output ApanEncoder::ForwardInference(
+    const Tensor& last_embeddings,
+    const Mailbox::ReadResult& mailbox_read) const {
+  const Tensor& mails = mailbox_read.mails;
+  const int64_t batch = last_embeddings.dim(0);
+
+  // Positional enrichment without the flatten/reshape copies: for the
+  // learned mode the whole {slots, dim} table is one periodic "bias" over
+  // each batch element's {slots * dim} block — no position-id gather at
+  // all on the serve path.
+  Tensor enriched =
+      tensor::ForwardBuffer({batch, slots_, dim_}, /*zero=*/false);
+  if (positional_mode_ == PositionalMode::kLearnedPosition) {
+    tensor::kernels::AddBias(mails.data(), positional_.table().data(),
+                             enriched.data(), batch, slots_ * dim_);
+  } else {
+    APAN_CHECK_MSG(
+        mailbox_read.timestamps.size() ==
+            static_cast<size_t>(batch * slots_),
+        "time-kernel positional mode needs mailbox timestamps");
+    Tensor pos = time_positional_.Forward(
+        TimeDeltas(mailbox_read, batch, slots_));  // {b*m, d}
+    tensor::kernels::AddSame(mails.data(), pos.data(), enriched.data(),
+                             batch * slots_ * dim_);
+  }
+
+  // Fused attention (single-kernel masked softmax, strided heads), then
+  // the fused residual+LayerNorm and the fused-ReLU MLP. Dropout is
+  // inference-inert by definition here.
+  nn::AttentionOutput attn = attention_.Forward(
+      last_embeddings, enriched, enriched, &mailbox_read.mask);
+  Tensor normed = layer_norm_.ForwardResidual(attn.output, last_embeddings);
+  Tensor out = mlp_.Forward(normed);
 
   Output result;
   result.embeddings = out;

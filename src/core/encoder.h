@@ -58,7 +58,20 @@ class ApanEncoder : public nn::Module {
   int64_t dim() const { return dim_; }
   int64_t slots() const { return slots_; }
 
+  /// \brief Times this thread rebuilt the learned-position id table
+  /// (thread-local counter). The table depends only on (batch, slots),
+  /// so repeated encodes at one batch size must rebuild it exactly once —
+  /// the regression tests assert the counter stays flat.
+  static int64_t position_ids_rebuilds();
+
  private:
+  /// Kernel-fused forward for inference mode: positional enrichment,
+  /// attention, residual+LayerNorm and the MLP all run through the
+  /// dispatched kernels with arena-allocated intermediates, skipping the
+  /// Reshape copies and the per-call position-id rebuild.
+  Output ForwardInference(const tensor::Tensor& last_embeddings,
+                          const Mailbox::ReadResult& mailbox_read) const;
+
   int64_t dim_;
   int64_t slots_;
   float dropout_;

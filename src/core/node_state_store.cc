@@ -6,29 +6,6 @@
 namespace apan {
 namespace core {
 
-std::shared_ptr<const NodeStateStore::Partition>
-NodeStateStore::Partition::Build(
-    int64_t num_nodes, int num_shards,
-    const std::function<int(graph::NodeId)>& owner_fn) {
-  APAN_CHECK_MSG(num_nodes > 0 && num_shards > 0,
-                 "Partition needs positive node and shard counts");
-  auto partition = std::make_shared<Partition>();
-  partition->num_shards = num_shards;
-  partition->owner_of.resize(static_cast<size_t>(num_nodes));
-  partition->local_row.resize(static_cast<size_t>(num_nodes));
-  partition->owned_count.assign(static_cast<size_t>(num_shards), 0);
-  for (graph::NodeId v = 0; v < num_nodes; ++v) {
-    const int owner = owner_fn(v);
-    APAN_CHECK_MSG(owner >= 0 && owner < num_shards,
-                   "ownership function returned an out-of-range shard");
-    partition->owner_of[static_cast<size_t>(v)] =
-        static_cast<int32_t>(owner);
-    partition->local_row[static_cast<size_t>(v)] = static_cast<int32_t>(
-        partition->owned_count[static_cast<size_t>(owner)]++);
-  }
-  return partition;
-}
-
 NodeStateStore::NodeStateStore(int64_t num_nodes, int64_t slots, int64_t dim)
     : num_nodes_(num_nodes),
       dim_(dim),

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/mailbox.h"
+#include "graph/node_partition.h"
 #include "graph/temporal_graph.h"
 #include "tensor/tensor.h"
 
@@ -38,23 +39,12 @@ class NodeStateStore {
  public:
   /// \brief Dense index over a disjoint N-way partition of the node
   /// space, built once and shared (shared_ptr) by every store of the
-  /// partition — the same single-index trick ShardedTemporalGraph's
-  /// slices use. Without sharing, per-store index memory would scale
-  /// O(num_shards * num_nodes) and sink the "partitioned stores sum to
-  /// ~1x monolithic" invariant at high shard counts.
-  struct Partition {
-    int num_shards = 0;
-    std::vector<int32_t> owner_of;     ///< node -> owning shard
-    std::vector<int32_t> local_row;    ///< node -> dense row in its store
-    std::vector<int64_t> owned_count;  ///< shard -> number of rows
-
-    /// Builds from an ownership function (e.g. serve::ShardRouter::
-    /// ShardOf / graph::NodeShardOf). Rows are assigned in ascending
-    /// node-id order within each shard.
-    static std::shared_ptr<const Partition> Build(
-        int64_t num_nodes, int num_shards,
-        const std::function<int(graph::NodeId)>& owner_fn);
-  };
+  /// partition AND by graph::ShardedTemporalGraph's slices (the two
+  /// planes' ownership maps are element-identical, so one engine stores
+  /// the index exactly once). Without sharing, per-store index memory
+  /// would scale O(num_shards * num_nodes) and sink the "partitioned
+  /// stores sum to ~1x monolithic" invariant at high shard counts.
+  using Partition = graph::NodePartition;
 
   /// Store covering all of `[0, num_nodes)` with the identity mapping
   /// (local row == node id). This is the monolithic / default layout.

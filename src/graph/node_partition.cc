@@ -1,0 +1,37 @@
+#include "graph/node_partition.h"
+
+#include "graph/sharded_temporal_graph.h"
+
+namespace apan {
+namespace graph {
+
+std::shared_ptr<const NodePartition> NodePartition::Build(
+    int64_t num_nodes, int num_shards,
+    const std::function<int(NodeId)>& owner_fn) {
+  APAN_CHECK_MSG(num_nodes > 0 && num_shards > 0,
+                 "NodePartition needs positive node and shard counts");
+  auto partition = std::make_shared<NodePartition>();
+  partition->num_shards = num_shards;
+  partition->owner_of.resize(static_cast<size_t>(num_nodes));
+  partition->local_row.resize(static_cast<size_t>(num_nodes));
+  partition->owned_count.assign(static_cast<size_t>(num_shards), 0);
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    const int owner = owner_fn(v);
+    APAN_CHECK_MSG(owner >= 0 && owner < num_shards,
+                   "ownership function returned an out-of-range shard");
+    partition->owner_of[static_cast<size_t>(v)] =
+        static_cast<int32_t>(owner);
+    partition->local_row[static_cast<size_t>(v)] = static_cast<int32_t>(
+        partition->owned_count[static_cast<size_t>(owner)]++);
+  }
+  return partition;
+}
+
+std::shared_ptr<const NodePartition> NodePartition::BuildDefault(
+    int64_t num_nodes, int num_shards) {
+  return Build(num_nodes, num_shards,
+               [num_shards](NodeId v) { return NodeShardOf(v, num_shards); });
+}
+
+}  // namespace graph
+}  // namespace apan

@@ -1,0 +1,52 @@
+// The shared node-ownership index of an N-way hash partition.
+//
+// Both partitioned planes — core::NodeStateStore (mailbox slice + z(t−)
+// rows) and graph::ShardedTemporalGraph (adjacency slices) — need the
+// same two dense maps: node -> owning shard and node -> local row within
+// that shard. NodePartition stores the pair once; every store and every
+// slice of one engine references the same immutable instance through a
+// shared_ptr, so the index costs ~8 bytes/node per ENGINE instead of per
+// plane (previously the graph kept a private element-identical copy).
+// Rows are assigned in ascending node-id order within each shard, which
+// is the layout both planes already assumed.
+
+#ifndef APAN_GRAPH_NODE_PARTITION_H_
+#define APAN_GRAPH_NODE_PARTITION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "graph/temporal_graph.h"
+
+namespace apan {
+namespace graph {
+
+/// \brief Immutable dense index over a disjoint N-way node partition.
+struct NodePartition {
+  int num_shards = 0;
+  std::vector<int32_t> owner_of;     ///< node -> owning shard
+  std::vector<int32_t> local_row;    ///< node -> dense row in its shard
+  std::vector<int64_t> owned_count;  ///< shard -> number of rows
+
+  int64_t num_nodes() const {
+    return static_cast<int64_t>(owner_of.size());
+  }
+
+  /// Builds from an arbitrary ownership function (must return a shard in
+  /// [0, num_shards) for every node; CHECK-fails otherwise).
+  static std::shared_ptr<const NodePartition> Build(
+      int64_t num_nodes, int num_shards,
+      const std::function<int(NodeId)>& owner_fn);
+
+  /// Builds from the canonical ownership hash (graph::NodeShardOf) — the
+  /// mapping serve::ShardRouter and the graph slices agree on.
+  static std::shared_ptr<const NodePartition> BuildDefault(int64_t num_nodes,
+                                                           int num_shards);
+};
+
+}  // namespace graph
+}  // namespace apan
+
+#endif  // APAN_GRAPH_NODE_PARTITION_H_

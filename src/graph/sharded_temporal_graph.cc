@@ -6,22 +6,24 @@ namespace apan {
 namespace graph {
 
 ShardedTemporalGraph::ShardedTemporalGraph(int num_shards, int64_t num_nodes)
-    : num_shards_(num_shards), num_nodes_(num_nodes) {
-  APAN_CHECK_MSG(num_shards > 0,
+    : ShardedTemporalGraph(
+          NodePartition::BuildDefault(num_nodes, num_shards)) {}
+
+ShardedTemporalGraph::ShardedTemporalGraph(
+    std::shared_ptr<const NodePartition> partition)
+    : num_shards_(partition != nullptr ? partition->num_shards : 0),
+      num_nodes_(partition != nullptr ? partition->num_nodes() : 0),
+      partition_(std::move(partition)) {
+  APAN_CHECK_MSG(partition_ != nullptr, "null NodePartition");
+  APAN_CHECK_MSG(num_shards_ > 0,
                  "ShardedTemporalGraph needs at least one shard");
-  APAN_CHECK_MSG(num_nodes > 0, "ShardedTemporalGraph needs at least one node");
-  owner_of_.resize(static_cast<size_t>(num_nodes));
-  local_row_.resize(static_cast<size_t>(num_nodes));
-  std::vector<int32_t> owned(static_cast<size_t>(num_shards), 0);
-  for (NodeId v = 0; v < num_nodes; ++v) {
-    const int s = NodeShardOf(v, num_shards);
-    owner_of_[static_cast<size_t>(v)] = static_cast<int32_t>(s);
-    local_row_[static_cast<size_t>(v)] = owned[static_cast<size_t>(s)]++;
-  }
-  slices_.reserve(static_cast<size_t>(num_shards));
-  for (int s = 0; s < num_shards; ++s) {
+  APAN_CHECK_MSG(num_nodes_ > 0,
+                 "ShardedTemporalGraph needs at least one node");
+  slices_.reserve(static_cast<size_t>(num_shards_));
+  for (int s = 0; s < num_shards_; ++s) {
     slices_.push_back(std::make_unique<Slice>());
-    slices_.back()->rows.resize(static_cast<size_t>(owned[static_cast<size_t>(s)]));
+    slices_.back()->rows.resize(
+        static_cast<size_t>(partition_->owned_count[static_cast<size_t>(s)]));
   }
 }
 
@@ -72,7 +74,7 @@ Status ShardedTemporalGraph::AppendBatchSlice(int shard, int64_t batch,
     slice.latest_timestamp = event.timestamp;
     if (OwnerOf(event.src) == shard) {
       slice.rows[static_cast<size_t>(
-                     local_row_[static_cast<size_t>(event.src)])]
+                     partition_->local_row[static_cast<size_t>(event.src)])]
           .push_back({event.dst, edge_id, event.timestamp, ordinal});
       // The source endpoint's owner homes the event-log entry.
       Event stored = event;
@@ -81,7 +83,7 @@ Status ShardedTemporalGraph::AppendBatchSlice(int shard, int64_t batch,
     }
     if (OwnerOf(event.dst) == shard && event.dst != event.src) {
       slice.rows[static_cast<size_t>(
-                     local_row_[static_cast<size_t>(event.dst)])]
+                     partition_->local_row[static_cast<size_t>(event.dst)])]
           .push_back({event.src, edge_id, event.timestamp, ordinal});
     }
   }

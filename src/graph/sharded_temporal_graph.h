@@ -36,6 +36,7 @@
 #include <span>
 #include <vector>
 
+#include "graph/node_partition.h"
 #include "graph/temporal_graph.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -62,7 +63,18 @@ class ShardedTemporalGraph {
   static constexpr int64_t kNoOrdinalLimit =
       std::numeric_limits<int64_t>::max();
 
+  /// Builds its own ownership index from the canonical hash
+  /// (NodePartition::BuildDefault) — for standalone use and tests.
   ShardedTemporalGraph(int num_shards, int64_t num_nodes);
+
+  /// Shares a caller-owned ownership index. serve::ShardedEngine builds
+  /// ONE NodePartition and hands it to both the graph slices and the
+  /// per-shard NodeStateStores — the two planes' maps are
+  /// element-identical, so the index is stored once per engine. The
+  /// partition must agree with NodeShardOf when cross-plane ownership
+  /// agreement matters (the engine's does: both derive from it).
+  explicit ShardedTemporalGraph(
+      std::shared_ptr<const NodePartition> partition);
 
   ShardedTemporalGraph(const ShardedTemporalGraph&) = delete;
   ShardedTemporalGraph& operator=(const ShardedTemporalGraph&) = delete;
@@ -70,7 +82,7 @@ class ShardedTemporalGraph {
   int num_shards() const { return num_shards_; }
   int64_t num_nodes() const { return num_nodes_; }
   int OwnerOf(NodeId node) const {
-    return owner_of_[static_cast<size_t>(node)];
+    return partition_->owner_of[static_cast<size_t>(node)];
   }
 
   /// \brief Appends shard `shard`'s slice of one batch: adjacency entries
@@ -157,13 +169,15 @@ class ShardedTemporalGraph {
   }
   const std::vector<Entry>& RowOf(NodeId node) const {
     return slices_[static_cast<size_t>(OwnerOf(node))]
-        ->rows[static_cast<size_t>(local_row_[static_cast<size_t>(node)])];
+        ->rows[static_cast<size_t>(
+            partition_->local_row[static_cast<size_t>(node)])];
   }
 
   int num_shards_;
   int64_t num_nodes_;
-  std::vector<int32_t> owner_of_;   // node -> owning shard
-  std::vector<int32_t> local_row_;  // node -> dense row index in its slice
+  /// Shared ownership index (owner + local row per node); possibly the
+  /// same instance the engine's NodeStateStores reference.
+  std::shared_ptr<const NodePartition> partition_;
   std::vector<std::unique_ptr<Slice>> slices_;
 };
 

@@ -2,12 +2,14 @@
 
 #include <cmath>
 
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 
 namespace apan {
 namespace nn {
 
 using tensor::Tensor;
+namespace kernels = tensor::kernels;
 
 MultiHeadAttention::MultiHeadAttention(int64_t model_dim, int64_t num_heads,
                                        Rng* rng, int64_t key_dim,
@@ -43,6 +45,10 @@ AttentionOutput MultiHeadAttention::Forward(
     APAN_CHECK_MSG(
         mask->size() == static_cast<size_t>(batch * num_keys),
         "attention mask must have batch*num_keys entries");
+  }
+
+  if (!tensor::NoGradGuard::GradEnabled()) {
+    return ForwardInference(query, keys, values, mask);
   }
 
   // Project and split heads. Row layout after the projections keeps each
@@ -92,6 +98,64 @@ AttentionOutput MultiHeadAttention::Forward(
   result.output = out;
   result.weights =
       tensor::Reshape(attn, {batch, num_heads_, num_keys}).Detach();
+  return result;
+}
+
+AttentionOutput MultiHeadAttention::ForwardInference(
+    const Tensor& query, const Tensor& keys, const Tensor& values,
+    const std::vector<float>* mask) const {
+  const int64_t batch = query.dim(0);
+  const int64_t num_keys = keys.dim(1);
+  const int64_t dq = query.dim(1);
+  const int64_t dk = keys.dim(2);
+  const int64_t dv = values.dim(2);
+  // The generic path gets these checks from Linear::Forward; the raw
+  // kernels below index the weight buffers directly, so a mismatch here
+  // must abort instead of reading out of bounds.
+  APAN_CHECK_MSG(dq == wq_.in_features() && dk == wk_.in_features() &&
+                     dv == wv_.in_features(),
+                 "attention input feature dimension mismatch");
+  // The raw GEMMs below apply no bias; if the projections ever grow one,
+  // serving must not silently diverge from the training graph.
+  APAN_CHECK_MSG(!wq_.has_bias() && !wk_.has_bias() && !wv_.has_bias() &&
+                     !wo_.has_bias(),
+                 "fused attention path assumes bias-free projections");
+
+  // Projections to {batch, d} / {batch*m, d}; the 3-D key/value tensors
+  // are already row-major {b*m, dk}, so no flatten copy is needed.
+  Tensor q = tensor::ForwardBuffer({batch, model_dim_}, /*zero=*/false);
+  kernels::MatMul(query.data(), wq_.weight().data(), q.data(), batch, dq,
+                  model_dim_);
+  Tensor k = tensor::ForwardBuffer({batch * num_keys, model_dim_},
+                                   /*zero=*/false);
+  kernels::MatMul(keys.data(), wk_.weight().data(), k.data(),
+                  batch * num_keys, dk, model_dim_);
+  Tensor v = tensor::ForwardBuffer({batch * num_keys, model_dim_},
+                                   /*zero=*/false);
+  kernels::MatMul(values.data(), wv_.weight().data(), v.data(),
+                  batch * num_keys, dv, model_dim_);
+
+  // Strided scores replace the Permute+Reshape head split; the softmax
+  // folds the per-(batch, key) mask in without expanding it across heads.
+  Tensor attn = tensor::ForwardBuffer({batch, num_heads_, num_keys},
+                                      /*zero=*/false);
+  kernels::AttentionScores(
+      q.data(), k.data(), attn.data(), batch, num_heads_, num_keys,
+      head_dim_, 1.0f / std::sqrt(static_cast<float>(head_dim_)));
+  kernels::MaskedSoftmax(attn.data(),
+                         mask != nullptr ? mask->data() : nullptr,
+                         attn.data(), batch, num_heads_, num_keys);
+
+  Tensor context = tensor::ForwardBuffer({batch, model_dim_}, /*zero=*/false);
+  kernels::AttentionContext(attn.data(), v.data(), context.data(), batch,
+                            num_heads_, num_keys, head_dim_);
+  Tensor out = tensor::ForwardBuffer({batch, model_dim_}, /*zero=*/false);
+  kernels::MatMul(context.data(), wo_.weight().data(), out.data(), batch,
+                  model_dim_, model_dim_);
+
+  AttentionOutput result;
+  result.output = out;
+  result.weights = attn;  // already {batch, heads, num_keys}, no grad
   return result;
 }
 

@@ -56,6 +56,16 @@ class MultiHeadAttention : public Module {
   static constexpr float kMaskedOut = -1e9f;
 
  private:
+  /// Kernel-fused forward for inference mode (NoGradGuard active): no
+  /// autograd graph, no Permute/Reshape head-split materializations, no
+  /// batch*heads*num_keys mask expansion — the projections feed strided
+  /// AttentionScores / MaskedSoftmax / AttentionContext kernels and all
+  /// intermediates come from the active TensorArena.
+  AttentionOutput ForwardInference(const tensor::Tensor& query,
+                                   const tensor::Tensor& keys,
+                                   const tensor::Tensor& values,
+                                   const std::vector<float>* mask) const;
+
   int64_t model_dim_;
   int64_t num_heads_;
   int64_t head_dim_;

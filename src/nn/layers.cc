@@ -1,5 +1,7 @@
 #include "nn/layers.h"
 
+#include "tensor/kernels.h"
+
 namespace apan {
 namespace nn {
 
@@ -18,7 +20,7 @@ Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng,
   }
 }
 
-Tensor Linear::Forward(const Tensor& x) const {
+Tensor Linear::Forward(const Tensor& x, bool fuse_relu) const {
   APAN_CHECK(x.defined());
   APAN_CHECK_MSG(x.shape().back() == in_features_,
                  "Linear input feature dimension mismatch");
@@ -29,7 +31,12 @@ Tensor Linear::Forward(const Tensor& x) const {
     input = tensor::Reshape(x, {x.numel() / in_features_, in_features_});
   }
   Tensor out = tensor::MatMul(input, weight_);
-  if (bias_.defined()) out = tensor::Add(out, bias_);
+  if (bias_.defined()) {
+    out = fuse_relu ? tensor::AddBiasRelu(out, bias_)
+                    : tensor::Add(out, bias_);
+  } else if (fuse_relu) {
+    out = tensor::Relu(out);
+  }
   if (needs_flatten) {
     Shape out_shape = orig;
     out_shape.back() = out_features_;
@@ -48,7 +55,7 @@ Mlp::Mlp(int64_t in_features, int64_t hidden, int64_t out_features, Rng* rng,
 }
 
 Tensor Mlp::Forward(const Tensor& x, Rng* rng) const {
-  Tensor h = tensor::Relu(fc1_.Forward(x));
+  Tensor h = fc1_.Forward(x, /*fuse_relu=*/true);
   if (dropout_ > 0.0f && training() && rng != nullptr) {
     h = tensor::Dropout(h, dropout_, /*training=*/true, rng);
   }
@@ -68,6 +75,23 @@ Tensor LayerNorm::Forward(const Tensor& x) const {
                  "LayerNorm dimension mismatch");
   Tensor normalized = tensor::RowNormalize(x, eps_);
   return tensor::Add(tensor::Mul(normalized, gain_), bias_);
+}
+
+Tensor LayerNorm::ForwardResidual(const Tensor& x,
+                                  const Tensor& residual) const {
+  APAN_CHECK(x.defined() && residual.defined());
+  APAN_CHECK_MSG(x.shape() == residual.shape() &&
+                     x.shape().back() == dim_,
+                 "LayerNorm residual shape mismatch");
+  if (tensor::NoGradGuard::GradEnabled()) {
+    return Forward(tensor::Add(x, residual));
+  }
+  const int64_t rows = x.numel() / dim_;
+  Tensor out = tensor::ForwardBuffer(x.shape(), /*zero=*/false);
+  tensor::kernels::ResidualLayerNorm(x.data(), residual.data(), gain_.data(),
+                                     bias_.data(), out.data(), rows, dim_,
+                                     eps_);
+  return out;
 }
 
 EmbeddingTable::EmbeddingTable(int64_t num_embeddings, int64_t dim, Rng* rng,

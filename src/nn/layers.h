@@ -23,10 +23,15 @@ class Linear : public Module {
   Linear(int64_t in_features, int64_t out_features, Rng* rng,
          bool bias = true);
 
-  tensor::Tensor Forward(const tensor::Tensor& x) const;
+  /// With fuse_relu the ReLU epilogue runs inside the bias application
+  /// (one pass, the AddBiasRelu kernel) — bitwise-identical to
+  /// Relu(Forward(x)).
+  tensor::Tensor Forward(const tensor::Tensor& x,
+                         bool fuse_relu = false) const;
 
   int64_t in_features() const { return in_features_; }
   int64_t out_features() const { return out_features_; }
+  bool has_bias() const { return bias_.defined(); }
   const tensor::Tensor& weight() const { return weight_; }
 
  private:
@@ -59,6 +64,13 @@ class LayerNorm : public Module {
   explicit LayerNorm(int64_t dim, float eps = 1e-5f);
 
   tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+  /// \brief Fused residual-add + LayerNorm: y = LN(x + residual). In
+  /// inference mode this is one kernel pass with no intermediate sum
+  /// tensor; under gradient recording it composes Add + Forward (the
+  /// same graph the encoder built before the fusion).
+  tensor::Tensor ForwardResidual(const tensor::Tensor& x,
+                                 const tensor::Tensor& residual) const;
 
   int64_t dim() const { return dim_; }
 

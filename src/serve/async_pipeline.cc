@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "tensor/arena.h"
 #include "tensor/ops.h"
 
 namespace apan {
@@ -40,6 +41,11 @@ Result<AsyncPipeline::InferenceResult> AsyncPipeline::InferBatch(
     // ---- Synchronous link: encoder + decoder over local state only. ----
     std::lock_guard<std::mutex> lock(model_mu_);
     tensor::NoGradGuard no_grad;
+    // Per-batch arena scope: every op below draws its output from the
+    // calling thread's pool (zero per-op heap allocations once warm).
+    // Nothing tensor-shaped escapes this block — scores and embeddings
+    // are copied into plain vectors.
+    tensor::ArenaScope arena_scope;
 
     // Deduplicate nodes: each node's embedding is generated once per batch
     // (paper §3.2).
@@ -117,6 +123,7 @@ void AsyncPipeline::WorkerLoop() {
     {
       std::lock_guard<std::mutex> lock(model_mu_);
       tensor::NoGradGuard no_grad;
+      tensor::ArenaScope arena_scope;  // worker-thread pool, reset per job
       model_->ApplyEmbeddings(job->records);
       std::vector<MailDelivery> deliveries =
           model_->propagator().ComputeDeliveries(job->records);

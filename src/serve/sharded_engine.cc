@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "tensor/arena.h"
 #include "tensor/ops.h"
 
 namespace apan {
@@ -19,8 +20,10 @@ ShardedEngine::ShardedEngine(core::ApanModel* model, Options options)
       options_(options),
       router_(options.num_shards, model != nullptr ? model->config().num_nodes
                                                    : 1),
-      graph_(options.num_shards,
-             model != nullptr ? model->config().num_nodes : 1),
+      partition_(graph::NodePartition::BuildDefault(
+          model != nullptr ? model->config().num_nodes : 1,
+          options.num_shards)),
+      graph_(partition_),
       transport_(options_.transport ? options_.transport()
                                     : std::make_unique<InProcessTransport>()),
       encode_pool_(options.encode_threads > 0
@@ -37,18 +40,16 @@ ShardedEngine::ShardedEngine(core::ApanModel* model, Options options)
   // every mutable byte the engine serves lives in the per-shard stores.
   model->SetTraining(false);
   // Partition the node space into disjoint per-shard state stores. The
-  // router mapping becomes one shared dense index (owner + local row per
-  // node, built once) that all N stores reference — per-store copies
-  // would scale index memory O(num_shards * num_nodes).
+  // ownership index is partition_ — the SAME instance the graph slices
+  // reference — so owner + local row per node is stored once for the
+  // whole engine; per-store or per-plane copies would scale index memory
+  // O(num_shards * num_nodes).
   const core::ApanConfig& config = model->config();
-  const auto partition = core::NodeStateStore::Partition::Build(
-      config.num_nodes, options_.num_shards,
-      [this](graph::NodeId v) { return router_.ShardOf(v); });
   shards_.reserve(static_cast<size_t>(options_.num_shards));
   for (int s = 0; s < options_.num_shards; ++s) {
     auto shard = std::make_unique<Shard>();
     shard->store = std::make_unique<core::NodeStateStore>(
-        partition, s, config.mailbox_slots, config.embedding_dim);
+        partition_, s, config.mailbox_slots, config.embedding_dim);
     shard->accepted_request.assign(
         static_cast<size_t>(options_.num_shards), ExpansionKey{-1, 0});
     shards_.push_back(std::move(shard));
@@ -84,6 +85,10 @@ Result<ShardedEngine::InferenceResult> ShardedEngine::InferBatch(
   {
     // ---- Synchronous link: shard-parallel encoding over local state. ----
     tensor::NoGradGuard no_grad;
+    // Caller-thread arena for the decode leg below (gathers, link
+    // scoring); each encode task opens its own pool-thread scope. Arena
+    // tensors never cross threads — tasks copy rows into `emb`.
+    tensor::ArenaScope arena_scope;
 
     // Deduplicate nodes: each node's embedding is generated once per batch
     // (paper §3.2), then split the unique set by owner shard.
@@ -102,46 +107,49 @@ Result<ShardedEngine::InferenceResult> ShardedEngine::InferBatch(
       dst_rows.push_back(static_cast<int64_t>(intern(e.dst)));
     }
 
-    // locator[u] = (shard, row within that shard's encode batch).
+    // Split the unique set by owner shard, remembering each row's index
+    // in the first-appearance order so tasks can scatter results.
     std::vector<std::vector<graph::NodeId>> shard_nodes(
         static_cast<size_t>(num_shards));
-    std::vector<std::pair<int, int64_t>> locator(unique_nodes.size());
+    std::vector<std::vector<size_t>> shard_unique(
+        static_cast<size_t>(num_shards));
     for (size_t u = 0; u < unique_nodes.size(); ++u) {
       const int s = router_.ShardOf(unique_nodes[u]);
-      auto& nodes = shard_nodes[static_cast<size_t>(s)];
-      locator[u] = {s, static_cast<int64_t>(nodes.size())};
-      nodes.push_back(unique_nodes[u]);
+      shard_nodes[static_cast<size_t>(s)].push_back(unique_nodes[u]);
+      shard_unique[static_cast<size_t>(s)].push_back(u);
     }
 
     // Encode each shard's slice concurrently against that shard's own
     // state store — replicated weights over partitioned state, so the
     // only cache lines an encode touches are the shard's private rows.
-    std::vector<core::ApanEncoder::Output> outputs(
-        static_cast<size_t>(num_shards));
+    // Each task copies its rows straight into the shared flat matrix
+    // (disjoint offsets) and drops its tensors before returning: encode
+    // intermediates live and die on the pool thread that owns the arena.
+    std::vector<float> emb(unique_nodes.size() * static_cast<size_t>(d));
     std::vector<std::future<void>> futures;
     for (int s = 0; s < num_shards; ++s) {
       if (shard_nodes[static_cast<size_t>(s)].empty()) continue;
-      futures.push_back(encode_pool_.Submit([this, s, &shard_nodes,
-                                             &outputs] {
+      futures.push_back(encode_pool_.Submit([this, s, d, &shard_nodes,
+                                             &shard_unique, &emb] {
         tensor::NoGradGuard task_no_grad;
-        Shard& shard = *shards_[static_cast<size_t>(s)];
-        std::lock_guard<std::mutex> state_lock(shard.state_mu);
-        outputs[static_cast<size_t>(s)] = model_->weights().EncodeNodes(
-            *shard.store, shard_nodes[static_cast<size_t>(s)]);
+        tensor::ArenaScope task_arena;  // pool-thread pool, reset per batch
+        const auto& nodes = shard_nodes[static_cast<size_t>(s)];
+        const auto& unique_rows = shard_unique[static_cast<size_t>(s)];
+        core::ApanEncoder::Output out;
+        {
+          Shard& shard = *shards_[static_cast<size_t>(s)];
+          std::lock_guard<std::mutex> state_lock(shard.state_mu);
+          out = model_->weights().EncodeNodes(*shard.store, nodes);
+        }
+        const float* rows = out.embeddings.data();
+        for (size_t r = 0; r < nodes.size(); ++r) {
+          std::copy_n(rows + static_cast<int64_t>(r) * d, d,
+                      emb.data() + unique_rows[r] * static_cast<size_t>(d));
+        }
       }));
     }
     for (auto& f : futures) f.get();
 
-    // Reassemble the per-shard slices into one {unique, d} matrix in
-    // first-appearance order, then decode on the calling thread.
-    std::vector<float> emb(unique_nodes.size() * static_cast<size_t>(d));
-    for (size_t u = 0; u < unique_nodes.size(); ++u) {
-      const auto [s, row] = locator[u];
-      const float* src_ptr = outputs[static_cast<size_t>(s)]
-                                 .embeddings.data() +
-                             row * d;
-      std::copy_n(src_ptr, d, emb.data() + u * static_cast<size_t>(d));
-    }
     tensor::Tensor embeddings = tensor::Tensor::FromVector(
         {static_cast<int64_t>(unique_nodes.size()), d}, std::move(emb));
     tensor::Tensor z_src = tensor::GatherRows(embeddings, src_rows);
@@ -304,7 +312,13 @@ void ShardedEngine::ProcessJob(int shard_id, BatchJob job) {
   ServeDeferredRequests(shard_id);
 
   // φ + N over this shard's home events; hops whose frontier nodes are
-  // owned elsewhere are forwarded to their owner shards.
+  // owned elsewhere are forwarded to their owner shards. Propagation is
+  // plain float-vector math today; the scope makes any tensor op a
+  // future propagator grows draw from this worker's pool. Arena tensors
+  // are thread-confined: anything that enters a ShardPartial (read by
+  // OTHER shards' workers) must be copied into plain vectors, never
+  // handed over as a pooled tensor.
+  tensor::ArenaScope arena_scope;
   std::vector<std::vector<graph::HopEntry>> hops = ExpandKHop(shard_id, job);
   PartialPropagation propagation =
       model_->propagator().ComputePartialFromHops(job.records,

@@ -321,6 +321,11 @@ class ShardedEngine {
   const core::ApanModel* model_;
   Options options_;
   ShardRouter router_;
+  /// The ONE ownership index of this engine, shared by the graph slices
+  /// and every per-shard NodeStateStore (element-identical maps, stored
+  /// once — ~8 bytes/node saved vs per-plane copies). Derived from
+  /// graph::NodeShardOf, the same hash ShardRouter::ShardOf delegates to.
+  std::shared_ptr<const graph::NodePartition> partition_;
   graph::ShardedTemporalGraph graph_;
   std::unique_ptr<Transport> transport_;
   ThreadPool encode_pool_;

@@ -1,0 +1,63 @@
+#include "tensor/arena.h"
+
+#include <algorithm>
+
+namespace apan {
+namespace tensor {
+
+std::shared_ptr<internal::TensorImpl> TensorArena::Allocate(Shape shape,
+                                                            bool zero) {
+  const size_t n = static_cast<size_t>(NumElements(shape));
+  while (cursor_ < pool_.size()) {
+    std::shared_ptr<internal::TensorImpl>& slot = pool_[cursor_++];
+    if (slot.use_count() != 1) continue;  // still referenced by a Tensor
+    internal::TensorImpl* impl = slot.get();
+    // assign() reuses the vectors' capacity; once shapes have stabilized
+    // (after the warm-up batch) none of this touches the heap.
+    impl->shape.assign(shape.begin(), shape.end());
+    if (zero) {
+      impl->data.assign(n, 0.0f);
+    } else if (impl->data.size() != n) {
+      impl->data.resize(n);
+    }
+    impl->grad.clear();
+    impl->requires_grad = false;
+    impl->backward_fn = nullptr;
+    impl->parents.clear();
+    ++reused_;
+    return slot;
+  }
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data.assign(n, 0.0f);
+  pool_.push_back(impl);
+  cursor_ = pool_.size();
+  ++fresh_;
+  return impl;
+}
+
+TensorArena*& TensorArena::CurrentSlot() {
+  thread_local TensorArena* current = nullptr;
+  return current;
+}
+
+TensorArena* TensorArena::Current() { return CurrentSlot(); }
+
+TensorArena* ArenaScope::ThreadLocalArena() {
+  thread_local TensorArena arena;
+  return &arena;
+}
+
+ArenaScope::ArenaScope() : ArenaScope(ThreadLocalArena()) {}
+
+ArenaScope::ArenaScope(TensorArena* arena) {
+  TensorArena*& slot = TensorArena::CurrentSlot();
+  prev_ = slot;
+  if (arena != prev_ && arena != nullptr) arena->Reset();
+  slot = arena;
+}
+
+ArenaScope::~ArenaScope() { TensorArena::CurrentSlot() = prev_; }
+
+}  // namespace tensor
+}  // namespace apan

@@ -1,0 +1,96 @@
+// Per-thread tensor arena for the serving hot path.
+//
+// A serve batch builds the same op sequence every time, so the tensors it
+// allocates have the same shapes batch after batch. TensorArena exploits
+// that: it pools the TensorImpl nodes (control block + shape + data
+// buffer) a batch creates, and an ArenaScope entered at the top of the
+// next batch rewinds the pool cursor so the ops layer re-uses them in
+// creation order — after one warm-up batch, NewImpl performs zero heap
+// allocations on the serve path (asserted in tests/tensor_kernels_test.cc
+// via the fresh_impls() counter).
+//
+// Safety model:
+//   * an arena is strictly thread-confined (Current() is thread-local);
+//     tensors allocated from it must not be handed to another thread —
+//     the serve engines copy rows out instead of sharing tensors;
+//   * recycling is refcount-guarded: a pooled impl still referenced by a
+//     live Tensor (use_count > 1) is skipped, never reused, so a tensor
+//     that outlives its batch scope stays valid (it just costs its pool
+//     slot until released);
+//   * the ops layer only draws from an arena when gradient recording is
+//     off (NoGradGuard), so autograd graphs never alias pooled storage.
+
+#ifndef APAN_TENSOR_ARENA_H_
+#define APAN_TENSOR_ARENA_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace apan {
+namespace tensor {
+
+/// \brief Pool of recyclable TensorImpl nodes with a rewindable cursor.
+class TensorArena {
+ public:
+  TensorArena() = default;
+  TensorArena(const TensorArena&) = delete;
+  TensorArena& operator=(const TensorArena&) = delete;
+
+  /// \brief Returns a zeroed (or, with zero=false, content-unspecified)
+  /// impl of `shape`, recycling a pooled node when one is free. The
+  /// caller owns a reference; the arena keeps one for recycling.
+  std::shared_ptr<internal::TensorImpl> Allocate(Shape shape,
+                                                 bool zero = true);
+
+  /// Rewinds the cursor so the whole pool is offered for reuse again
+  /// (per-batch reset; referenced impls are skipped at Allocate time).
+  void Reset() { cursor_ = 0; }
+
+  /// Pool misses: impls that had to be heap-allocated. Flat across
+  /// batches once the arena is warm — the zero-allocation assertion.
+  int64_t fresh_impls() const { return fresh_; }
+  /// Pool hits.
+  int64_t reused_impls() const { return reused_; }
+  size_t pool_size() const { return pool_.size(); }
+
+  /// The arena the innermost ArenaScope on this thread activated, or
+  /// null when no scope is open (ops fall back to plain heap impls).
+  static TensorArena* Current();
+
+ private:
+  friend class ArenaScope;
+  static TensorArena*& CurrentSlot();
+
+  std::vector<std::shared_ptr<internal::TensorImpl>> pool_;
+  size_t cursor_ = 0;
+  int64_t fresh_ = 0;
+  int64_t reused_ = 0;
+};
+
+/// \brief RAII activation of an arena on the calling thread. Entering a
+/// scope for an arena that was not already active resets it (the
+/// per-batch rewind); nesting the same arena is a no-op. The default
+/// constructor uses the calling thread's lazily-created arena — what the
+/// serve engines wrap around each batch's encode/propagate leg.
+class ArenaScope {
+ public:
+  ArenaScope();
+  explicit ArenaScope(TensorArena* arena);
+  ~ArenaScope();
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+  /// The calling thread's own arena (created on first use).
+  static TensorArena* ThreadLocalArena();
+
+ private:
+  TensorArena* prev_;
+};
+
+}  // namespace tensor
+}  // namespace apan
+
+#endif  // APAN_TENSOR_ARENA_H_

@@ -1,0 +1,159 @@
+// Serve-hot-path tensor kernels with runtime SIMD dispatch.
+//
+// The five hot primitives behind the encoder forward (MatMul, Bmm,
+// SoftmaxLastDim, RowNormalize, AddBiasRelu) plus the fused attention
+// helpers (AttentionScores / MaskedSoftmax / AttentionContext /
+// ResidualLayerNorm) operate on raw float buffers. One implementation is
+// selected per process at first use — AVX2 on x86-64 CPUs that support
+// it, NEON on aarch64, a portable blocked-scalar fallback otherwise — so
+// every engine in the process (AsyncPipeline, ShardedEngine, trainer
+// eval) computes through the same code path and stays bitwise
+// reproducible run-to-run and engine-to-engine.
+//
+// Determinism contract: every reduction runs in fixed-width 8-lane
+// blocked order (lane l accumulates elements l, l+8, l+16, ..., lanes
+// combined in a fixed binary tree), and SIMD lanes use separate multiply
+// and add (no FMA contraction), so the scalar fallback and the SIMD
+// implementations produce bitwise-identical results — the kernel parity
+// suite (tests/tensor_kernels_test.cc) asserts it. Per-row outputs
+// depend only on that row's inputs, which is what keeps a sharded
+// encode (per-shard sub-batches) bitwise equal to the monolithic encode
+// of the same rows.
+//
+// `reference` holds the naive serial implementations (the pre-kernel
+// semantics) for parity tests and before/after benchmarks; `scalar` is
+// the portable blocked fallback, callable directly regardless of what
+// the dispatcher selected.
+
+#ifndef APAN_TENSOR_KERNELS_H_
+#define APAN_TENSOR_KERNELS_H_
+
+#include <cstdint>
+
+namespace apan {
+namespace tensor {
+namespace kernels {
+
+/// Instruction set selected for this process (once, at first kernel use;
+/// override with APAN_KERNEL_ISA=scalar|avx2|neon for debugging — an
+/// unavailable request falls back to scalar).
+enum class Isa { kScalar, kAvx2, kNeon };
+Isa ActiveIsa();
+const char* IsaName(Isa isa);
+
+// ---- Dispatched entry points ------------------------------------------------
+// All output buffers are overwritten (no accumulate); aliasing an output
+// with an input is allowed only for the elementwise kernels (AddSame,
+// AddBias, AddBiasRelu, MaskedSoftmax in-place).
+
+/// c[n,m] = a[n,k] * b[k,m]. Per-element accumulation is serial over k
+/// (the classic ikj order), so results match the naive loop bitwise.
+void MatMul(const float* a, const float* b, float* c, int64_t n, int64_t k,
+            int64_t m);
+
+/// c[bs,n,m] = a[bs,n,k] * b[bs,k,m], batch by batch.
+void Bmm(const float* a, const float* b, float* c, int64_t bs, int64_t n,
+         int64_t k, int64_t m);
+
+/// y[r,:] = softmax(x[r,:]) over the last dimension (max-subtracted,
+/// blocked-order sum).
+void SoftmaxLastDim(const float* x, float* y, int64_t rows, int64_t d);
+
+/// Attention softmax over {b, h, m} scores with an optional additive
+/// {b, m} mask shared across heads (the encoder's padding mask — no
+/// b*h*m expansion copy). `mask` may be null. In-place (y == scores) ok.
+void MaskedSoftmax(const float* scores, const float* mask, float* y,
+                   int64_t b, int64_t h, int64_t m);
+
+/// y[r,:] = (x[r,:] - mean) / sqrt(var + eps). When `inv_sigma` is
+/// non-null it receives the per-row 1/sigma (the backward pass needs it).
+void RowNormalize(const float* x, float* y, int64_t rows, int64_t d,
+                  float eps, float* inv_sigma);
+
+/// y[r,j] = max(x[r,j] + bias[j], 0) — the fused Linear+ReLU epilogue.
+void AddBiasRelu(const float* x, const float* bias, float* y, int64_t rows,
+                 int64_t d);
+
+/// y[r,j] = x[r,j] + bias[j] (rank-1 broadcast over the last dim).
+void AddBias(const float* x, const float* bias, float* y, int64_t rows,
+             int64_t d);
+
+/// y[i] = a[i] + b[i].
+void AddSame(const float* a, const float* b, float* y, int64_t n);
+
+/// Blocked dot product (8-lane accumulation, fixed-tree combine).
+float Dot(const float* a, const float* b, int64_t n);
+
+/// Fused attention scores without head-split materialization:
+///   scores[(bi*h + hi)*m + s] =
+///       scale * dot(q[bi, hi*dh : (hi+1)*dh], k[bi, s, hi*dh : (hi+1)*dh])
+/// with q laid out {b, h*dh} and k laid out {b, m, h*dh} — the strided
+/// Bmm that replaces Permute+Reshape head splitting.
+void AttentionScores(const float* q, const float* k, float* scores,
+                     int64_t b, int64_t h, int64_t m, int64_t dh,
+                     float scale);
+
+/// Fused attention context (the strided attn @ V):
+///   ctx[bi, hi*dh + j] = sum_s attn[(bi*h + hi)*m + s] * v[bi, s, hi*dh + j]
+/// accumulated serially over s, with v laid out {b, m, h*dh}.
+void AttentionContext(const float* attn, const float* v, float* ctx,
+                      int64_t b, int64_t h, int64_t m, int64_t dh);
+
+/// Fused residual-add + LayerNorm with learnable gain/bias:
+///   t = x[r,:] + residual[r,:];  y = ((t - mean) / sqrt(var+eps)) * gain + bias
+void ResidualLayerNorm(const float* x, const float* residual,
+                       const float* gain, const float* bias, float* y,
+                       int64_t rows, int64_t d, float eps);
+
+// ---- Portable blocked-scalar implementations --------------------------------
+// Bitwise-identical to the SIMD implementations; exposed for the parity
+// suite and for forcing the fallback in tests.
+namespace scalar {
+void MatMul(const float* a, const float* b, float* c, int64_t n, int64_t k,
+            int64_t m);
+void Bmm(const float* a, const float* b, float* c, int64_t bs, int64_t n,
+         int64_t k, int64_t m);
+void SoftmaxLastDim(const float* x, float* y, int64_t rows, int64_t d);
+void MaskedSoftmax(const float* scores, const float* mask, float* y,
+                   int64_t b, int64_t h, int64_t m);
+void RowNormalize(const float* x, float* y, int64_t rows, int64_t d,
+                  float eps, float* inv_sigma);
+void AddBiasRelu(const float* x, const float* bias, float* y, int64_t rows,
+                 int64_t d);
+void AddBias(const float* x, const float* bias, float* y, int64_t rows,
+             int64_t d);
+void AddSame(const float* a, const float* b, float* y, int64_t n);
+float Dot(const float* a, const float* b, int64_t n);
+void AttentionScores(const float* q, const float* k, float* scores,
+                     int64_t b, int64_t h, int64_t m, int64_t dh,
+                     float scale);
+void AttentionContext(const float* attn, const float* v, float* ctx,
+                      int64_t b, int64_t h, int64_t m, int64_t dh);
+void ResidualLayerNorm(const float* x, const float* residual,
+                       const float* gain, const float* bias, float* y,
+                       int64_t rows, int64_t d, float eps);
+}  // namespace scalar
+
+// ---- Naive serial reference -------------------------------------------------
+// The pre-kernel semantics (serial reductions). Agreement vs the blocked
+// kernels: exact for elementwise ops and matmuls (same per-element
+// order), within a few ULP for blocked reductions (softmax sums, dots,
+// layer-norm moments).
+namespace reference {
+void MatMul(const float* a, const float* b, float* c, int64_t n, int64_t k,
+            int64_t m);
+void Bmm(const float* a, const float* b, float* c, int64_t bs, int64_t n,
+         int64_t k, int64_t m);
+void SoftmaxLastDim(const float* x, float* y, int64_t rows, int64_t d);
+void RowNormalize(const float* x, float* y, int64_t rows, int64_t d,
+                  float eps, float* inv_sigma);
+void AddBiasRelu(const float* x, const float* bias, float* y, int64_t rows,
+                 int64_t d);
+float Dot(const float* a, const float* b, int64_t n);
+}  // namespace reference
+
+}  // namespace kernels
+}  // namespace tensor
+}  // namespace apan
+
+#endif  // APAN_TENSOR_KERNELS_H_

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/arena.h"
+#include "tensor/kernels.h"
+
 namespace apan {
 namespace tensor {
 
@@ -11,10 +14,22 @@ namespace {
 using Impl = internal::TensorImpl;
 using ImplPtr = std::shared_ptr<Impl>;
 
-ImplPtr NewImpl(Shape shape) {
+/// Output buffer for an op. `zero` = false when the op provably writes
+/// every element (kernels overwrite; the arena then skips the redundant
+/// clear pass on recycled buffers). Ops that ACCUMULATE into their
+/// output (MeanDim1) must pass true.
+ImplPtr NewImpl(Shape shape, bool zero = true) {
+  // Inference mode with an active ArenaScope: recycle a pooled impl so a
+  // warm serve batch performs zero per-op heap allocations.
+  if (!NoGradGuard::GradEnabled()) {
+    if (TensorArena* arena = TensorArena::Current()) {
+      return arena->Allocate(std::move(shape), zero);
+    }
+  }
   auto impl = std::make_shared<Impl>();
   const int64_t n = NumElements(shape);
   impl->shape = std::move(shape);
+  // Fresh heap vectors zero-initialize either way; no skip possible.
   impl->data.assign(static_cast<size_t>(n), 0.0f);
   return impl;
 }
@@ -27,12 +42,22 @@ bool AnyRequiresGrad(const std::vector<ImplPtr>& parents) {
   return false;
 }
 
-/// Attaches autograd metadata to `out` when recording is active.
-/// `backward` must read out->grad and accumulate into parents' grads;
-/// it is only installed (and parents only retained) when needed.
+/// True when an op over these parents must record a backward closure.
+/// Checked at every call site BEFORE building the parent list and the
+/// closure, so NoGradGuard regions skip autograd registration entirely
+/// (no parent-vector or std::function allocation, not even a no-op one).
+inline bool Rec(const ImplPtr& a) {
+  return NoGradGuard::GradEnabled() && a->requires_grad;
+}
+inline bool Rec(const ImplPtr& a, const ImplPtr& b) {
+  return NoGradGuard::GradEnabled() &&
+         (a->requires_grad || b->requires_grad);
+}
+
+/// Attaches autograd metadata to `out`. Callers must have checked
+/// Rec()/AnyRequiresGrad first.
 void Register(const ImplPtr& out, std::vector<ImplPtr> parents,
               std::function<void()> backward) {
-  if (!AnyRequiresGrad(parents)) return;
   out->requires_grad = true;
   out->parents = std::move(parents);
   out->backward_fn = std::move(backward);
@@ -68,7 +93,7 @@ template <typename Fwd, typename BwdA, typename BwdB>
 Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, BwdA bwd_a,
                 BwdB bwd_b) {
   const BroadcastKind kind = CheckBroadcast(a, b);
-  auto out = NewImpl(a.shape());
+  auto out = NewImpl(a.shape(), /*zero=*/false);
   const ImplPtr pa = a.impl();
   const ImplPtr pb = b.impl();
   const size_t n = pa->data.size();
@@ -83,34 +108,65 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, BwdA bwd_a,
     }
   }
   Impl* raw = out.get();
-  Register(out, {pa, pb}, [pa, pb, raw, kind, n, d, bwd_a, bwd_b] {
-    if (pa->requires_grad) {
-      pa->EnsureGrad();
-      for (size_t i = 0; i < n; ++i) {
-        const float bv = (kind == BroadcastKind::kSameShape)
-                             ? pb->data[i]
-                             : pb->data[i % d];
-        pa->grad[i] += bwd_a(raw->grad[i], pa->data[i], bv);
+  if (Rec(pa, pb)) {
+    Register(out, {pa, pb}, [pa, pb, raw, kind, n, d, bwd_a, bwd_b] {
+      if (pa->requires_grad) {
+        pa->EnsureGrad();
+        for (size_t i = 0; i < n; ++i) {
+          const float bv = (kind == BroadcastKind::kSameShape)
+                               ? pb->data[i]
+                               : pb->data[i % d];
+          pa->grad[i] += bwd_a(raw->grad[i], pa->data[i], bv);
+        }
       }
-    }
-    if (pb->requires_grad) {
-      pb->EnsureGrad();
-      for (size_t i = 0; i < n; ++i) {
-        const size_t j = (kind == BroadcastKind::kSameShape) ? i : i % d;
-        pb->grad[j] += bwd_b(raw->grad[i], pa->data[i], pb->data[j]);
+      if (pb->requires_grad) {
+        pb->EnsureGrad();
+        for (size_t i = 0; i < n; ++i) {
+          const size_t j = (kind == BroadcastKind::kSameShape) ? i : i % d;
+          pb->grad[j] += bwd_b(raw->grad[i], pa->data[i], pb->data[j]);
+        }
       }
-    }
-  });
+    });
+  }
   return Tensor::WrapImpl(out);
 }
 
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  return BinaryOp(
-      a, b, [](float x, float y) { return x + y; },
-      [](float g, float, float) { return g; },
-      [](float g, float, float) { return g; });
+  // The hottest elementwise op on the serve path (bias adds, residuals,
+  // positional enrichment) — forward through the dispatched kernels; the
+  // backward closure matches BinaryOp's.
+  const BroadcastKind kind = CheckBroadcast(a, b);
+  auto out = NewImpl(a.shape(), /*zero=*/false);
+  const ImplPtr pa = a.impl();
+  const ImplPtr pb = b.impl();
+  const size_t n = pa->data.size();
+  const size_t d = static_cast<size_t>(LastDim(pa->shape));
+  if (kind == BroadcastKind::kSameShape) {
+    kernels::AddSame(pa->data.data(), pb->data.data(), out->data.data(),
+                     static_cast<int64_t>(n));
+  } else {
+    kernels::AddBias(pa->data.data(), pb->data.data(), out->data.data(),
+                     static_cast<int64_t>(n / d), static_cast<int64_t>(d));
+  }
+  Impl* raw = out.get();
+  if (Rec(pa, pb)) {
+    Register(out, {pa, pb}, [pa, pb, raw, kind, n, d] {
+      if (pa->requires_grad) {
+        pa->EnsureGrad();
+        for (size_t i = 0; i < n; ++i) pa->grad[i] += raw->grad[i];
+      }
+      if (pb->requires_grad) {
+        pb->EnsureGrad();
+        for (size_t i = 0; i < n; ++i) {
+          const size_t j = (kind == BroadcastKind::kSameShape) ? i : i % d;
+          pb->grad[j] += raw->grad[i];
+        }
+      }
+    });
+  }
+  return Tensor::WrapImpl(out);
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
@@ -133,18 +189,19 @@ namespace {
 template <typename Fwd, typename Bwd>
 Tensor UnaryOp(const Tensor& a, Fwd fwd, Bwd bwd) {
   APAN_CHECK(a.defined());
-  auto out = NewImpl(a.shape());
+  auto out = NewImpl(a.shape(), /*zero=*/false);
   const ImplPtr pa = a.impl();
   const size_t n = pa->data.size();
   for (size_t i = 0; i < n; ++i) out->data[i] = fwd(pa->data[i]);
   Impl* raw = out.get();
-  Register(out, {pa}, [pa, raw, n, bwd] {
-    if (!pa->requires_grad) return;
-    pa->EnsureGrad();
-    for (size_t i = 0; i < n; ++i) {
-      pa->grad[i] += bwd(raw->grad[i], pa->data[i], raw->data[i]);
-    }
-  });
+  if (Rec(pa)) {
+    Register(out, {pa}, [pa, raw, n, bwd] {
+      pa->EnsureGrad();
+      for (size_t i = 0; i < n; ++i) {
+        pa->grad[i] += bwd(raw->grad[i], pa->data[i], raw->data[i]);
+      }
+    });
+  }
   return Tensor::WrapImpl(out);
 }
 
@@ -217,6 +274,50 @@ Tensor Cos(const Tensor& a) {
       [](float g, float x, float) { return -g * std::sin(x); });
 }
 
+Tensor AddBiasRelu(const Tensor& a, const Tensor& bias) {
+  APAN_CHECK(a.defined() && bias.defined());
+  APAN_CHECK_MSG(bias.rank() == 1 && bias.dim(0) == LastDim(a.shape()),
+                 "AddBiasRelu bias must be rank-1 over the last dim");
+  auto out = NewImpl(a.shape(), /*zero=*/false);
+  const ImplPtr pa = a.impl();
+  const ImplPtr pb = bias.impl();
+  const size_t n = pa->data.size();
+  const int64_t d = LastDim(pa->shape);
+  const int64_t rows = static_cast<int64_t>(n) / d;
+  kernels::AddBiasRelu(pa->data.data(), pb->data.data(), out->data.data(),
+                       rows, d);
+  Impl* raw = out.get();
+  if (Rec(pa, pb)) {
+    Register(out, {pa, pb}, [pa, pb, raw, rows, d] {
+      // relu'(y) in terms of the output: y > 0 <=> (x + bias) > 0.
+      if (pa->requires_grad) {
+        pa->EnsureGrad();
+        for (int64_t i = 0; i < rows * d; ++i) {
+          if (raw->data[static_cast<size_t>(i)] > 0.0f) {
+            pa->grad[static_cast<size_t>(i)] +=
+                raw->grad[static_cast<size_t>(i)];
+          }
+        }
+      }
+      if (pb->requires_grad) {
+        pb->EnsureGrad();
+        for (int64_t r = 0; r < rows; ++r) {
+          const float* g = raw->grad.data() + r * d;
+          const float* y = raw->data.data() + r * d;
+          for (int64_t j = 0; j < d; ++j) {
+            if (y[j] > 0.0f) pb->grad[static_cast<size_t>(j)] += g[j];
+          }
+        }
+      }
+    });
+  }
+  return Tensor::WrapImpl(out);
+}
+
+Tensor ForwardBuffer(Shape shape, bool zero) {
+  return Tensor::WrapImpl(NewImpl(std::move(shape), zero));
+}
+
 // ---- Linear algebra --------------------------------------------------------
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
@@ -224,23 +325,15 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   APAN_CHECK_MSG(a.rank() == 2 && b.rank() == 2, "MatMul expects rank-2");
   const int64_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
   APAN_CHECK_MSG(b.dim(0) == k, "MatMul inner dimension mismatch");
-  auto out = NewImpl({n, m});
+  auto out = NewImpl({n, m}, /*zero=*/false);
   const ImplPtr pa = a.impl();
   const ImplPtr pb = b.impl();
-  const float* A = pa->data.data();
-  const float* B = pb->data.data();
-  float* C = out->data.data();
-  // ikj loop order: streams B and C rows for cache friendliness.
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float aik = A[i * k + kk];
-      if (aik == 0.0f) continue;
-      const float* Brow = B + kk * m;
-      float* Crow = C + i * m;
-      for (int64_t j = 0; j < m; ++j) Crow[j] += aik * Brow[j];
-    }
-  }
+  // SIMD-dispatched GEMM; per-element accumulation stays serial over k
+  // (ikj order), so the result is the naive loop's, bit for bit.
+  kernels::MatMul(pa->data.data(), pb->data.data(), out->data.data(), n, k,
+                  m);
   Impl* raw = out.get();
+  if (!Rec(pa, pb)) return Tensor::WrapImpl(out);
   Register(out, {pa, pb}, [pa, pb, raw, n, k, m] {
     const float* G = raw->grad.data();
     if (pa->requires_grad) {
@@ -281,24 +374,13 @@ Tensor Bmm(const Tensor& a, const Tensor& b) {
   const int64_t bs = a.dim(0), n = a.dim(1), k = a.dim(2), m = b.dim(2);
   APAN_CHECK_MSG(b.dim(0) == bs && b.dim(1) == k,
                  "Bmm batch/inner dimension mismatch");
-  auto out = NewImpl({bs, n, m});
+  auto out = NewImpl({bs, n, m}, /*zero=*/false);
   const ImplPtr pa = a.impl();
   const ImplPtr pb = b.impl();
-  for (int64_t t = 0; t < bs; ++t) {
-    const float* A = pa->data.data() + t * n * k;
-    const float* B = pb->data.data() + t * k * m;
-    float* C = out->data.data() + t * n * m;
-    for (int64_t i = 0; i < n; ++i) {
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float aik = A[i * k + kk];
-        if (aik == 0.0f) continue;
-        const float* Brow = B + kk * m;
-        float* Crow = C + i * m;
-        for (int64_t j = 0; j < m; ++j) Crow[j] += aik * Brow[j];
-      }
-    }
-  }
+  kernels::Bmm(pa->data.data(), pb->data.data(), out->data.data(), bs, n, k,
+               m);
   Impl* raw = out.get();
+  if (!Rec(pa, pb)) return Tensor::WrapImpl(out);
   Register(out, {pa, pb}, [pa, pb, raw, bs, n, k, m] {
     for (int64_t t = 0; t < bs; ++t) {
       const float* G = raw->grad.data() + t * n * m;
@@ -363,7 +445,7 @@ Tensor Permute(const Tensor& a, const std::vector<size_t>& perm) {
     APAN_CHECK(perm[i] < in_shape.size());
     out_shape[i] = in_shape[perm[i]];
   }
-  auto out = NewImpl(out_shape);
+  auto out = NewImpl(out_shape, /*zero=*/false);
   const ImplPtr pa = a.impl();
   const auto in_strides = RowMajorStrides(in_shape);
   const auto out_strides = RowMajorStrides(out_shape);
@@ -383,13 +465,14 @@ Tensor Permute(const Tensor& a, const std::vector<size_t>& perm) {
     out->data[flat] = pa->data[static_cast<size_t>(src)];
   }
   Impl* raw = out.get();
-  Register(out, {pa}, [pa, raw, src_index = std::move(src_index), n] {
-    if (!pa->requires_grad) return;
-    pa->EnsureGrad();
-    for (size_t flat = 0; flat < n; ++flat) {
-      pa->grad[static_cast<size_t>(src_index[flat])] += raw->grad[flat];
-    }
-  });
+  if (Rec(pa)) {
+    Register(out, {pa}, [pa, raw, src_index = std::move(src_index), n] {
+      pa->EnsureGrad();
+      for (size_t flat = 0; flat < n; ++flat) {
+        pa->grad[static_cast<size_t>(src_index[flat])] += raw->grad[flat];
+      }
+    });
+  }
   return Tensor::WrapImpl(out);
 }
 
@@ -397,17 +480,18 @@ Tensor Reshape(const Tensor& a, Shape new_shape) {
   APAN_CHECK(a.defined());
   APAN_CHECK_MSG(NumElements(new_shape) == a.numel(),
                  "Reshape element count mismatch");
-  auto out = NewImpl(std::move(new_shape));
+  auto out = NewImpl(std::move(new_shape), /*zero=*/false);
   const ImplPtr pa = a.impl();
   out->data = pa->data;
   Impl* raw = out.get();
-  Register(out, {pa}, [pa, raw] {
-    if (!pa->requires_grad) return;
-    pa->EnsureGrad();
-    for (size_t i = 0; i < raw->grad.size(); ++i) {
-      pa->grad[i] += raw->grad[i];
-    }
-  });
+  if (Rec(pa)) {
+    Register(out, {pa}, [pa, raw] {
+      pa->EnsureGrad();
+      for (size_t i = 0; i < raw->grad.size(); ++i) {
+        pa->grad[i] += raw->grad[i];
+      }
+    });
+  }
   return Tensor::WrapImpl(out);
 }
 
@@ -426,7 +510,7 @@ Tensor ConcatLastDim(const std::vector<Tensor>& parts) {
   }
   Shape out_shape = s0;
   out_shape.back() = total_last;
-  auto out = NewImpl(out_shape);
+  auto out = NewImpl(out_shape, /*zero=*/false);
   const int64_t rows = LeadingRows(out_shape);
   std::vector<ImplPtr> parents;
   parents.reserve(parts.size());
@@ -445,6 +529,7 @@ Tensor ConcatLastDim(const std::vector<Tensor>& parts) {
     }
   }
   Impl* raw = out.get();
+  if (!AnyRequiresGrad(parents)) return Tensor::WrapImpl(out);
   Register(out, parents,
            [parents, raw, widths = std::move(widths), rows, total_last] {
              for (int64_t r = 0; r < rows; ++r) {
@@ -478,7 +563,7 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
   }
   Shape out_shape = s0;
   out_shape[0] = total_first;
-  auto out = NewImpl(out_shape);
+  auto out = NewImpl(out_shape, /*zero=*/false);
   std::vector<ImplPtr> parents;
   size_t offset = 0;
   for (const Tensor& p : parts) {
@@ -488,6 +573,7 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
     offset += p.impl()->data.size();
   }
   Impl* raw = out.get();
+  if (!AnyRequiresGrad(parents)) return Tensor::WrapImpl(out);
   Register(out, parents, [parents, raw] {
     size_t offset = 0;
     for (const auto& p : parents) {
@@ -509,22 +595,23 @@ Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& indices) {
   for (int64_t idx : indices) {
     APAN_CHECK_MSG(idx >= 0 && idx < n, "GatherRows index out of range");
   }
-  auto out = NewImpl({static_cast<int64_t>(indices.size()), d});
+  auto out = NewImpl({static_cast<int64_t>(indices.size()), d}, /*zero=*/false);
   const ImplPtr pa = a.impl();
   for (size_t r = 0; r < indices.size(); ++r) {
     std::copy_n(pa->data.data() + indices[r] * d, d,
                 out->data.data() + static_cast<int64_t>(r) * d);
   }
   Impl* raw = out.get();
-  Register(out, {pa}, [pa, raw, indices, d] {
-    if (!pa->requires_grad) return;
-    pa->EnsureGrad();
-    for (size_t r = 0; r < indices.size(); ++r) {
-      const float* src = raw->grad.data() + static_cast<int64_t>(r) * d;
-      float* dst = pa->grad.data() + indices[r] * d;
-      for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
-    }
-  });
+  if (Rec(pa)) {
+    Register(out, {pa}, [pa, raw, indices, d] {
+      pa->EnsureGrad();
+      for (size_t r = 0; r < indices.size(); ++r) {
+        const float* src = raw->grad.data() + static_cast<int64_t>(r) * d;
+        float* dst = pa->grad.data() + indices[r] * d;
+        for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+      }
+    });
+  }
   return Tensor::WrapImpl(out);
 }
 
@@ -534,22 +621,23 @@ Tensor SliceCols(const Tensor& a, int64_t col_begin, int64_t col_end) {
   APAN_CHECK_MSG(0 <= col_begin && col_begin < col_end && col_end <= m,
                  "SliceCols range invalid");
   const int64_t w = col_end - col_begin;
-  auto out = NewImpl({n, w});
+  auto out = NewImpl({n, w}, /*zero=*/false);
   const ImplPtr pa = a.impl();
   for (int64_t i = 0; i < n; ++i) {
     std::copy_n(pa->data.data() + i * m + col_begin, w,
                 out->data.data() + i * w);
   }
   Impl* raw = out.get();
-  Register(out, {pa}, [pa, raw, n, m, w, col_begin] {
-    if (!pa->requires_grad) return;
-    pa->EnsureGrad();
-    for (int64_t i = 0; i < n; ++i) {
-      const float* src = raw->grad.data() + i * w;
-      float* dst = pa->grad.data() + i * m + col_begin;
-      for (int64_t j = 0; j < w; ++j) dst[j] += src[j];
-    }
-  });
+  if (Rec(pa)) {
+    Register(out, {pa}, [pa, raw, n, m, w, col_begin] {
+      pa->EnsureGrad();
+      for (int64_t i = 0; i < n; ++i) {
+        const float* src = raw->grad.data() + i * w;
+        float* dst = pa->grad.data() + i * m + col_begin;
+        for (int64_t j = 0; j < w; ++j) dst[j] += src[j];
+      }
+    });
+  }
   return Tensor::WrapImpl(out);
 }
 
@@ -559,34 +647,23 @@ Tensor SoftmaxLastDim(const Tensor& a) {
   APAN_CHECK(a.defined());
   const int64_t d = LastDim(a.shape());
   const int64_t rows = LeadingRows(a.shape());
-  auto out = NewImpl(a.shape());
+  auto out = NewImpl(a.shape(), /*zero=*/false);
   const ImplPtr pa = a.impl();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* x = pa->data.data() + r * d;
-    float* y = out->data.data() + r * d;
-    float mx = x[0];
-    for (int64_t j = 1; j < d; ++j) mx = std::max(mx, x[j]);
-    float sum = 0.0f;
-    for (int64_t j = 0; j < d; ++j) {
-      y[j] = std::exp(x[j] - mx);
-      sum += y[j];
-    }
-    const float inv = 1.0f / sum;
-    for (int64_t j = 0; j < d; ++j) y[j] *= inv;
-  }
+  kernels::SoftmaxLastDim(pa->data.data(), out->data.data(), rows, d);
   Impl* raw = out.get();
-  Register(out, {pa}, [pa, raw, rows, d] {
-    if (!pa->requires_grad) return;
-    pa->EnsureGrad();
-    for (int64_t r = 0; r < rows; ++r) {
-      const float* y = raw->data.data() + r * d;
-      const float* g = raw->grad.data() + r * d;
-      float dot = 0.0f;
-      for (int64_t j = 0; j < d; ++j) dot += g[j] * y[j];
-      float* dx = pa->grad.data() + r * d;
-      for (int64_t j = 0; j < d; ++j) dx[j] += (g[j] - dot) * y[j];
-    }
-  });
+  if (Rec(pa)) {
+    Register(out, {pa}, [pa, raw, rows, d] {
+      pa->EnsureGrad();
+      for (int64_t r = 0; r < rows; ++r) {
+        const float* y = raw->data.data() + r * d;
+        const float* g = raw->grad.data() + r * d;
+        float dot = 0.0f;
+        for (int64_t j = 0; j < d; ++j) dot += g[j] * y[j];
+        float* dx = pa->grad.data() + r * d;
+        for (int64_t j = 0; j < d; ++j) dx[j] += (g[j] - dot) * y[j];
+      }
+    });
+  }
   return Tensor::WrapImpl(out);
 }
 
@@ -594,7 +671,7 @@ Tensor LogSoftmaxLastDim(const Tensor& a) {
   APAN_CHECK(a.defined());
   const int64_t d = LastDim(a.shape());
   const int64_t rows = LeadingRows(a.shape());
-  auto out = NewImpl(a.shape());
+  auto out = NewImpl(a.shape(), /*zero=*/false);
   const ImplPtr pa = a.impl();
   for (int64_t r = 0; r < rows; ++r) {
     const float* x = pa->data.data() + r * d;
@@ -607,20 +684,21 @@ Tensor LogSoftmaxLastDim(const Tensor& a) {
     for (int64_t j = 0; j < d; ++j) y[j] = x[j] - lse;
   }
   Impl* raw = out.get();
-  Register(out, {pa}, [pa, raw, rows, d] {
-    if (!pa->requires_grad) return;
-    pa->EnsureGrad();
-    for (int64_t r = 0; r < rows; ++r) {
-      const float* y = raw->data.data() + r * d;
-      const float* g = raw->grad.data() + r * d;
-      float gsum = 0.0f;
-      for (int64_t j = 0; j < d; ++j) gsum += g[j];
-      float* dx = pa->grad.data() + r * d;
-      for (int64_t j = 0; j < d; ++j) {
-        dx[j] += g[j] - std::exp(y[j]) * gsum;
+  if (Rec(pa)) {
+    Register(out, {pa}, [pa, raw, rows, d] {
+      pa->EnsureGrad();
+      for (int64_t r = 0; r < rows; ++r) {
+        const float* y = raw->data.data() + r * d;
+        const float* g = raw->grad.data() + r * d;
+        float gsum = 0.0f;
+        for (int64_t j = 0; j < d; ++j) gsum += g[j];
+        float* dx = pa->grad.data() + r * d;
+        for (int64_t j = 0; j < d; ++j) {
+          dx[j] += g[j] - std::exp(y[j]) * gsum;
+        }
       }
-    }
-  });
+    });
+  }
   return Tensor::WrapImpl(out);
 }
 
@@ -628,44 +706,37 @@ Tensor RowNormalize(const Tensor& a, float eps) {
   APAN_CHECK(a.defined());
   const int64_t d = LastDim(a.shape());
   const int64_t rows = LeadingRows(a.shape());
-  auto out = NewImpl(a.shape());
+  auto out = NewImpl(a.shape(), /*zero=*/false);
   const ImplPtr pa = a.impl();
-  std::vector<float> inv_sigma(static_cast<size_t>(rows));
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* x = pa->data.data() + r * d;
-    float mu = 0.0f;
-    for (int64_t j = 0; j < d; ++j) mu += x[j];
-    mu /= static_cast<float>(d);
-    float var = 0.0f;
-    for (int64_t j = 0; j < d; ++j) var += (x[j] - mu) * (x[j] - mu);
-    var /= static_cast<float>(d);
-    const float inv = 1.0f / std::sqrt(var + eps);
-    inv_sigma[static_cast<size_t>(r)] = inv;
-    float* y = out->data.data() + r * d;
-    for (int64_t j = 0; j < d; ++j) y[j] = (x[j] - mu) * inv;
-  }
+  const bool recording = Rec(pa);
+  // The backward pass needs 1/sigma per row; skip materializing it in
+  // inference mode.
+  std::vector<float> inv_sigma(recording ? static_cast<size_t>(rows) : 0);
+  kernels::RowNormalize(pa->data.data(), out->data.data(), rows, d, eps,
+                        recording ? inv_sigma.data() : nullptr);
   Impl* raw = out.get();
-  Register(out, {pa},
-           [pa, raw, rows, d, inv_sigma = std::move(inv_sigma)] {
-             if (!pa->requires_grad) return;
-             pa->EnsureGrad();
-             for (int64_t r = 0; r < rows; ++r) {
-               const float* y = raw->data.data() + r * d;
-               const float* g = raw->grad.data() + r * d;
-               float g_mean = 0.0f, gy_mean = 0.0f;
-               for (int64_t j = 0; j < d; ++j) {
-                 g_mean += g[j];
-                 gy_mean += g[j] * y[j];
+  if (recording) {
+    Register(out, {pa},
+             [pa, raw, rows, d, inv_sigma = std::move(inv_sigma)] {
+               pa->EnsureGrad();
+               for (int64_t r = 0; r < rows; ++r) {
+                 const float* y = raw->data.data() + r * d;
+                 const float* g = raw->grad.data() + r * d;
+                 float g_mean = 0.0f, gy_mean = 0.0f;
+                 for (int64_t j = 0; j < d; ++j) {
+                   g_mean += g[j];
+                   gy_mean += g[j] * y[j];
+                 }
+                 g_mean /= static_cast<float>(d);
+                 gy_mean /= static_cast<float>(d);
+                 const float inv = inv_sigma[static_cast<size_t>(r)];
+                 float* dx = pa->grad.data() + r * d;
+                 for (int64_t j = 0; j < d; ++j) {
+                   dx[j] += inv * (g[j] - g_mean - y[j] * gy_mean);
+                 }
                }
-               g_mean /= static_cast<float>(d);
-               gy_mean /= static_cast<float>(d);
-               const float inv = inv_sigma[static_cast<size_t>(r)];
-               float* dx = pa->grad.data() + r * d;
-               for (int64_t j = 0; j < d; ++j) {
-                 dx[j] += inv * (g[j] - g_mean - y[j] * gy_mean);
-               }
-             }
-           });
+             });
+  }
   return Tensor::WrapImpl(out);
 }
 
@@ -674,7 +745,7 @@ Tensor Dropout(const Tensor& a, float p, bool training, Rng* rng) {
   APAN_CHECK_MSG(p >= 0.0f && p < 1.0f, "dropout probability out of range");
   if (!training || p == 0.0f) return a;
   APAN_CHECK(rng != nullptr);
-  auto out = NewImpl(a.shape());
+  auto out = NewImpl(a.shape(), /*zero=*/false);
   const ImplPtr pa = a.impl();
   const size_t n = pa->data.size();
   const float scale = 1.0f / (1.0f - p);
@@ -684,11 +755,12 @@ Tensor Dropout(const Tensor& a, float p, bool training, Rng* rng) {
     out->data[i] = pa->data[i] * mask[i];
   }
   Impl* raw = out.get();
-  Register(out, {pa}, [pa, raw, mask = std::move(mask), n] {
-    if (!pa->requires_grad) return;
-    pa->EnsureGrad();
-    for (size_t i = 0; i < n; ++i) pa->grad[i] += raw->grad[i] * mask[i];
-  });
+  if (Rec(pa)) {
+    Register(out, {pa}, [pa, raw, mask = std::move(mask), n] {
+      pa->EnsureGrad();
+      for (size_t i = 0; i < n; ++i) pa->grad[i] += raw->grad[i] * mask[i];
+    });
+  }
   return Tensor::WrapImpl(out);
 }
 
@@ -696,18 +768,19 @@ Tensor Dropout(const Tensor& a, float p, bool training, Rng* rng) {
 
 Tensor SumAll(const Tensor& a) {
   APAN_CHECK(a.defined());
-  auto out = NewImpl({1});
+  auto out = NewImpl({1}, /*zero=*/false);
   const ImplPtr pa = a.impl();
   float s = 0.0f;
   for (float v : pa->data) s += v;
   out->data[0] = s;
   Impl* raw = out.get();
-  Register(out, {pa}, [pa, raw] {
-    if (!pa->requires_grad) return;
-    pa->EnsureGrad();
-    const float g = raw->grad[0];
-    for (auto& dv : pa->grad) dv += g;
-  });
+  if (Rec(pa)) {
+    Register(out, {pa}, [pa, raw] {
+      pa->EnsureGrad();
+      const float g = raw->grad[0];
+      for (auto& dv : pa->grad) dv += g;
+    });
+  }
   return Tensor::WrapImpl(out);
 }
 
@@ -732,17 +805,18 @@ Tensor MeanDim1(const Tensor& a) {
     for (int64_t j = 0; j < d; ++j) y[j] *= inv;
   }
   Impl* raw = out.get();
-  Register(out, {pa}, [pa, raw, b, m, d, inv] {
-    if (!pa->requires_grad) return;
-    pa->EnsureGrad();
-    for (int64_t t = 0; t < b; ++t) {
-      const float* g = raw->grad.data() + t * d;
-      for (int64_t i = 0; i < m; ++i) {
-        float* dx = pa->grad.data() + (t * m + i) * d;
-        for (int64_t j = 0; j < d; ++j) dx[j] += g[j] * inv;
+  if (Rec(pa)) {
+    Register(out, {pa}, [pa, raw, b, m, d, inv] {
+      pa->EnsureGrad();
+      for (int64_t t = 0; t < b; ++t) {
+        const float* g = raw->grad.data() + t * d;
+        for (int64_t i = 0; i < m; ++i) {
+          float* dx = pa->grad.data() + (t * m + i) * d;
+          for (int64_t j = 0; j < d; ++j) dx[j] += g[j] * inv;
+        }
       }
-    }
-  });
+    });
+  }
   return Tensor::WrapImpl(out);
 }
 
@@ -751,17 +825,15 @@ Tensor RowwiseDot(const Tensor& a, const Tensor& b) {
   APAN_CHECK_MSG(a.rank() == 2 && a.shape() == b.shape(),
                  "RowwiseDot expects equal rank-2 shapes");
   const int64_t n = a.dim(0), d = a.dim(1);
-  auto out = NewImpl({n, 1});
+  auto out = NewImpl({n, 1}, /*zero=*/false);
   const ImplPtr pa = a.impl();
   const ImplPtr pb = b.impl();
   for (int64_t i = 0; i < n; ++i) {
-    const float* x = pa->data.data() + i * d;
-    const float* y = pb->data.data() + i * d;
-    float s = 0.0f;
-    for (int64_t j = 0; j < d; ++j) s += x[j] * y[j];
-    out->data[static_cast<size_t>(i)] = s;
+    out->data[static_cast<size_t>(i)] = kernels::Dot(
+        pa->data.data() + i * d, pb->data.data() + i * d, d);
   }
   Impl* raw = out.get();
+  if (!Rec(pa, pb)) return Tensor::WrapImpl(out);
   Register(out, {pa, pb}, [pa, pb, raw, n, d] {
     for (int64_t i = 0; i < n; ++i) {
       const float g = raw->grad[static_cast<size_t>(i)];
@@ -790,7 +862,7 @@ Tensor BceWithLogits(const Tensor& logits,
   APAN_CHECK(logits.defined());
   const size_t n = static_cast<size_t>(logits.numel());
   APAN_CHECK_MSG(targets.size() == n, "BceWithLogits target size mismatch");
-  auto out = NewImpl({1});
+  auto out = NewImpl({1}, /*zero=*/false);
   const ImplPtr pl = logits.impl();
   float loss = 0.0f;
   for (size_t i = 0; i < n; ++i) {
@@ -801,6 +873,7 @@ Tensor BceWithLogits(const Tensor& logits,
   }
   out->data[0] = loss / static_cast<float>(n);
   Impl* raw = out.get();
+  if (!Rec(pl)) return Tensor::WrapImpl(out);
   Register(out, {pl}, [pl, raw, targets, n] {
     if (!pl->requires_grad) return;
     pl->EnsureGrad();
@@ -825,7 +898,7 @@ Tensor GaussianKl(const Tensor& mu, const Tensor& logvar) {
   APAN_CHECK(mu.defined() && logvar.defined());
   APAN_CHECK_MSG(mu.shape() == logvar.shape(), "GaussianKl shape mismatch");
   const int64_t n = mu.dim(0);
-  auto out = NewImpl({1});
+  auto out = NewImpl({1}, /*zero=*/false);
   const ImplPtr pm = mu.impl();
   const ImplPtr pv = logvar.impl();
   float kl = 0.0f;
@@ -836,6 +909,7 @@ Tensor GaussianKl(const Tensor& mu, const Tensor& logvar) {
   }
   out->data[0] = kl / static_cast<float>(n);
   Impl* raw = out.get();
+  if (!Rec(pm, pv)) return Tensor::WrapImpl(out);
   Register(out, {pm, pv}, [pm, pv, raw, n] {
     const float g = raw->grad[0] / static_cast<float>(n);
     if (pm->requires_grad) {

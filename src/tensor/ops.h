@@ -43,6 +43,10 @@ Tensor Neg(const Tensor& a);
 // ---- Activations -----------------------------------------------------------
 
 Tensor Relu(const Tensor& a);
+/// \brief Fused y = max(a + bias, 0): the Linear-plus-ReLU epilogue in one
+/// pass (one of the serve hot-path kernels). `bias` must be rank-1 over
+/// the last dimension of `a`. Bitwise-identical to Relu(Add(a, bias)).
+Tensor AddBiasRelu(const Tensor& a, const Tensor& bias);
 /// max(x, slope*x) with slope in (0, 1); GAT's attention nonlinearity.
 Tensor LeakyRelu(const Tensor& a, float slope = 0.2f);
 Tensor Sigmoid(const Tensor& a);
@@ -65,6 +69,12 @@ Tensor Transpose2D(const Tensor& a);
 Tensor Permute(const Tensor& a, const std::vector<size_t>& perm);
 /// Reinterprets the buffer with a new shape of equal element count.
 Tensor Reshape(const Tensor& a, Shape new_shape);
+
+/// \brief Raw output buffer for fused inference paths: zeroed (or, with
+/// zero=false, content-unspecified — the caller overwrites every element)
+/// and drawn from the active TensorArena when inference mode is on.
+/// Never carries autograd state.
+Tensor ForwardBuffer(Shape shape, bool zero = true);
 
 // ---- Structure -------------------------------------------------------------
 

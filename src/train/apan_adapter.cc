@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "tensor/arena.h"
 #include "tensor/ops.h"
 
 namespace apan {
@@ -49,6 +50,11 @@ ApanLinkModel::Encoded ApanLinkModel::Encode(const EventBatch& batch,
 }
 
 TemporalModel::LinkScores ApanLinkModel::ScoreLinks(const EventBatch& batch) {
+  // Inference-mode scoring (the fig6 serve path) draws every op output
+  // from the thread's arena; in training mode the scope is inert. The
+  // returned logits stay valid after the scope closes — a pooled tensor
+  // is only recycled once the caller drops it (use_count guard).
+  tensor::ArenaScope arena_scope;
   Encoded enc = Encode(batch, /*with_negatives=*/true);
   std::vector<int64_t> src_rows, dst_rows, neg_rows;
   src_rows.reserve(batch.size());
@@ -84,6 +90,7 @@ TemporalModel::EndpointEmbeddings ApanLinkModel::EmbedEndpoints(
 
 Status ApanLinkModel::Consume(const EventBatch& batch) {
   if (batch.size() == 0) return Status::OK();
+  tensor::ArenaScope arena_scope;
   // The embeddings written into state and mails are always recomputed in
   // eval mode: reusing the training-mode forward would bake dropout noise
   // into the mailbox and slow the bootstrap.

@@ -63,6 +63,8 @@ struct ScoredSplit {
   std::vector<int> labels;
   double total_score_millis = 0.0;
   size_t num_batches = 0;
+  /// Per-batch ScoreLinks wall times (for the p50/p99 latency report).
+  std::vector<double> batch_millis;
 };
 
 /// Snapshot / restore of model parameter values (early stopping).
@@ -188,6 +190,8 @@ Result<LinkReport> LinkTrainer::Run(TemporalModel* model,
   report.test = eval.test;
   report.mean_inference_millis_per_batch =
       eval.mean_inference_millis_per_batch;
+  report.inference_p50_millis = eval.inference_p50_millis;
+  report.inference_p99_millis = eval.inference_p99_millis;
   report.sync_graph_queries = eval.sync_graph_queries;
   return report;
 }
@@ -224,7 +228,9 @@ Result<LinkTrainer::EvalResult> LinkTrainer::Evaluate(
                        DrawNegatives(dataset, b, sampler, &neg_rng)};
       Stopwatch watch;
       TemporalModel::LinkScores scores = model->ScoreLinks(batch);
-      scored->total_score_millis += watch.ElapsedMillis();
+      const double millis = watch.ElapsedMillis();
+      scored->total_score_millis += millis;
+      scored->batch_millis.push_back(millis);
       ++scored->num_batches;
       for (size_t i = 0; i < batch.size(); ++i) {
         scored->scores.push_back(
@@ -266,6 +272,13 @@ Result<LinkTrainer::EvalResult> LinkTrainer::Evaluate(
   out.mean_inference_millis_per_batch =
       total_batches > 0 ? total_millis / static_cast<double>(total_batches)
                         : 0.0;
+  {
+    LatencyRecorder latency;
+    for (double ms : val_scored.batch_millis) latency.Record(ms);
+    for (double ms : test_scored.batch_millis) latency.Record(ms);
+    out.inference_p50_millis = latency.P50();
+    out.inference_p99_millis = latency.P99();
+  }
   out.sync_graph_queries = model->SyncPathGraphQueries() - queries_before;
   return out;
 }

@@ -51,6 +51,10 @@ struct LinkReport {
   /// Mean milliseconds per evaluation batch spent in ScoreLinks — the
   /// synchronous-path inference latency of Figure 6.
   double mean_inference_millis_per_batch = 0.0;
+  /// p50 / p99 over the same per-batch ScoreLinks times (what
+  /// BENCH_fig6.json tracks across PRs).
+  double inference_p50_millis = 0.0;
+  double inference_p99_millis = 0.0;
   /// Graph queries issued on the synchronous path during evaluation.
   int64_t sync_graph_queries = 0;
 };
@@ -75,6 +79,8 @@ class LinkTrainer {
     SplitMetrics validation;
     SplitMetrics test;
     double mean_inference_millis_per_batch = 0.0;
+    double inference_p50_millis = 0.0;
+    double inference_p99_millis = 0.0;
     int64_t sync_graph_queries = 0;
   };
   Result<EvalResult> Evaluate(TemporalModel* model,
