@@ -1,0 +1,217 @@
+// Serve-plane metrics: counters, gauges, and log-bucketed histograms
+// behind a named registry.
+//
+// Design goals (docs/observability.md):
+//   * hot-path writes are single relaxed atomic RMWs on per-shard cells —
+//     no mutex, no allocation, TSan-clean by construction. A metric is a
+//     *family* of cache-line-padded cells; the serve engines index cells
+//     by shard id so concurrent writers never share a line;
+//   * reads (scrape) aggregate the cells with relaxed loads. Scraping
+//     while writers are active is safe and sees a near-point-in-time
+//     view — exact totals require quiescence (e.g. after Flush), which
+//     is when the benches and the example scrape;
+//   * Histogram replaces util::LatencyRecorder (one quantile
+//     implementation repo-wide): fixed log-scale buckets — 32 sub-buckets
+//     per power of two, so any quantile is exact to within ~3.2% relative
+//     bucket width — instead of the old record-everything vector whose
+//     Quantile() sorted all samples on every call. The NaN-proof clamp
+//     semantics are preserved: q is clamped to [0, 1] and NaN q maps to
+//     the max-side extreme; the empty histogram reports 0 everywhere.
+
+#ifndef APAN_OBS_METRICS_H_
+#define APAN_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace apan {
+namespace obs {
+
+namespace internal {
+/// One padded atomic so adjacent cells of a family never share a cache
+/// line (the whole point of per-shard cells).
+struct alignas(64) PaddedAtomic {
+  std::atomic<int64_t> v{0};
+};
+}  // namespace internal
+
+/// \brief Monotonic counter family. Add is one relaxed fetch_add on the
+/// chosen cell; Value() sums the cells.
+class Counter {
+ public:
+  explicit Counter(int num_cells);
+
+  void Add(int64_t n = 1) { Add(0, n); }
+  void Add(int cell, int64_t n) {
+    cells_[static_cast<size_t>(cell)].v.fetch_add(n,
+                                                  std::memory_order_relaxed);
+  }
+
+  int num_cells() const { return static_cast<int>(cells_.size()); }
+  int64_t CellValue(int cell) const {
+    return cells_[static_cast<size_t>(cell)].v.load(
+        std::memory_order_relaxed);
+  }
+  int64_t Value() const;
+
+ private:
+  std::vector<internal::PaddedAtomic> cells_;
+};
+
+/// \brief Last-value / high-water gauge family. Set overwrites the cell;
+/// UpdateMax ratchets it upward (the queue high-water pattern).
+class Gauge {
+ public:
+  explicit Gauge(int num_cells);
+
+  void Set(int cell, int64_t v) {
+    cells_[static_cast<size_t>(cell)].v.store(v, std::memory_order_relaxed);
+  }
+  void UpdateMax(int cell, int64_t v);
+
+  int num_cells() const { return static_cast<int>(cells_.size()); }
+  int64_t CellValue(int cell) const {
+    return cells_[static_cast<size_t>(cell)].v.load(
+        std::memory_order_relaxed);
+  }
+  /// Sum across cells (per-shard depths -> engine-wide depth).
+  int64_t Sum() const;
+  /// Max across cells (per-shard high-water -> engine-wide high-water).
+  int64_t Max() const;
+
+ private:
+  std::vector<internal::PaddedAtomic> cells_;
+};
+
+/// \brief Fixed-bucket log-scale histogram family for latencies (values
+/// are milliseconds by convention, but any nonnegative double works).
+///
+/// Buckets: 32 linear sub-buckets per power of two over [2^-20, 2^21) ms
+/// (~1 ns to ~35 min), plus an underflow bucket for v <= 2^-20 (including
+/// v <= 0 and NaN values, which clamp to 0) and an overflow bucket.
+/// Record is a handful of relaxed atomic ops (bucket + count + moment
+/// accumulators + rare min/max CAS); Quantile walks the aggregated
+/// buckets and interpolates within the winning bucket, so its error is
+/// bounded by that bucket's width — at most ~3.2% of the value (exactly
+/// BucketBounds(v) wide). Results clamp to the exact observed [min, max].
+class Histogram {
+ public:
+  static constexpr int kSubBuckets = 32;
+  static constexpr int kMinExp = -20;  ///< smallest octave: [2^-20, 2^-19)
+  static constexpr int kMaxExp = 20;   ///< largest octave: [2^20, 2^21)
+  static constexpr int kNumBuckets =
+      (kMaxExp - kMinExp + 1) * kSubBuckets + 2;  // + underflow + overflow
+
+  explicit Histogram(int num_cells);
+
+  void Record(double value) { Record(0, value); }
+  void Record(int cell, double value);
+
+  int num_cells() const { return static_cast<int>(cells_.size()); }
+  uint64_t count() const;
+  /// Sum of recorded values (total milliseconds — the per-stage totals
+  /// the fig10 breakdown reports).
+  double Sum() const;
+  double Mean() const;
+  /// Sample standard deviation (n-1 denominator), 0 for n < 2.
+  double StdDev() const;
+  double Min() const;  ///< exact observed minimum (0 when empty)
+  double Max() const;  ///< exact observed maximum (0 when empty)
+
+  /// \brief q-th quantile by bucket interpolation. `q` is clamped to
+  /// [0, 1]; NaN q maps to 1 (the max-side extreme) — the
+  /// LatencyRecorder clamp contract, preserved. Empty histogram -> 0.
+  double Quantile(double q) const;
+  double P50() const { return Quantile(0.50); }
+  double P99() const { return Quantile(0.99); }
+
+  /// Zeroes all cells. Not atomic with respect to concurrent writers
+  /// (a racing Record may land before or after the wipe); callers reset
+  /// between runs, at quiescence.
+  void Clear();
+
+  /// [lower, upper) of the bucket `value` falls into — the quantile
+  /// error bound at that value (tests assert against it).
+  static void BucketBounds(double value, double* lower, double* upper);
+
+ private:
+  static int BucketIndex(double value);
+  static double BucketLower(int index);
+
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> sumsq{0.0};
+    std::atomic<double> min;
+    std::atomic<double> max;
+    std::array<std::atomic<uint64_t>, kNumBuckets> buckets{};
+    Cell();
+  };
+
+  std::vector<std::unique_ptr<Cell>> cells_;
+};
+
+/// \brief Named metric registry. Get* creates on first use and returns
+/// the same stable handle for the same name afterwards (CHECK-fails on a
+/// cell-count mismatch — one family, one shape). Handles stay valid for
+/// the registry's lifetime; creation is mutex-guarded, the handles
+/// themselves are lock-free.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter* GetCounter(const std::string& name, int num_cells = 1);
+  Gauge* GetGauge(const std::string& name, int num_cells = 1);
+  Histogram* GetHistogram(const std::string& name, int num_cells = 1);
+
+  /// Point-in-time aggregate of every metric (relaxed reads; safe while
+  /// writers are active). Rows are sorted by name.
+  struct CounterRow {
+    std::string name;
+    int64_t total = 0;
+    std::vector<int64_t> cells;
+  };
+  struct GaugeRow {
+    std::string name;
+    int64_t sum = 0;
+    int64_t max = 0;
+    std::vector<int64_t> cells;
+  };
+  struct HistogramRow {
+    std::string name;
+    uint64_t count = 0;
+    double total_ms = 0.0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+  };
+  struct Snapshot {
+    std::vector<CounterRow> counters;
+    std::vector<GaugeRow> gauges;
+    std::vector<HistogramRow> histograms;
+    const CounterRow* FindCounter(const std::string& name) const;
+    const GaugeRow* FindGauge(const std::string& name) const;
+    const HistogramRow* FindHistogram(const std::string& name) const;
+  };
+  Snapshot Scrape() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace apan
+
+#endif  // APAN_OBS_METRICS_H_

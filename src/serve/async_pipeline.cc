@@ -18,6 +18,14 @@ AsyncPipeline::AsyncPipeline(core::ApanModel* model, Options options)
       delay_rng_(options.delay_seed),
       queue_(options.queue_capacity, options.overflow) {
   APAN_CHECK(model != nullptr);
+  if (options_.registry != nullptr) {
+    registry_ = options_.registry;
+  } else {
+    owned_registry_ = std::make_unique<obs::Registry>();
+    registry_ = owned_registry_.get();
+  }
+  sync_latency_ = registry_->GetHistogram("stage.sync");
+  async_latency_ = registry_->GetHistogram("stage.async");
   model_->SetTraining(false);
   worker_ = std::thread([this] { WorkerLoop(); });
 }
@@ -39,6 +47,7 @@ Result<AsyncPipeline::InferenceResult> AsyncPipeline::InferBatch(
   Stopwatch watch;
   {
     // ---- Synchronous link: encoder + decoder over local state only. ----
+    APAN_TRACE_SPAN("sync");
     std::lock_guard<std::mutex> lock(model_mu_);
     tensor::NoGradGuard no_grad;
     // Per-batch arena scope: every op below draws its output from the
@@ -86,7 +95,7 @@ Result<AsyncPipeline::InferenceResult> AsyncPipeline::InferBatch(
     }
   }
   result.sync_millis = watch.ElapsedMillis();
-  sync_latency_.Record(result.sync_millis);
+  sync_latency_->Record(result.sync_millis);
 
   // ---- Hand off to the asynchronous link. ----
   {
@@ -121,6 +130,7 @@ void AsyncPipeline::WorkerLoop() {
     if (!job.has_value()) return;  // queue closed and drained
     Stopwatch watch;
     {
+      APAN_TRACE_SPAN("async");
       std::lock_guard<std::mutex> lock(model_mu_);
       tensor::NoGradGuard no_grad;
       tensor::ArenaScope arena_scope;  // worker-thread pool, reset per job
@@ -143,7 +153,7 @@ void AsyncPipeline::WorkerLoop() {
       const Status append = model_->AppendEvents(job->records);
       APAN_CHECK_MSG(append.ok(), append.ToString());
     }
-    async_latency_.Record(watch.ElapsedMillis());
+    async_latency_->Record(watch.ElapsedMillis());
     {
       std::lock_guard<std::mutex> lock(pending_mu_);
       --pending_;

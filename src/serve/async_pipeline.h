@@ -25,6 +25,8 @@
 #include <vector>
 
 #include "core/apan_model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/bounded_queue.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -44,6 +46,9 @@ class AsyncPipeline {
     /// (out-of-order injection; 0 = perfectly ordered).
     double delay_fraction = 0.0;
     uint64_t delay_seed = 17;
+    /// Metrics land here; null means the pipeline owns a private
+    /// registry (reachable via registry()).
+    obs::Registry* registry = nullptr;
   };
 
   /// `model` must outlive the pipeline and must not be used concurrently
@@ -79,9 +84,12 @@ class AsyncPipeline {
   void Shutdown();
 
   /// Latency of the synchronous path per batch (what the user waits for).
-  const LatencyRecorder& sync_latency() const { return sync_latency_; }
+  const obs::Histogram& sync_latency() const { return *sync_latency_; }
   /// Latency of the asynchronous propagation per batch.
-  const LatencyRecorder& async_latency() const { return async_latency_; }
+  const obs::Histogram& async_latency() const { return *async_latency_; }
+  /// The registry this pipeline's metrics live in (Options::registry, or
+  /// the pipeline-owned default).
+  obs::Registry* registry() const { return registry_; }
   /// Batches fully processed by the worker.
   int64_t batches_propagated() const;
   /// Interaction records whose asynchronous work was lost to an overflow
@@ -112,8 +120,10 @@ class AsyncPipeline {
   bool shutdown_ = false;
   // Deliveries deferred by the out-of-order injector.
   std::vector<core::MailDelivery> held_back_;
-  LatencyRecorder sync_latency_;
-  LatencyRecorder async_latency_;
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Registry* registry_ = nullptr;
+  obs::Histogram* sync_latency_ = nullptr;   ///< "stage.sync"
+  obs::Histogram* async_latency_ = nullptr;  ///< "stage.async"
 };
 
 }  // namespace serve

@@ -1,6 +1,7 @@
 #include "serve/sharded_engine.h"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 
@@ -31,6 +32,49 @@ ShardedEngine::ShardedEngine(core::ApanModel* model, Options options)
                        : static_cast<size_t>(options.num_shards)) {
   APAN_CHECK(model != nullptr);
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  // Resolve metric handles once. Per-shard writers get one cell per
+  // shard; transport lanes get one cell per directed (from, to) pair.
+  stage_metrics_ = options_.stage_metrics;
+  if (options_.registry != nullptr) {
+    registry_ = options_.registry;
+  } else {
+    owned_registry_ = std::make_unique<obs::Registry>();
+    registry_ = owned_registry_.get();
+  }
+  const int ns = options_.num_shards;
+  ins_.batches_ingested = registry_->GetCounter("serve.batches_ingested");
+  ins_.batches_propagated =
+      registry_->GetCounter("serve.batches_propagated", ns);
+  ins_.batches_rejected = registry_->GetCounter("serve.batches_rejected");
+  ins_.mails_routed = registry_->GetCounter("serve.mails_routed", ns);
+  ins_.mails_cross_shard =
+      registry_->GetCounter("serve.mails_cross_shard", ns);
+  ins_.mails_dropped = registry_->GetCounter("serve.mails_dropped");
+  ins_.frontier_requests =
+      registry_->GetCounter("serve.frontier_requests", ns);
+  ins_.frontier_nodes_forwarded =
+      registry_->GetCounter("serve.frontier_nodes_forwarded", ns);
+  ins_.duplicates_dropped =
+      registry_->GetCounter("serve.duplicates_dropped", ns);
+  ins_.events_homed = registry_->GetCounter("serve.events_homed", ns);
+  ins_.job_depth = registry_->GetGauge("serve.job_queue_depth", ns);
+  ins_.job_highwater = registry_->GetGauge("serve.job_queue_highwater", ns);
+  ins_.mail_depth = registry_->GetGauge("serve.mail_queue_depth", ns);
+  ins_.mail_highwater =
+      registry_->GetGauge("serve.mail_queue_highwater", ns);
+  ins_.stage_sync = registry_->GetHistogram("stage.sync");
+  ins_.stage_merge = registry_->GetHistogram("stage.merge", ns);
+  ins_.stage_encode = registry_->GetHistogram("stage.encode", ns);
+  ins_.stage_append = registry_->GetHistogram("stage.append", ns);
+  ins_.stage_sample = registry_->GetHistogram("stage.sample", ns);
+  ins_.stage_frontier_wait =
+      registry_->GetHistogram("stage.frontier_wait", ns);
+  ins_.stage_frontier_serve =
+      registry_->GetHistogram("stage.frontier_serve", ns);
+  ins_.stage_propagate = registry_->GetHistogram("stage.propagate", ns);
+  ins_.stage_route = registry_->GetHistogram("stage.route", ns);
+  ins_.stage_idle = registry_->GetHistogram("stage.idle", ns);
+  ins_.stage_finalize = registry_->GetHistogram("stage.finalize", ns);
   APAN_CHECK_MSG(
       model->config().sampling == core::PropagationSampling::kMostRecent,
       "ShardedEngine requires kMostRecent sampling: kUniform draws from a "
@@ -54,6 +98,15 @@ ShardedEngine::ShardedEngine(core::ApanModel* model, Options options)
         static_cast<size_t>(options_.num_shards), ExpansionKey{-1, 0});
     shards_.push_back(std::move(shard));
   }
+  // Per-lane transport accounting: one counter cell per directed
+  // (from, to) shard pair, attributed inside the transport itself (only
+  // it knows frame sizes and syscall counts).
+  TransportMetrics tmetrics;
+  tmetrics.num_shards = ns;
+  tmetrics.frames = registry_->GetCounter("transport.frames", ns * ns);
+  tmetrics.bytes = registry_->GetCounter("transport.bytes", ns * ns);
+  tmetrics.syscalls = registry_->GetCounter("transport.syscalls", ns * ns);
+  transport_->SetMetrics(tmetrics);
   // The transport comes up before the workers: a worker's very first
   // expansion may Send.
   const Status transport_up = transport_->Start(
@@ -84,6 +137,7 @@ Result<ShardedEngine::InferenceResult> ShardedEngine::InferBatch(
   std::vector<InteractionRecord> records;
   {
     // ---- Synchronous link: shard-parallel encoding over local state. ----
+    APAN_TRACE_SPAN("sync");
     tensor::NoGradGuard no_grad;
     // Caller-thread arena for the decode leg below (gathers, link
     // scoring); each encode task opens its own pool-thread scope. Arena
@@ -133,6 +187,8 @@ Result<ShardedEngine::InferenceResult> ShardedEngine::InferBatch(
                                              &shard_unique, &emb] {
         tensor::NoGradGuard task_no_grad;
         tensor::ArenaScope task_arena;  // pool-thread pool, reset per batch
+        APAN_TRACE_SPAN("encode");
+        Stopwatch encode_watch;
         const auto& nodes = shard_nodes[static_cast<size_t>(s)];
         const auto& unique_rows = shard_unique[static_cast<size_t>(s)];
         core::ApanEncoder::Output out;
@@ -145,6 +201,9 @@ Result<ShardedEngine::InferenceResult> ShardedEngine::InferBatch(
         for (size_t r = 0; r < nodes.size(); ++r) {
           std::copy_n(rows + static_cast<int64_t>(r) * d, d,
                       emb.data() + unique_rows[r] * static_cast<size_t>(d));
+        }
+        if (stage_metrics_) {
+          ins_.stage_encode->Record(s, encode_watch.ElapsedMillis());
         }
       }));
     }
@@ -172,7 +231,7 @@ Result<ShardedEngine::InferenceResult> ShardedEngine::InferBatch(
     }
   }
   result.sync_millis = watch.ElapsedMillis();
-  sync_latency_.Record(result.sync_millis);
+  ins_.stage_sync->Record(result.sync_millis);
 
   // ---- Hand off to the asynchronous link. ----
   if (options_.overflow == OverflowPolicy::kBlock) {
@@ -192,9 +251,8 @@ Result<ShardedEngine::InferenceResult> ShardedEngine::InferBatch(
       any_full |= shard->jobs_in_flight >= options_.queue_capacity;
     }
     if (any_full) {
-      std::lock_guard<std::mutex> lock(flush_mu_);
-      ++stats_.batches_rejected;
-      stats_.mails_dropped += static_cast<int64_t>(events.size());
+      ins_.batches_rejected->Add(1);
+      ins_.mails_dropped->Add(static_cast<int64_t>(events.size()));
       return result;
     }
   }
@@ -216,19 +274,33 @@ Result<ShardedEngine::InferenceResult> ShardedEngine::InferBatch(
     job.records.push_back(std::move(records[i]));
     job.event_index.push_back(static_cast<int64_t>(i));
   }
+  for (int s = 0; s < num_shards; ++s) {
+    const auto homed = jobs[static_cast<size_t>(s)].records.size();
+    if (homed > 0) {
+      ins_.events_homed->Add(s, static_cast<int64_t>(homed));
+    }
+  }
 
   {
     std::lock_guard<std::mutex> lock(flush_mu_);
     inflight_ += 2 * static_cast<int64_t>(num_shards);
     apply_remaining_.emplace(ctx->batch, num_shards);
-    ++stats_.batches_ingested;
   }
+  ins_.batches_ingested->Add(1);
   for (int s = 0; s < num_shards; ++s) {
     Shard& shard = *shards_[static_cast<size_t>(s)];
-    std::lock_guard<std::mutex> lock(shard.mu);
-    ++shard.jobs_in_flight;
-    shard.jobs.push_back(std::move(jobs[static_cast<size_t>(s)]));
-    shard.cv.notify_all();
+    int64_t depth = 0;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      ++shard.jobs_in_flight;
+      shard.jobs.push_back(std::move(jobs[static_cast<size_t>(s)]));
+      depth = static_cast<int64_t>(shard.jobs.size());
+      shard.cv.notify_all();
+    }
+    if (stage_metrics_) {
+      ins_.job_depth->Set(s, depth);
+      ins_.job_highwater->UpdateMax(s, depth);
+    }
   }
   return result;
 }
@@ -239,25 +311,46 @@ void ShardedEngine::WorkerLoop(int shard_id) {
     ShardMessage message;
     BatchJob job;
     enum { kNone, kMessage, kJob } next = kNone;
+    int64_t mail_left = -1;
+    int64_t jobs_left = -1;
     {
       std::unique_lock<std::mutex> lock(shard.mu);
-      shard.cv.wait(lock, [&] {
+      const auto ready = [&] {
         return shard.closed || !shard.mail.empty() || !shard.jobs.empty();
-      });
+      };
+      if (!ready()) {
+        // Only time the wait when the worker actually blocks: on the
+        // busy path (work already queued) the clock reads themselves
+        // would be the dominant cost of a meaningless ~0 sample.
+        if (stage_metrics_) {
+          Stopwatch idle_watch;
+          shard.cv.wait(lock, ready);
+          ins_.stage_idle->Record(shard_id, idle_watch.ElapsedMillis());
+        } else {
+          shard.cv.wait(lock, ready);
+        }
+      }
       // Messages first: applying a finished batch or answering a frontier
       // request is cheap and unblocks other shards; jobs do the expensive
       // sampling.
       if (!shard.mail.empty()) {
         message = std::move(shard.mail.front());
         shard.mail.pop_front();
+        mail_left = static_cast<int64_t>(shard.mail.size());
         next = kMessage;
       } else if (!shard.jobs.empty()) {
         job = std::move(shard.jobs.front());
         shard.jobs.pop_front();
+        jobs_left = static_cast<int64_t>(shard.jobs.size());
         next = kJob;
       } else {
         return;  // closed and fully drained
       }
+    }
+    // Depth gauges refresh outside the lock (see EnqueueMessage).
+    if (stage_metrics_) {
+      if (mail_left >= 0) ins_.mail_depth->Set(shard_id, mail_left);
+      if (jobs_left >= 0) ins_.job_depth->Set(shard_id, jobs_left);
     }
     if (next == kMessage) {
       DispatchMessage(shard_id, std::move(message));
@@ -282,7 +375,7 @@ void ShardedEngine::DispatchMessage(int shard_id, ShardMessage message) {
     APAN_CHECK_MSG(
         ExpansionKey(response.batch, response.hop) <= shard.last_wait,
         "frontier response with no expansion awaiting it");
-    CountDuplicateDropped();
+    CountDuplicateDropped(shard_id);
   }
 }
 
@@ -305,10 +398,18 @@ void ShardedEngine::ProcessJob(int shard_id, BatchJob job) {
   // (advancing the per-shard watermark), and every slice read below is
   // versioned by the batch's base ordinal — sampling sees exactly the
   // events of batches 0..b-1 no matter how far ahead any shard has run.
-  const Status append = graph_.AppendBatchSlice(
-      shard_id, batch, job.ctx->events, job.ctx->base_ordinal);
-  APAN_CHECK_MSG(append.ok(), append.ToString());
-  // The append may unblock foreign expansions waiting on this slice.
+  {
+    APAN_TRACE_SPAN("append");
+    Stopwatch append_watch;
+    const Status append = graph_.AppendBatchSlice(
+        shard_id, batch, job.ctx->events, job.ctx->base_ordinal);
+    APAN_CHECK_MSG(append.ok(), append.ToString());
+    if (stage_metrics_) {
+      ins_.stage_append->Record(shard_id, append_watch.ElapsedMillis());
+    }
+  }
+  // The append may unblock foreign expansions waiting on this slice
+  // (their answers self-report as stage.frontier_serve).
   ServeDeferredRequests(shard_id);
 
   // φ + N over this shard's home events; hops whose frontier nodes are
@@ -318,18 +419,47 @@ void ShardedEngine::ProcessJob(int shard_id, BatchJob job) {
   // are thread-confined: anything that enters a ShardPartial (read by
   // OTHER shards' workers) must be copied into plain vectors, never
   // handed over as a pooled tensor.
-  tensor::ArenaScope arena_scope;
+  std::optional<tensor::ArenaScope> arena_scope;
+  arena_scope.emplace();
   std::vector<std::vector<graph::HopEntry>> hops = ExpandKHop(shard_id, job);
-  PartialPropagation propagation =
-      model_->propagator().ComputePartialFromHops(job.records,
-                                                  job.event_index, hops);
+  PartialPropagation propagation;
+  {
+    APAN_TRACE_SPAN("propagate");
+    Stopwatch propagate_watch;
+    propagation = model_->propagator().ComputePartialFromHops(
+        job.records, job.event_index, hops);
+    if (stage_metrics_) {
+      ins_.stage_propagate->Record(shard_id,
+                                   propagate_watch.ElapsedMillis());
+    }
+  }
   RouteMail(shard_id, job, std::move(propagation));
 
+  // Batch teardown is real per-batch work — freeing the nested hop
+  // vectors, the arena's recycle pass, and (for the last shard holding
+  // the context) the batch's event storage. It scales with batch size,
+  // so it gets its own stage instead of hiding in the attribution
+  // residue of the fig10 breakdown.
+  APAN_TRACE_SPAN("finalize");
+  Stopwatch finalize_watch;
+  hops.clear();
+  hops.shrink_to_fit();
+  arena_scope.reset();
+  job.records.clear();
+  job.records.shrink_to_fit();
+  job.event_index.clear();
+  job.event_index.shrink_to_fit();
+  job.ctx.reset();
   Shard& shard = *shards_[static_cast<size_t>(shard_id)];
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     --shard.jobs_in_flight;
     shard.cv.notify_all();  // wake back-pressured InferBatch callers
+  }
+  if (stage_metrics_) {
+    // Recorded before the flush notify so a scrape gated on Flush() sees
+    // every stage sample of the batches it waited for.
+    ins_.stage_finalize->Record(shard_id, finalize_watch.ElapsedMillis());
   }
   {
     std::lock_guard<std::mutex> lock(flush_mu_);
@@ -339,10 +469,13 @@ void ShardedEngine::ProcessJob(int shard_id, BatchJob job) {
 
 std::vector<std::vector<graph::HopEntry>> ShardedEngine::ExpandKHop(
     int shard_id, const BatchJob& job) {
+  APAN_TRACE_SPAN("expand");
+  Stopwatch expand_watch;
   std::vector<std::vector<graph::HopEntry>> hops(job.records.size());
   const int32_t num_hops = model_->config().propagation_hops;
   const int64_t fanout = model_->config().sampled_neighbors;
   if (num_hops <= 0 || job.records.empty()) return hops;
+  double wait_ms = 0.0;  // inside WaitForFrontierResponses, excluded below
   const int num_shards = options_.num_shards;
   const int64_t ordinal_limit = job.ctx->base_ordinal;
 
@@ -406,8 +539,8 @@ std::vector<std::vector<graph::HopEntry>> ShardedEngine::ExpandKHop(
                                                   ordinal_limit);
     }
     if (awaiting > 0) {
-      WaitForFrontierResponses(shard_id, job.ctx->batch, hop, awaiting_from,
-                               sampled);
+      wait_ms += WaitForFrontierResponses(shard_id, job.ctx->batch, hop,
+                                          awaiting_from, sampled);
     }
 
     // Reassemble in slot order and build the next frontier.
@@ -424,28 +557,42 @@ std::vector<std::vector<graph::HopEntry>> ShardedEngine::ExpandKHop(
   }
 
   if (requests_sent > 0) {
-    std::lock_guard<std::mutex> lock(flush_mu_);
-    stats_.frontier_requests += requests_sent;
-    stats_.frontier_nodes_forwarded += nodes_forwarded;
+    ins_.frontier_requests->Add(shard_id, requests_sent);
+    ins_.frontier_nodes_forwarded->Add(shard_id, nodes_forwarded);
+  }
+  if (stage_metrics_) {
+    // stage.sample is this shard's own expansion work; the time spent
+    // blocked on foreign owners is stage.frontier_wait (recorded inside
+    // the wait, net of interleaved message handling).
+    ins_.stage_sample->Record(
+        shard_id, std::max(0.0, expand_watch.ElapsedMillis() - wait_ms));
   }
   return hops;
 }
 
-void ShardedEngine::WaitForFrontierResponses(
+double ShardedEngine::WaitForFrontierResponses(
     int shard_id, int64_t batch, int32_t hop,
     std::vector<char>& awaiting_from,
     std::vector<std::vector<graph::TemporalNeighbor>>& sampled) {
+  APAN_TRACE_SPAN("frontier_wait");
+  Stopwatch wait_watch;
+  double nested_ms = 0.0;  // interleaved message handling, not waiting
   Shard& shard = *shards_[static_cast<size_t>(shard_id)];
   const ExpansionKey current(batch, hop);
   int awaiting = 0;
   for (const char pending : awaiting_from) awaiting += pending != 0;
   while (awaiting > 0) {
     ShardMessage message;
+    int64_t mail_left = 0;
     {
       std::unique_lock<std::mutex> lock(shard.mu);
       shard.cv.wait(lock, [&] { return !shard.mail.empty(); });
       message = std::move(shard.mail.front());
       shard.mail.pop_front();
+      mail_left = static_cast<int64_t>(shard.mail.size());
+    }
+    if (stage_metrics_) {
+      ins_.mail_depth->Set(shard_id, mail_left);
     }
     if (auto* response = std::get_if<FrontierResponse>(&message)) {
       const ExpansionKey key(response->batch, response->hop);
@@ -454,7 +601,7 @@ void ShardedEngine::WaitForFrontierResponses(
             response->from_shard)];
         if (pending == 0) {
           // Transport re-delivery of a responder we already consumed.
-          CountDuplicateDropped();
+          CountDuplicateDropped(shard_id);
           continue;
         }
         pending = 0;
@@ -474,16 +621,27 @@ void ShardedEngine::WaitForFrontierResponses(
         // not been sent); an earlier key is a re-delivered duplicate.
         APAN_CHECK_MSG(key < current,
                        "frontier response for a future expansion");
-        CountDuplicateDropped();
+        CountDuplicateDropped(shard_id);
       }
     } else {
       // Serving requests (and applying finished batches) while blocked is
       // what keeps the frontier protocol deadlock-free: the shard at the
       // minimum outstanding batch can always be answered by everyone.
+      // Their cost is the handled stage's (merge / frontier_serve), not
+      // this wait's — subtract it so the stage decomposition stays
+      // disjoint.
+      Stopwatch nested_watch;
       DispatchMessage(shard_id, std::move(message));
+      nested_ms += nested_watch.ElapsedMillis();
     }
   }
   shard.last_wait = current;
+  const double total_ms = wait_watch.ElapsedMillis();
+  if (stage_metrics_) {
+    ins_.stage_frontier_wait->Record(shard_id,
+                                     std::max(0.0, total_ms - nested_ms));
+  }
+  return total_ms;
 }
 
 void ShardedEngine::HandleFrontierRequest(int shard_id,
@@ -497,7 +655,7 @@ void ShardedEngine::HandleFrontierRequest(int shard_id,
       shard.accepted_request[static_cast<size_t>(request.from_shard)];
   const ExpansionKey key(request.batch, request.hop);
   if (key <= watermark) {
-    CountDuplicateDropped();
+    CountDuplicateDropped(shard_id);
     return;
   }
   watermark = key;
@@ -512,6 +670,8 @@ void ShardedEngine::HandleFrontierRequest(int shard_id,
 
 void ShardedEngine::AnswerFrontierRequest(int shard_id,
                                           const FrontierRequest& request) {
+  APAN_TRACE_SPAN("frontier_answer");
+  Stopwatch serve_watch;
   FrontierResponse response;
   response.batch = request.batch;
   response.hop = request.hop;
@@ -524,6 +684,9 @@ void ShardedEngine::AnswerFrontierRequest(int shard_id,
         item.node, item.before_time, request.fanout, request.ordinal_limit));
   }
   SendMessage(shard_id, request.from_shard, ShardMessage(std::move(response)));
+  if (stage_metrics_) {
+    ins_.stage_frontier_serve->Record(shard_id, serve_watch.ElapsedMillis());
+  }
 }
 
 void ShardedEngine::ServeDeferredRequests(int shard_id) {
@@ -570,18 +733,30 @@ void ShardedEngine::EnqueueMessage(int to_shard, ShardMessage message) {
   APAN_CHECK_MSG(valid_shard(from_shard),
                  "transport delivered a message with an out-of-range sender");
   Shard& target = *shards_[static_cast<size_t>(to_shard)];
-  std::lock_guard<std::mutex> lock(target.mu);
-  target.mail.push_back(std::move(message));
-  target.cv.notify_all();
+  int64_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(target.mu);
+    target.mail.push_back(std::move(message));
+    depth = static_cast<int64_t>(target.mail.size());
+    target.cv.notify_all();
+  }
+  // Gauge updates happen after the unlock: lengthening the mail critical
+  // section is the one way a relaxed-atomic metric could contend with the
+  // serving path itself.
+  if (stage_metrics_) {
+    ins_.mail_depth->Set(to_shard, depth);
+    ins_.mail_highwater->UpdateMax(to_shard, depth);
+  }
 }
 
-void ShardedEngine::CountDuplicateDropped() {
-  std::lock_guard<std::mutex> lock(flush_mu_);
-  ++stats_.duplicates_dropped;
+void ShardedEngine::CountDuplicateDropped(int shard_id) {
+  ins_.duplicates_dropped->Add(shard_id, 1);
 }
 
 void ShardedEngine::RouteMail(int from_shard, BatchJob& job,
                               PartialPropagation&& propagation) {
+  APAN_TRACE_SPAN("route");
+  Stopwatch route_watch;
   const int num_shards = options_.num_shards;
   std::vector<ShardPartial> outbound(static_cast<size_t>(num_shards));
   for (int t = 0; t < num_shards; ++t) {
@@ -621,9 +796,11 @@ void ShardedEngine::RouteMail(int from_shard, BatchJob& job,
     if (t != from_shard) cross_shard += mails;
     SendMessage(from_shard, t, ShardMessage(std::move(out)));
   }
-  std::lock_guard<std::mutex> lock(flush_mu_);
-  stats_.mails_routed += routed;
-  stats_.mails_cross_shard += cross_shard;
+  ins_.mails_routed->Add(from_shard, routed);
+  ins_.mails_cross_shard->Add(from_shard, cross_shard);
+  if (stage_metrics_) {
+    ins_.stage_route->Record(from_shard, route_watch.ElapsedMillis());
+  }
 }
 
 void ShardedEngine::OnMail(int shard_id, ShardPartial partial) {
@@ -633,13 +810,13 @@ void ShardedEngine::OnMail(int shard_id, ShardPartial partial) {
   // re-delivery — applying it twice would double mail and wedge the
   // sender-count completion barrier.
   if (partial.batch < shard.next_merge) {
-    CountDuplicateDropped();
+    CountDuplicateDropped(shard_id);
     return;
   }
   std::vector<ShardPartial>& parts = shard.pending[partial.batch];
   for (const ShardPartial& existing : parts) {
     if (existing.from_shard == partial.from_shard) {
-      CountDuplicateDropped();
+      CountDuplicateDropped(shard_id);
       return;
     }
   }
@@ -662,6 +839,7 @@ void ShardedEngine::OnMail(int shard_id, ShardPartial partial) {
 
 void ShardedEngine::ApplyMergedBatch(int shard_id,
                                      std::vector<ShardPartial> parts) {
+  APAN_TRACE_SPAN("merge");
   Stopwatch watch;
   // Deterministic merge order: contributions sorted by sender shard.
   std::sort(parts.begin(), parts.end(),
@@ -741,7 +919,19 @@ void ShardedEngine::ApplyMergedBatch(int shard_id,
     shard.store->DeliverBatch(std::move(hop0));
     shard.store->DeliverBatch(std::move(reduced));
   }
-  async_latency_.Record(watch.ElapsedMillis());
+  // Teardown inside the watch: `updates` still owns two z vectors per
+  // event (SetLastEmbedding copies), and freeing them is a real,
+  // batch-sized slice of the merge — dropping it after the record would
+  // leak it into the fig10 attribution residue.
+  updates.clear();
+  updates.shrink_to_fit();
+  tagged.clear();
+  tagged.shrink_to_fit();
+  partials.clear();
+  partials.shrink_to_fit();
+  parts.clear();
+  parts.shrink_to_fit();
+  ins_.stage_merge->Record(shard_id, watch.ElapsedMillis());
 
   std::lock_guard<std::mutex> lock(flush_mu_);
   auto remaining = apply_remaining_.find(batch);
@@ -749,7 +939,7 @@ void ShardedEngine::ApplyMergedBatch(int shard_id,
                  "merged a batch with no apply barrier");
   if (--remaining->second == 0) {
     apply_remaining_.erase(remaining);
-    ++stats_.batches_propagated;
+    ins_.batches_propagated->Add(shard_id, 1);
   }
   if (--inflight_ == 0) flush_cv_.notify_all();
 }
@@ -847,8 +1037,21 @@ void ShardedEngine::Shutdown() {
 }
 
 ShardedEngine::Stats ShardedEngine::stats() const {
-  std::lock_guard<std::mutex> lock(flush_mu_);
-  return stats_;
+  // A facade over the registry counters (the mutexed Stats fields these
+  // summed were migrated to per-shard counter cells). Relaxed sums: exact
+  // after Flush, near-point-in-time while running — same contract the
+  // callers already had, minus the flush_mu_ contention.
+  Stats s;
+  s.batches_ingested = ins_.batches_ingested->Value();
+  s.batches_propagated = ins_.batches_propagated->Value();
+  s.batches_rejected = ins_.batches_rejected->Value();
+  s.mails_routed = ins_.mails_routed->Value();
+  s.mails_cross_shard = ins_.mails_cross_shard->Value();
+  s.mails_dropped = ins_.mails_dropped->Value();
+  s.frontier_requests = ins_.frontier_requests->Value();
+  s.frontier_nodes_forwarded = ins_.frontier_nodes_forwarded->Value();
+  s.duplicates_dropped = ins_.duplicates_dropped->Value();
+  return s;
 }
 
 }  // namespace serve

@@ -91,6 +91,8 @@
 #include "core/apan_model.h"
 #include "core/node_state_store.h"
 #include "graph/sharded_temporal_graph.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/shard_message.h"
 #include "serve/shard_router.h"
 #include "serve/transport.h"
@@ -124,6 +126,16 @@ class ShardedEngine {
     /// Builds the shard-to-shard message transport; null means
     /// InProcessTransport (the pre-transport deque semantics).
     TransportFactory transport;
+    /// Metrics land here; null means the engine owns a private registry
+    /// (reachable via registry()). Sharing one registry across engines
+    /// accumulates counts across them — benches pass null per run.
+    obs::Registry* registry = nullptr;
+    /// Stage-level histograms, queue gauges and trace spans. Counters
+    /// (the stats() substrate) are always on — they are single relaxed
+    /// adds and strictly cheaper than the mutexed fields they replaced.
+    /// fig10 runs each config with this off and on to price the
+    /// difference (the <2% overhead contract in docs/observability.md).
+    bool stage_metrics = true;
   };
 
   /// `model` must outlive the engine and must not be used concurrently by
@@ -213,9 +225,12 @@ class ShardedEngine {
     return *shards_[static_cast<size_t>(shard)]->store;
   }
   /// Latency of the synchronous path per batch (what the user waits for).
-  const LatencyRecorder& sync_latency() const { return sync_latency_; }
+  const obs::Histogram& sync_latency() const { return *ins_.stage_sync; }
   /// Latency of per-shard batch application (merge + mailbox append).
-  const LatencyRecorder& async_latency() const { return async_latency_; }
+  const obs::Histogram& async_latency() const { return *ins_.stage_merge; }
+  /// The registry this engine's metrics live in (Options::registry, or
+  /// the engine-owned default). Scrape after Flush for exact totals.
+  obs::Registry* registry() const { return registry_; }
 
  private:
   /// Shared per-batch bookkeeping for the in-process job path: what every
@@ -297,7 +312,7 @@ class ShardedEngine {
   void SendMessage(int from_shard, int to_shard, ShardMessage message);
   /// Transport delivery handler: pushes onto the target shard's inbox.
   void EnqueueMessage(int to_shard, ShardMessage message);
-  void CountDuplicateDropped();
+  void CountDuplicateDropped(int shard_id);
 
   /// k-hop expansion for a job's records against the sharded graph
   /// as-of the job's batch: local frontiers sampled from the own slice,
@@ -307,7 +322,11 @@ class ShardedEngine {
   /// Blocks until each shard flagged in `awaiting_from` responded for
   /// (batch, hop), serving interleaved requests/partials from the own
   /// inbox meanwhile. Re-delivered responses are dropped by tag.
-  void WaitForFrontierResponses(
+  /// \return wall milliseconds spent inside the call, so ExpandKHop can
+  /// attribute it to stage.frontier_wait instead of stage.sample (the
+  /// time spent *dispatching* interleaved messages is subtracted out
+  /// again internally — nested handlers record their own stages).
+  double WaitForFrontierResponses(
       int shard_id, int64_t batch, int32_t hop,
       std::vector<char>& awaiting_from,
       std::vector<std::vector<graph::TemporalNeighbor>>& sampled);
@@ -350,10 +369,43 @@ class ShardedEngine {
   /// Apply barrier per in-flight batch: shards yet to merge it. The last
   /// one to reach zero completes the batch. Guarded by flush_mu_.
   std::map<int64_t, int> apply_remaining_;
-  Stats stats_;  ///< Guarded by flush_mu_.
 
-  LatencyRecorder sync_latency_;
-  LatencyRecorder async_latency_;
+  /// Metric handles, resolved once at construction (the registry owns the
+  /// metrics; handles are stable and lock-free). Counters are the stats()
+  /// substrate — the old mutexed Stats fields migrated here, one cell per
+  /// shard where the writer is per-shard. Stage histograms and queue
+  /// gauges are live only when Options::stage_metrics is set.
+  struct Instruments {
+    obs::Counter* batches_ingested = nullptr;   ///< 1 cell (caller thread)
+    obs::Counter* batches_propagated = nullptr;  ///< cell = completing shard
+    obs::Counter* batches_rejected = nullptr;   ///< 1 cell
+    obs::Counter* mails_routed = nullptr;       ///< cell = sender shard
+    obs::Counter* mails_cross_shard = nullptr;  ///< cell = sender shard
+    obs::Counter* mails_dropped = nullptr;      ///< 1 cell
+    obs::Counter* frontier_requests = nullptr;  ///< cell = requester shard
+    obs::Counter* frontier_nodes_forwarded = nullptr;
+    obs::Counter* duplicates_dropped = nullptr;  ///< cell = dropping shard
+    obs::Counter* events_homed = nullptr;        ///< cell = home shard
+    obs::Gauge* job_depth = nullptr;        ///< per-shard inbox depth
+    obs::Gauge* job_highwater = nullptr;
+    obs::Gauge* mail_depth = nullptr;
+    obs::Gauge* mail_highwater = nullptr;
+    obs::Histogram* stage_sync = nullptr;   ///< cell 0 (always recorded)
+    obs::Histogram* stage_merge = nullptr;  ///< per-shard (always recorded)
+    obs::Histogram* stage_encode = nullptr;
+    obs::Histogram* stage_append = nullptr;
+    obs::Histogram* stage_sample = nullptr;
+    obs::Histogram* stage_frontier_wait = nullptr;
+    obs::Histogram* stage_frontier_serve = nullptr;
+    obs::Histogram* stage_propagate = nullptr;
+    obs::Histogram* stage_route = nullptr;
+    obs::Histogram* stage_idle = nullptr;
+    obs::Histogram* stage_finalize = nullptr;
+  };
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Registry* registry_ = nullptr;
+  Instruments ins_;
+  bool stage_metrics_ = true;
 };
 
 }  // namespace serve

@@ -39,6 +39,9 @@ Status InProcessTransport::Send(int from_shard, int to_shard,
       to_shard >= num_shards_) {
     return Status::InvalidArgument("shard id out of range");
   }
+  if (metrics_.valid()) {
+    metrics_.frames->Add(metrics_.lane(from_shard, to_shard), 1);
+  }
   handler_(to_shard, std::move(message));
   return Status::OK();
 }
@@ -139,15 +142,23 @@ Status UnixSocketTransport::Send(int from_shard, int to_shard,
     return Status::FailedPrecondition("transport is stopped");
   }
   size_t sent = 0;
+  int64_t write_calls = 0;
   while (sent < frame.size()) {
     const ssize_t w =
         ::write(lane.write_fd, frame.data() + sent, frame.size() - sent);
+    ++write_calls;
     if (w < 0) {
       if (errno == EINTR) continue;
       return Status::IoError(
           internal::StrCat("uds lane write failed: errno ", errno));
     }
     sent += static_cast<size_t>(w);
+  }
+  if (metrics_.valid()) {
+    const int cell = metrics_.lane(from_shard, to_shard);
+    metrics_.frames->Add(cell, 1);
+    metrics_.bytes->Add(cell, static_cast<int64_t>(frame.size()));
+    metrics_.syscalls->Add(cell, write_calls);
   }
   return Status::OK();
 }

@@ -40,12 +40,34 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/shard_message.h"
 #include "util/random.h"
 #include "util/status.h"
 
 namespace apan {
 namespace serve {
+
+/// \brief Per-lane transport accounting handles, installed by the engine
+/// before Start. Each counter has num_shards² cells — one per directed
+/// (from, to) lane — so concurrent lane writers never share a cell.
+/// frames counts accepted Sends; bytes counts serialized frame bytes and
+/// syscalls counts ::write calls (both zero for transports that never
+/// serialize, e.g. in-process delivery).
+struct TransportMetrics {
+  obs::Counter* frames = nullptr;
+  obs::Counter* bytes = nullptr;
+  obs::Counter* syscalls = nullptr;
+  int num_shards = 0;
+
+  bool valid() const {
+    return frames != nullptr && bytes != nullptr && syscalls != nullptr &&
+           num_shards > 0;
+  }
+  int lane(int from_shard, int to_shard) const {
+    return from_shard * num_shards + to_shard;
+  }
+};
 
 /// \brief Moves ShardMessages between shards. Lifecycle: Start once, Send
 /// from any thread, Stop once (idempotent; also run by the destructor).
@@ -73,6 +95,13 @@ class Transport {
 
   virtual const char* name() const = 0;
 
+  /// Installs per-lane accounting counters. Call before Start; the
+  /// default ignores them (instrumentation is optional for transport
+  /// authors). Decorators forward to their inner transport.
+  virtual void SetMetrics(const TransportMetrics& metrics) {
+    static_cast<void>(metrics);
+  }
+
   /// True when every accepted Send is delivered exactly once (no
   /// duplication) — the in-process and socket lanes qualify; a
   /// fault-injecting decorator (or any future retrying transport) does
@@ -96,11 +125,16 @@ class InProcessTransport : public Transport {
   Status Send(int from_shard, int to_shard, ShardMessage message) override;
   void Stop() override { stopped_ = true; }
   const char* name() const override { return "inproc"; }
+  void SetMetrics(const TransportMetrics& metrics) override {
+    metrics_ = metrics;
+  }
   /// Synchronous handler call: one delivery per Send, by construction.
   bool exactly_once() const override { return true; }
 
  private:
   Handler handler_;
+  /// Frames only: nothing is serialized, so bytes/syscalls stay zero.
+  TransportMetrics metrics_;
   int num_shards_ = 0;
   /// Start-before-Send and Send-after-Stop are caller contract
   /// violations; these flags turn them into Status, not UB. Sends are
@@ -123,6 +157,9 @@ class UnixSocketTransport : public Transport {
   Status Send(int from_shard, int to_shard, ShardMessage message) override;
   void Stop() override;
   const char* name() const override { return "uds"; }
+  void SetMetrics(const TransportMetrics& metrics) override {
+    metrics_ = metrics;
+  }
   /// Lossless FIFO socketpair lanes: one frame per Send.
   bool exactly_once() const override { return true; }
 
@@ -144,6 +181,8 @@ class UnixSocketTransport : public Transport {
   void ReaderLoop(Lane* lane, int to_shard);
 
   Handler handler_;
+  /// Frames + serialized bytes + ::write syscalls, per directed lane.
+  TransportMetrics metrics_;
   int num_shards_ = 0;
   std::vector<std::unique_ptr<Lane>> lanes_;
   bool started_ = false;
@@ -178,6 +217,11 @@ class FaultyTransport : public Transport {
   Status Send(int from_shard, int to_shard, ShardMessage message) override;
   void Stop() override;
   const char* name() const override { return "faulty"; }
+  /// The inner transport does the real moving; it does the accounting
+  /// too (so injected duplicates are counted, as they cost real frames).
+  void SetMetrics(const TransportMetrics& metrics) override {
+    inner_->SetMetrics(metrics);
+  }
   bool exactly_once() const override { return false; }
 
  private:

@@ -1,9 +1,26 @@
 #include "tensor/arena.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace apan {
 namespace tensor {
+
+namespace {
+// Arena instances are thread-local; these totals are the only cross-
+// thread view (exported by the serve snapshot dumps). One relaxed add
+// per impl allocation — noise next to the tensor op it serves.
+std::atomic<int64_t> g_total_fresh{0};
+std::atomic<int64_t> g_total_reused{0};
+}  // namespace
+
+int64_t TensorArena::TotalFreshImpls() {
+  return g_total_fresh.load(std::memory_order_relaxed);
+}
+
+int64_t TensorArena::TotalReusedImpls() {
+  return g_total_reused.load(std::memory_order_relaxed);
+}
 
 std::shared_ptr<internal::TensorImpl> TensorArena::Allocate(Shape shape,
                                                             bool zero) {
@@ -25,6 +42,7 @@ std::shared_ptr<internal::TensorImpl> TensorArena::Allocate(Shape shape,
     impl->backward_fn = nullptr;
     impl->parents.clear();
     ++reused_;
+    g_total_reused.fetch_add(1, std::memory_order_relaxed);
     return slot;
   }
   auto impl = std::make_shared<internal::TensorImpl>();
@@ -33,6 +51,7 @@ std::shared_ptr<internal::TensorImpl> TensorArena::Allocate(Shape shape,
   pool_.push_back(impl);
   cursor_ = pool_.size();
   ++fresh_;
+  g_total_fresh.fetch_add(1, std::memory_order_relaxed);
   return impl;
 }
 

@@ -56,6 +56,13 @@ class TensorArena {
   int64_t reused_impls() const { return reused_; }
   size_t pool_size() const { return pool_.size(); }
 
+  /// Process-wide totals across every thread's arena (relaxed atomics).
+  /// Arenas are thread-local and unenumerable from outside, so the
+  /// observability snapshot exports these instead: a warm serve plane
+  /// shows fresh flat and reused growing.
+  static int64_t TotalFreshImpls();
+  static int64_t TotalReusedImpls();
+
   /// The arena the innermost ArenaScope on this thread activated, or
   /// null when no scope is open (ops fall back to plain heap impls).
   static TensorArena* Current();

@@ -5,6 +5,7 @@
 
 #include "data/batching.h"
 #include "data/negative_sampler.h"
+#include "obs/metrics.h"
 #include "tensor/ops.h"
 #include "tensor/optimizer.h"
 #include "train/metrics.h"
@@ -273,7 +274,7 @@ Result<LinkTrainer::EvalResult> LinkTrainer::Evaluate(
       total_batches > 0 ? total_millis / static_cast<double>(total_batches)
                         : 0.0;
   {
-    LatencyRecorder latency;
+    obs::Histogram latency(1);
     for (double ms : val_scored.batch_millis) latency.Record(ms);
     for (double ms : test_scored.batch_millis) latency.Record(ms);
     out.inference_p50_millis = latency.P50();

@@ -1,15 +1,13 @@
 // Wall-clock timing utilities used by the benchmark harnesses and the
 // serving pipeline's latency instrumentation.
+//
+// Latency aggregation (mean / p50 / p99) lives in obs/metrics.h
+// (obs::Histogram) — the former util::LatencyRecorder was folded into it.
 
 #ifndef APAN_UTIL_STOPWATCH_H_
 #define APAN_UTIL_STOPWATCH_H_
 
-#include <algorithm>
 #include <chrono>
-#include <cmath>
-#include <cstdint>
-#include <mutex>
-#include <vector>
 
 namespace apan {
 
@@ -31,77 +29,6 @@ class Stopwatch {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
-};
-
-/// \brief Accumulates latency samples and reports order statistics.
-///
-/// Used by bench/fig6_inference_latency and the serving engines to report
-/// mean / p50 / p99 per-batch latencies. Thread-safe: the serving engines
-/// record from worker threads while benches read concurrently.
-class LatencyRecorder {
- public:
-  void Record(double millis) {
-    std::lock_guard<std::mutex> lock(mu_);
-    samples_.push_back(millis);
-  }
-
-  size_t count() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return samples_.size();
-  }
-
-  double Mean() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return MeanLocked();
-  }
-
-  double StdDev() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (samples_.size() < 2) return 0.0;
-    const double m = MeanLocked();
-    double s = 0.0;
-    for (double x : samples_) s += (x - m) * (x - m);
-    return std::sqrt(s / static_cast<double>(samples_.size() - 1));
-  }
-
-  /// \brief q-th quantile by linear interpolation. `q` is clamped to
-  /// [0, 1]: below 0 it would wrap through the size_t index cast, above 1
-  /// it would read past the sorted sample array. NaN maps to 1 (fmin/fmax
-  /// eat NaN; std::clamp would pass it through into the index cast — UB).
-  double Quantile(double q) const {
-    std::vector<double> sorted;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      sorted = samples_;
-    }
-    if (sorted.empty()) return 0.0;
-    std::sort(sorted.begin(), sorted.end());
-    q = std::fmax(0.0, std::fmin(q, 1.0));
-    const double pos = q * static_cast<double>(sorted.size() - 1);
-    const size_t lo = static_cast<size_t>(pos);
-    const size_t hi = std::min(lo + 1, sorted.size() - 1);
-    const double frac = pos - static_cast<double>(lo);
-    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
-  }
-
-  double P50() const { return Quantile(0.50); }
-  double P99() const { return Quantile(0.99); }
-
-  void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
-    samples_.clear();
-  }
-
- private:
-  double MeanLocked() const {
-    if (samples_.empty()) return 0.0;
-    double s = 0.0;
-    for (double x : samples_) s += x;
-    return s / static_cast<double>(samples_.size());
-  }
-
-  mutable std::mutex mu_;
-  std::vector<double> samples_;
 };
 
 }  // namespace apan

@@ -1,0 +1,279 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace apan {
+namespace obs {
+namespace {
+
+// ---- Counter ---------------------------------------------------------------
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  // Four threads hammer the same counter: two on private cells, two
+  // sharing cell 0. Every increment must survive (relaxed atomics lose
+  // ordering, never counts). TSan runs this too — the label `obs` is in
+  // the sanitizer jobs' filters.
+  Counter counter(3);
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&counter, t] {
+      const int cell = t < 2 ? 0 : t - 1;
+      for (int i = 0; i < kPerThread; ++i) counter.Add(cell, 1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter.Value(), 4 * kPerThread);
+  EXPECT_EQ(counter.CellValue(0), 2 * kPerThread);
+  EXPECT_EQ(counter.CellValue(1), kPerThread);
+  EXPECT_EQ(counter.CellValue(2), kPerThread);
+}
+
+// ---- Gauge -----------------------------------------------------------------
+
+TEST(GaugeTest, SetSumMax) {
+  Gauge gauge(3);
+  gauge.Set(0, 5);
+  gauge.Set(1, 9);
+  gauge.Set(2, 2);
+  EXPECT_EQ(gauge.Sum(), 16);
+  EXPECT_EQ(gauge.Max(), 9);
+}
+
+TEST(GaugeTest, UpdateMaxRatchetsUnderContention) {
+  Gauge gauge(1);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&gauge, t] {
+      for (int i = 0; i < 10000; ++i) {
+        gauge.UpdateMax(0, static_cast<int64_t>(t * 10000 + i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(gauge.Max(), 39999);
+  gauge.UpdateMax(0, 7);  // lower value never regresses the high-water
+  EXPECT_EQ(gauge.Max(), 39999);
+}
+
+// ---- Histogram: LatencyRecorder-contract semantics ------------------------
+
+TEST(HistogramTest, EmptyReturnsZeroNotNaN) {
+  Histogram rec(1);
+  EXPECT_EQ(rec.count(), 0u);
+  EXPECT_EQ(rec.Mean(), 0.0);
+  EXPECT_EQ(rec.StdDev(), 0.0);
+  EXPECT_EQ(rec.Quantile(0.5), 0.0);
+  EXPECT_EQ(rec.P50(), 0.0);
+  EXPECT_EQ(rec.P99(), 0.0);
+  EXPECT_FALSE(std::isnan(rec.Mean()));
+  EXPECT_FALSE(std::isnan(rec.StdDev()));
+}
+
+TEST(HistogramTest, SingleSampleStdDevIsZero) {
+  Histogram rec(1);
+  rec.Record(4.0);
+  EXPECT_EQ(rec.Mean(), 4.0);
+  EXPECT_EQ(rec.StdDev(), 0.0);
+  EXPECT_FALSE(std::isnan(rec.StdDev()));
+  // A single sample pins every quantile via the observed-range clamp.
+  EXPECT_EQ(rec.Quantile(0.0), 4.0);
+  EXPECT_EQ(rec.Quantile(1.0), 4.0);
+}
+
+// Regression carried over from LatencyRecorder: q outside [0,1] clamps
+// to the extreme order statistics, and NaN q maps to the max side
+// (fmin/fmax eat NaN) rather than flowing into an index cast.
+TEST(HistogramTest, QuantileClampsOutOfRangeQ) {
+  Histogram rec(1);
+  for (const double v : {10.0, 20.0, 30.0}) rec.Record(v);
+  EXPECT_EQ(rec.Quantile(1.5), 30.0);
+  EXPECT_EQ(rec.Quantile(100.0), 30.0);
+  EXPECT_EQ(rec.Quantile(-0.3), 10.0);
+  EXPECT_EQ(rec.Quantile(-100.0), 10.0);
+  EXPECT_EQ(rec.Quantile(std::nan("")), 30.0);
+  Histogram empty(1);
+  EXPECT_EQ(empty.Quantile(7.0), 0.0);
+  EXPECT_EQ(empty.Quantile(-7.0), 0.0);
+}
+
+TEST(HistogramTest, NegativeAndNaNValuesClampToZero) {
+  Histogram rec(1);
+  rec.Record(-3.0);
+  rec.Record(std::nan(""));
+  rec.Record(2.0);
+  EXPECT_EQ(rec.count(), 3u);
+  EXPECT_FALSE(std::isnan(rec.Mean()));
+  EXPECT_EQ(rec.Min(), 0.0);
+  EXPECT_EQ(rec.Max(), 2.0);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram rec(1);
+  rec.Record(1.0);
+  rec.Clear();
+  EXPECT_EQ(rec.count(), 0u);
+  EXPECT_EQ(rec.Mean(), 0.0);
+  EXPECT_EQ(rec.Quantile(0.99), 0.0);
+}
+
+TEST(HistogramTest, MeanAndStdDevMatchClosedForm) {
+  Histogram rec(1);
+  for (int i = 1; i <= 100; ++i) rec.Record(static_cast<double>(i));
+  EXPECT_NEAR(rec.Mean(), 50.5, 1e-9);
+  // Sample stddev of 1..100 = sqrt(sum((i-50.5)^2)/99) = 29.011...
+  EXPECT_NEAR(rec.StdDev(), 29.0115, 1e-3);
+  EXPECT_EQ(rec.Min(), 1.0);
+  EXPECT_EQ(rec.Max(), 100.0);
+  EXPECT_NEAR(rec.Sum(), 5050.0, 1e-9);
+}
+
+// ---- Histogram: quantile accuracy vs exact sort ----------------------------
+
+// Seeded LCG so the sample set is reproducible without <random> variance
+// across standard libraries.
+uint64_t NextLcg(uint64_t* state) {
+  *state = *state * 6364136223846793005ULL + 1442695040888963407ULL;
+  return *state >> 33;
+}
+
+TEST(HistogramTest, QuantilesWithinBucketErrorBoundOfExactSort) {
+  // Log-uniform samples over ~6 decades — the latency-like shape the
+  // bucket layout is designed for.
+  uint64_t state = 42;
+  std::vector<double> samples;
+  Histogram rec(4);
+  for (int i = 0; i < 20000; ++i) {
+    const double u =
+        static_cast<double>(NextLcg(&state) % 1000000) / 1000000.0;
+    const double v = std::pow(10.0, -3.0 + 6.0 * u);  // 1e-3 .. 1e3
+    samples.push_back(v);
+    rec.Record(i % 4, v);  // spread across cells; aggregation must merge
+  }
+  std::sort(samples.begin(), samples.end());
+
+  for (const double q : {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    // Exact quantile by the same interpolation rule LatencyRecorder used.
+    const double pos = q * static_cast<double>(samples.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    const double exact = samples[lo] * (1.0 - frac) + samples[hi] * frac;
+
+    const double approx = rec.Quantile(q);
+    // The histogram cannot localize a value more finely than its bucket:
+    // the answer must fall within the bucket bounds of the exact value
+    // (~3.2% relative width), with interpolation slop of one extra
+    // bucket on either side for samples straddling the rank.
+    double lower = 0.0, upper = 0.0;
+    Histogram::BucketBounds(exact, &lower, &upper);
+    const double width = upper - lower;
+    EXPECT_GE(approx, lower - width) << "q=" << q << " exact=" << exact;
+    EXPECT_LE(approx, upper + width) << "q=" << q << " exact=" << exact;
+  }
+}
+
+// ---- Histogram: scrape-while-writing soak ----------------------------------
+
+TEST(HistogramTest, ScrapeWhileWritingSoak) {
+  // Readers aggregate while writers record. Nothing may tear, crash, or
+  // produce impossible aggregates (NaN, negative counts, quantiles wildly
+  // outside the recorded range). Run under TSan via the `obs` label.
+  Histogram rec(2);
+  std::atomic<bool> stop{false};
+  std::thread writers[2];
+  for (int t = 0; t < 2; ++t) {
+    writers[t] = std::thread([&rec, &stop, t] {
+      uint64_t state = 7 + static_cast<uint64_t>(t);
+      // At least 1000 records even if the readers finish first (a 1-core
+      // box can run all 200 scrape iterations before this thread starts).
+      for (int n = 0; n < 1000 || !stop.load(std::memory_order_relaxed);
+           ++n) {
+        rec.Record(t, 0.001 + static_cast<double>(NextLcg(&state) % 1000));
+      }
+    });
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    const uint64_t n = rec.count();
+    const double mean = rec.Mean();
+    const double p99 = rec.P99();
+    EXPECT_FALSE(std::isnan(mean));
+    EXPECT_FALSE(std::isnan(p99));
+    EXPECT_GE(p99, 0.0);
+    EXPECT_LE(p99, 1002.0);
+    EXPECT_GE(rec.count(), n);  // monotone under concurrent writes
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : writers) w.join();
+  EXPECT_GT(rec.count(), 0u);
+}
+
+// ---- Registry --------------------------------------------------------------
+
+TEST(RegistryTest, HandlesAreStableAndShared) {
+  Registry registry;
+  Counter* a = registry.GetCounter("serve.x", 4);
+  Counter* b = registry.GetCounter("serve.x", 4);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(static_cast<void*>(registry.GetGauge("serve.x", 2)),
+            static_cast<void*>(a));  // separate namespaces per type
+  Histogram* h = registry.GetHistogram("stage.merge", 2);
+  EXPECT_EQ(h, registry.GetHistogram("stage.merge", 2));
+}
+
+TEST(RegistryTest, ScrapeReportsEverything) {
+  Registry registry;
+  Counter* c = registry.GetCounter("serve.mails", 2);
+  c->Add(0, 3);
+  c->Add(1, 4);
+  Gauge* g = registry.GetGauge("serve.depth", 2);
+  g->Set(0, 5);
+  g->Set(1, 9);
+  Histogram* h = registry.GetHistogram("stage.sync");
+  h->Record(1.5);
+  h->Record(2.5);
+
+  const Registry::Snapshot snap = registry.Scrape();
+  const auto* crow = snap.FindCounter("serve.mails");
+  ASSERT_NE(crow, nullptr);
+  EXPECT_EQ(crow->total, 7);
+  ASSERT_EQ(crow->cells.size(), 2u);
+  EXPECT_EQ(crow->cells[1], 4);
+
+  const auto* grow = snap.FindGauge("serve.depth");
+  ASSERT_NE(grow, nullptr);
+  EXPECT_EQ(grow->sum, 14);
+  EXPECT_EQ(grow->max, 9);
+
+  const auto* hrow = snap.FindHistogram("stage.sync");
+  ASSERT_NE(hrow, nullptr);
+  EXPECT_EQ(hrow->count, 2u);
+  EXPECT_NEAR(hrow->mean, 2.0, 1e-9);
+  EXPECT_NEAR(hrow->total_ms, 4.0, 1e-9);
+  EXPECT_EQ(snap.FindHistogram("no.such"), nullptr);
+}
+
+TEST(RegistryTest, ConcurrentGetOrCreateIsSafe) {
+  Registry registry;
+  std::vector<std::thread> threads;
+  std::vector<Counter*> seen(8, nullptr);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&registry, &seen, t] {
+      Counter* c = registry.GetCounter("contended", 2);
+      c->Add(t % 2, 1);
+      seen[static_cast<size_t>(t)] = c;
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < 8; ++t) EXPECT_EQ(seen[0], seen[static_cast<size_t>(t)]);
+  EXPECT_EQ(seen[0]->Value(), 8);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace apan

@@ -165,12 +165,15 @@ TEST(AsyncPipelineTest, EmptyBatchRejected) {
   EXPECT_TRUE(pipeline.InferBatch({}).status().IsInvalidArgument());
 }
 
-TEST(LatencyRecorderTest, QuantilesAndMoments) {
-  LatencyRecorder rec;
+// The pipeline's latency recorders are obs::Histogram now; quantiles are
+// bucket-interpolated, so the tolerances are the bucket widths at the
+// queried values (~3.2% relative) instead of exact order statistics.
+TEST(LatencyHistogramTest, QuantilesAndMoments) {
+  obs::Histogram rec(1);
   for (int i = 1; i <= 100; ++i) rec.Record(static_cast<double>(i));
   EXPECT_NEAR(rec.Mean(), 50.5, 1e-9);
-  EXPECT_NEAR(rec.P50(), 50.5, 1.0);
-  EXPECT_NEAR(rec.Quantile(0.99), 99.0, 1.1);
+  EXPECT_NEAR(rec.P50(), 50.5, 2.0);
+  EXPECT_NEAR(rec.Quantile(0.99), 99.0, 3.5);
   EXPECT_GT(rec.StdDev(), 0.0);
   rec.Clear();
   EXPECT_EQ(rec.count(), 0u);

@@ -1,0 +1,70 @@
+// trace_check: validates a Chrome trace_event JSON file written by
+// obs::TraceRecorder::WriteChromeTrace (or any tool claiming the same
+// format). CI's bench-smoke job runs it against the fig10 --trace output
+// so a malformed trace fails the build instead of failing silently in
+// chrome://tracing.
+//
+//   ./build/tools/trace_check fig10_trace.json
+//
+// Checks, in order:
+//   1. the file parses as well-formed JSON (obs::ValidateJson);
+//   2. it contains a "traceEvents" array;
+//   3. at least one complete event is present, with the trace_event
+//      fields the viewers require ("name", "ph", "ts").
+// Exit 0 on success; 1 with a diagnostic on stderr otherwise.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace {
+
+bool Contains(const std::string& text, const char* needle) {
+  return text.find(needle) != std::string::npos;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <trace.json>\n", argv[0]);
+    return 1;
+  }
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "trace_check: cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  if (text.empty()) {
+    std::fprintf(stderr, "trace_check: %s is empty\n", argv[1]);
+    return 1;
+  }
+
+  std::string error;
+  if (!apan::obs::ValidateJson(text, &error)) {
+    std::fprintf(stderr, "trace_check: %s is not well-formed JSON: %s\n",
+                 argv[1], error.c_str());
+    return 1;
+  }
+  if (!Contains(text, "\"traceEvents\"")) {
+    std::fprintf(stderr, "trace_check: %s lacks a \"traceEvents\" array\n",
+                 argv[1]);
+    return 1;
+  }
+  for (const char* field : {"\"name\"", "\"ph\"", "\"ts\""}) {
+    if (!Contains(text, field)) {
+      std::fprintf(stderr,
+                   "trace_check: %s has no event carrying %s — empty trace?\n",
+                   argv[1], field);
+      return 1;
+    }
+  }
+  std::printf("trace_check: %s OK (%zu bytes)\n", argv[1], text.size());
+  return 0;
+}
