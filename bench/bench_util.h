@@ -31,12 +31,29 @@ namespace bench {
 
 inline double EnvScale(double fallback = 1.0) {
   const char* s = std::getenv("APAN_BENCH_SCALE");
-  return s != nullptr ? std::atof(s) : fallback;
+  if (s == nullptr || s[0] == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  // atof would turn a malformed value into 0.0, silently shrinking every
+  // dataset to nothing; reject it loudly and keep the default instead.
+  if (end == s || *end != '\0') {
+    std::fprintf(stderr, "bench: ignoring malformed APAN_BENCH_SCALE=%s\n", s);
+    return fallback;
+  }
+  return v;
 }
 
 inline int EnvEpochs(int fallback) {
   const char* s = std::getenv("APAN_BENCH_EPOCHS");
-  return s != nullptr ? std::atoi(s) : fallback;
+  if (s == nullptr || s[0] == '\0') return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || v < 0 || v > 1'000'000) {
+    std::fprintf(stderr, "bench: ignoring malformed APAN_BENCH_EPOCHS=%s\n",
+                 s);
+    return fallback;
+  }
+  return static_cast<int>(v);
 }
 
 /// Where the machine-readable BENCH_*.json lands: the repo root by

@@ -10,6 +10,13 @@
 namespace apan {
 namespace core {
 
+// Thread contract: a Mailbox carries no lock — it is always reached
+// through an exclusively-owned NodeStateStore, whose owner provides the
+// synchronization (AsyncPipeline's model_mu_, or a ShardedEngine shard's
+// state_mu / worker confinement; see util/thread_annotations.h and
+// docs/static-analysis.md). Adding a mutex here would double-lock every
+// delivery for no added safety.
+
 Mailbox::Mailbox(int64_t num_nodes, int64_t slots, int64_t dim)
     : num_nodes_(num_nodes), slots_(slots), dim_(dim) {
   // num_nodes == 0 is a valid (empty) mailbox: a NodeStateStore for a

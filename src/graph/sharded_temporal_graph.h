@@ -25,6 +25,14 @@
 // other threads may poll it. The whole-graph inspectors (num_events,
 // MemoryBytes, Degree, reads with kNoOrdinalLimit) are for quiescent use
 // (tests, benches, post-Flush accounting).
+//
+// This confinement discipline is deliberately lock-free, so the clang
+// thread-safety analysis (util/thread_annotations.h) has nothing to check
+// here: the invariant "slice s touched only by worker s" lives in
+// ShardedEngine's routing (every slice mutation happens on the owner's
+// thread via its inbox) and is soaked under TSan, not proved per-access.
+// docs/static-analysis.md explains the split between annotated-lock state
+// and confined state.
 
 #ifndef APAN_GRAPH_SHARDED_TEMPORAL_GRAPH_H_
 #define APAN_GRAPH_SHARDED_TEMPORAL_GRAPH_H_

@@ -9,6 +9,14 @@
 // Instrumentation: every neighbor query increments a counter, which the
 // test suite uses to prove APAN's synchronous path never queries the graph
 // (DESIGN.md §6, "inference-path purity").
+//
+// Thread contract (docs/static-analysis.md): this class carries no lock on
+// purpose — appends and reads are externally synchronized by the owner
+// (AsyncPipeline's worker under model_mu_; trainers single-threaded). The
+// only member shared across unsynchronized threads is query_count_, a
+// relaxed atomic (a diagnostic counter, not a synchronization point).
+// Anything needing a concurrently-written graph goes through
+// graph::ShardedTemporalGraph's slice-ownership contract instead.
 
 #ifndef APAN_GRAPH_TEMPORAL_GRAPH_H_
 #define APAN_GRAPH_TEMPORAL_GRAPH_H_

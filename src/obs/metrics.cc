@@ -218,7 +218,7 @@ void Histogram::Clear() {
 // --------------------------------------------------------------- Registry
 
 Counter* Registry::GetCounter(const std::string& name, int num_cells) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(name, std::make_unique<Counter>(num_cells)).first;
@@ -229,7 +229,7 @@ Counter* Registry::GetCounter(const std::string& name, int num_cells) {
 }
 
 Gauge* Registry::GetGauge(const std::string& name, int num_cells) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(name, std::make_unique<Gauge>(num_cells)).first;
@@ -240,7 +240,7 @@ Gauge* Registry::GetGauge(const std::string& name, int num_cells) {
 }
 
 Histogram* Registry::GetHistogram(const std::string& name, int num_cells) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(name, std::make_unique<Histogram>(num_cells))
@@ -254,7 +254,7 @@ Histogram* Registry::GetHistogram(const std::string& name, int num_cells) {
 
 Registry::Snapshot Registry::Scrape() const {
   Snapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (const auto& [name, c] : counters_) {
     CounterRow row;
     row.name = name;

@@ -26,9 +26,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace apan {
 namespace obs {
@@ -168,9 +169,12 @@ class Registry {
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
-  Counter* GetCounter(const std::string& name, int num_cells = 1);
-  Gauge* GetGauge(const std::string& name, int num_cells = 1);
-  Histogram* GetHistogram(const std::string& name, int num_cells = 1);
+  Counter* GetCounter(const std::string& name, int num_cells = 1)
+      APAN_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name, int num_cells = 1)
+      APAN_EXCLUDES(mu_);
+  Histogram* GetHistogram(const std::string& name, int num_cells = 1)
+      APAN_EXCLUDES(mu_);
 
   /// Point-in-time aggregate of every metric (relaxed reads; safe while
   /// writers are active). Rows are sorted by name.
@@ -202,13 +206,17 @@ class Registry {
     const GaugeRow* FindGauge(const std::string& name) const;
     const HistogramRow* FindHistogram(const std::string& name) const;
   };
-  Snapshot Scrape() const;
+  Snapshot Scrape() const APAN_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  /// Guards family *creation* only — the returned handles are lock-free
+  /// (cell writes are relaxed atomics; see the header comment).
+  mutable util::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      APAN_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ APAN_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      APAN_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -237,11 +237,13 @@ bool ValidateJson(std::string_view text, std::string* error) {
 // ---------------------------------------------------------- TraceRecorder
 
 struct TraceRecorder::ThreadBuffer {
+  /// Immutable after creation (registration happens under the recorder's
+  /// mu_); readable without `mu`.
   std::thread::id owner;
   int tid = 0;
-  mutable std::mutex mu;  ///< owner thread vs. flusher, flush-time only
-  std::vector<TraceEvent> ring;
-  uint64_t total_written = 0;
+  mutable util::Mutex mu;  ///< owner thread vs. flusher, flush-time only
+  std::vector<TraceEvent> ring APAN_GUARDED_BY(mu);
+  uint64_t total_written APAN_GUARDED_BY(mu) = 0;
 };
 
 TraceRecorder& TraceRecorder::Global() {
@@ -276,7 +278,7 @@ TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
   if (this == &Global()) {
     thread_local ThreadBuffer* cached = nullptr;
     if (cached != nullptr) return cached;
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     for (const auto& b : buffers_) {
       if (b->owner == me) {
         cached = b.get();
@@ -290,7 +292,7 @@ TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
     buffers_.push_back(std::move(buf));
     return cached;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (const auto& b : buffers_) {
     if (b->owner == me) return b.get();
   }
@@ -308,7 +310,7 @@ void TraceRecorder::Record(const char* name, double ts_us, double dur_us) {
   ev.name = name;
   ev.ts_us = ts_us;
   ev.dur_us = dur_us;
-  std::lock_guard<std::mutex> lock(buf->mu);
+  util::MutexLock lock(buf->mu);
   ev.tid = buf->tid;
   if (buf->ring.size() < kRingCapacity) {
     buf->ring.push_back(ev);
@@ -320,9 +322,9 @@ void TraceRecorder::Record(const char* name, double ts_us, double dur_us) {
 
 std::vector<TraceEvent> TraceRecorder::Snapshot() const {
   std::vector<TraceEvent> out;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (const auto& b : buffers_) {
-    std::lock_guard<std::mutex> buf_lock(b->mu);
+    util::MutexLock buf_lock(b->mu);
     const size_t n = b->ring.size();
     if (n == 0) continue;
     // Oldest-first: the ring wraps at total_written % capacity.
@@ -339,9 +341,9 @@ std::vector<TraceEvent> TraceRecorder::Snapshot() const {
 
 uint64_t TraceRecorder::dropped() const {
   uint64_t d = 0;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (const auto& b : buffers_) {
-    std::lock_guard<std::mutex> buf_lock(b->mu);
+    util::MutexLock buf_lock(b->mu);
     if (b->total_written > kRingCapacity) {
       d += b->total_written - kRingCapacity;
     }
@@ -350,9 +352,9 @@ uint64_t TraceRecorder::dropped() const {
 }
 
 void TraceRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (const auto& b : buffers_) {
-    std::lock_guard<std::mutex> buf_lock(b->mu);
+    util::MutexLock buf_lock(b->mu);
     b->ring.clear();
     b->total_written = 0;
   }

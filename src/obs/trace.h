@@ -25,12 +25,12 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 #ifndef APAN_TRACING_ENABLED
 #define APAN_TRACING_ENABLED 1
@@ -100,8 +100,8 @@ class TraceRecorder {
 
   std::atomic<bool> enabled_{false};
   std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mu_;  ///< guards buffers_ growth
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  mutable util::Mutex mu_;  ///< guards buffers_ growth
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ APAN_GUARDED_BY(mu_);
 };
 
 /// \brief RAII span: measures construction→destruction and records it if

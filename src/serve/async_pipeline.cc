@@ -26,7 +26,12 @@ AsyncPipeline::AsyncPipeline(core::ApanModel* model, Options options)
   }
   sync_latency_ = registry_->GetHistogram("stage.sync");
   async_latency_ = registry_->GetHistogram("stage.async");
-  model_->SetTraining(false);
+  {
+    // No worker exists yet, but the model's lock discipline is declared
+    // unconditionally — take the (uncontended) lock.
+    util::MutexLock lock(model_mu_);
+    model_->SetTraining(false);
+  }
   worker_ = std::thread([this] { WorkerLoop(); });
 }
 
@@ -38,7 +43,7 @@ Result<AsyncPipeline::InferenceResult> AsyncPipeline::InferBatch(
     return Status::InvalidArgument("InferBatch on empty batch");
   }
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    util::MutexLock lock(pending_mu_);
     if (shutdown_) return Status::Cancelled("pipeline is shut down");
   }
 
@@ -48,7 +53,7 @@ Result<AsyncPipeline::InferenceResult> AsyncPipeline::InferBatch(
   {
     // ---- Synchronous link: encoder + decoder over local state only. ----
     APAN_TRACE_SPAN("sync");
-    std::lock_guard<std::mutex> lock(model_mu_);
+    util::MutexLock lock(model_mu_);
     tensor::NoGradGuard no_grad;
     // Per-batch arena scope: every op below draws its output from the
     // calling thread's pool (zero per-op heap allocations once warm).
@@ -99,7 +104,7 @@ Result<AsyncPipeline::InferenceResult> AsyncPipeline::InferBatch(
 
   // ---- Hand off to the asynchronous link. ----
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    util::MutexLock lock(pending_mu_);
     ++pending_;
   }
   const int64_t job_records = static_cast<int64_t>(job.records.size());
@@ -107,16 +112,16 @@ Result<AsyncPipeline::InferenceResult> AsyncPipeline::InferBatch(
   Status push = queue_.Push(std::move(job), &evicted);
   if (evicted.has_value()) {
     // kDropOldest displaced an accepted batch; its mail is lost.
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    util::MutexLock lock(pending_mu_);
     mails_dropped_ += static_cast<int64_t>(evicted->records.size());
     --pending_;
-    pending_cv_.notify_all();
+    pending_cv_.NotifyAll();
   }
   if (!push.ok()) {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    util::MutexLock lock(pending_mu_);
     if (push.IsResourceExhausted()) mails_dropped_ += job_records;
     --pending_;
-    pending_cv_.notify_all();
+    pending_cv_.NotifyAll();
     // Drop policies surface as ResourceExhausted; the inference result is
     // still valid (the mail is simply lost, as in an overloaded broker).
     if (!push.IsResourceExhausted()) return push;
@@ -131,7 +136,7 @@ void AsyncPipeline::WorkerLoop() {
     Stopwatch watch;
     {
       APAN_TRACE_SPAN("async");
-      std::lock_guard<std::mutex> lock(model_mu_);
+      util::MutexLock lock(model_mu_);
       tensor::NoGradGuard no_grad;
       tensor::ArenaScope arena_scope;  // worker-thread pool, reset per job
       model_->ApplyEmbeddings(job->records);
@@ -155,26 +160,27 @@ void AsyncPipeline::WorkerLoop() {
     }
     async_latency_->Record(watch.ElapsedMillis());
     {
-      std::lock_guard<std::mutex> lock(pending_mu_);
+      util::MutexLock lock(pending_mu_);
       --pending_;
       ++propagated_batches_;
-      pending_cv_.notify_all();
+      pending_cv_.NotifyAll();
     }
   }
 }
 
 void AsyncPipeline::Flush() {
-  std::unique_lock<std::mutex> lock(pending_mu_);
-  pending_cv_.wait(lock, [&] { return pending_ == 0; });
+  util::MutexLock lock(pending_mu_);
+  while (pending_ != 0) pending_cv_.Wait(pending_mu_);
   // Flush any held-back (out-of-order) mail so state is complete.
-  std::lock_guard<std::mutex> model_lock(model_mu_);
+  // (Lock order pending_mu_ -> model_mu_, as declared on model_mu_.)
+  util::MutexLock model_lock(model_mu_);
   model_->mailbox().DeliverBatch(held_back_);
   held_back_.clear();
 }
 
 void AsyncPipeline::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    util::MutexLock lock(pending_mu_);
     if (shutdown_) return;
     shutdown_ = true;
   }
@@ -183,18 +189,18 @@ void AsyncPipeline::Shutdown() {
   // The worker has drained the backlog and exited; deliver any mail the
   // out-of-order injector was still holding back, exactly as Flush()
   // would — shutting down must not silently lose accepted mail.
-  std::lock_guard<std::mutex> model_lock(model_mu_);
+  util::MutexLock model_lock(model_mu_);
   model_->mailbox().DeliverBatch(held_back_);
   held_back_.clear();
 }
 
 int64_t AsyncPipeline::batches_propagated() const {
-  std::lock_guard<std::mutex> lock(pending_mu_);
+  util::MutexLock lock(pending_mu_);
   return propagated_batches_;
 }
 
 int64_t AsyncPipeline::mails_dropped() const {
-  std::lock_guard<std::mutex> lock(pending_mu_);
+  util::MutexLock lock(pending_mu_);
   return mails_dropped_;
 }
 

@@ -18,9 +18,7 @@
 #ifndef APAN_SERVE_ASYNC_PIPELINE_H_
 #define APAN_SERVE_ASYNC_PIPELINE_H_
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -31,6 +29,7 @@
 #include "util/random.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
+#include "util/thread_annotations.h"
 
 namespace apan {
 namespace serve {
@@ -70,18 +69,18 @@ class AsyncPipeline {
   /// link and enqueues the asynchronous work. Events must arrive in
   /// non-decreasing time order across calls.
   /// \return Cancelled after Shutdown.
-  Result<InferenceResult> InferBatch(
-      const std::vector<graph::Event>& events);
+  Result<InferenceResult> InferBatch(const std::vector<graph::Event>& events)
+      APAN_EXCLUDES(pending_mu_, model_mu_);
 
   /// Blocks until every enqueued batch has been fully propagated.
-  void Flush();
+  void Flush() APAN_EXCLUDES(pending_mu_, model_mu_);
 
   /// Stops the worker (idempotent; also called by the destructor). The
   /// backlog is drained and any mail held back by the out-of-order
   /// injector is delivered before the pipeline goes quiet — Shutdown
   /// never loses accepted mail (only an overflow drop policy can, which
   /// mails_dropped() accounts for).
-  void Shutdown();
+  void Shutdown() APAN_EXCLUDES(pending_mu_, model_mu_);
 
   /// Latency of the synchronous path per batch (what the user waits for).
   const obs::Histogram& sync_latency() const { return *sync_latency_; }
@@ -91,35 +90,41 @@ class AsyncPipeline {
   /// the pipeline-owned default).
   obs::Registry* registry() const { return registry_; }
   /// Batches fully processed by the worker.
-  int64_t batches_propagated() const;
+  int64_t batches_propagated() const APAN_EXCLUDES(pending_mu_);
   /// Interaction records whose asynchronous work was lost to an overflow
   /// drop policy (their mail was never propagated). Always 0 under
   /// OverflowPolicy::kBlock.
-  int64_t mails_dropped() const;
+  int64_t mails_dropped() const APAN_EXCLUDES(pending_mu_);
 
  private:
   struct Job {
     std::vector<core::InteractionRecord> records;
   };
 
-  void WorkerLoop();
+  void WorkerLoop() APAN_EXCLUDES(pending_mu_, model_mu_);
 
-  core::ApanModel* model_;
+  // Pending-job accounting for Flush(). Lock order: pending_mu_ before
+  // model_mu_ (Flush holds pending_mu_ across the wait, then takes
+  // model_mu_ for the held-back delivery); nothing acquires them in the
+  // other order.
+  mutable util::Mutex pending_mu_;
+  // Serializes model access between the inference thread and the worker,
+  // and guards the out-of-order injector state that only moves while the
+  // model is held.
+  util::Mutex model_mu_ APAN_ACQUIRED_AFTER(pending_mu_);
+
+  core::ApanModel* model_ APAN_PT_GUARDED_BY(model_mu_);
   Options options_;
-  Rng delay_rng_;
+  Rng delay_rng_ APAN_GUARDED_BY(model_mu_);
   BoundedQueue<Job> queue_;
   std::thread worker_;
-  // Serializes model access between the inference thread and the worker.
-  std::mutex model_mu_;
-  // Pending-job accounting for Flush().
-  mutable std::mutex pending_mu_;
-  std::condition_variable pending_cv_;
-  int64_t pending_ = 0;
-  int64_t propagated_batches_ = 0;
-  int64_t mails_dropped_ = 0;
-  bool shutdown_ = false;
+  util::CondVar pending_cv_;
+  int64_t pending_ APAN_GUARDED_BY(pending_mu_) = 0;
+  int64_t propagated_batches_ APAN_GUARDED_BY(pending_mu_) = 0;
+  int64_t mails_dropped_ APAN_GUARDED_BY(pending_mu_) = 0;
+  bool shutdown_ APAN_GUARDED_BY(pending_mu_) = false;
   // Deliveries deferred by the out-of-order injector.
-  std::vector<core::MailDelivery> held_back_;
+  std::vector<core::MailDelivery> held_back_ APAN_GUARDED_BY(model_mu_);
   std::unique_ptr<obs::Registry> owned_registry_;
   obs::Registry* registry_ = nullptr;
   obs::Histogram* sync_latency_ = nullptr;   ///< "stage.sync"

@@ -127,7 +127,7 @@ Result<ShardedEngine::InferenceResult> ShardedEngine::InferBatch(
   if (events.empty()) {
     return Status::InvalidArgument("InferBatch on empty batch");
   }
-  std::lock_guard<std::mutex> infer_lock(infer_mu_);
+  util::MutexLock infer_lock(infer_mu_);
   if (shutdown_) return Status::Cancelled("engine is shut down");
 
   InferenceResult result;
@@ -194,7 +194,7 @@ Result<ShardedEngine::InferenceResult> ShardedEngine::InferBatch(
         core::ApanEncoder::Output out;
         {
           Shard& shard = *shards_[static_cast<size_t>(s)];
-          std::lock_guard<std::mutex> state_lock(shard.state_mu);
+          util::MutexLock state_lock(shard.state_mu);
           out = model_->weights().EncodeNodes(*shard.store, nodes);
         }
         const float* rows = out.embeddings.data();
@@ -236,10 +236,10 @@ Result<ShardedEngine::InferenceResult> ShardedEngine::InferBatch(
   // ---- Hand off to the asynchronous link. ----
   if (options_.overflow == OverflowPolicy::kBlock) {
     for (auto& shard : shards_) {
-      std::unique_lock<std::mutex> lock(shard->mu);
-      shard->cv.wait(lock, [&] {
-        return shard->jobs_in_flight < options_.queue_capacity;
-      });
+      util::MutexLock lock(shard->mu);
+      while (shard->jobs_in_flight >= options_.queue_capacity) {
+        shard->cv.Wait(shard->mu);
+      }
     }
   } else {
     // A batch is dropped whole: enqueueing it on a subset of shards would
@@ -247,7 +247,7 @@ Result<ShardedEngine::InferenceResult> ShardedEngine::InferBatch(
     // stays valid — the mail is simply lost, as in an overloaded broker.
     bool any_full = false;
     for (auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      util::MutexLock lock(shard->mu);
       any_full |= shard->jobs_in_flight >= options_.queue_capacity;
     }
     if (any_full) {
@@ -282,7 +282,7 @@ Result<ShardedEngine::InferenceResult> ShardedEngine::InferBatch(
   }
 
   {
-    std::lock_guard<std::mutex> lock(flush_mu_);
+    util::MutexLock lock(flush_mu_);
     inflight_ += 2 * static_cast<int64_t>(num_shards);
     apply_remaining_.emplace(ctx->batch, num_shards);
   }
@@ -291,11 +291,11 @@ Result<ShardedEngine::InferenceResult> ShardedEngine::InferBatch(
     Shard& shard = *shards_[static_cast<size_t>(s)];
     int64_t depth = 0;
     {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      util::MutexLock lock(shard.mu);
       ++shard.jobs_in_flight;
       shard.jobs.push_back(std::move(jobs[static_cast<size_t>(s)]));
       depth = static_cast<int64_t>(shard.jobs.size());
-      shard.cv.notify_all();
+      shard.cv.NotifyAll();
     }
     if (stage_metrics_) {
       ins_.job_depth->Set(s, depth);
@@ -314,20 +314,23 @@ void ShardedEngine::WorkerLoop(int shard_id) {
     int64_t mail_left = -1;
     int64_t jobs_left = -1;
     {
-      std::unique_lock<std::mutex> lock(shard.mu);
-      const auto ready = [&] {
-        return shard.closed || !shard.mail.empty() || !shard.jobs.empty();
-      };
-      if (!ready()) {
+      util::MutexLock lock(shard.mu);
+      // Explicit predicate loops (not a lambda passed to the wait): the
+      // thread-safety analysis cannot see guarded reads inside a closure.
+      if (!shard.closed && shard.mail.empty() && shard.jobs.empty()) {
         // Only time the wait when the worker actually blocks: on the
         // busy path (work already queued) the clock reads themselves
         // would be the dominant cost of a meaningless ~0 sample.
         if (stage_metrics_) {
           Stopwatch idle_watch;
-          shard.cv.wait(lock, ready);
+          while (!shard.closed && shard.mail.empty() && shard.jobs.empty()) {
+            shard.cv.Wait(shard.mu);
+          }
           ins_.stage_idle->Record(shard_id, idle_watch.ElapsedMillis());
         } else {
-          shard.cv.wait(lock, ready);
+          while (!shard.closed && shard.mail.empty() && shard.jobs.empty()) {
+            shard.cv.Wait(shard.mu);
+          }
         }
       }
       // Messages first: applying a finished batch or answering a frontier
@@ -384,12 +387,12 @@ void ShardedEngine::ProcessJob(int shard_id, BatchJob job) {
     ResetShardLocal(shard_id);
     Shard& shard = *shards_[static_cast<size_t>(shard_id)];
     {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      util::MutexLock lock(shard.mu);
       --shard.jobs_in_flight;
-      shard.cv.notify_all();
+      shard.cv.NotifyAll();
     }
-    std::lock_guard<std::mutex> lock(flush_mu_);
-    if (--inflight_ == 0) flush_cv_.notify_all();
+    util::MutexLock lock(flush_mu_);
+    if (--inflight_ == 0) flush_cv_.NotifyAll();
     return;
   }
   const int64_t batch = job.ctx->batch;
@@ -452,9 +455,9 @@ void ShardedEngine::ProcessJob(int shard_id, BatchJob job) {
   job.ctx.reset();
   Shard& shard = *shards_[static_cast<size_t>(shard_id)];
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     --shard.jobs_in_flight;
-    shard.cv.notify_all();  // wake back-pressured InferBatch callers
+    shard.cv.NotifyAll();  // wake back-pressured InferBatch callers
   }
   if (stage_metrics_) {
     // Recorded before the flush notify so a scrape gated on Flush() sees
@@ -462,8 +465,8 @@ void ShardedEngine::ProcessJob(int shard_id, BatchJob job) {
     ins_.stage_finalize->Record(shard_id, finalize_watch.ElapsedMillis());
   }
   {
-    std::lock_guard<std::mutex> lock(flush_mu_);
-    if (--inflight_ == 0) flush_cv_.notify_all();
+    util::MutexLock lock(flush_mu_);
+    if (--inflight_ == 0) flush_cv_.NotifyAll();
   }
 }
 
@@ -585,8 +588,8 @@ double ShardedEngine::WaitForFrontierResponses(
     ShardMessage message;
     int64_t mail_left = 0;
     {
-      std::unique_lock<std::mutex> lock(shard.mu);
-      shard.cv.wait(lock, [&] { return !shard.mail.empty(); });
+      util::MutexLock lock(shard.mu);
+      while (shard.mail.empty()) shard.cv.Wait(shard.mu);
       message = std::move(shard.mail.front());
       shard.mail.pop_front();
       mail_left = static_cast<int64_t>(shard.mail.size());
@@ -735,10 +738,10 @@ void ShardedEngine::EnqueueMessage(int to_shard, ShardMessage message) {
   Shard& target = *shards_[static_cast<size_t>(to_shard)];
   int64_t depth = 0;
   {
-    std::lock_guard<std::mutex> lock(target.mu);
+    util::MutexLock lock(target.mu);
     target.mail.push_back(std::move(message));
     depth = static_cast<int64_t>(target.mail.size());
-    target.cv.notify_all();
+    target.cv.NotifyAll();
   }
   // Gauge updates happen after the unlock: lengthening the mail critical
   // section is the one way a relaxed-atomic metric could contend with the
@@ -912,7 +915,7 @@ void ShardedEngine::ApplyMergedBatch(int shard_id,
     // routed state updates and mail land in shard-local memory, never in
     // the model or another shard's rows.
     Shard& shard = *shards_[static_cast<size_t>(shard_id)];
-    std::lock_guard<std::mutex> state_lock(shard.state_mu);
+    util::MutexLock state_lock(shard.state_mu);
     for (const StateUpdate& u : updates) {
       shard.store->SetLastEmbedding(u.node, u.z);
     }
@@ -933,7 +936,7 @@ void ShardedEngine::ApplyMergedBatch(int shard_id,
   parts.shrink_to_fit();
   ins_.stage_merge->Record(shard_id, watch.ElapsedMillis());
 
-  std::lock_guard<std::mutex> lock(flush_mu_);
+  util::MutexLock lock(flush_mu_);
   auto remaining = apply_remaining_.find(batch);
   APAN_CHECK_MSG(remaining != apply_remaining_.end(),
                  "merged a batch with no apply barrier");
@@ -941,12 +944,12 @@ void ShardedEngine::ApplyMergedBatch(int shard_id,
     apply_remaining_.erase(remaining);
     ins_.batches_propagated->Add(shard_id, 1);
   }
-  if (--inflight_ == 0) flush_cv_.notify_all();
+  if (--inflight_ == 0) flush_cv_.NotifyAll();
 }
 
 void ShardedEngine::Flush() {
-  std::unique_lock<std::mutex> lock(flush_mu_);
-  flush_cv_.wait(lock, [&] { return inflight_ == 0; });
+  util::MutexLock lock(flush_mu_);
+  while (inflight_ != 0) flush_cv_.Wait(flush_mu_);
 }
 
 void ShardedEngine::ResetShardLocal(int shard_id) {
@@ -954,7 +957,7 @@ void ShardedEngine::ResetShardLocal(int shard_id) {
   {
     // The encode pool also reads the store (though ResetState's infer
     // lock means no encode can be running); keep the lock discipline.
-    std::lock_guard<std::mutex> state_lock(shard.state_mu);
+    util::MutexLock state_lock(shard.state_mu);
     shard.store->Reset();
   }
   graph_.ResetSlice(shard_id);
@@ -973,7 +976,7 @@ void ShardedEngine::ResetState() {
   // Holding infer_mu_ end-to-end serializes against InferBatch: no new
   // batch can interleave with the reset, and batch/ordinal sequencing
   // below is rewound under the same lock that advances it.
-  std::lock_guard<std::mutex> infer_lock(infer_mu_);
+  util::MutexLock infer_lock(infer_mu_);
   if (shutdown_) return;
   // Enforced, not just documented: rewinding the replay watermarks under
   // a duplicating transport would let a re-delivered pre-reset frame be
@@ -989,31 +992,31 @@ void ShardedEngine::ResetState() {
   // state (merge cursor, frontier watermarks, graph slice) is only ever
   // touched by its own thread.
   {
-    std::lock_guard<std::mutex> lock(flush_mu_);
+    util::MutexLock lock(flush_mu_);
     inflight_ += options_.num_shards;
   }
   for (int s = 0; s < options_.num_shards; ++s) {
     Shard& shard = *shards_[static_cast<size_t>(s)];
     BatchJob job;
     job.reset = true;
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     ++shard.jobs_in_flight;
     shard.jobs.push_back(std::move(job));
-    shard.cv.notify_all();
+    shard.cv.NotifyAll();
   }
   {
-    std::unique_lock<std::mutex> lock(flush_mu_);
-    flush_cv_.wait(lock, [&] { return inflight_ == 0; });
+    util::MutexLock lock(flush_mu_);
+    while (inflight_ != 0) flush_cv_.Wait(flush_mu_);
   }
   next_batch_ = 0;
   next_ordinal_ = 0;
 }
 
 void ShardedEngine::Shutdown() {
-  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  util::MutexLock shutdown_lock(shutdown_mu_);
   if (joined_) return;
   {
-    std::lock_guard<std::mutex> lock(infer_mu_);
+    util::MutexLock lock(infer_mu_);
     shutdown_ = true;
   }
   // Drain everything first — shutting down never loses accepted mail.
@@ -1026,9 +1029,9 @@ void ShardedEngine::Shutdown() {
   // into a dead engine.
   transport_->Stop();
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    util::MutexLock lock(shard->mu);
     shard->closed = true;
-    shard->cv.notify_all();
+    shard->cv.NotifyAll();
   }
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();

@@ -79,11 +79,9 @@
 #ifndef APAN_SERVE_SHARDED_ENGINE_H_
 #define APAN_SERVE_SHARDED_ENGINE_H_
 
-#include <condition_variable>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -99,6 +97,7 @@
 #include "util/bounded_queue.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace apan {
@@ -163,16 +162,17 @@ class ShardedEngine {
   /// (shard-parallel encoding) and enqueues the per-shard asynchronous
   /// work. Events must arrive in non-decreasing time order across calls;
   /// concurrent callers are serialized. \return Cancelled after Shutdown.
-  Result<InferenceResult> InferBatch(const std::vector<graph::Event>& events);
+  Result<InferenceResult> InferBatch(const std::vector<graph::Event>& events)
+      APAN_EXCLUDES(infer_mu_, flush_mu_);
 
   /// Blocks until every accepted batch has been sampled, routed, and
   /// applied on every shard.
-  void Flush();
+  void Flush() APAN_EXCLUDES(flush_mu_);
 
   /// Drains all accepted work AND the transport (a socket lane can hold
   /// frames a deque never could), then stops the workers (idempotent;
   /// also called by the destructor). Shutdown never loses accepted mail.
-  void Shutdown();
+  void Shutdown() APAN_EXCLUDES(shutdown_mu_, infer_mu_, flush_mu_);
 
   /// \brief Resets all streaming state between epochs, mirroring
   /// ApanModel::ResetState for the sharded layout: flushes accepted work,
@@ -186,7 +186,7 @@ class ShardedEngine {
   /// after the internal flush); a duplicating transport could re-deliver
   /// a pre-reset frame whose replay tag the reset rewound, so the engine
   /// aborts instead of corrupting silently. No-op after Shutdown.
-  void ResetState();
+  void ResetState() APAN_EXCLUDES(infer_mu_, flush_mu_);
 
   struct Stats {
     int64_t batches_ingested = 0;
@@ -221,7 +221,12 @@ class ShardedEngine {
   /// One shard's mutable node state — its mailbox slice + z(t−) rows
   /// (quiescent inspection: call after Flush). Stitching the per-shard
   /// stores by router ownership reconstructs the monolithic state.
-  const core::NodeStateStore& state_store(int shard) const {
+  /// Analysis opt-out: the store pointee is guarded by Shard::state_mu,
+  /// but this accessor's contract is quiescence (post-Flush, no batch in
+  /// flight), not a lock — taking state_mu here would hand the caller an
+  /// unprotected reference anyway.
+  const core::NodeStateStore& state_store(int shard) const
+      APAN_NO_THREAD_SAFETY_ANALYSIS {
     return *shards_[static_cast<size_t>(shard)]->store;
   }
   /// Latency of the synchronous path per batch (what the user waits for).
@@ -263,22 +268,26 @@ class ShardedEngine {
   using ExpansionKey = std::pair<int64_t, int32_t>;
 
   struct Shard {
+    /// Guards the *pointee* of `store` between the encode pool
+    /// (synchronous link) and this shard's worker (batch application).
+    /// The pointer itself is set once at construction and never reseated.
+    util::Mutex state_mu;
     /// This shard's mutable node state: its mailbox slice + z(t−) rows,
     /// dense over the nodes the router assigns to it. Exclusively owned —
     /// no other shard (and not the model) ever touches these bytes.
-    std::unique_ptr<core::NodeStateStore> store;
-    /// Guards `store` between the encode pool (synchronous link) and this
-    /// shard's worker (batch application).
-    std::mutex state_mu;
+    std::unique_ptr<core::NodeStateStore> store APAN_PT_GUARDED_BY(state_mu);
 
-    /// Inbox. Jobs are bounded by Options::queue_capacity (client
+    /// Inbox lock. Jobs are bounded by Options::queue_capacity (client
     /// back-pressure); messages are unbounded (see deadlock note above).
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<BatchJob> jobs;
-    std::deque<ShardMessage> mail;
-    size_t jobs_in_flight = 0;  ///< Queued + running; guarded by mu.
-    bool closed = false;
+    /// Lock order: a worker or caller holding `mu` never acquires another
+    /// shard's `mu`, `state_mu`, or any engine mutex — inbox critical
+    /// sections are push/pop only.
+    util::Mutex mu;
+    util::CondVar cv;
+    std::deque<BatchJob> jobs APAN_GUARDED_BY(mu);
+    std::deque<ShardMessage> mail APAN_GUARDED_BY(mu);
+    size_t jobs_in_flight APAN_GUARDED_BY(mu) = 0;  ///< Queued + running.
+    bool closed APAN_GUARDED_BY(mu) = false;
 
     /// Worker-local per-batch reassembly (worker thread only).
     std::map<int64_t, std::vector<ShardPartial>> pending;
@@ -297,14 +306,16 @@ class ShardedEngine {
     std::thread worker;
   };
 
-  void WorkerLoop(int shard_id);
-  void ProcessJob(int shard_id, BatchJob job);
+  void WorkerLoop(int shard_id) APAN_EXCLUDES(flush_mu_);
+  void ProcessJob(int shard_id, BatchJob job) APAN_EXCLUDES(flush_mu_);
   /// Worker-side half of ResetState: runs on the shard's own thread so
   /// the worker-confined replay state and graph slice stay thread-local.
   void ResetShardLocal(int shard_id);
-  void DispatchMessage(int shard_id, ShardMessage message);
-  void OnMail(int shard_id, ShardPartial partial);
-  void ApplyMergedBatch(int shard_id, std::vector<ShardPartial> parts);
+  void DispatchMessage(int shard_id, ShardMessage message)
+      APAN_EXCLUDES(flush_mu_);
+  void OnMail(int shard_id, ShardPartial partial) APAN_EXCLUDES(flush_mu_);
+  void ApplyMergedBatch(int shard_id, std::vector<ShardPartial> parts)
+      APAN_EXCLUDES(flush_mu_);
   void RouteMail(int from_shard, BatchJob& job,
                  core::PartialPropagation&& propagation);
   /// Hands `message` to the transport (which delivers it back through
@@ -350,25 +361,27 @@ class ShardedEngine {
   ThreadPool encode_pool_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
+  /// Serializes Shutdown callers end-to-end. Outermost engine lock:
+  /// Shutdown holds it while taking infer_mu_ (and, via Flush, flush_mu_).
+  util::Mutex shutdown_mu_;
+  bool joined_ APAN_GUARDED_BY(shutdown_mu_) = false;
+
   /// Serializes InferBatch callers (stream-order contract) and guards the
   /// shutdown flag + batch/ordinal sequencing.
-  std::mutex infer_mu_;
-  bool shutdown_ = false;
-  int64_t next_batch_ = 0;
-  int64_t next_ordinal_ = 0;  ///< Events accepted so far (guarded by infer_mu_).
-
-  /// Serializes Shutdown callers end-to-end.
-  std::mutex shutdown_mu_;
-  bool joined_ = false;  ///< Guarded by shutdown_mu_.
+  util::Mutex infer_mu_ APAN_ACQUIRED_AFTER(shutdown_mu_);
+  bool shutdown_ APAN_GUARDED_BY(infer_mu_) = false;
+  int64_t next_batch_ APAN_GUARDED_BY(infer_mu_) = 0;
+  int64_t next_ordinal_ APAN_GUARDED_BY(infer_mu_) = 0;  ///< Events accepted.
 
   /// Outstanding work legs for Flush: each accepted batch contributes
-  /// num_shards sampling legs + num_shards application legs.
-  mutable std::mutex flush_mu_;
-  std::condition_variable flush_cv_;
-  int64_t inflight_ = 0;
+  /// num_shards sampling legs + num_shards application legs. Innermost
+  /// engine lock (see the ACQUIRED_AFTER chain).
+  mutable util::Mutex flush_mu_ APAN_ACQUIRED_AFTER(infer_mu_);
+  util::CondVar flush_cv_;
+  int64_t inflight_ APAN_GUARDED_BY(flush_mu_) = 0;
   /// Apply barrier per in-flight batch: shards yet to merge it. The last
-  /// one to reach zero completes the batch. Guarded by flush_mu_.
-  std::map<int64_t, int> apply_remaining_;
+  /// one to reach zero completes the batch.
+  std::map<int64_t, int> apply_remaining_ APAN_GUARDED_BY(flush_mu_);
 
   /// Metric handles, resolved once at construction (the registry owns the
   /// metrics; handles are stable and lock-free). Counters are the stats()

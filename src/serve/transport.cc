@@ -70,6 +70,9 @@ Status UnixSocketTransport::Start(int num_shards, Handler handler) {
     if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
       const int err = errno;
       for (auto& open_lane : lanes_) {
+        // No reader threads exist yet, but write_fd's lock discipline is
+        // declared unconditionally — take the (uncontended) lock.
+        util::MutexLock lock(open_lane->write_mu);
         ::close(open_lane->write_fd);
         ::close(open_lane->read_fd);
       }
@@ -77,7 +80,10 @@ Status UnixSocketTransport::Start(int num_shards, Handler handler) {
       return Status::IoError(
           internal::StrCat("socketpair failed: errno ", err));
     }
-    lane->write_fd = fds[0];
+    {
+      util::MutexLock lock(lane->write_mu);
+      lane->write_fd = fds[0];
+    }
     lane->read_fd = fds[1];
     lanes_.push_back(std::move(lane));
   }
@@ -137,7 +143,7 @@ Status UnixSocketTransport::Send(int from_shard, int to_shard,
   wire::AppendFrame(message, &frame);
 
   Lane& lane = LaneFor(from_shard, to_shard);
-  std::lock_guard<std::mutex> lock(lane.write_mu);
+  util::MutexLock lock(lane.write_mu);
   if (lane.write_fd < 0) {
     return Status::FailedPrecondition("transport is stopped");
   }
@@ -170,7 +176,7 @@ void UnixSocketTransport::Stop() {
   // already written — a stream socket never drops queued data on a
   // SHUT_WR-style close — so readers drain all accepted frames, then exit.
   for (auto& lane : lanes_) {
-    std::lock_guard<std::mutex> lock(lane->write_mu);
+    util::MutexLock lock(lane->write_mu);
     ::close(lane->write_fd);
     lane->write_fd = -1;
   }
@@ -222,7 +228,7 @@ Status FaultyTransport::Send(int from_shard, int to_shard,
   if (!started_) return Status::FailedPrecondition("transport not started");
   std::vector<ShardMessage> inline_sends;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (stop_) return Status::FailedPrecondition("transport is stopped");
     const int copies = rng_.Bernoulli(options_.duplicate_probability) ? 2 : 1;
     for (int c = 0; c < copies; ++c) {
@@ -246,7 +252,7 @@ Status FaultyTransport::Send(int from_shard, int to_shard,
 Status FaultyTransport::FlushDue(bool drain) {
   std::vector<Held> due;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     const auto now = std::chrono::steady_clock::now();
     auto keep = held_.begin();
     for (auto it = held_.begin(); it != held_.end(); ++it) {
@@ -277,8 +283,11 @@ void FaultyTransport::FlusherLoop() {
       std::max<int64_t>(options_.flush_period_micros, 1));
   while (true) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait_for(lock, period, [this] { return stop_; });
+      util::MutexLock lock(mu_);
+      // A spurious wake just flushes one period early — the period is a
+      // polling cadence, not a correctness deadline — so one timed wait
+      // (no predicate loop) is enough here.
+      if (!stop_) cv_.WaitFor(mu_, period);
       if (stop_) return;
     }
     const Status flushed = FlushDue(/*drain=*/false);
@@ -289,10 +298,10 @@ void FaultyTransport::FlusherLoop() {
 void FaultyTransport::Stop() {
   if (!flusher_.joinable()) return;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   flusher_.join();
   // Faults degrade ordering and multiplicity, never delivery: everything
   // still held goes out before the inner transport is allowed to drain.

@@ -32,10 +32,8 @@
 #define APAN_SERVE_TRANSPORT_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string_view>
 #include <thread>
 #include <vector>
@@ -44,6 +42,7 @@
 #include "serve/shard_message.h"
 #include "util/random.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace apan {
 namespace serve {
@@ -165,11 +164,12 @@ class UnixSocketTransport : public Transport {
 
  private:
   struct Lane {
-    int write_fd = -1;
-    int read_fd = -1;
     /// Serializes writers (a fault decorator's flusher can race the
     /// worker) and guards write_fd against the close in Stop.
-    std::mutex write_mu;
+    util::Mutex write_mu;
+    int write_fd APAN_GUARDED_BY(write_mu) = -1;
+    /// Reader-thread-confined until Stop joins the reader; never raced.
+    int read_fd = -1;
     std::thread reader;
   };
 
@@ -214,8 +214,9 @@ class FaultyTransport : public Transport {
   ~FaultyTransport() override;
 
   Status Start(int num_shards, Handler handler) override;
-  Status Send(int from_shard, int to_shard, ShardMessage message) override;
-  void Stop() override;
+  Status Send(int from_shard, int to_shard, ShardMessage message) override
+      APAN_EXCLUDES(mu_);
+  void Stop() override APAN_EXCLUDES(mu_);
   const char* name() const override { return "faulty"; }
   /// The inner transport does the real moving; it does the accounting
   /// too (so injected duplicates are counted, as they cost real frames).
@@ -232,19 +233,19 @@ class FaultyTransport : public Transport {
     ShardMessage message;
   };
 
-  void FlusherLoop();
+  void FlusherLoop() APAN_EXCLUDES(mu_);
   /// Sends every held message whose deadline passed (all of them when
   /// `drain`), in RNG-shuffled order.
-  Status FlushDue(bool drain);
+  Status FlushDue(bool drain) APAN_EXCLUDES(mu_);
 
   std::unique_ptr<Transport> inner_;
   Options options_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  Rng rng_;                  ///< Guarded by mu_.
-  std::vector<Held> held_;   ///< Guarded by mu_.
-  bool stop_ = false;        ///< Guarded by mu_.
+  util::Mutex mu_;
+  util::CondVar cv_;
+  Rng rng_ APAN_GUARDED_BY(mu_);
+  std::vector<Held> held_ APAN_GUARDED_BY(mu_);
+  bool stop_ APAN_GUARDED_BY(mu_) = false;
   std::thread flusher_;
   bool started_ = false;
 };

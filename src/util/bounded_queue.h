@@ -8,12 +8,11 @@
 #ifndef APAN_UTIL_BOUNDED_QUEUE_H_
 #define APAN_UTIL_BOUNDED_QUEUE_H_
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace apan {
 
@@ -37,19 +36,20 @@ class BoundedQueue {
   /// When `evicted` is non-null and kDropOldest displaces a queued item,
   /// the displaced item is moved into `*evicted` instead of being silently
   /// destroyed — producers that must account for every lost item (e.g.
-  /// serve::AsyncPipeline's mails_dropped counter) inspect it.
+  /// serve::AsyncPipeline's mails_dropped counter) inspect it. On every
+  /// non-evicting return path `*evicted` is left empty, including Push
+  /// after Close.
   /// \return OK on success; ResourceExhausted when kDropNewest rejected the
   ///         item; Cancelled when the queue was closed.
-  Status Push(T item, std::optional<T>* evicted = nullptr) {
+  Status Push(T item, std::optional<T>* evicted = nullptr)
+      APAN_EXCLUDES(mu_) {
     if (evicted != nullptr) evicted->reset();
-    std::unique_lock<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (closed_) return Status::Cancelled("queue closed");
     if (items_.size() >= capacity_) {
       switch (policy_) {
         case OverflowPolicy::kBlock:
-          not_full_.wait(lock, [&] {
-            return items_.size() < capacity_ || closed_;
-          });
+          while (items_.size() >= capacity_ && !closed_) not_full_.Wait(mu_);
           if (closed_) return Status::Cancelled("queue closed");
           break;
         case OverflowPolicy::kDropNewest:
@@ -63,68 +63,68 @@ class BoundedQueue {
       }
     }
     items_.push_back(std::move(item));
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return Status::OK();
   }
 
   /// \brief Blocks until an item is available or the queue is closed and
   /// drained. Returns nullopt only in the latter case.
-  std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+  std::optional<T> Pop() APAN_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    while (items_.empty() && !closed_) not_empty_.Wait(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return item;
   }
 
   /// \brief Non-blocking pop; nullopt when empty.
-  std::optional<T> TryPop() {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::optional<T> TryPop() APAN_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return item;
   }
 
   /// \brief Closes the queue: future pushes fail, pops drain the backlog
   /// then return nullopt.
-  void Close() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Close() APAN_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     closed_ = true;
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool closed() const APAN_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return closed_;
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const APAN_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return items_.size();
   }
 
   size_t capacity() const { return capacity_; }
 
   /// Number of items lost to a drop policy since construction.
-  size_t dropped() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped() const APAN_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return dropped_;
   }
 
  private:
   const size_t capacity_;
   const OverflowPolicy policy_;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
-  size_t dropped_ = 0;
+  mutable util::Mutex mu_;
+  util::CondVar not_empty_;
+  util::CondVar not_full_;
+  std::deque<T> items_ APAN_GUARDED_BY(mu_);
+  bool closed_ APAN_GUARDED_BY(mu_) = false;
+  size_t dropped_ APAN_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace apan

@@ -4,10 +4,12 @@
 #ifndef APAN_UTIL_LOGGING_H_
 #define APAN_UTIL_LOGGING_H_
 
+#include <atomic>
 #include <iostream>
-#include <mutex>
 #include <sstream>
 #include <string>
+
+#include "util/thread_annotations.h"
 
 namespace apan {
 
@@ -16,19 +18,27 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 /// \brief Process-wide logging configuration.
 class Logging {
  public:
-  static LogLevel threshold() { return Instance().threshold_; }
-  static void set_threshold(LogLevel level) { Instance().threshold_ = level; }
+  // threshold_ is read on every log call from any thread while tests /
+  // benches may raise it concurrently — atomic, relaxed: the threshold is
+  // advisory (a racing message may use the old level) but the access must
+  // not be a data race.
+  static LogLevel threshold() {
+    return Instance().threshold_.load(std::memory_order_relaxed);
+  }
+  static void set_threshold(LogLevel level) {
+    Instance().threshold_.store(level, std::memory_order_relaxed);
+  }
 
-  /// Serializes writes from concurrent threads.
-  static std::mutex& mutex() { return Instance().mu_; }
+  /// Serializes stderr writes from concurrent threads.
+  static util::Mutex& mutex() { return Instance().mu_; }
 
  private:
   static Logging& Instance() {
     static Logging instance;
     return instance;
   }
-  LogLevel threshold_ = LogLevel::kInfo;
-  std::mutex mu_;
+  std::atomic<LogLevel> threshold_{LogLevel::kInfo};
+  util::Mutex mu_;
 };
 
 namespace internal {
@@ -46,8 +56,8 @@ class LogMessage {
 
   ~LogMessage() {
     if (level_ >= Logging::threshold()) {
-      std::lock_guard<std::mutex> lock(Logging::mutex());
-      std::cerr << stream_.str() << std::endl;
+      util::MutexLock lock(Logging::mutex());
+      std::cerr << stream_.str() << '\n';
     }
   }
 

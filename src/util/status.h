@@ -157,7 +157,7 @@ class Result {
   void CheckOk() const {
     if (!ok()) {
       std::cerr << "Result::ValueOrDie on error: " << status_.ToString()
-                << std::endl;
+                << '\n';
       std::abort();
     }
   }
@@ -203,7 +203,7 @@ std::string StrCat(Args&&... args) {
   do {                                                                     \
     if (!(cond)) {                                                         \
       std::cerr << "APAN_CHECK failed at " << __FILE__ << ":" << __LINE__ \
-                << ": " #cond << std::endl;                                \
+                << ": " #cond << '\n';                                     \
       std::abort();                                                        \
     }                                                                      \
   } while (0)
@@ -212,7 +212,7 @@ std::string StrCat(Args&&... args) {
   do {                                                                     \
     if (!(cond)) {                                                         \
       std::cerr << "APAN_CHECK failed at " << __FILE__ << ":" << __LINE__ \
-                << ": " #cond << " — " << (msg) << std::endl;              \
+                << ": " #cond << " — " << (msg) << '\n';                   \
       std::abort();                                                        \
     }                                                                      \
   } while (0)

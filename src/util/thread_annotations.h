@@ -1,0 +1,176 @@
+// Clang thread-safety annotations + annotated mutex/condvar wrappers.
+//
+// The serve plane's correctness is lock-discipline-based (per-shard inbox
+// locks, the state/encode split, the flush barrier). This header turns
+// that discipline into a compile-time contract: state is declared
+// APAN_GUARDED_BY its mutex, functions declare APAN_REQUIRES /
+// APAN_EXCLUDES, and a clang build with -Werror=thread-safety (the `lint`
+// CMake preset / CI job) fails on any unguarded access or missing lock.
+// Under GCC (the default local toolchain) every macro expands to nothing
+// and the wrappers cost exactly what std::mutex/std::condition_variable
+// cost.
+//
+// Conventions (docs/static-analysis.md has the full guide):
+//   * util::Mutex, never bare std::mutex, anywhere two threads meet;
+//   * util::MutexLock for scopes; CondVar waits take the Mutex directly
+//     and re-assert it to the analysis on wake;
+//   * condition-variable predicates are written as explicit while-loops
+//     around CondVar::Wait — a capturing lambda predicate reads guarded
+//     state from a context the analysis cannot see into;
+//   * APAN_NO_THREAD_SAFETY_ANALYSIS is the escape hatch of last resort
+//     and every use carries a comment saying why the analysis is wrong.
+
+#ifndef APAN_UTIL_THREAD_ANNOTATIONS_H_
+#define APAN_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// Attribute spelling: active under clang (which implements the analysis),
+// inert elsewhere. The __has_attribute probe keeps ancient clangs and
+// clang-imitators from choking on unknown attributes.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define APAN_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#endif
+#endif
+#ifndef APAN_THREAD_ANNOTATION_ATTRIBUTE__
+#define APAN_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op outside clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex").
+#define APAN_CAPABILITY(x) APAN_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Marks an RAII class that acquires in its ctor and releases in its dtor.
+#define APAN_SCOPED_CAPABILITY \
+  APAN_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define APAN_GUARDED_BY(x) APAN_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x` (the pointer itself
+/// may be read freely — the unique_ptr-to-shard-state pattern).
+#define APAN_PT_GUARDED_BY(x) \
+  APAN_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Documented lock-order edges (checked by -Wthread-safety-beta).
+#define APAN_ACQUIRED_BEFORE(...) \
+  APAN_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define APAN_ACQUIRED_AFTER(...) \
+  APAN_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+/// Caller must hold the capability when calling (and still holds after).
+#define APAN_REQUIRES(...) \
+  APAN_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define APAN_ACQUIRE(...) \
+  APAN_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (caller must hold it on entry).
+#define APAN_RELEASE(...) \
+  APAN_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+/// Function acquires iff it returns `b`.
+#define APAN_TRY_ACQUIRE(...) \
+  APAN_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (non-reentrancy contract).
+#define APAN_EXCLUDES(...) \
+  APAN_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Runtime-asserted "I know this is held" (e.g. after an external check).
+#define APAN_ASSERT_CAPABILITY(x) \
+  APAN_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+/// Function returns a reference to the named capability.
+#define APAN_RETURN_CAPABILITY(x) \
+  APAN_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: the analysis is wrong here, and the adjacent comment
+/// says why. Grep-able; reviewed like a cast.
+#define APAN_NO_THREAD_SAFETY_ANALYSIS \
+  APAN_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+namespace apan {
+namespace util {
+
+class CondVar;
+
+/// \brief std::mutex with the capability annotations the analysis needs.
+/// Same size, same cost; Lock/Unlock are the annotated verbs.
+class APAN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() APAN_ACQUIRE() { mu_.lock(); }
+  void Unlock() APAN_RELEASE() { mu_.unlock(); }
+  bool TryLock() APAN_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// \brief RAII scope over a util::Mutex (the std::lock_guard shape, but
+/// the analysis tracks the acquire/release pair).
+class APAN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) APAN_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() APAN_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// \brief Condition variable bound to util::Mutex. Wait takes the Mutex
+/// itself — the caller must hold it (APAN_REQUIRES), and still holds it
+/// when Wait returns, so guarded state stays accessible across the wait.
+///
+/// Internally each wait adopts the already-held std::mutex into a
+/// std::unique_lock for the libstdc++ wait call and releases the adoption
+/// before returning — the lock is never actually dropped outside the wait
+/// itself, which is exactly the invariant the REQUIRES annotation states.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// One wakeup (spurious wakeups allowed, as ever) — call in a while
+  /// loop re-checking the guarded predicate.
+  void Wait(Mutex& mu) APAN_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership stays with the caller's scope
+  }
+
+  /// Waits up to `timeout`; std::cv_status::timeout when it elapsed.
+  /// Same while-loop discipline as Wait.
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(Mutex& mu,
+                         const std::chrono::duration<Rep, Period>& timeout)
+      APAN_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(lock, timeout);
+    lock.release();
+    return status;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace util
+}  // namespace apan
+
+#endif  // APAN_UTIL_THREAD_ANNOTATIONS_H_

@@ -4,13 +4,13 @@
 #ifndef APAN_UTIL_THREAD_POOL_H_
 #define APAN_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace apan {
 
@@ -27,10 +27,10 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       stop_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     for (auto& w : workers_) w.join();
   }
 
@@ -41,15 +41,15 @@ class ThreadPool {
 
   /// \brief Schedules `fn` and returns a future for its completion.
   template <typename Fn>
-  std::future<void> Submit(Fn&& fn) {
+  std::future<void> Submit(Fn&& fn) APAN_EXCLUDES(mu_) {
     auto task =
         std::make_shared<std::packaged_task<void()>>(std::forward<Fn>(fn));
     std::future<void> fut = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       tasks_.emplace_back([task] { (*task)(); });
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
     return fut;
   }
 
@@ -78,12 +78,12 @@ class ThreadPool {
   }
 
  private:
-  void WorkerLoop() {
+  void WorkerLoop() APAN_EXCLUDES(mu_) {
     while (true) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [&] { return stop_ || !tasks_.empty(); });
+        util::MutexLock lock(mu_);
+        while (!stop_ && tasks_.empty()) cv_.Wait(mu_);
         if (stop_ && tasks_.empty()) return;
         task = std::move(tasks_.front());
         tasks_.pop_front();
@@ -93,10 +93,10 @@ class ThreadPool {
   }
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  std::deque<std::function<void()>> tasks_ APAN_GUARDED_BY(mu_);
+  util::Mutex mu_;
+  util::CondVar cv_;
+  bool stop_ APAN_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace apan

@@ -132,6 +132,55 @@ TEST(BoundedQueueTest, ConcurrentProducersConsumersDeliverAll) {
   EXPECT_EQ(checksum.load(), n * (n - 1) / 2);
 }
 
+TEST(BoundedQueueTest, PushAfterCloseLeavesEvictedEmpty) {
+  BoundedQueue<int> q(1, OverflowPolicy::kDropOldest);
+  ASSERT_TRUE(q.Push(1).ok());
+  q.Close();
+  // Seed the out-param with a stale value: the rejected push must clear
+  // it, or a producer reusing the optional would double-count the item.
+  std::optional<int> evicted = 99;
+  EXPECT_EQ(q.Push(2, &evicted).code(), StatusCode::kCancelled);
+  EXPECT_FALSE(evicted.has_value());
+  EXPECT_EQ(q.dropped(), 0u);  // Close is not an eviction
+}
+
+TEST(BoundedQueueTest, ConcurrentOverflowAccountsEveryItem) {
+  // kDropOldest under producer contention: every pushed item must end up
+  // either consumed or reported through the evicted out-param — no item
+  // may vanish and none may be reported twice. Runs under the TSan tier
+  // (see CMakeLists.txt), where a racy eviction path would also trip the
+  // sanitizer, not just the checksum.
+  BoundedQueue<int> q(4, OverflowPolicy::kDropOldest);
+  constexpr int kPerProducer = 400;
+  constexpr int kProducers = 4;
+  std::atomic<long long> evicted_sum{0};
+  std::atomic<int> evicted_count{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, &evicted_sum, &evicted_count, p] {
+      std::optional<int> evicted;
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(p * kPerProducer + i, &evicted).ok());
+        if (evicted.has_value()) {
+          evicted_sum += *evicted;
+          ++evicted_count;
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  long long consumed_sum = 0;
+  int consumed_count = 0;
+  while (auto v = q.TryPop()) {
+    consumed_sum += *v;
+    ++consumed_count;
+  }
+  const long long n = kPerProducer * kProducers;
+  EXPECT_EQ(consumed_count + evicted_count.load(), n);
+  EXPECT_EQ(evicted_count.load(), static_cast<int>(q.dropped()));
+  EXPECT_EQ(consumed_sum + evicted_sum.load(), n * (n - 1) / 2);
+}
+
 TEST(BoundedQueueTest, ZeroCapacityClampsToOne) {
   BoundedQueue<int> q(0);
   EXPECT_EQ(q.capacity(), 1u);

@@ -1,0 +1,304 @@
+// apan_lint: repo-specific invariants that neither the compiler nor
+// clang-tidy can express, run as a ctest (label `lint`) so they gate every
+// local tier-1 run, not just CI:
+//
+//   1. FMA-free kernels. src/tensor/kernels.cc promises bitwise
+//      scalar/AVX2/NEON parity, which holds only if the compiler never
+//      contracts mul+add into a fused multiply-add (contraction rounds
+//      once, separate ops round twice). CMake pins -ffp-contract=off on
+//      that TU; this check disassembles the built object and fails on any
+//      FMA mnemonic (vfmadd*/vfmsub*/vfnmadd*/vfnmsub* on x86,
+//      fmla*/fmls* on AArch64), so a dropped flag fails the test suite
+//      instead of silently breaking cross-ISA parity.
+//   2. Relaxed-only obs hot path. src/obs/ is scraped under load; its
+//      atomics are documented as plain counters with no ordering
+//      obligations. Any non-relaxed std::memory_order_* in src/obs/ fails
+//      — a stronger order there is either a bug or a design change that
+//      must update docs/static-analysis.md first.
+//   3. No ambient nondeterminism in the serve/core planes. Replayable
+//      serving (DESIGN.md: same stream + same seed => same scores) bans
+//      std::rand/srand, time(nullptr)/time(NULL), and std::random_device
+//      from src/serve/ and src/core/; randomness goes through util::Rng
+//      with an explicit seed.
+//
+// Suppressions: a line containing `lint:allow(memory-order)` or
+// `lint:allow(nondeterminism)` is skipped by the respective scan. Each
+// suppression must carry a justifying comment; docs/static-analysis.md
+// documents the contract. The FMA check has no suppression — parity is
+// all-or-nothing.
+//
+//   ./build/tools/apan_lint --src=<repo>/src --build-dir=<build dir>
+//       [--kernel-object=<path>]  explicit object, skips the search
+//       [--skip-fma]              no built object available (docs builds)
+//
+// Exit 0 when all checks pass; 1 with per-finding diagnostics otherwise.
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "tools/tool_util.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+using apan::tools::SlurpFile;
+using apan::tools::SplitLines;
+
+// ---- subprocess ------------------------------------------------------------
+
+/// Runs `cmd` through the shell, captures stdout (stderr is discarded).
+/// Returns false if the command could not run or exited non-zero.
+bool RunCommand(const std::string& cmd, std::string* out) {
+  out->clear();
+  FILE* pipe = popen((cmd + " 2>/dev/null").c_str(), "r");
+  if (pipe == nullptr) return false;
+  std::array<char, 4096> buf;
+  size_t n;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    out->append(buf.data(), n);
+  }
+  return pclose(pipe) == 0;
+}
+
+// ---- check 1: FMA mnemonics in the kernel object ---------------------------
+
+bool IsFmaMnemonic(const std::string& token) {
+  for (const char* prefix :
+       {"vfmadd", "vfmsub", "vfnmadd", "vfnmsub", "fmla", "fmls"}) {
+    if (token.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+/// Finds the built kernels.cc object under `build_dir` (any configuration
+/// layout — CMake nests it as .../apan_lib.dir/src/tensor/kernels.cc.o).
+std::string FindKernelObject(const std::string& build_dir) {
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(build_dir, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (it->is_regular_file(ec) &&
+        it->path().filename() == "kernels.cc.o") {
+      return it->path().string();
+    }
+  }
+  return "";
+}
+
+bool CheckNoFma(const std::string& object_path) {
+  std::string disasm;
+  bool ran = false;
+  std::string used;
+  for (const char* tool : {"llvm-objdump", "objdump"}) {
+    if (RunCommand(std::string(tool) + " -d --no-show-raw-insn " +
+                       object_path,
+                   &disasm) &&
+        disasm.size() > 1024) {
+      ran = true;
+      used = tool;
+      break;
+    }
+  }
+  if (!ran) {
+    std::fprintf(stderr,
+                 "apan_lint: no working disassembler (tried llvm-objdump, "
+                 "objdump) for %s\n",
+                 object_path.c_str());
+    return false;
+  }
+
+  int64_t instructions = 0;
+  int64_t findings = 0;
+  for (const std::string& line : SplitLines(disasm)) {
+    // Instruction lines look like "  2f:\tvmulps %ymm…"; count them so an
+    // empty or non-code disassembly can't vacuously pass.
+    const size_t tab = line.find('\t');
+    if (tab == std::string::npos) continue;
+    ++instructions;
+    // Mnemonic = first whitespace-delimited token after the tab.
+    size_t start = line.find_first_not_of(" \t", tab);
+    if (start == std::string::npos) continue;
+    size_t stop = line.find_first_of(" \t", start);
+    const std::string mnemonic =
+        line.substr(start, stop == std::string::npos ? stop : stop - start);
+    if (IsFmaMnemonic(mnemonic)) {
+      ++findings;
+      if (findings <= 10) {
+        std::fprintf(stderr, "apan_lint: FMA in %s: %s\n",
+                     object_path.c_str(), line.c_str());
+      }
+    }
+  }
+  if (instructions < 100) {
+    std::fprintf(stderr,
+                 "apan_lint: disassembly of %s has only %lld instruction "
+                 "lines — wrong file?\n",
+                 object_path.c_str(), static_cast<long long>(instructions));
+    return false;
+  }
+  if (findings > 0) {
+    std::fprintf(stderr,
+                 "apan_lint: %lld FMA instruction(s) in %s — kernels.cc must "
+                 "build with -ffp-contract=off (see CMakeLists.txt) to keep "
+                 "bitwise scalar/SIMD parity\n",
+                 static_cast<long long>(findings), object_path.c_str());
+    return false;
+  }
+  std::printf("apan_lint: FMA check OK (%s, %lld instructions, via %s)\n",
+              object_path.c_str(), static_cast<long long>(instructions),
+              used.c_str());
+  return true;
+}
+
+// ---- source scans ----------------------------------------------------------
+
+std::vector<std::string> SourceFiles(const std::string& dir) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    const std::string ext = it->path().extension().string();
+    if (ext == ".h" || ext == ".cc") files.push_back(it->path().string());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+bool CheckRelaxedOnlyMemoryOrders(const std::string& obs_dir) {
+  const std::vector<std::string> files = SourceFiles(obs_dir);
+  if (files.empty()) {
+    std::fprintf(stderr, "apan_lint: no sources under %s\n", obs_dir.c_str());
+    return false;
+  }
+  int64_t findings = 0;
+  for (const std::string& file : files) {
+    std::string text;
+    if (!SlurpFile(file, &text)) return false;
+    int lineno = 0;
+    for (const std::string& line : SplitLines(text)) {
+      ++lineno;
+      if (line.find("lint:allow(memory-order)") != std::string::npos) {
+        continue;
+      }
+      size_t pos = 0;
+      static const std::string kNeedle = "memory_order_";
+      while ((pos = line.find(kNeedle, pos)) != std::string::npos) {
+        const size_t order_start = pos + kNeedle.size();
+        size_t order_end = order_start;
+        while (order_end < line.size() &&
+               (std::isalnum(static_cast<unsigned char>(line[order_end])) ||
+                line[order_end] == '_')) {
+          ++order_end;
+        }
+        const std::string order =
+            line.substr(order_start, order_end - order_start);
+        if (order != "relaxed") {
+          ++findings;
+          std::fprintf(stderr,
+                       "apan_lint: %s:%d: memory_order_%s in src/obs/ — the "
+                       "obs hot path is relaxed-only "
+                       "(docs/static-analysis.md)\n",
+                       file.c_str(), lineno, order.c_str());
+        }
+        pos = order_end;
+      }
+    }
+  }
+  if (findings > 0) return false;
+  std::printf("apan_lint: memory-order check OK (%zu files under %s)\n",
+              files.size(), obs_dir.c_str());
+  return true;
+}
+
+bool CheckNoNondeterminism(const std::vector<std::string>& dirs) {
+  static const char* kPatterns[] = {"std::rand", "std::srand",
+                                    "time(nullptr)", "time(NULL)",
+                                    "std::random_device"};
+  int64_t findings = 0;
+  size_t total_files = 0;
+  for (const std::string& dir : dirs) {
+    const std::vector<std::string> files = SourceFiles(dir);
+    if (files.empty()) {
+      std::fprintf(stderr, "apan_lint: no sources under %s\n", dir.c_str());
+      return false;
+    }
+    total_files += files.size();
+    for (const std::string& file : files) {
+      std::string text;
+      if (!SlurpFile(file, &text)) return false;
+      int lineno = 0;
+      for (const std::string& line : SplitLines(text)) {
+        ++lineno;
+        if (line.find("lint:allow(nondeterminism)") != std::string::npos) {
+          continue;
+        }
+        for (const char* pattern : kPatterns) {
+          if (line.find(pattern) != std::string::npos) {
+            ++findings;
+            std::fprintf(stderr,
+                         "apan_lint: %s:%d: %s — serve/core must stay "
+                         "replayable; use util::Rng with an explicit seed "
+                         "(docs/static-analysis.md)\n",
+                         file.c_str(), lineno, pattern);
+          }
+        }
+      }
+    }
+  }
+  if (findings > 0) return false;
+  std::printf("apan_lint: nondeterminism check OK (%zu files)\n", total_files);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const apan::tools::ArgParser args(argc, argv);
+  const std::string src = args.FlagValue("src");
+  if (src.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s --src=<repo>/src --build-dir=<build dir> "
+                 "[--kernel-object=<path>] [--skip-fma]\n",
+                 args.program().c_str());
+    return 1;
+  }
+
+  bool ok = true;
+
+  if (args.HasFlag("skip-fma")) {
+    std::printf("apan_lint: FMA check skipped (--skip-fma)\n");
+  } else {
+    std::string object = args.FlagValue("kernel-object");
+    if (object.empty()) {
+      const std::string build_dir = args.FlagValue("build-dir");
+      if (build_dir.empty()) {
+        std::fprintf(stderr,
+                     "apan_lint: need --build-dir or --kernel-object for the "
+                     "FMA check (or --skip-fma)\n");
+        return 1;
+      }
+      object = FindKernelObject(build_dir);
+      if (object.empty()) {
+        std::fprintf(stderr,
+                     "apan_lint: no kernels.cc.o under %s — build apan_lib "
+                     "first\n",
+                     build_dir.c_str());
+        return 1;
+      }
+    }
+    ok = CheckNoFma(object) && ok;
+  }
+
+  ok = CheckRelaxedOnlyMemoryOrders(src + "/obs") && ok;
+  ok = CheckNoNondeterminism({src + "/serve", src + "/core"}) && ok;
+
+  if (!ok) return 1;
+  std::printf("apan_lint: all checks passed\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Shared plumbing for the repo's small CLI tools (trace_check, apan_lint):
+// flag parsing and whole-file slurping. Header-only on purpose — the tools
+// directory builds each .cc into its own binary and has no library target.
+
+#ifndef APAN_TOOLS_TOOL_UTIL_H_
+#define APAN_TOOLS_TOOL_UTIL_H_
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace apan {
+namespace tools {
+
+/// Minimal argv parser: `--name=value` and bare `--name` become flags,
+/// everything else is positional, in order. No combining, no `-x`
+/// shorthands — these are two-flag CLIs, not a framework.
+class ArgParser {
+ public:
+  ArgParser(int argc, char** argv) {
+    program_ = argc > 0 ? argv[0] : "";
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        const size_t eq = arg.find('=');
+        if (eq == std::string::npos) {
+          flags_.emplace_back(arg.substr(2), "");
+        } else {
+          flags_.emplace_back(arg.substr(2, eq - 2), arg.substr(eq + 1));
+        }
+      } else {
+        positional_.push_back(arg);
+      }
+    }
+  }
+
+  const std::string& program() const { return program_; }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool HasFlag(const std::string& name) const {
+    for (const auto& [k, v] : flags_) {
+      if (k == name) return true;
+    }
+    return false;
+  }
+
+  /// Value of `--name=value`, or `fallback` when absent / value-less.
+  std::string FlagValue(const std::string& name,
+                        const std::string& fallback = "") const {
+    for (const auto& [k, v] : flags_) {
+      if (k == name) return v.empty() ? fallback : v;
+    }
+    return fallback;
+  }
+
+ private:
+  std::string program_;
+  std::vector<std::string> positional_;
+  std::vector<std::pair<std::string, std::string>> flags_;
+};
+
+/// Reads a whole file into `*out`. Returns false (and prints a diagnostic
+/// naming `path` to stderr) on open failure; an empty file succeeds with
+/// an empty string — callers that require content check for themselves.
+inline bool SlurpFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+/// Splits text into lines (no trailing '\n' in elements). A final line
+/// without a newline is kept.
+inline std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      if (start < text.size()) lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+}  // namespace tools
+}  // namespace apan
+
+#endif  // APAN_TOOLS_TOOL_UTIL_H_

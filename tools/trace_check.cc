@@ -14,11 +14,10 @@
 // Exit 0 on success; 1 with a diagnostic on stderr otherwise.
 
 #include <cstdio>
-#include <fstream>
-#include <sstream>
 #include <string>
 
 #include "obs/trace.h"
+#include "tools/tool_util.h"
 
 namespace {
 
@@ -29,42 +28,38 @@ bool Contains(const std::string& text, const char* needle) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <trace.json>\n", argv[0]);
+  const apan::tools::ArgParser args(argc, argv);
+  if (args.positional().size() != 1) {
+    std::fprintf(stderr, "usage: %s <trace.json>\n", args.program().c_str());
     return 1;
   }
-  std::ifstream in(argv[1], std::ios::binary);
-  if (!in) {
-    std::fprintf(stderr, "trace_check: cannot open %s\n", argv[1]);
-    return 1;
-  }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  const std::string text = buf.str();
+  const std::string& path = args.positional()[0];
+  std::string text;
+  if (!apan::tools::SlurpFile(path, &text)) return 1;
   if (text.empty()) {
-    std::fprintf(stderr, "trace_check: %s is empty\n", argv[1]);
+    std::fprintf(stderr, "trace_check: %s is empty\n", path.c_str());
     return 1;
   }
 
   std::string error;
   if (!apan::obs::ValidateJson(text, &error)) {
     std::fprintf(stderr, "trace_check: %s is not well-formed JSON: %s\n",
-                 argv[1], error.c_str());
+                 path.c_str(), error.c_str());
     return 1;
   }
   if (!Contains(text, "\"traceEvents\"")) {
     std::fprintf(stderr, "trace_check: %s lacks a \"traceEvents\" array\n",
-                 argv[1]);
+                 path.c_str());
     return 1;
   }
   for (const char* field : {"\"name\"", "\"ph\"", "\"ts\""}) {
     if (!Contains(text, field)) {
       std::fprintf(stderr,
                    "trace_check: %s has no event carrying %s — empty trace?\n",
-                   argv[1], field);
+                   path.c_str(), field);
       return 1;
     }
   }
-  std::printf("trace_check: %s OK (%zu bytes)\n", argv[1], text.size());
+  std::printf("trace_check: %s OK (%zu bytes)\n", path.c_str(), text.size());
   return 0;
 }
