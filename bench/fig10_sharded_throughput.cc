@@ -29,6 +29,16 @@
 // serialization + syscall tax of leaving shared memory reads directly
 // off adjacent rows.
 //
+// Every multi-shard configuration is also run under BOTH node
+// partitioners: the stateless ownership hash ("hash") and the
+// locality-aware greedy assignment ("locality",
+// graph::NodePartition::BuildLocality built prior-epoch style from the
+// full replayed stream). Adjacent rows read off exactly what co-location
+// buys: the cross-shard mail fraction, the per-peer frame/syscall load,
+// and — on real hardware — the events/s recovered from not serializing
+// nearly every mail through the transport. At one shard the partitioners
+// coincide, so only the hash row is emitted.
+//
 // --trace=<path> replays one extra metrics-on run at the maximum shard
 // count with the span recorder enabled and flushes a Chrome trace_event
 // JSON there (open at https://ui.perfetto.dev). Requires a build with
@@ -42,11 +52,14 @@
 #include <cstdio>
 #include <cstring>
 #include <iterator>
+#include <limits>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "graph/node_partition.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/async_pipeline.h"
@@ -75,6 +88,7 @@ struct StageRow {
 struct StageBreakdown {
   int shards = 0;
   std::string transport;
+  std::string partition;
   double wall_ms = 0.0;
   int64_t batches = 0;
   double coverage_pct = 0.0;  ///< worker stages (incl. idle) vs wall
@@ -92,6 +106,7 @@ struct LaneRow {
 struct TransportBreakdown {
   int shards = 0;
   std::string transport;
+  std::string partition;
   int64_t frames = 0;
   int64_t bytes = 0;
   int64_t syscalls = 0;
@@ -103,6 +118,7 @@ struct TransportBreakdown {
 struct JsonRow {
   std::string engine;
   std::string transport;
+  std::string partition;
   int shards = 0;
   RunResult r;
   /// Sharded rows only: the metrics-off twin and the tax of turning the
@@ -159,10 +175,12 @@ constexpr const char* kWorkerStages[] = {
 
 StageBreakdown CollectStages(const apan::obs::Registry::Snapshot& snap,
                              int shards, const std::string& transport,
+                             const std::string& partition,
                              const RunResult& r) {
   StageBreakdown out;
   out.shards = shards;
   out.transport = transport;
+  out.partition = partition;
   out.wall_ms = r.wall_ms;
   out.batches = r.batches;
   const double worker_wall =
@@ -185,10 +203,12 @@ StageBreakdown CollectStages(const apan::obs::Registry::Snapshot& snap,
 }
 
 TransportBreakdown CollectTransport(const apan::obs::Registry::Snapshot& snap,
-                                    int shards, const std::string& transport) {
+                                    int shards, const std::string& transport,
+                                    const std::string& partition) {
   TransportBreakdown out;
   out.shards = shards;
   out.transport = transport;
+  out.partition = partition;
   const auto* frames = snap.FindCounter("transport.frames");
   const auto* bytes = snap.FindCounter("transport.bytes");
   const auto* syscalls = snap.FindCounter("transport.syscalls");
@@ -266,10 +286,10 @@ int main(int argc, char** argv) {
 
   std::printf("%zu events, %lld nodes, batches of %zu\n\n",
               wiki.events.size(), (long long)wiki.num_nodes, batch);
-  std::printf("%-18s | %9s | %12s | %12s | %12s | %12s | %12s\n", "Engine",
-              "transport", "events/s", "ev/s no-obs", "sync p50 ms",
-              "sync p99 ms", "cross-shard");
-  bench::PrintRule(106);
+  std::printf("%-18s | %9s | %9s | %12s | %12s | %12s | %12s | %12s\n",
+              "Engine", "transport", "partition", "events/s", "ev/s no-obs",
+              "sync p50 ms", "sync p99 ms", "cross-shard");
+  bench::PrintRule(118);
 
   double baseline_eps = 0.0;
   int64_t mono_graph_bytes = 0;
@@ -282,23 +302,45 @@ int main(int argc, char** argv) {
     baseline_eps = r.events_per_sec;
     mono_graph_bytes = model.graph().MemoryBytes();
     mono_state_bytes = model.state_store().MemoryBytes();
-    std::printf("%-18s | %9s | %12.0f | %12s | %12.3f | %12.3f | %12s\n",
-                "AsyncPipeline", "-", r.events_per_sec, "-", r.sync_p50_ms,
-                r.sync_p99_ms, "-");
+    std::printf(
+        "%-18s | %9s | %9s | %12.0f | %12s | %12.3f | %12.3f | %12s\n",
+        "AsyncPipeline", "-", "-", r.events_per_sec, "-", r.sync_p50_ms,
+        r.sync_p99_ms, "-");
     std::fflush(stdout);
-    JsonRow row{"AsyncPipeline", "-", 0, r, 0.0, 0.0, false};
+    JsonRow row{"AsyncPipeline", "-", "-", 0, r, 0.0, 0.0, false};
     json_rows.push_back(row);
   }
 
   struct MemoryRow {
     int shards = 0;
+    std::string partition;
     int64_t slice_bytes = 0;
     int64_t state_bytes = 0;
+    /// Largest / smallest per-shard state slice: the balance the
+    /// partitioner actually delivered, not just the sum.
+    int64_t state_bytes_max_shard = 0;
+    int64_t state_bytes_min_shard = 0;
+  };
+  /// A named ownership index choice; null index = the engine's hash
+  /// default.
+  struct PartitionChoice {
+    const char* name;
+    std::shared_ptr<const graph::NodePartition> index;
   };
   std::vector<MemoryRow> memory_rows;
   std::vector<StageBreakdown> stage_breakdowns;
   std::vector<TransportBreakdown> transport_breakdowns;
   for (const int shards : {1, 2, 4, 8}) {
+    std::vector<PartitionChoice> partitions;
+    partitions.push_back({"hash", nullptr});
+    if (shards > 1) {
+      // Prior-epoch style: the greedy builder sees the stream it will
+      // serve — the upper bound on what warmup-prefix construction gets.
+      partitions.push_back(
+          {"locality", graph::NodePartition::BuildLocality(
+                           config.num_nodes, shards, wiki.events)});
+    }
+    for (const PartitionChoice& part : partitions) {
     for (const serve::TransportKind plane : planes) {
       // The A/B pair (metrics off vs on) is measured over kRepeats
       // interleaved pairs: a single replay is ~tens of milliseconds, so
@@ -323,6 +365,7 @@ int main(int argc, char** argv) {
           core::ApanModel model(config, &wiki.features, /*seed=*/2021);
           serve::ShardedEngine::Options options;
           options.num_shards = shards;
+          options.partition = part.index;
           options.transport = serve::MakeTransportFactory(plane);
           options.stage_metrics = false;
           serve::ShardedEngine engine(&model, options);
@@ -334,6 +377,7 @@ int main(int argc, char** argv) {
         core::ApanModel model(config, &wiki.features, /*seed=*/2021);
         serve::ShardedEngine::Options options;
         options.num_shards = shards;
+        options.partition = part.index;
         options.transport = serve::MakeTransportFactory(plane);
         options.stage_metrics = true;
         serve::ShardedEngine engine(&model, options);
@@ -354,17 +398,29 @@ int main(int argc, char** argv) {
         // coverage — the run least perturbed by the machine (time a
         // descheduled-but-runnable worker spends is unattributable).
         const obs::Registry::Snapshot snap = engine.registry()->Scrape();
-        StageBreakdown stages = CollectStages(snap, shards, tname, r);
+        StageBreakdown stages =
+            CollectStages(snap, shards, tname, part.name, r);
         if (stages.coverage_pct > best_stages.coverage_pct) {
           best_stages = std::move(stages);
-          best_transport = CollectTransport(snap, shards, tname);
+          best_transport = CollectTransport(snap, shards, tname, part.name);
         }
         if (rep == 0 && plane == serve::TransportKind::kInProcess) {
+          // One memory row per (shards, partition) configuration — the
+          // state split depends on WHERE nodes live, so each partitioner
+          // gets its own measurement, never a reused one.
           MemoryRow row;
           row.shards = shards;
+          row.partition = part.name;
           row.slice_bytes = engine.sharded_graph().MemoryBytes();
+          row.state_bytes_min_shard =
+              std::numeric_limits<int64_t>::max();
           for (int s = 0; s < shards; ++s) {
-            row.state_bytes += engine.state_store(s).MemoryBytes();
+            const int64_t b = engine.state_store(s).MemoryBytes();
+            row.state_bytes += b;
+            row.state_bytes_max_shard =
+                std::max(row.state_bytes_max_shard, b);
+            row.state_bytes_min_shard =
+                std::min(row.state_bytes_min_shard, b);
           }
           memory_rows.push_back(row);
         }
@@ -376,11 +432,13 @@ int main(int argc, char** argv) {
       char label[32];
       std::snprintf(label, sizeof(label), "Sharded x%d", shards);
       std::printf(
-          "%-18s | %9s | %12.0f | %12.0f | %12.3f | %12.3f | %11.1f%%\n",
-          label, tname.c_str(), r.events_per_sec, noobs_eps, r.sync_p50_ms,
-          r.sync_p99_ms, r.cross_shard_pct);
+          "%-18s | %9s | %9s | %12.0f | %12.0f | %12.3f | %12.3f | "
+          "%11.1f%%\n",
+          label, tname.c_str(), part.name, r.events_per_sec, noobs_eps,
+          r.sync_p50_ms, r.sync_p99_ms, r.cross_shard_pct);
       std::fflush(stdout);
-      JsonRow row{"ShardedEngine", tname, shards, r, noobs_eps, 0.0, true};
+      JsonRow row{"ShardedEngine", tname,      part.name, shards,
+                  r,               noobs_eps, 0.0,       true};
       if (!pair_overhead_pct.empty()) {
         std::sort(pair_overhead_pct.begin(), pair_overhead_pct.end());
         row.obs_overhead_pct =
@@ -388,8 +446,9 @@ int main(int argc, char** argv) {
       }
       json_rows.push_back(row);
     }
+    }
   }
-  bench::PrintRule(106);
+  bench::PrintRule(118);
   std::printf(
       "baseline = single-worker AsyncPipeline (%.0f ev/s). Speedup needs\n"
       "hardware parallelism: on a 1-core box expect parity, not scaling.\n"
@@ -399,7 +458,11 @@ int main(int argc, char** argv) {
       "state table; sharded rows encode against per-shard NodeStateStores\n"
       "(no shared z vector, no cross-shard cache-line contention on the\n"
       "synchronous link), so the gap between the rows is the false-sharing\n"
-      "tax of the monolithic state plane.\n",
+      "tax of the monolithic state plane.\n"
+      "partition: hash = the stateless ownership hash; locality = greedy\n"
+      "co-location (NodePartition::BuildLocality) over the replayed stream\n"
+      "— compare adjacent rows for what co-location buys in cross-shard\n"
+      "mail and per-peer transport load.\n",
       baseline_eps);
   if (planes.size() > 1) {
     std::printf(
@@ -412,26 +475,32 @@ int main(int argc, char** argv) {
   // go" table the negative scaling question needs) ------------------------
   std::printf(
       "\nper-shard worker time by stage, %% of shards x wall (inproc, "
-      "metrics on):\n");
+      "metrics on;\ncolumn xN = N shards under the hash partition, xN/loc "
+      "under locality):\n");
+  size_t stage_columns = 0;
   std::printf("%-15s", "stage");
   for (const StageBreakdown& b : stage_breakdowns) {
     if (b.transport != "inproc") continue;
-    std::printf(" | %7s%d", "x", b.shards);
+    char col[16];
+    std::snprintf(col, sizeof(col), "x%d%s", b.shards,
+                  b.partition == "locality" ? "/loc" : "");
+    std::printf(" | %7s", col);
+    ++stage_columns;
   }
   std::printf("\n");
-  bench::PrintRule(15 + 11 * 4);
+  bench::PrintRule(15 + 10 * stage_columns);
   for (size_t s = 0; s < std::size(kWorkerStages); ++s) {
     std::printf("%-15s", kWorkerStages[s]);
     for (const StageBreakdown& b : stage_breakdowns) {
       if (b.transport != "inproc") continue;
-      std::printf(" | %7.1f%%", b.rows[s].pct_wall);
+      std::printf(" | %6.1f%%", b.rows[s].pct_wall);
     }
     std::printf("\n");
   }
   std::printf("%-15s", "coverage");
   for (const StageBreakdown& b : stage_breakdowns) {
     if (b.transport != "inproc") continue;
-    std::printf(" | %7.1f%%", b.coverage_pct);
+    std::printf(" | %6.1f%%", b.coverage_pct);
   }
   std::printf(
       "\ncoverage = how much of the workers' wall time the disjoint "
@@ -441,11 +510,11 @@ int main(int argc, char** argv) {
   for (const TransportBreakdown& t : transport_breakdowns) {
     if (t.frames == 0) continue;
     std::printf(
-        "transport x%d %s: %lld frames (%lld cross-shard), %lld bytes, "
+        "transport x%d %s/%s: %lld frames (%lld cross-shard), %lld bytes, "
         "%lld write syscalls\n",
-        t.shards, t.transport.c_str(), (long long)t.frames,
-        (long long)t.cross_shard_frames, (long long)t.bytes,
-        (long long)t.syscalls);
+        t.shards, t.transport.c_str(), t.partition.c_str(),
+        (long long)t.frames, (long long)t.cross_shard_frames,
+        (long long)t.bytes, (long long)t.syscalls);
   }
 
   // Both partitioned planes store their payload exactly once: graph
@@ -454,22 +523,26 @@ int main(int argc, char** argv) {
   // mailbox + z(t−) rows once (plus the dense local index) — so both
   // sums stay ~1x monolithic at every shard count.
   std::printf(
-      "\nper-shard memory (inproc rows), summed across shards:\n"
+      "\nper-shard memory (inproc rows), summed across shards; max/min = "
+      "largest\nand smallest single shard's state slice (the partitioner's "
+      "balance):\n"
       "  monolithic: graph %lld bytes | state (mailbox + z rows) %lld "
       "bytes\n",
       (long long)mono_graph_bytes, (long long)mono_state_bytes);
   for (const MemoryRow& row : memory_rows) {
     std::printf(
-        "  x%d shards: graph %lld bytes (%.2fx) | state %lld bytes "
-        "(%.2fx)\n",
-        row.shards, (long long)row.slice_bytes,
+        "  x%d %-8s: graph %lld bytes (%.2fx) | state %lld bytes "
+        "(%.2fx, max/min %lld/%lld)\n",
+        row.shards, row.partition.c_str(), (long long)row.slice_bytes,
         mono_graph_bytes > 0 ? static_cast<double>(row.slice_bytes) /
                                    static_cast<double>(mono_graph_bytes)
                              : 0.0,
         (long long)row.state_bytes,
         mono_state_bytes > 0 ? static_cast<double>(row.state_bytes) /
                                    static_cast<double>(mono_state_bytes)
-                             : 0.0);
+                             : 0.0,
+        (long long)row.state_bytes_max_shard,
+        (long long)row.state_bytes_min_shard);
   }
 
   // ---- Optional traced replay (--trace=<path>) ---------------------------
@@ -521,6 +594,7 @@ int main(int argc, char** argv) {
     json.BeginObject();
     json.Field("engine", row.engine);
     json.Field("transport", row.transport);
+    json.Field("partition", row.partition);
     json.Field("shards", static_cast<int64_t>(row.shards));
     json.Field("events_per_sec", row.r.events_per_sec);
     if (row.has_noobs) {
@@ -538,6 +612,7 @@ int main(int argc, char** argv) {
     json.BeginObject();
     json.Field("shards", static_cast<int64_t>(b.shards));
     json.Field("transport", b.transport);
+    json.Field("partition", b.partition);
     json.Field("wall_ms", b.wall_ms);
     json.Field("batches", b.batches);
     json.Field("coverage_pct", b.coverage_pct);
@@ -559,6 +634,7 @@ int main(int argc, char** argv) {
     json.BeginObject();
     json.Field("shards", static_cast<int64_t>(t.shards));
     json.Field("transport", t.transport);
+    json.Field("partition", t.partition);
     json.Field("frames", t.frames);
     json.Field("cross_shard_frames", t.cross_shard_frames);
     json.Field("bytes", t.bytes);
@@ -580,6 +656,7 @@ int main(int argc, char** argv) {
   for (const MemoryRow& row : memory_rows) {
     json.BeginObject();
     json.Field("shards", static_cast<int64_t>(row.shards));
+    json.Field("partition", row.partition);
     json.Field("graph_bytes", row.slice_bytes);
     json.Field("graph_ratio_vs_monolithic",
                mono_graph_bytes > 0
@@ -592,6 +669,8 @@ int main(int argc, char** argv) {
                    ? static_cast<double>(row.state_bytes) /
                          static_cast<double>(mono_state_bytes)
                    : 0.0);
+    json.Field("state_bytes_max_shard", row.state_bytes_max_shard);
+    json.Field("state_bytes_min_shard", row.state_bytes_min_shard);
     json.EndObject();
   }
   json.EndArray();

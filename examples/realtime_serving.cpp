@@ -176,7 +176,7 @@ int main(int argc, char** argv) {
   std::printf(
       "\ntransport: %lld frames; %lld mail deliveries, %lld crossed "
       "shards (%.1f%%) — out-of-order arrivals the FIFO mailbox absorbs "
-      "by sorting on read (paper §3.6)\n",
+      "by keeping slots time-sorted at write (paper §3.6)\n",
       frames != nullptr ? (long long)frames->total : 0LL,
       (long long)stats.mails_routed, (long long)stats.mails_cross_shard,
       stats.mails_routed > 0

@@ -27,6 +27,31 @@ Mailbox::Mailbox(int64_t num_nodes, int64_t slots, int64_t dim)
   timestamps_.assign(static_cast<size_t>(num_nodes) * slots, 0.0);
   head_.assign(static_cast<size_t>(num_nodes), 0);
   count_.assign(static_cast<size_t>(num_nodes), 0);
+  order_.assign(static_cast<size_t>(num_nodes) * slots, 0);
+}
+
+void Mailbox::InsertIntoOrder(size_t n, int32_t slot, double timestamp,
+                              int32_t valid) {
+  // One insertion-sort step against the already-sorted prefix. The new
+  // slot is the latest arrival, so it goes after every entry with
+  // timestamp <= its own — exactly where the old stable sort-on-read
+  // (stable on arrival order) would place it.
+  int32_t* row = order_.data() + n * static_cast<size_t>(slots_);
+  const double* ts = timestamps_.data() + n * static_cast<size_t>(slots_);
+  int32_t i = valid;
+  while (i > 0 && ts[row[i - 1]] > timestamp) {
+    row[i] = row[i - 1];
+    --i;
+  }
+  row[i] = slot;
+}
+
+void Mailbox::RemoveFromOrder(size_t n, int32_t slot, int32_t valid) {
+  int32_t* row = order_.data() + n * static_cast<size_t>(slots_);
+  int32_t i = 0;
+  while (i < valid && row[i] != slot) ++i;
+  APAN_CHECK_MSG(i < valid, "evicted slot missing from mailbox order");
+  for (; i + 1 < valid; ++i) row[i] = row[i + 1];
 }
 
 void Mailbox::Deliver(graph::NodeId node, std::span<const float> mail,
@@ -39,9 +64,14 @@ void Mailbox::Deliver(graph::NodeId node, std::span<const float> mail,
   if (count_[n] < slots_) {
     slot = (head_[n] + count_[n]) % slots_;
     ++count_[n];
+    InsertIntoOrder(n, static_cast<int32_t>(slot), timestamp, count_[n] - 1);
   } else {
     slot = head_[n];  // evict oldest
     head_[n] = static_cast<int32_t>((head_[n] + 1) % slots_);
+    RemoveFromOrder(n, static_cast<int32_t>(slot),
+                    static_cast<int32_t>(slots_));
+    InsertIntoOrder(n, static_cast<int32_t>(slot), timestamp,
+                    static_cast<int32_t>(slots_) - 1);
   }
   std::copy(mail.begin(), mail.end(), data_.begin() + SlotOffset(node, slot));
   timestamps_[n * static_cast<size_t>(slots_) + static_cast<size_t>(slot)] =
@@ -79,9 +109,15 @@ int64_t Mailbox::DeliverBatch(std::span<const MailDelivery> deliveries) {
       if (count < slots_) {
         slot = (head + count) % slots_;
         ++count;
+        InsertIntoOrder(n, static_cast<int32_t>(slot), d.timestamp,
+                        count - 1);
       } else {
         slot = head;  // evict oldest
         head = static_cast<int32_t>((head + 1) % slots_);
+        RemoveFromOrder(n, static_cast<int32_t>(slot),
+                        static_cast<int32_t>(slots_));
+        InsertIntoOrder(n, static_cast<int32_t>(slot), d.timestamp,
+                        static_cast<int32_t>(slots_) - 1);
       }
       std::copy(d.mail.begin(), d.mail.end(),
                 data_.begin() + base +
@@ -104,15 +140,12 @@ double Mailbox::NewestTimestamp(graph::NodeId node) const {
   APAN_CHECK_MSG(node >= 0 && node < num_nodes_, "mailbox node out of range");
   const auto n = static_cast<size_t>(node);
   if (count_[n] == 0) return -std::numeric_limits<double>::infinity();
-  double newest = -std::numeric_limits<double>::infinity();
-  for (int32_t i = 0; i < count_[n]; ++i) {
-    const int64_t slot = (head_[n] + i) % slots_;
-    newest = std::max(
-        newest,
-        timestamps_[n * static_cast<size_t>(slots_) +
-                    static_cast<size_t>(slot)]);
-  }
-  return newest;
+  // The sorted permutation's last valid entry is the newest timestamp.
+  const int32_t slot =
+      order_[n * static_cast<size_t>(slots_) +
+             static_cast<size_t>(count_[n] - 1)];
+  return timestamps_[n * static_cast<size_t>(slots_) +
+                     static_cast<size_t>(slot)];
 }
 
 std::span<const float> Mailbox::RawSlot(graph::NodeId node,
@@ -124,18 +157,17 @@ std::span<const float> Mailbox::RawSlot(graph::NodeId node,
 
 Mailbox::ReadResult Mailbox::ReadBatch(
     const std::vector<graph::NodeId>& nodes) const {
-  // The known non-kernel hot spot (per-node sort-on-read); traced so a
-  // Perfetto view shows how much of each encode it eats.
+  // Formerly the known non-kernel hot spot (per-node sort-on-read); now a
+  // straight gather through the write-maintained slot permutation. Still
+  // traced so a Perfetto view shows how much of each encode it eats.
   APAN_TRACE_SPAN("mailbox_read");
   const int64_t batch = static_cast<int64_t>(nodes.size());
-  APAN_CHECK_MSG(batch > 0, "ReadBatch on empty node list");
   ReadResult result;
   std::vector<float> out(static_cast<size_t>(batch * slots_ * dim_), 0.0f);
   result.mask.assign(static_cast<size_t>(batch * slots_), 0.0f);
   result.counts.resize(static_cast<size_t>(batch));
   result.timestamps.assign(static_cast<size_t>(batch * slots_), 0.0);
 
-  std::vector<int64_t> order;
   for (int64_t b = 0; b < batch; ++b) {
     const graph::NodeId node = nodes[static_cast<size_t>(b)];
     APAN_CHECK_MSG(node >= 0 && node < num_nodes_,
@@ -144,19 +176,10 @@ Mailbox::ReadResult Mailbox::ReadBatch(
     const int32_t c = count_[n];
     result.counts[static_cast<size_t>(b)] = c;
 
-    // Sort valid slots by timestamp ascending (stable on arrival order) —
-    // the sort-on-read that makes out-of-order delivery harmless.
-    order.resize(static_cast<size_t>(c));
-    for (int32_t i = 0; i < c; ++i) {
-      order[static_cast<size_t>(i)] = (head_[n] + i) % slots_;
-    }
-    std::stable_sort(order.begin(), order.end(),
-                     [&](int64_t a, int64_t b2) {
-                       return timestamps_[n * slots_ + a] <
-                              timestamps_[n * slots_ + b2];
-                     });
-
-    for (int64_t pos = 0; pos < static_cast<int64_t>(order.size()); ++pos) {
+    // Valid slots in (timestamp, arrival) order — maintained at delivery
+    // time, so the out-of-order tolerance costs nothing here.
+    const int32_t* order = order_.data() + n * static_cast<size_t>(slots_);
+    for (int32_t pos = 0; pos < c; ++pos) {
       std::copy_n(data_.data() + SlotOffset(node, order[pos]), dim_,
                   out.data() + (b * slots_ + pos) * dim_);
       result.timestamps[static_cast<size_t>(b * slots_ + pos)] =
@@ -182,6 +205,7 @@ void Mailbox::Clear() {
   std::fill(timestamps_.begin(), timestamps_.end(), 0.0);
   std::fill(head_.begin(), head_.end(), 0);
   std::fill(count_.begin(), count_.end(), 0);
+  std::fill(order_.begin(), order_.end(), 0);
 }
 
 }  // namespace core

@@ -3,9 +3,14 @@
 // Each node owns a fixed number of slots holding the most recent mails it
 // has received, in a FIFO ring (the paper's "first-in-first-out queue data
 // structure ... will retain the latest information and discard old
-// mails"). Read-out sorts the valid slots by timestamp, which is what
-// makes APAN tolerant of out-of-order delivery in distributed streaming
-// systems (paper §3.6, "Mailbox Mechanism").
+// mails"). Read-out is time-sorted, which is what makes APAN tolerant of
+// out-of-order delivery in distributed streaming systems (paper §3.6,
+// "Mailbox Mechanism"). The sort is maintained at *write* time: each node
+// keeps a slot permutation ordered by (timestamp, arrival), updated by an
+// O(slots) insertion step per delivery, so ReadBatch — the hot half of
+// every serve-path encode — is a straight gather with no per-read sort or
+// allocation. Eviction stays pure FIFO (oldest *arrival* leaves first,
+// regardless of timestamp), exactly the ring the paper describes.
 
 #ifndef APAN_CORE_MAILBOX_H_
 #define APAN_CORE_MAILBOX_H_
@@ -67,7 +72,9 @@ class Mailbox {
   /// Mail contents of one slot of one node, in *storage* order (tests).
   std::span<const float> RawSlot(graph::NodeId node, int64_t slot) const;
 
-  /// Batched, time-sorted read-out for the encoder.
+  /// Batched, time-sorted read-out for the encoder. An empty node list is
+  /// valid (admission control can produce one) and yields a well-formed
+  /// zero-row result.
   struct ReadResult {
     /// {batch, slots, dim} — valid mails first (oldest to newest), then
     /// zero padding.
@@ -88,10 +95,12 @@ class Mailbox {
   /// Drops all mail (used between training epochs).
   void Clear();
 
-  /// Bytes of mail payload storage.
+  /// Bytes of mail payload storage (including the per-node sorted slot
+  /// permutation — it scales with nodes × slots like everything else).
   int64_t MemoryBytes() const {
     return static_cast<int64_t>(data_.size() * sizeof(float) +
-                                timestamps_.size() * sizeof(double));
+                                timestamps_.size() * sizeof(double) +
+                                order_.size() * sizeof(int32_t));
   }
 
  private:
@@ -101,6 +110,17 @@ class Mailbox {
            static_cast<size_t>(dim_);
   }
 
+  /// Inserts `slot` (timestamp already written) into node `n`'s sorted
+  /// permutation, which currently holds `valid` entries. The new slot is
+  /// the latest arrival, so it lands after every entry with an equal or
+  /// older timestamp — the position a stable sort-on-read would give it.
+  void InsertIntoOrder(size_t n, int32_t slot, double timestamp,
+                       int32_t valid);
+  /// Removes `slot` from node `n`'s sorted permutation of `valid` entries
+  /// (FIFO eviction: the departing slot is the oldest arrival, which can
+  /// sit anywhere in timestamp order).
+  void RemoveFromOrder(size_t n, int32_t slot, int32_t valid);
+
   int64_t num_nodes_;
   int64_t slots_;
   int64_t dim_;
@@ -108,6 +128,10 @@ class Mailbox {
   std::vector<double> timestamps_; // num_nodes * slots
   std::vector<int32_t> head_;      // ring head per node
   std::vector<int32_t> count_;     // valid slots per node
+  /// Per node, the first count_[n] entries are slot ids sorted by
+  /// (timestamp asc, arrival asc) — the read-out order, maintained on
+  /// write so reads never sort.
+  std::vector<int32_t> order_;     // num_nodes * slots
 };
 
 }  // namespace core

@@ -1,4 +1,4 @@
-// The shared node-ownership index of an N-way hash partition.
+// The shared node-ownership index of an N-way node partition.
 //
 // Both partitioned planes — core::NodeStateStore (mailbox slice + z(t−)
 // rows) and graph::ShardedTemporalGraph (adjacency slices) — need the
@@ -9,6 +9,13 @@
 // plane (previously the graph kept a private element-identical copy).
 // Rows are assigned in ascending node-id order within each shard, which
 // is the layout both planes already assumed.
+//
+// Two builders ship: the canonical hash (BuildDefault — stateless, any
+// tier can recompute it) and a locality-aware greedy assignment over a
+// temporal event stream (BuildLocality — LDG-style co-location under a
+// balance cap, built from a warmup prefix or a prior epoch's events).
+// Either way the result is the same immutable index type, so every
+// consumer — router, graph slices, state stores — is partition-agnostic.
 
 #ifndef APAN_GRAPH_NODE_PARTITION_H_
 #define APAN_GRAPH_NODE_PARTITION_H_
@@ -16,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "graph/temporal_graph.h"
@@ -41,9 +49,42 @@ struct NodePartition {
       const std::function<int(NodeId)>& owner_fn);
 
   /// Builds from the canonical ownership hash (graph::NodeShardOf) — the
-  /// mapping serve::ShardRouter and the graph slices agree on.
+  /// stateless mapping any tier can recompute without coordination. The
+  /// fallback when no interaction history is available yet.
   static std::shared_ptr<const NodePartition> BuildDefault(int64_t num_nodes,
                                                            int num_shards);
+
+  /// Tuning for BuildLocality.
+  struct LocalityOptions {
+    /// Per-shard node cap as a multiple of the perfectly balanced share:
+    /// cap = max(ceil(n/shards), floor(balance_factor * n / shards)).
+    /// 1.0 forces perfect balance (degenerates toward round-robin on
+    /// skewed streams); larger values trade balance for locality.
+    double balance_factor = 1.2;
+  };
+
+  /// \brief Greedy locality-aware assignment over a temporal edge stream
+  /// (LDG-style): endpoints of observed interactions are co-located on
+  /// one shard when its balance cap allows, so k-hop propagation stays
+  /// shard-local instead of ~(N-1)/N cross-shard under the hash.
+  ///
+  /// Single deterministic pass in stream order: an event whose endpoints
+  /// are both unassigned pins them to the least-loaded shard (lowest id
+  /// on ties); one assigned endpoint pulls the other onto its shard
+  /// unless that shard is at cap (then least-loaded); two assigned
+  /// endpoints are left alone (first interaction wins). Nodes never seen
+  /// in `events` — built from a warmup prefix or a prior epoch, so most
+  /// nodes ARE seen — are filled onto least-loaded shards in ascending
+  /// node-id order. A pure function of (num_nodes, num_shards, events,
+  /// options): every tier handed the same warmup stream computes the
+  /// same index.
+  static std::shared_ptr<const NodePartition> BuildLocality(
+      int64_t num_nodes, int num_shards, std::span<const Event> events,
+      const LocalityOptions& options);
+  /// Same with default LocalityOptions (a nested-class NSDMI cannot serve
+  /// as a default argument inside the enclosing class).
+  static std::shared_ptr<const NodePartition> BuildLocality(
+      int64_t num_nodes, int num_shards, std::span<const Event> events);
 };
 
 }  // namespace graph

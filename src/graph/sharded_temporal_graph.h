@@ -52,11 +52,11 @@
 namespace apan {
 namespace graph {
 
-/// Owner shard of a node: SplitMix64 scramble then modulo, so contiguous
-/// id ranges spread across shards. This is the single source of truth for
-/// node ownership — serve::ShardRouter::ShardOf delegates here, which is
-/// what lets graph slices and mailbox/memory shards agree on ownership
-/// without coordination.
+/// Default owner shard of a node: SplitMix64 scramble then modulo, so
+/// contiguous id ranges spread across shards. This is what
+/// NodePartition::BuildDefault bakes into the shared ownership index that
+/// serve::ShardRouter, the graph slices and the state stores all consume
+/// — the stateless fallback when no locality index has been built.
 inline int NodeShardOf(NodeId node, int num_shards) {
   if (num_shards == 1) return 0;
   SplitMix64 hash(static_cast<uint64_t>(node));

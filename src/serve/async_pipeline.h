@@ -12,8 +12,8 @@
 //
 // Optional out-of-order injection (delay_fraction) holds back a fraction
 // of mail deliveries by one batch, emulating a distributed streaming
-// system that reorders messages; the mailbox's sort-on-read absorbs it
-// (paper §3.6).
+// system that reorders messages; the mailbox's time-sorted slot order
+// (maintained at write) absorbs it (paper §3.6).
 
 #ifndef APAN_SERVE_ASYNC_PIPELINE_H_
 #define APAN_SERVE_ASYNC_PIPELINE_H_

@@ -1,28 +1,36 @@
 #include "serve/shard_router.h"
 
-#include "graph/sharded_temporal_graph.h"
+#include <utility>
 
 namespace apan {
 namespace serve {
 
 ShardRouter::ShardRouter(int num_shards, int64_t num_nodes)
-    : num_shards_(num_shards), num_nodes_(num_nodes) {
+    : partition_(graph::NodePartition::BuildDefault(num_nodes, num_shards)) {
   APAN_CHECK_MSG(num_shards > 0, "ShardRouter needs at least one shard");
   APAN_CHECK_MSG(num_nodes > 0, "ShardRouter needs a positive node count");
 }
 
+ShardRouter::ShardRouter(
+    std::shared_ptr<const graph::NodePartition> partition)
+    : partition_(std::move(partition)) {
+  APAN_CHECK_MSG(partition_ != nullptr, "ShardRouter needs a partition");
+  APAN_CHECK_MSG(partition_->num_shards > 0 && partition_->num_nodes() > 0,
+                 "ShardRouter needs a non-empty partition");
+}
+
 int ShardRouter::ShardOf(graph::NodeId node) const {
-  APAN_CHECK_MSG(node >= 0 && node < num_nodes_,
+  APAN_CHECK_MSG(node >= 0 && node < partition_->num_nodes(),
                  "node id out of range in ShardOf");
-  // Delegates to the shared ownership hash so mailbox/memory shards and
+  // Reads the shared ownership index so mailbox/memory shards and
   // graph::ShardedTemporalGraph slices agree on every node's owner.
-  return graph::NodeShardOf(node, num_shards_);
+  return partition_->owner_of[static_cast<size_t>(node)];
 }
 
 std::vector<std::vector<graph::NodeId>> ShardRouter::PartitionNodes(
     std::span<const graph::NodeId> nodes) const {
   std::vector<std::vector<graph::NodeId>> out(
-      static_cast<size_t>(num_shards_));
+      static_cast<size_t>(num_shards()));
   for (const graph::NodeId node : nodes) {
     out[static_cast<size_t>(ShardOf(node))].push_back(node);
   }
@@ -31,7 +39,7 @@ std::vector<std::vector<graph::NodeId>> ShardRouter::PartitionNodes(
 
 std::vector<std::vector<int64_t>> ShardRouter::PartitionEvents(
     std::span<const graph::Event> events) const {
-  std::vector<std::vector<int64_t>> out(static_cast<size_t>(num_shards_));
+  std::vector<std::vector<int64_t>> out(static_cast<size_t>(num_shards()));
   for (size_t i = 0; i < events.size(); ++i) {
     out[static_cast<size_t>(HomeShardOf(events[i]))].push_back(
         static_cast<int64_t>(i));
@@ -40,11 +48,7 @@ std::vector<std::vector<int64_t>> ShardRouter::PartitionEvents(
 }
 
 std::vector<int64_t> ShardRouter::OwnedNodeCounts() const {
-  std::vector<int64_t> counts(static_cast<size_t>(num_shards_), 0);
-  for (graph::NodeId v = 0; v < num_nodes_; ++v) {
-    ++counts[static_cast<size_t>(ShardOf(v))];
-  }
-  return counts;
+  return partition_->owned_count;
 }
 
 }  // namespace serve

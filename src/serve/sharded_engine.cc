@@ -19,11 +19,12 @@ using core::PartialPropagation;
 ShardedEngine::ShardedEngine(core::ApanModel* model, Options options)
     : model_(model),
       options_(options),
-      router_(options.num_shards, model != nullptr ? model->config().num_nodes
-                                                   : 1),
-      partition_(graph::NodePartition::BuildDefault(
-          model != nullptr ? model->config().num_nodes : 1,
-          options.num_shards)),
+      partition_(options.partition != nullptr
+                     ? options.partition
+                     : graph::NodePartition::BuildDefault(
+                           model != nullptr ? model->config().num_nodes : 1,
+                           options.num_shards)),
+      router_(partition_),
       graph_(partition_),
       transport_(options_.transport ? options_.transport()
                                     : std::make_unique<InProcessTransport>()),
@@ -31,6 +32,10 @@ ShardedEngine::ShardedEngine(core::ApanModel* model, Options options)
                        ? options.encode_threads
                        : static_cast<size_t>(options.num_shards)) {
   APAN_CHECK(model != nullptr);
+  APAN_CHECK_MSG(partition_->num_shards == options_.num_shards &&
+                     partition_->num_nodes() == model->config().num_nodes,
+                 "Options::partition must cover the model's node space with "
+                 "Options::num_shards shards");
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
   // Resolve metric handles once. Per-shard writers get one cell per
   // shard; transport lanes get one cell per directed (from, to) pair.
@@ -96,6 +101,7 @@ ShardedEngine::ShardedEngine(core::ApanModel* model, Options options)
         partition_, s, config.mailbox_slots, config.embedding_dim);
     shard->accepted_request.assign(
         static_cast<size_t>(options_.num_shards), ExpansionKey{-1, 0});
+    shard->outbound.resize(static_cast<size_t>(options_.num_shards));
     shards_.push_back(std::move(shard));
   }
   // Per-lane transport accounting: one counter cell per directed
@@ -180,33 +186,50 @@ Result<ShardedEngine::InferenceResult> ShardedEngine::InferBatch(
     // (disjoint offsets) and drops its tensors before returning: encode
     // intermediates live and die on the pool thread that owns the arena.
     std::vector<float> emb(unique_nodes.size() * static_cast<size_t>(d));
-    std::vector<std::future<void>> futures;
+    const auto encode_shard = [this, d, &shard_nodes, &shard_unique,
+                               &emb](int s) {
+      tensor::NoGradGuard task_no_grad;
+      // Pool threads open their own per-batch arena; on the caller thread
+      // this nests the already-open batch arena, which is a no-op.
+      tensor::ArenaScope task_arena;
+      APAN_TRACE_SPAN("encode");
+      Stopwatch encode_watch;
+      const auto& nodes = shard_nodes[static_cast<size_t>(s)];
+      const auto& unique_rows = shard_unique[static_cast<size_t>(s)];
+      core::ApanEncoder::Output out;
+      {
+        Shard& shard = *shards_[static_cast<size_t>(s)];
+        util::MutexLock state_lock(shard.state_mu);
+        out = model_->weights().EncodeNodes(*shard.store, nodes);
+      }
+      const float* rows = out.embeddings.data();
+      for (size_t r = 0; r < nodes.size(); ++r) {
+        std::copy_n(rows + static_cast<int64_t>(r) * d, d,
+                    emb.data() + unique_rows[r] * static_cast<size_t>(d));
+      }
+      if (stage_metrics_) {
+        ins_.stage_encode->Record(s, encode_watch.ElapsedMillis());
+      }
+    };
+    // The caller thread encodes one slice itself instead of submitting
+    // them all and blocking: at 1 shard the synchronous path pays zero
+    // pool handoffs (the source of a 10x p99 wakeup tail vs the
+    // single-worker pipeline), and at N shards the caller overlaps its
+    // slice with the pool's N-1.
+    std::vector<int> active_shards;
     for (int s = 0; s < num_shards; ++s) {
-      if (shard_nodes[static_cast<size_t>(s)].empty()) continue;
-      futures.push_back(encode_pool_.Submit([this, s, d, &shard_nodes,
-                                             &shard_unique, &emb] {
-        tensor::NoGradGuard task_no_grad;
-        tensor::ArenaScope task_arena;  // pool-thread pool, reset per batch
-        APAN_TRACE_SPAN("encode");
-        Stopwatch encode_watch;
-        const auto& nodes = shard_nodes[static_cast<size_t>(s)];
-        const auto& unique_rows = shard_unique[static_cast<size_t>(s)];
-        core::ApanEncoder::Output out;
-        {
-          Shard& shard = *shards_[static_cast<size_t>(s)];
-          util::MutexLock state_lock(shard.state_mu);
-          out = model_->weights().EncodeNodes(*shard.store, nodes);
-        }
-        const float* rows = out.embeddings.data();
-        for (size_t r = 0; r < nodes.size(); ++r) {
-          std::copy_n(rows + static_cast<int64_t>(r) * d, d,
-                      emb.data() + unique_rows[r] * static_cast<size_t>(d));
-        }
-        if (stage_metrics_) {
-          ins_.stage_encode->Record(s, encode_watch.ElapsedMillis());
-        }
+      if (!shard_nodes[static_cast<size_t>(s)].empty()) {
+        active_shards.push_back(s);
+      }
+    }
+    std::vector<std::future<void>> futures;
+    for (size_t i = 0; i + 1 < active_shards.size(); ++i) {
+      const int s = active_shards[i];
+      futures.push_back(encode_pool_.Submit([&encode_shard, s] {
+        encode_shard(s);
       }));
     }
+    if (!active_shards.empty()) encode_shard(active_shards.back());
     for (auto& f : futures) f.get();
 
     tensor::Tensor embeddings = tensor::Tensor::FromVector(
@@ -307,11 +330,10 @@ Result<ShardedEngine::InferenceResult> ShardedEngine::InferBatch(
 
 void ShardedEngine::WorkerLoop(int shard_id) {
   Shard& shard = *shards_[static_cast<size_t>(shard_id)];
+  std::deque<ShardMessage> mail_run;
   while (true) {
-    ShardMessage message;
     BatchJob job;
-    enum { kNone, kMessage, kJob } next = kNone;
-    int64_t mail_left = -1;
+    enum { kNone, kMessages, kJob } next = kNone;
     int64_t jobs_left = -1;
     {
       util::MutexLock lock(shard.mu);
@@ -335,12 +357,13 @@ void ShardedEngine::WorkerLoop(int shard_id) {
       }
       // Messages first: applying a finished batch or answering a frontier
       // request is cheap and unblocks other shards; jobs do the expensive
-      // sampling.
+      // sampling. The whole queued run is taken at once: no message
+      // handler ever blocks on a peer, so every response and partial the
+      // run buffers rides ONE coalesced frame per peer at the end of the
+      // run instead of one frame per handled message.
       if (!shard.mail.empty()) {
-        message = std::move(shard.mail.front());
-        shard.mail.pop_front();
-        mail_left = static_cast<int64_t>(shard.mail.size());
-        next = kMessage;
+        mail_run.swap(shard.mail);
+        next = kMessages;
       } else if (!shard.jobs.empty()) {
         job = std::move(shard.jobs.front());
         shard.jobs.pop_front();
@@ -352,11 +375,17 @@ void ShardedEngine::WorkerLoop(int shard_id) {
     }
     // Depth gauges refresh outside the lock (see EnqueueMessage).
     if (stage_metrics_) {
-      if (mail_left >= 0) ins_.mail_depth->Set(shard_id, mail_left);
+      if (next == kMessages) ins_.mail_depth->Set(shard_id, 0);
       if (jobs_left >= 0) ins_.job_depth->Set(shard_id, jobs_left);
     }
-    if (next == kMessage) {
-      DispatchMessage(shard_id, std::move(message));
+    if (next == kMessages) {
+      for (ShardMessage& message : mail_run) {
+        DispatchMessage(shard_id, std::move(message));
+      }
+      mail_run.clear();
+      // The handlers may have buffered frontier responses; the requesters
+      // are blocked on them, and this worker may idle-wait next iteration.
+      FlushOutbound(shard_id);
     } else {
       ProcessJob(shard_id, std::move(job));
     }
@@ -532,10 +561,14 @@ std::vector<std::vector<graph::HopEntry>> ShardedEngine::ExpandKHop(
       request.from_shard = shard_id;
       request.ordinal_limit = ordinal_limit;
       request.fanout = fanout;
-      SendMessage(shard_id, target, ShardMessage(std::move(request)));
+      BufferMessage(shard_id, target, ShardMessage(std::move(request)));
       awaiting_from[static_cast<size_t>(target)] = 1;
       ++awaiting;
     }
+    // One coalesced frame per peer: this hop's request rides together
+    // with any response ServeDeferredRequests buffered after the append.
+    // Flushed before local sampling so foreign owners overlap with it.
+    FlushOutbound(shard_id);
     for (const size_t s : local_slots) {
       const double t = job.records[slots[s].record].event.timestamp;
       sampled[s] = graph_.MostRecentNeighborsAsOf(slots[s].node, t, fanout,
@@ -635,6 +668,9 @@ double ShardedEngine::WaitForFrontierResponses(
       // disjoint.
       Stopwatch nested_watch;
       DispatchMessage(shard_id, std::move(message));
+      // A nested handler may have buffered a response its requester is
+      // blocked on — nothing may stay buffered while this worker waits.
+      FlushOutbound(shard_id);
       nested_ms += nested_watch.ElapsedMillis();
     }
   }
@@ -686,7 +722,10 @@ void ShardedEngine::AnswerFrontierRequest(int shard_id,
     response.neighbors.push_back(graph_.MostRecentNeighborsAsOf(
         item.node, item.before_time, request.fanout, request.ordinal_limit));
   }
-  SendMessage(shard_id, request.from_shard, ShardMessage(std::move(response)));
+  // Buffered, not sent: the caller's context owns the flush point (after
+  // a dispatched message, or coalesced with the next hop's requests).
+  BufferMessage(shard_id, request.from_shard,
+                ShardMessage(std::move(response)));
   if (stage_metrics_) {
     ins_.stage_frontier_serve->Record(shard_id, serve_watch.ElapsedMillis());
   }
@@ -707,11 +746,25 @@ void ShardedEngine::ServeDeferredRequests(int shard_id) {
   shard.deferred_requests = std::move(still_deferred);
 }
 
-void ShardedEngine::SendMessage(int from_shard, int to_shard,
-                                ShardMessage message) {
-  const Status sent = transport_->Send(from_shard, to_shard,
-                                       std::move(message));
-  APAN_CHECK_MSG(sent.ok(), sent.ToString());
+void ShardedEngine::BufferMessage(int from_shard, int to_shard,
+                                  ShardMessage message) {
+  shards_[static_cast<size_t>(from_shard)]
+      ->outbound[static_cast<size_t>(to_shard)]
+      .push_back(std::move(message));
+}
+
+void ShardedEngine::FlushOutbound(int from_shard) {
+  Shard& shard = *shards_[static_cast<size_t>(from_shard)];
+  for (size_t to = 0; to < shard.outbound.size(); ++to) {
+    std::vector<ShardMessage>& run = shard.outbound[to];
+    if (run.empty()) continue;
+    // One coalesced frame per peer — on a serializing transport this is
+    // where N same-destination messages become one syscall.
+    const Status sent = transport_->SendBatch(
+        from_shard, static_cast<int>(to), std::move(run));
+    APAN_CHECK_MSG(sent.ok(), sent.ToString());
+    run = std::vector<ShardMessage>();
+  }
 }
 
 void ShardedEngine::EnqueueMessage(int to_shard, ShardMessage message) {
@@ -797,8 +850,11 @@ void ShardedEngine::RouteMail(int from_shard, BatchJob& job,
         static_cast<int64_t>(out.hop0.size() + out.partial.size());
     routed += mails;
     if (t != from_shard) cross_shard += mails;
-    SendMessage(from_shard, t, ShardMessage(std::move(out)));
+    BufferMessage(from_shard, t, ShardMessage(std::move(out)));
   }
+  // Covers the partials just buffered AND any response still waiting from
+  // an expansion-free path (0 hops / empty record set).
+  FlushOutbound(from_shard);
   ins_.mails_routed->Add(from_shard, routed);
   ins_.mails_cross_shard->Add(from_shard, cross_shard);
   if (stage_metrics_) {

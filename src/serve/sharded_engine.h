@@ -1,9 +1,11 @@
 // The sharded serving engine — AsyncPipeline scaled out across a node
 // partition (paper §3.6: "APAN can be deployed on distributed streaming
-// systems ... mails may arrive out of order", which the sort-on-read
-// mailbox absorbs).
+// systems ... mails may arrive out of order", which the mailbox absorbs
+// by keeping each node's slots time-sorted at write).
 //
-// A ShardRouter hash-partitions the node space into N shards. Each shard
+// A ShardRouter partitions the node space into N shards through a shared
+// graph::NodePartition index (canonical hash by default, or a
+// locality-aware index via Options::partition). Each shard
 // exclusively owns its nodes' mutable state — a core::NodeStateStore
 // holding its mailbox slice and z(t−) rows — AND its slice of the
 // temporal graph (graph::ShardedTemporalGraph: the owned nodes'
@@ -111,6 +113,16 @@ class ShardedEngine {
  public:
   struct Options {
     int num_shards = 4;
+    /// Shared node-ownership index for ALL partitioned planes (router,
+    /// graph slices, state stores). Null means the canonical hash
+    /// (graph::NodePartition::BuildDefault). Pass a
+    /// NodePartition::BuildLocality index — built from a warmup prefix or
+    /// a prior epoch's events — to keep k-hop propagation shard-local.
+    /// Must cover exactly the model's node count with `num_shards` shards
+    /// (CHECK-enforced). Determinism is partition-independent: replay
+    /// tags make delivery order irrelevant, so every suite passes under
+    /// any ownership map.
+    std::shared_ptr<const graph::NodePartition> partition;
     /// Maximum in-flight batches per shard before InferBatch applies the
     /// overflow policy.
     size_t queue_capacity = 256;
@@ -296,6 +308,14 @@ class ShardedEngine {
     /// re-checked after every slice append (worker thread only).
     std::vector<FrontierRequest> deferred_requests;
 
+    /// Per-peer outbound message buffers (worker thread only). Handlers
+    /// buffer instead of sending; FlushOutbound hands each peer's run of
+    /// messages to Transport::SendBatch as ONE coalesced frame. Flush
+    /// points are placed so the buffer is always empty before the worker
+    /// can block (deadlock safety): after each hop's request fan-out,
+    /// after every dispatched message, and at the end of each job.
+    std::vector<std::vector<ShardMessage>> outbound;
+
     /// Replay protection (worker thread only). A requester issues
     /// frontier requests to a given owner at strictly increasing
     /// (batch, hop) and never has two outstanding at once, so one
@@ -318,9 +338,15 @@ class ShardedEngine {
       APAN_EXCLUDES(flush_mu_);
   void RouteMail(int from_shard, BatchJob& job,
                  core::PartialPropagation&& propagation);
-  /// Hands `message` to the transport (which delivers it back through
-  /// EnqueueMessage, possibly on another thread, possibly more than once).
-  void SendMessage(int from_shard, int to_shard, ShardMessage message);
+  /// Queues `message` in the sender worker's per-peer outbound buffer;
+  /// nothing crosses the transport until FlushOutbound. Worker thread
+  /// only.
+  void BufferMessage(int from_shard, int to_shard, ShardMessage message);
+  /// Hands every buffered run to Transport::SendBatch — one coalesced
+  /// frame per peer (the transport delivers back through EnqueueMessage,
+  /// possibly on another thread, possibly more than once) — and empties
+  /// the buffers. Worker thread only.
+  void FlushOutbound(int from_shard);
   /// Transport delivery handler: pushes onto the target shard's inbox.
   void EnqueueMessage(int to_shard, ShardMessage message);
   void CountDuplicateDropped(int shard_id);
@@ -350,12 +376,13 @@ class ShardedEngine {
   /// all mutable serve state lives in the per-shard stores above.
   const core::ApanModel* model_;
   Options options_;
-  ShardRouter router_;
-  /// The ONE ownership index of this engine, shared by the graph slices
-  /// and every per-shard NodeStateStore (element-identical maps, stored
-  /// once — ~8 bytes/node saved vs per-plane copies). Derived from
-  /// graph::NodeShardOf, the same hash ShardRouter::ShardOf delegates to.
+  /// The ONE ownership index of this engine, shared by the router, the
+  /// graph slices and every per-shard NodeStateStore (element-identical
+  /// maps, stored once — ~8 bytes/node saved vs per-plane copies).
+  /// Options::partition, or the canonical hash when none was given.
+  /// Declared before router_/graph_: both consume it at construction.
   std::shared_ptr<const graph::NodePartition> partition_;
+  ShardRouter router_;
   graph::ShardedTemporalGraph graph_;
   std::unique_ptr<Transport> transport_;
   ThreadPool encode_pool_;

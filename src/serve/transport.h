@@ -50,9 +50,10 @@ namespace serve {
 /// \brief Per-lane transport accounting handles, installed by the engine
 /// before Start. Each counter has num_shards² cells — one per directed
 /// (from, to) lane — so concurrent lane writers never share a cell.
-/// frames counts accepted Sends; bytes counts serialized frame bytes and
-/// syscalls counts ::write calls (both zero for transports that never
-/// serialize, e.g. in-process delivery).
+/// frames counts accepted messages (a coalesced SendBatch adds one per
+/// element); bytes counts serialized frame bytes and syscalls counts
+/// ::write calls (both zero for transports that never serialize, e.g.
+/// in-process delivery) — so syscalls/frames is the coalescing ratio.
 struct TransportMetrics {
   obs::Counter* frames = nullptr;
   obs::Counter* bytes = nullptr;
@@ -86,6 +87,23 @@ class Transport {
   /// lane, including from_shard == to_shard (self-mail takes the same
   /// path as foreign mail). Fails after Stop.
   virtual Status Send(int from_shard, int to_shard, ShardMessage message) = 0;
+
+  /// \brief Queues several messages for one destination — semantically
+  /// identical to Send per element (at-least-once, unordered), but a
+  /// serializing transport may coalesce the whole batch into ONE wire
+  /// frame: UnixSocketTransport writes one frame with one write loop per
+  /// peer batch instead of per message, which is where the per-peer
+  /// syscall count of a sharded batch collapses. The default loops over
+  /// Send — right for in-process delivery (no frame cost to save) and for
+  /// FaultyTransport (faults must hit each message independently, or the
+  /// soak would exercise less reordering than the real network can).
+  virtual Status SendBatch(int from_shard, int to_shard,
+                           std::vector<ShardMessage> messages) {
+    for (ShardMessage& message : messages) {
+      APAN_RETURN_NOT_OK(Send(from_shard, to_shard, std::move(message)));
+    }
+    return Status::OK();
+  }
 
   /// Drains every accepted Send to its handler, then tears the lanes
   /// down. No Send may be in flight concurrently with Stop; after it
@@ -154,6 +172,11 @@ class UnixSocketTransport : public Transport {
 
   Status Start(int num_shards, Handler handler) override;
   Status Send(int from_shard, int to_shard, ShardMessage message) override;
+  /// One coalesced frame, one write loop (typically one syscall) for the
+  /// whole batch; the reader fans it back out into per-message handler
+  /// calls, so delivery semantics are unchanged.
+  Status SendBatch(int from_shard, int to_shard,
+                   std::vector<ShardMessage> messages) override;
   void Stop() override;
   const char* name() const override { return "uds"; }
   void SetMetrics(const TransportMetrics& metrics) override {
@@ -172,6 +195,11 @@ class UnixSocketTransport : public Transport {
     int read_fd = -1;
     std::thread reader;
   };
+
+  /// Shared tail of Send/SendBatch: one locked write loop for a fully
+  /// serialized frame carrying `message_count` messages.
+  Status WriteFrame(int from_shard, int to_shard,
+                    const std::vector<uint8_t>& frame, int64_t message_count);
 
   Lane& LaneFor(int from_shard, int to_shard) {
     return *lanes_[static_cast<size_t>(from_shard) *

@@ -15,7 +15,9 @@ thread_local bool g_grad_enabled = true;
 int64_t NumElements(const Shape& shape) {
   int64_t n = 1;
   for (int64_t d : shape) {
-    APAN_CHECK_MSG(d > 0, "shape dimensions must be positive");
+    // Zero-sized dimensions are legal (a zero-row batch is a well-formed
+    // tensor with numel 0); negative ones never are.
+    APAN_CHECK_MSG(d >= 0, "shape dimensions must be non-negative");
     n *= d;
   }
   return shape.empty() ? 0 : n;

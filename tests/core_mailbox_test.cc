@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
+#include <utility>
 
 #include "nn/attention.h"
+#include "util/random.h"
 
 namespace apan {
 namespace core {
@@ -156,6 +160,80 @@ TEST(MailboxTest, DeliverBatchKeepsPerNodeOrderAcrossInterleavings) {
   // Node 1 received mails 1, 3.
   EXPECT_FLOAT_EQ(read.mails.item(8), 1.0f);
   EXPECT_FLOAT_EQ(read.mails.item(12), 3.0f);
+}
+
+TEST(MailboxTest, ReadBatchEmptyNodeListIsValid) {
+  // Admission control can hand the encoder an empty batch; that must be a
+  // well-formed zero-row result, not a crash.
+  Mailbox box(3, 2, 4);
+  box.Deliver(0, MailOf(1.0f), 1.0);
+  auto read = box.ReadBatch({});
+  EXPECT_EQ(read.mails.shape(), (tensor::Shape{0, 2, 4}));
+  EXPECT_EQ(read.mails.numel(), 0);
+  EXPECT_TRUE(read.mask.empty());
+  EXPECT_TRUE(read.counts.empty());
+  EXPECT_TRUE(read.timestamps.empty());
+}
+
+TEST(MailboxTest, SortedOnWriteMatchesSortOnReadReference) {
+  // ReadBatch used to stable_sort each node's valid slots (in ring arrival
+  // order) by timestamp on every read. The write-maintained permutation
+  // must reproduce that output bitwise — same tie-breaking on equal
+  // timestamps, same interaction with FIFO-by-arrival eviction — across
+  // out-of-order streams driven through both Deliver and DeliverBatch.
+  constexpr int64_t kNodes = 7;
+  constexpr int64_t kSlots = 5;
+  constexpr int64_t kDim = 3;
+  Mailbox box(kNodes, kSlots, kDim);
+  // Shadow: per node, (mail, timestamp) in arrival order with FIFO
+  // eviction — the pre-permutation representation.
+  std::vector<std::vector<std::pair<std::vector<float>, double>>> shadow(
+      kNodes);
+  SplitMix64 rng(20260808);
+  for (int step = 0; step < 400; ++step) {
+    const int fanout = 1 + static_cast<int>(rng.Next() % 4);
+    std::vector<MailDelivery> batch;
+    for (int j = 0; j < fanout; ++j) {
+      MailDelivery d;
+      d.recipient = static_cast<graph::NodeId>(rng.Next() % kNodes);
+      d.mail = MailOf(static_cast<float>(rng.Next() % 97), kDim);
+      // Coarse timestamps force plenty of exact ties.
+      d.timestamp = static_cast<double>(rng.Next() % 11);
+      auto& row = shadow[static_cast<size_t>(d.recipient)];
+      row.emplace_back(d.mail, d.timestamp);
+      if (row.size() > static_cast<size_t>(kSlots)) row.erase(row.begin());
+      batch.push_back(std::move(d));
+    }
+    if (step % 2 == 0) {
+      box.DeliverBatch(batch);
+    } else {
+      for (const auto& d : batch) box.Deliver(d.recipient, d.mail, d.timestamp);
+    }
+
+    std::vector<graph::NodeId> nodes(kNodes);
+    std::iota(nodes.begin(), nodes.end(), 0);
+    const auto read = box.ReadBatch(nodes);
+    for (int64_t v = 0; v < kNodes; ++v) {
+      // Reference read-out: stable sort of arrival order by timestamp.
+      auto sorted = shadow[static_cast<size_t>(v)];
+      std::stable_sort(sorted.begin(), sorted.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.second < b.second;
+                       });
+      ASSERT_EQ(read.counts[static_cast<size_t>(v)],
+                static_cast<int64_t>(sorted.size()));
+      for (size_t pos = 0; pos < sorted.size(); ++pos) {
+        const int64_t row = v * kSlots + static_cast<int64_t>(pos);
+        ASSERT_EQ(read.timestamps[static_cast<size_t>(row)],
+                  sorted[pos].second)
+            << "step " << step << " node " << v << " pos " << pos;
+        for (int64_t k = 0; k < kDim; ++k) {
+          ASSERT_EQ(read.mails.item(row * kDim + k), sorted[pos].first[k])
+              << "step " << step << " node " << v << " pos " << pos;
+        }
+      }
+    }
+  }
 }
 
 TEST(MailboxTest, MultiNodeBatchLayout) {

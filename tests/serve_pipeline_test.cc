@@ -91,7 +91,7 @@ TEST(AsyncPipelineTest, MatchesSerialReference) {
 TEST(AsyncPipelineTest, OutOfOrderDeliveryDegradesGracefully) {
   // Delaying half of all mail deliveries by one batch must neither lose
   // mail nor materially change the inference scores — the behaviour the
-  // paper attributes to the sort-on-read mailbox (§3.6). Exact payload
+  // paper attributes to the time-sorted mailbox (§3.6). Exact payload
   // equality is not expected: embeddings computed while a mail is in
   // flight legitimately differ slightly.
   Fixture f;
@@ -120,7 +120,8 @@ TEST(AsyncPipelineTest, OutOfOrderDeliveryDegradesGracefully) {
   EXPECT_LT(score_gap / static_cast<double>(scored), 0.1)
       << "delayed delivery shifted scores too much";
   // No mail was lost: every node eventually holds the same mail count,
-  // and sort-on-read presents them in the same time order.
+  // and the write-maintained slot order presents them in the same time
+  // order.
   for (graph::NodeId v = 0; v < f.config.num_nodes; ++v) {
     ASSERT_EQ(ordered.mailbox().ValidCount(v),
               shuffled.mailbox().ValidCount(v))

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "data/synthetic.h"
+#include "graph/node_partition.h"
 #include "serve/async_pipeline.h"
 #include "serve/sharded_engine.h"
 #include "serve_state_util.h"
@@ -69,13 +70,18 @@ struct ShardedRun {
 
 /// The engine over `factory`'s transport, free-running (no flush between
 /// batches, so reordering/duplication genuinely interleaves in flight).
+/// A null `partition` leaves the engine on the default hash ownership.
 ShardedRun RunSharded(const Fixture& f, TransportFactory factory, size_t n,
-                      size_t batch, bool shutdown_without_flush = false) {
+                      size_t batch, bool shutdown_without_flush = false,
+                      int num_shards = 4,
+                      std::shared_ptr<const graph::NodePartition> partition =
+                          nullptr) {
   ShardedRun run;
   run.model = std::make_unique<core::ApanModel>(f.config,
                                                 &f.dataset.features, 7);
   ShardedEngine::Options options;
-  options.num_shards = 4;
+  options.num_shards = num_shards;
+  options.partition = std::move(partition);
   options.transport = std::move(factory);
   run.engine = std::make_unique<ShardedEngine>(run.model.get(), options);
   for (size_t lo = 0; lo + batch <= n; lo += batch) {
@@ -147,7 +153,8 @@ TEST(TransportTest, UnixSocketMatchesPipelineBitwiseTwoHops) {
 // combination — 20 seeds per hop count, 20 per transport. Every run must
 // land bitwise on the single-worker mailbox.
 
-void FaultySoak(int32_t hops, TransportKind inner, uint64_t seed_base) {
+void FaultySoak(int32_t hops, TransportKind inner, uint64_t seed_base,
+                int num_shards = 4, bool locality_partition = false) {
   if (inner == TransportKind::kUnixSocket &&
       !UnixSocketTransport::Available()) {
     GTEST_SKIP() << "AF_UNIX unavailable on this platform";
@@ -156,11 +163,18 @@ void FaultySoak(int32_t hops, TransportKind inner, uint64_t seed_base) {
   f.config.propagation_hops = hops;
   const size_t events = 120, batch = 40;
   const auto reference = RunPipeline(f, events, batch);
+  std::shared_ptr<const graph::NodePartition> partition;
+  if (locality_partition) {
+    partition = graph::NodePartition::BuildLocality(
+        f.config.num_nodes, num_shards,
+        std::span<const graph::Event>(f.dataset.events.data(), events));
+  }
   int64_t duplicates_dropped = 0;
   for (uint64_t seed = seed_base; seed < seed_base + 10; ++seed) {
     SCOPED_TRACE(testing::Message() << "seed " << seed);
-    const auto run =
-        RunSharded(f, FaultyFactory(inner, seed), events, batch);
+    const auto run = RunSharded(f, FaultyFactory(inner, seed), events, batch,
+                                /*shutdown_without_flush=*/false, num_shards,
+                                partition);
     ExpectStitchedMailboxEqual(*run.engine, *reference, f.config.num_nodes);
     duplicates_dropped += run.stats.duplicates_dropped;
   }
@@ -196,6 +210,77 @@ TEST(TransportFaultSoakTest, EveryMessageDuplicatedIsDroppedByTag) {
       200, 50);
   ExpectStitchedMailboxEqual(*run.engine, *reference, f.config.num_nodes);
   EXPECT_GT(run.stats.duplicates_dropped, 0);
+}
+
+// ---- Partition independence ------------------------------------------------
+// Determinism must not depend on WHERE nodes live: any disjoint ownership
+// map yields the same stitched mailbox, because sequence-tag replay keys
+// on (batch, sequence), never on shard ids. The suite re-runs bitwise
+// equality and the fault soak under the locality-aware partitioner at
+// 2, 4, and 8 shards over both real transports.
+
+void LocalityMatchesPipeline(TransportKind kind) {
+  if (kind == TransportKind::kUnixSocket &&
+      !UnixSocketTransport::Available()) {
+    GTEST_SKIP() << "AF_UNIX unavailable on this platform";
+  }
+  Fixture f;
+  const size_t events = 400, batch = 50;
+  const auto reference = RunPipeline(f, events, batch);
+  for (const int num_shards : {2, 4, 8}) {
+    SCOPED_TRACE(testing::Message() << num_shards << " shards");
+    // Prior-epoch style: the partition is built from the exact stream it
+    // will serve, the best case the greedy builder can see.
+    const auto partition = graph::NodePartition::BuildLocality(
+        f.config.num_nodes, num_shards,
+        std::span<const graph::Event>(f.dataset.events.data(), events));
+    const auto run = RunSharded(f, MakeTransportFactory(kind), events, batch,
+                                /*shutdown_without_flush=*/false, num_shards,
+                                partition);
+    ExpectStitchedMailboxEqual(*run.engine, *reference, f.config.num_nodes);
+
+    // And the point of the partitioner: co-location keeps propagation
+    // local. The hash baseline at the same shard count must route
+    // strictly more mail across shard boundaries.
+    const auto hash_run =
+        RunSharded(f, MakeTransportFactory(kind), events, batch,
+                   /*shutdown_without_flush=*/false, num_shards);
+    ExpectStitchedMailboxEqual(*hash_run.engine, *reference,
+                               f.config.num_nodes);
+    EXPECT_LT(run.stats.mails_cross_shard, hash_run.stats.mails_cross_shard);
+  }
+}
+
+TEST(TransportPartitionTest, LocalityMatchesPipelineInProcess) {
+  LocalityMatchesPipeline(TransportKind::kInProcess);
+}
+
+TEST(TransportPartitionTest, LocalityMatchesPipelineUnixSocket) {
+  LocalityMatchesPipeline(TransportKind::kUnixSocket);
+}
+
+TEST(TransportPartitionFaultSoakTest, TwoShardsLocalityInProcess) {
+  FaultySoak(1, TransportKind::kInProcess, 400, 2, /*locality=*/true);
+}
+
+TEST(TransportPartitionFaultSoakTest, TwoShardsLocalityUnixSocket) {
+  FaultySoak(1, TransportKind::kUnixSocket, 500, 2, /*locality=*/true);
+}
+
+TEST(TransportPartitionFaultSoakTest, FourShardsLocalityInProcess) {
+  FaultySoak(1, TransportKind::kInProcess, 600, 4, /*locality=*/true);
+}
+
+TEST(TransportPartitionFaultSoakTest, FourShardsLocalityUnixSocket) {
+  FaultySoak(1, TransportKind::kUnixSocket, 700, 4, /*locality=*/true);
+}
+
+TEST(TransportPartitionFaultSoakTest, EightShardsLocalityInProcess) {
+  FaultySoak(1, TransportKind::kInProcess, 800, 8, /*locality=*/true);
+}
+
+TEST(TransportPartitionFaultSoakTest, EightShardsLocalityUnixSocket) {
+  FaultySoak(1, TransportKind::kUnixSocket, 900, 8, /*locality=*/true);
 }
 
 // ---- Shutdown under load ---------------------------------------------------
