@@ -184,7 +184,204 @@ void BM_AddBiasReluReference(benchmark::State& state) {
 }
 BENCHMARK(BM_AddBiasReluReference)->Arg(256)->Arg(1024);
 
-// ---- Encoder serve forward ---------------------------------------------------
+// ---- Training-side backward kernels ----------------------------------------
+// Before/after pairs for the gradient primitives in kernels_backward.cc
+// (the per-ISA FMA tier). The *Reference variants run the loop orders
+// the ops.cc backward closures used before the kernel port (strided
+// column walks with zero-skips). Shapes are the training hot path's:
+// batch rows x the paper's 32-wide embedding / 80-wide MLP hidden.
+
+std::vector<float> RandVec(size_t n, int seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.Normal());
+  return v;
+}
+
+void BM_MatMulGradA(benchmark::State& state) {
+  const int64_t n = state.range(0), k = 32, m = 32;
+  const auto g = RandVec(static_cast<size_t>(n * m), 21);
+  const auto b = RandVec(static_cast<size_t>(k * m), 22);
+  std::vector<float> da(static_cast<size_t>(n * k), 0.0f);
+  for (auto _ : state) {
+    kernels::MatMulGradA(g.data(), b.data(), da.data(), n, k, m);
+    benchmark::DoNotOptimize(da.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * k * m);
+}
+BENCHMARK(BM_MatMulGradA)->Arg(200)->Arg(1000);
+
+void BM_MatMulGradAReference(benchmark::State& state) {
+  const int64_t n = state.range(0), k = 32, m = 32;
+  const auto g = RandVec(static_cast<size_t>(n * m), 21);
+  const auto b = RandVec(static_cast<size_t>(k * m), 22);
+  std::vector<float> da(static_cast<size_t>(n * k), 0.0f);
+  for (auto _ : state) {
+    kernels::reference::MatMulGradA(g.data(), b.data(), da.data(), n, k, m);
+    benchmark::DoNotOptimize(da.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * k * m);
+}
+BENCHMARK(BM_MatMulGradAReference)->Arg(200)->Arg(1000);
+
+void BM_MatMulGradB(benchmark::State& state) {
+  const int64_t n = state.range(0), k = 32, m = 32;
+  const auto a = RandVec(static_cast<size_t>(n * k), 23);
+  const auto g = RandVec(static_cast<size_t>(n * m), 24);
+  std::vector<float> db(static_cast<size_t>(k * m), 0.0f);
+  for (auto _ : state) {
+    kernels::MatMulGradB(a.data(), g.data(), db.data(), n, k, m);
+    benchmark::DoNotOptimize(db.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * k * m);
+}
+BENCHMARK(BM_MatMulGradB)->Arg(200)->Arg(1000);
+
+void BM_MatMulGradBReference(benchmark::State& state) {
+  const int64_t n = state.range(0), k = 32, m = 32;
+  const auto a = RandVec(static_cast<size_t>(n * k), 23);
+  const auto g = RandVec(static_cast<size_t>(n * m), 24);
+  std::vector<float> db(static_cast<size_t>(k * m), 0.0f);
+  for (auto _ : state) {
+    kernels::reference::MatMulGradB(a.data(), g.data(), db.data(), n, k, m);
+    benchmark::DoNotOptimize(db.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * k * m);
+}
+BENCHMARK(BM_MatMulGradBReference)->Arg(200)->Arg(1000);
+
+void BM_MatMulTrain(benchmark::State& state) {
+  // The recorded-forward GEMM (FMA tier); BM_MatMul above is the serve
+  // (cross-ISA bitwise) twin at the same shapes.
+  const int64_t n = state.range(0);
+  const auto a = RandVec(static_cast<size_t>(n * n), 25);
+  const auto b = RandVec(static_cast<size_t>(n * n), 26);
+  std::vector<float> c(static_cast<size_t>(n * n));
+  for (auto _ : state) {
+    kernels::MatMulTrain(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulTrain)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SoftmaxBackward(benchmark::State& state) {
+  const int64_t rows = state.range(0), d = 10;
+  const auto y = RandVec(static_cast<size_t>(rows * d), 27);
+  const auto g = RandVec(static_cast<size_t>(rows * d), 28);
+  std::vector<float> dx(static_cast<size_t>(rows * d), 0.0f);
+  for (auto _ : state) {
+    kernels::SoftmaxBackward(y.data(), g.data(), dx.data(), rows, d);
+    benchmark::DoNotOptimize(dx.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_SoftmaxBackward)->Arg(400)->Arg(1024);
+
+void BM_SoftmaxBackwardReference(benchmark::State& state) {
+  const int64_t rows = state.range(0), d = 10;
+  const auto y = RandVec(static_cast<size_t>(rows * d), 27);
+  const auto g = RandVec(static_cast<size_t>(rows * d), 28);
+  std::vector<float> dx(static_cast<size_t>(rows * d), 0.0f);
+  for (auto _ : state) {
+    kernels::reference::SoftmaxBackward(y.data(), g.data(), dx.data(), rows,
+                                        d);
+    benchmark::DoNotOptimize(dx.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_SoftmaxBackwardReference)->Arg(400)->Arg(1024);
+
+void BM_RowNormalizeBackward(benchmark::State& state) {
+  const int64_t rows = state.range(0), d = 32;
+  const auto y = RandVec(static_cast<size_t>(rows * d), 29);
+  const auto g = RandVec(static_cast<size_t>(rows * d), 30);
+  auto inv_sigma = RandVec(static_cast<size_t>(rows), 31);
+  for (auto& v : inv_sigma) v = 1.0f / (1.0f + v * v);
+  std::vector<float> dx(static_cast<size_t>(rows * d), 0.0f);
+  for (auto _ : state) {
+    kernels::RowNormalizeBackward(y.data(), g.data(), inv_sigma.data(),
+                                  dx.data(), rows, d);
+    benchmark::DoNotOptimize(dx.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_RowNormalizeBackward)->Arg(200)->Arg(1024);
+
+void BM_RowNormalizeBackwardReference(benchmark::State& state) {
+  const int64_t rows = state.range(0), d = 32;
+  const auto y = RandVec(static_cast<size_t>(rows * d), 29);
+  const auto g = RandVec(static_cast<size_t>(rows * d), 30);
+  auto inv_sigma = RandVec(static_cast<size_t>(rows), 31);
+  for (auto& v : inv_sigma) v = 1.0f / (1.0f + v * v);
+  std::vector<float> dx(static_cast<size_t>(rows * d), 0.0f);
+  for (auto _ : state) {
+    kernels::reference::RowNormalizeBackward(y.data(), g.data(),
+                                             inv_sigma.data(), dx.data(),
+                                             rows, d);
+    benchmark::DoNotOptimize(dx.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_RowNormalizeBackwardReference)->Arg(200)->Arg(1024);
+
+void BM_AddBiasReluBackward(benchmark::State& state) {
+  const int64_t rows = state.range(0), d = 80;
+  auto y = RandVec(static_cast<size_t>(rows * d), 32);
+  for (auto& v : y) v = v > 0.0f ? v : 0.0f;  // a real ReLU output
+  const auto g = RandVec(static_cast<size_t>(rows * d), 33);
+  std::vector<float> dx(static_cast<size_t>(rows * d), 0.0f);
+  std::vector<float> dbias(static_cast<size_t>(d), 0.0f);
+  for (auto _ : state) {
+    kernels::AddBiasReluBackward(y.data(), g.data(), dx.data(), dbias.data(),
+                                 rows, d);
+    benchmark::DoNotOptimize(dx.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_AddBiasReluBackward)->Arg(200)->Arg(1024);
+
+void BM_AddBiasReluBackwardReference(benchmark::State& state) {
+  const int64_t rows = state.range(0), d = 80;
+  auto y = RandVec(static_cast<size_t>(rows * d), 32);
+  for (auto& v : y) v = v > 0.0f ? v : 0.0f;
+  const auto g = RandVec(static_cast<size_t>(rows * d), 33);
+  std::vector<float> dx(static_cast<size_t>(rows * d), 0.0f);
+  std::vector<float> dbias(static_cast<size_t>(d), 0.0f);
+  for (auto _ : state) {
+    kernels::reference::AddBiasReluBackward(y.data(), g.data(), dx.data(),
+                                            dbias.data(), rows, d);
+    benchmark::DoNotOptimize(dx.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_AddBiasReluBackwardReference)->Arg(200)->Arg(1024);
+
+void BM_Accumulate(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const auto x = RandVec(static_cast<size_t>(n), 34);
+  std::vector<float> y(static_cast<size_t>(n), 0.0f);
+  for (auto _ : state) {
+    kernels::Accumulate(x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Accumulate)->Arg(2560)->Arg(65536);
+
+void BM_AccumulateReference(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const auto x = RandVec(static_cast<size_t>(n), 34);
+  std::vector<float> y(static_cast<size_t>(n), 0.0f);
+  for (auto _ : state) {
+    kernels::reference::Accumulate(x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AccumulateReference)->Arg(2560)->Arg(65536);
+
+// ---- Encoder serve forward --------------------------------------------------
 
 std::unique_ptr<core::NodeStateStore> MakeWarmStore(
     const core::ApanConfig& config) {
@@ -262,7 +459,7 @@ void BM_EncoderServeForwardNoArena(benchmark::State& state) {
 }
 BENCHMARK(BM_EncoderServeForwardNoArena)->Arg(200);
 
-// ---- Temporal graph ----------------------------------------------------------
+// ---- Temporal graph ---------------------------------------------------------
 
 graph::TemporalGraph MakeDenseGraph(int64_t nodes, int64_t events) {
   graph::TemporalGraph g(nodes);
@@ -302,7 +499,7 @@ void BM_KHopExpansion(benchmark::State& state) {
 }
 BENCHMARK(BM_KHopExpansion)->Arg(1)->Arg(2);
 
-// ---- Mailbox -----------------------------------------------------------------
+// ---- Mailbox ----------------------------------------------------------------
 
 void BM_MailboxDeliver(benchmark::State& state) {
   core::Mailbox box(10000, 10, 32);
@@ -335,7 +532,7 @@ void BM_MailboxReadBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_MailboxReadBatch)->Arg(200)->Arg(1000);
 
-// ---- Queue -------------------------------------------------------------------
+// ---- Queue ------------------------------------------------------------------
 
 void BM_BoundedQueueRoundTrip(benchmark::State& state) {
   BoundedQueue<int> q(1024);

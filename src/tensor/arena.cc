@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
+#include <limits>
+#include <queue>
 
 namespace apan {
 namespace tensor {
@@ -77,6 +80,174 @@ ArenaScope::ArenaScope(TensorArena* arena) {
 }
 
 ArenaScope::~ArenaScope() { TensorArena::CurrentSlot() = prev_; }
+
+// ---- TrainingArena ----------------------------------------------------------
+
+void TrainingArena::ObserveDeaths(int64_t ordinal) {
+  for (size_t i = 0; i < live_.size();) {
+    PlanEntry& e = plan_[live_[i]];
+    if (e.impl.use_count() == 1) {
+      // Only the recorder holds it: the graph dropped this impl before
+      // the current allocation, so its slot is free from here on.
+      e.last_use = ordinal;
+      live_[i] = live_.back();
+      live_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+std::shared_ptr<internal::TensorImpl> TrainingArena::Allocate(Shape shape,
+                                                              bool zero) {
+  const size_t n = static_cast<size_t>(NumElements(shape));
+  if (!planned_) {
+    // Planning step: heap-allocate and record the lifetime interval.
+    ObserveDeaths(ordinal_);
+    auto impl = std::make_shared<internal::TensorImpl>();
+    impl->shape = std::move(shape);
+    impl->data.assign(n, 0.0f);
+    plan_.push_back(PlanEntry{impl, static_cast<int64_t>(n), -1, -1});
+    live_.push_back(plan_.size() - 1);
+    ++ordinal_;
+    ++fresh_;
+    return impl;
+  }
+  const int64_t ord = ordinal_++;
+  if (ord < static_cast<int64_t>(plan_.size())) {
+    std::shared_ptr<internal::TensorImpl>& slot = pool_[static_cast<size_t>(
+        plan_[static_cast<size_t>(ord)].slot)];
+    if (slot.use_count() == 1) {
+      internal::TensorImpl* impl = slot.get();
+      // assign() reuses capacity; the seal pass reserved each slot's
+      // high-water numel, so a warm replay never touches the heap.
+      impl->shape.assign(shape.begin(), shape.end());
+      if (zero) {
+        impl->data.assign(n, 0.0f);
+      } else if (impl->data.size() != n) {
+        impl->data.resize(n);
+      }
+      impl->grad.clear();
+      impl->requires_grad = false;
+      impl->backward_fn = nullptr;
+      impl->parents.clear();
+      ++reused_;
+      return slot;
+    }
+  }
+  // Planned slot still referenced, or the step outgrew the plan: fall
+  // back to a plain heap impl (correct, just unpooled) and say so.
+  ++plan_misses_;
+  ++fresh_;
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data.assign(n, 0.0f);
+  return impl;
+}
+
+void TrainingArena::BeginStep() { ordinal_ = 0; }
+
+void TrainingArena::ReleaseGraphRefs() {
+  // Each strip can drop the last external reference to another cell, so
+  // iterate to a fixed point (chains are short: one step's graph depth).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& cell : pool_) {
+      if (cell != nullptr && cell.use_count() == 1 &&
+          (cell->backward_fn != nullptr || !cell->parents.empty())) {
+        cell->backward_fn = nullptr;
+        cell->parents.clear();
+        changed = true;
+      }
+    }
+  }
+}
+
+void TrainingArena::EndStep() {
+  if (planned_) {
+    ReleaseGraphRefs();
+    return;
+  }
+
+  // Seal the plan. Close the live ranges that reach the end of the step
+  // (they recycle across steps, not within one).
+  constexpr int64_t kNever = std::numeric_limits<int64_t>::max();
+  ObserveDeaths(ordinal_);
+  for (size_t idx : live_) plan_[idx].last_use = kNever;
+  live_.clear();
+
+  // Greedy interval-to-slot assignment (ggml-alloc style): walk the
+  // ordinals in order, releasing slots whose occupant died, and give
+  // each allocation the lowest free slot (or a new one).
+  using Release = std::pair<int64_t, int64_t>;  // (free_at, slot)
+  std::priority_queue<Release, std::vector<Release>, std::greater<Release>>
+      releases;
+  std::priority_queue<int64_t, std::vector<int64_t>, std::greater<int64_t>>
+      free_slots;
+  int64_t slot_count = 0;
+  std::vector<int64_t> slot_numel;
+  for (size_t i = 0; i < plan_.size(); ++i) {
+    const int64_t ord = static_cast<int64_t>(i);
+    while (!releases.empty() && releases.top().first <= ord) {
+      free_slots.push(releases.top().second);
+      releases.pop();
+    }
+    int64_t slot;
+    if (!free_slots.empty()) {
+      slot = free_slots.top();
+      free_slots.pop();
+    } else {
+      slot = slot_count++;
+      slot_numel.push_back(0);
+    }
+    plan_[i].slot = slot;
+    slot_numel[static_cast<size_t>(slot)] =
+        std::max(slot_numel[static_cast<size_t>(slot)], plan_[i].numel);
+    if (plan_[i].last_use != kNever) {
+      releases.push({plan_[i].last_use, slot});
+    }
+  }
+
+  // One pooled impl per slot, seeded from a planning impl assigned to
+  // it (buffer reuse) and reserved to the slot's high-water numel so
+  // replay-time assign()/EnsureGrad() stay off the heap.
+  pool_.assign(static_cast<size_t>(slot_count), nullptr);
+  for (size_t i = 0; i < plan_.size(); ++i) {
+    auto& cell = pool_[static_cast<size_t>(plan_[i].slot)];
+    if (cell == nullptr || plan_[i].numel > static_cast<int64_t>(
+                                                cell->data.capacity())) {
+      cell = std::move(plan_[i].impl);
+    }
+    plan_[i].impl.reset();
+  }
+  for (size_t s = 0; s < pool_.size(); ++s) {
+    const size_t cap = static_cast<size_t>(slot_numel[s]);
+    pool_[s]->data.reserve(cap);
+    pool_[s]->grad.reserve(cap);
+  }
+  planned_ = true;
+  ReleaseGraphRefs();
+}
+
+TrainingArena*& TrainingArena::CurrentSlot() {
+  thread_local TrainingArena* current = nullptr;
+  return current;
+}
+
+TrainingArena* TrainingArena::Current() { return CurrentSlot(); }
+
+TrainingStepScope::TrainingStepScope(TrainingArena* arena) : arena_(arena) {
+  TrainingArena*& slot = TrainingArena::CurrentSlot();
+  prev_ = slot;
+  slot = arena_;
+  if (arena_ != nullptr) arena_->BeginStep();
+}
+
+TrainingStepScope::~TrainingStepScope() {
+  if (arena_ != nullptr) arena_->EndStep();
+  TrainingArena::CurrentSlot() = prev_;
+}
 
 }  // namespace tensor
 }  // namespace apan

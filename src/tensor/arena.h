@@ -17,8 +17,28 @@
 //     live Tensor (use_count > 1) is skipped, never reused, so a tensor
 //     that outlives its batch scope stays valid (it just costs its pool
 //     slot until released);
-//   * the ops layer only draws from an arena when gradient recording is
-//     off (NoGradGuard), so autograd graphs never alias pooled storage.
+//   * the ops layer only draws from a TensorArena when gradient
+//     recording is off (NoGradGuard), so autograd graphs never alias
+//     serve-pooled storage. Training-side pooling is TrainingArena's
+//     job (below), which is refcount-safe against live graphs.
+//
+// TrainingArena extends the same idea to the training step, where the
+// op sequence (one forward + backward per batch) is also structurally
+// constant but every intermediate is captured by backward closures
+// until the loss tensor dies. Following ggml-alloc's graph-planned
+// allocation: the FIRST step under a TrainingStepScope runs in planning
+// mode — every NewImpl is heap-allocated and its lifetime (first/last
+// use ordinal, observed via use_count) is recorded; EndStep() seals a
+// plan that greedily assigns allocation ordinals to pool slots (two
+// ordinals share a slot when their live ranges don't overlap) and
+// pre-sizes each slot's buffer to the largest tensor it will hold.
+// Every subsequent step replays by ordinal: allocation #i of the step
+// draws slot plan[i] — zero heap allocations once shapes have hit
+// their high-water mark (asserted in tests/train_fastpath_test.cc the
+// same way the serve test does). A replay allocation whose planned slot
+// is still referenced (an impl unexpectedly outliving its planned
+// range) falls back to the heap and bumps plan_misses() — correctness
+// never depends on the plan being right.
 
 #ifndef APAN_TENSOR_ARENA_H_
 #define APAN_TENSOR_ARENA_H_
@@ -75,6 +95,90 @@ class TensorArena {
   size_t cursor_ = 0;
   int64_t fresh_ = 0;
   int64_t reused_ = 0;
+};
+
+/// \brief Graph-planned TensorImpl pool for the training step loop.
+/// Plan once (first step), replay by allocation ordinal afterwards; see
+/// the file comment for the lifecycle. Thread-confined like TensorArena.
+class TrainingArena {
+ public:
+  TrainingArena() = default;
+  TrainingArena(const TrainingArena&) = delete;
+  TrainingArena& operator=(const TrainingArena&) = delete;
+
+  /// Allocation entry point, called by ops::NewImpl when gradient
+  /// recording is ON and a TrainingStepScope is active on this thread.
+  std::shared_ptr<internal::TensorImpl> Allocate(Shape shape, bool zero);
+
+  /// Starts a step: the first call enters planning mode, later calls
+  /// rewind the replay ordinal.
+  void BeginStep();
+  /// Ends a step; the first EndStep seals the plan.
+  void EndStep();
+
+  /// Heap allocations (flat once warm — the zero-allocation assertion).
+  int64_t fresh_impls() const { return fresh_; }
+  /// Replayed pool draws.
+  int64_t reused_impls() const { return reused_; }
+  /// Replay allocations whose planned slot was still referenced or past
+  /// the plan's end (each fell back to a heap impl). Structurally
+  /// constant step graphs keep this at zero.
+  int64_t plan_misses() const { return plan_misses_; }
+  bool planned() const { return planned_; }
+  size_t pool_slots() const { return pool_.size(); }
+
+  /// The arena the innermost TrainingStepScope on this thread
+  /// activated, or null (ops then fall back to plain heap impls).
+  static TrainingArena* Current();
+
+ private:
+  friend class TrainingStepScope;
+  static TrainingArena*& CurrentSlot();
+
+  /// Sweeps planning-mode impls whose only reference is the recorder
+  /// (use_count == 1), closing their live ranges at `ordinal`.
+  void ObserveDeaths(int64_t ordinal);
+
+  /// Strips backward closures / parent edges from pool cells nothing
+  /// outside the arena references anymore. Without this the step's
+  /// autograd graph pins the pool to itself (consumer impls hold
+  /// shared_ptrs to producer impls), and a replay would miss on every
+  /// slot but the chain's tail. Runs at each EndStep, after the step's
+  /// external tensors have died.
+  void ReleaseGraphRefs();
+
+  // Planning state: one entry per allocation ordinal of the first step.
+  struct PlanEntry {
+    std::shared_ptr<internal::TensorImpl> impl;  ///< null once sealed
+    int64_t numel = 0;
+    int64_t last_use = -1;  ///< ordinal after which the impl was dead
+    int64_t slot = -1;
+  };
+  std::vector<PlanEntry> plan_;
+  std::vector<size_t> live_;  ///< plan_ indices not yet observed dead
+
+  // Replay state: one recyclable impl per plan slot.
+  std::vector<std::shared_ptr<internal::TensorImpl>> pool_;
+  int64_t ordinal_ = 0;
+  bool planned_ = false;
+  int64_t fresh_ = 0;
+  int64_t reused_ = 0;
+  int64_t plan_misses_ = 0;
+};
+
+/// \brief RAII: activates `arena` on this thread for one training step
+/// (BeginStep on entry, EndStep + previous-arena restore on exit). The
+/// trainer wraps each batch's forward/backward/optimizer leg in one.
+class TrainingStepScope {
+ public:
+  explicit TrainingStepScope(TrainingArena* arena);
+  ~TrainingStepScope();
+  TrainingStepScope(const TrainingStepScope&) = delete;
+  TrainingStepScope& operator=(const TrainingStepScope&) = delete;
+
+ private:
+  TrainingArena* arena_;
+  TrainingArena* prev_;
 };
 
 /// \brief RAII activation of an arena on the calling thread. Entering a

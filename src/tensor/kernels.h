@@ -10,15 +10,33 @@
 // eval) computes through the same code path and stays bitwise
 // reproducible run-to-run and engine-to-engine.
 //
-// Determinism contract: every reduction runs in fixed-width 8-lane
-// blocked order (lane l accumulates elements l, l+8, l+16, ..., lanes
-// combined in a fixed binary tree), and SIMD lanes use separate multiply
-// and add (no FMA contraction), so the scalar fallback and the SIMD
-// implementations produce bitwise-identical results — the kernel parity
-// suite (tests/tensor_kernels_test.cc) asserts it. Per-row outputs
-// depend only on that row's inputs, which is what keeps a sharded
-// encode (per-shard sub-batches) bitwise equal to the monolithic encode
-// of the same rows.
+// Determinism contract — per kernel subset:
+//
+//   * SERVE kernels (everything above the "Training-side kernels"
+//     section, implemented in kernels.cc): cross-ISA bitwise parity.
+//     Every reduction runs in fixed-width 8-lane blocked order (lane l
+//     accumulates elements l, l+8, l+16, ..., lanes combined in a fixed
+//     binary tree), and SIMD lanes use separate multiply and add (no FMA
+//     contraction; kernels.cc is built with -ffp-contract=off and
+//     tools/apan_lint disassembles its object to prove it), so the
+//     scalar fallback and the SIMD implementations produce
+//     bitwise-identical results — the kernel parity suite
+//     (tests/tensor_kernels_test.cc) asserts it. Per-row outputs depend
+//     only on that row's inputs, which is what keeps a sharded encode
+//     (per-shard sub-batches) bitwise equal to the monolithic encode of
+//     the same rows.
+//
+//   * TRAINING kernels (the gradient primitives below, implemented in
+//     kernels_backward.cc): per-ISA determinism only. One tier is
+//     selected per process (the same ActiveIsa() the serve kernels
+//     picked), so training is bitwise reproducible run-to-run on one
+//     host, but the AVX2 tier uses FMA contraction and vector-friendly
+//     reduction orders, so scalar and AVX2 results differ in the last
+//     ULPs. Nothing downstream needs more: the serve plane's cross-ISA
+//     guarantees only cover inference, and the training determinism
+//     test (tests/train_fastpath_test.cc) asserts same-ISA bitwise
+//     equality. docs/performance.md ("Training fast path") states the
+//     split contract.
 //
 // `reference` holds the naive serial implementations (the pre-kernel
 // semantics) for parity tests and before/after benchmarks; `scalar` is
@@ -105,6 +123,64 @@ void ResidualLayerNorm(const float* x, const float* residual,
                        const float* gain, const float* bias, float* y,
                        int64_t rows, int64_t d, float eps);
 
+// ---- Training-side kernels (gradient primitives) ----------------------------
+// Implemented in kernels_backward.cc under the per-ISA contract (FMA
+// legal; see the header comment). All of them ACCUMULATE into their
+// output gradient buffers (dst += ...), matching autograd's sum-over-
+// uses semantics — callers zero (or EnsureGrad) the buffers. Dispatch is
+// keyed off the same ActiveIsa() as the serve kernels, so one process
+// runs one tier everywhere; on NEON hosts the training kernels run the
+// blocked-scalar tier (still within-process deterministic).
+
+/// dA[n,k] += G[n,m] * B[k,m]^T (the MatMul input gradient).
+void MatMulGradA(const float* g, const float* b, float* da, int64_t n,
+                 int64_t k, int64_t m);
+
+/// dB[k,m] += A[n,k]^T * G[n,m] (the MatMul weight gradient).
+void MatMulGradB(const float* a, const float* g, float* db, int64_t n,
+                 int64_t k, int64_t m);
+
+/// Softmax backward from the forward output y:
+///   dx[r,j] += (g[r,j] - dot(g[r,:], y[r,:])) * y[r,j]
+void SoftmaxBackward(const float* y, const float* g, float* dx, int64_t rows,
+                     int64_t d);
+
+/// LayerNorm-standardization backward (RowNormalize's gradient) from the
+/// forward output y and the per-row 1/sigma the forward stashed:
+///   dx[r,j] += inv_sigma[r] * (g[r,j] - mean(g[r,:]) - y[r,j] * mean(g.y))
+void RowNormalizeBackward(const float* y, const float* g,
+                          const float* inv_sigma, float* dx, int64_t rows,
+                          int64_t d);
+
+/// Fused Linear+ReLU epilogue backward, masked by the forward output
+/// (y > 0 <=> pre-activation > 0). Either output may be null to skip it:
+///   dx[r,j]  += y[r,j] > 0 ? g[r,j] : 0
+///   dbias[j] += sum_r (y[r,j] > 0 ? g[r,j] : 0)
+void AddBiasReluBackward(const float* y, const float* g, float* dx,
+                         float* dbias, int64_t rows, int64_t d);
+
+/// y[i] += x[i] (gradient fan-in for copy-shaped ops).
+void Accumulate(const float* x, float* y, int64_t n);
+
+/// y[i] += g[i] * m[i] (masked gradient fan-in, e.g. dropout backward).
+void AccumulateMul(const float* g, const float* m, float* y, int64_t n);
+
+/// y[i] += a * x[i].
+void Axpy(float a, const float* x, float* y, int64_t n);
+
+/// Training-path forward GEMM: C[n,m] = A[n,k] * B[k,m] (overwrite).
+/// Same math as the serve MatMul but implemented under the per-ISA
+/// contract (FMA legal), so a *recorded* forward — one that feeds the
+/// training graph rather than a served score — does not pay the serve
+/// plane's cross-ISA bitwise tax. Off-AVX2 hosts run the blocked-scalar
+/// serve loop (still within-process deterministic).
+void MatMulTrain(const float* a, const float* b, float* c, int64_t n,
+                 int64_t k, int64_t m);
+
+/// Batched MatMulTrain over bs independent [n,k] x [k,m] products.
+void BmmTrain(const float* a, const float* b, float* c, int64_t bs,
+              int64_t n, int64_t k, int64_t m);
+
 // ---- Portable blocked-scalar implementations --------------------------------
 // Bitwise-identical to the SIMD implementations; exposed for the parity
 // suite and for forcing the fallback in tests.
@@ -132,6 +208,22 @@ void AttentionContext(const float* attn, const float* v, float* ctx,
 void ResidualLayerNorm(const float* x, const float* residual,
                        const float* gain, const float* bias, float* y,
                        int64_t rows, int64_t d, float eps);
+// Training-side gradient primitives (blocked-scalar tier; defined in
+// kernels_backward.cc).
+void MatMulGradA(const float* g, const float* b, float* da, int64_t n,
+                 int64_t k, int64_t m);
+void MatMulGradB(const float* a, const float* g, float* db, int64_t n,
+                 int64_t k, int64_t m);
+void SoftmaxBackward(const float* y, const float* g, float* dx, int64_t rows,
+                     int64_t d);
+void RowNormalizeBackward(const float* y, const float* g,
+                          const float* inv_sigma, float* dx, int64_t rows,
+                          int64_t d);
+void AddBiasReluBackward(const float* y, const float* g, float* dx,
+                         float* dbias, int64_t rows, int64_t d);
+void Accumulate(const float* x, float* y, int64_t n);
+void AccumulateMul(const float* g, const float* m, float* y, int64_t n);
+void Axpy(float a, const float* x, float* y, int64_t n);
 }  // namespace scalar
 
 // ---- Naive serial reference -------------------------------------------------
@@ -150,6 +242,21 @@ void RowNormalize(const float* x, float* y, int64_t rows, int64_t d,
 void AddBiasRelu(const float* x, const float* bias, float* y, int64_t rows,
                  int64_t d);
 float Dot(const float* a, const float* b, int64_t n);
+// Pre-kernel backward-closure loop orders from ops.cc (the strided
+// column walks with zero-skips), kept as the before side of the
+// micro_substrate before/after pairs. Defined in kernels_backward.cc.
+void MatMulGradA(const float* g, const float* b, float* da, int64_t n,
+                 int64_t k, int64_t m);
+void MatMulGradB(const float* a, const float* g, float* db, int64_t n,
+                 int64_t k, int64_t m);
+void SoftmaxBackward(const float* y, const float* g, float* dx, int64_t rows,
+                     int64_t d);
+void RowNormalizeBackward(const float* y, const float* g,
+                          const float* inv_sigma, float* dx, int64_t rows,
+                          int64_t d);
+void AddBiasReluBackward(const float* y, const float* g, float* dx,
+                         float* dbias, int64_t rows, int64_t d);
+void Accumulate(const float* x, float* y, int64_t n);
 }  // namespace reference
 
 }  // namespace kernels

@@ -1,0 +1,631 @@
+// Training-side gradient kernels — the per-ISA half of the kernel
+// substrate (see the contract comment in kernels.h).
+//
+// Unlike kernels.cc, this translation unit is NOT built with
+// -ffp-contract=off and its AVX2 tier uses _mm256_fmadd_ps explicitly:
+// the backward pass only needs within-process determinism (one tier is
+// selected per process, keyed off the same ActiveIsa() the serve
+// kernels picked), so FMA contraction and vector-friendly reduction
+// orders are legal here. tools/apan_lint's FMA disassembly check is
+// scoped to kernels.cc.o and deliberately exempts this object.
+//
+// Every kernel ACCUMULATES into its output gradient buffer (dst += ...)
+// — autograd sums gradients over uses, and the ops layer calls
+// EnsureGrad() (zero-fill on first touch) before invoking them.
+//
+// The `reference` implementations at the bottom preserve the pre-kernel
+// backward-closure loop orders from ops.cc (strided column walks,
+// zero-skips) as the before side of micro_substrate's before/after
+// pairs.
+
+#include <cmath>
+
+#include "tensor/kernels.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define APAN_KERNELS_BWD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace apan {
+namespace tensor {
+namespace kernels {
+
+// ---- Portable blocked-scalar tier -------------------------------------------
+
+namespace scalar {
+
+void MatMulGradA(const float* g, const float* b, float* da, int64_t n,
+                 int64_t k, int64_t m) {
+  // dA[i,kk] += dot(G[i,:], B[kk,:]) — both operands stream row-major
+  // (the pre-kernel closure walked B's columns at stride m instead).
+  for (int64_t i = 0; i < n; ++i) {
+    const float* grow = g + i * m;
+    float* darow = da + i * k;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float* brow = b + kk * m;
+      float acc = 0.0f;
+      for (int64_t j = 0; j < m; ++j) acc += grow[j] * brow[j];
+      darow[kk] += acc;
+    }
+  }
+}
+
+void MatMulGradB(const float* a, const float* g, float* db, int64_t n,
+                 int64_t k, int64_t m) {
+  // dB[kk,:] += sum_i A[i,kk] * G[i,:] — streams G rows; the zero-skip
+  // pays off because A is frequently a ReLU output.
+  for (int64_t i = 0; i < n; ++i) {
+    const float* arow = a + i * k;
+    const float* grow = g + i * m;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float aik = arow[kk];
+      if (aik == 0.0f) continue;
+      float* dbrow = db + kk * m;
+      for (int64_t j = 0; j < m; ++j) dbrow[j] += aik * grow[j];
+    }
+  }
+}
+
+void SoftmaxBackward(const float* y, const float* g, float* dx, int64_t rows,
+                     int64_t d) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* yr = y + r * d;
+    const float* gr = g + r * d;
+    float* dxr = dx + r * d;
+    float dot = 0.0f;
+    for (int64_t j = 0; j < d; ++j) dot += gr[j] * yr[j];
+    for (int64_t j = 0; j < d; ++j) dxr[j] += (gr[j] - dot) * yr[j];
+  }
+}
+
+void RowNormalizeBackward(const float* y, const float* g,
+                          const float* inv_sigma, float* dx, int64_t rows,
+                          int64_t d) {
+  const float inv_d = 1.0f / static_cast<float>(d);
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* yr = y + r * d;
+    const float* gr = g + r * d;
+    float* dxr = dx + r * d;
+    float g_sum = 0.0f, gy_sum = 0.0f;
+    for (int64_t j = 0; j < d; ++j) {
+      g_sum += gr[j];
+      gy_sum += gr[j] * yr[j];
+    }
+    const float g_mean = g_sum * inv_d;
+    const float gy_mean = gy_sum * inv_d;
+    const float inv = inv_sigma[r];
+    for (int64_t j = 0; j < d; ++j) {
+      dxr[j] += inv * (gr[j] - g_mean - yr[j] * gy_mean);
+    }
+  }
+}
+
+void AddBiasReluBackward(const float* y, const float* g, float* dx,
+                         float* dbias, int64_t rows, int64_t d) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* yr = y + r * d;
+    const float* gr = g + r * d;
+    if (dx != nullptr) {
+      float* dxr = dx + r * d;
+      for (int64_t j = 0; j < d; ++j) {
+        if (yr[j] > 0.0f) dxr[j] += gr[j];
+      }
+    }
+    if (dbias != nullptr) {
+      for (int64_t j = 0; j < d; ++j) {
+        if (yr[j] > 0.0f) dbias[j] += gr[j];
+      }
+    }
+  }
+}
+
+void Accumulate(const float* x, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] += x[i];
+}
+
+void AccumulateMul(const float* g, const float* m, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] += g[i] * m[i];
+}
+
+void Axpy(float a, const float* x, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+}  // namespace scalar
+
+// ---- AVX2 + FMA tier --------------------------------------------------------
+
+#if defined(APAN_KERNELS_BWD_X86)
+
+namespace avx2 {
+
+namespace {
+
+/// Horizontal sum of one 256-bit lane group (order differs from the
+/// serve kernels' Tree8 — legal under the per-ISA contract).
+__attribute__((target("avx2,fma"))) inline float HSum256(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x55));
+  return _mm_cvtss_f32(s);
+}
+
+}  // namespace
+
+__attribute__((target("avx2,fma"))) void MatMulGradA(const float* g,
+                                                     const float* b, float* da,
+                                                     int64_t n, int64_t k,
+                                                     int64_t m) {
+  // dA[i,kk] += dot(G[i,:], B[kk,:]), four B rows per pass so the G row
+  // loads amortize across output columns.
+  const int64_t m8 = m & ~int64_t{7};
+  const int64_t k4 = k & ~int64_t{3};
+  for (int64_t i = 0; i < n; ++i) {
+    const float* grow = g + i * m;
+    float* darow = da + i * k;
+    int64_t kk = 0;
+    for (; kk < k4; kk += 4) {
+      const float* b0 = b + (kk + 0) * m;
+      const float* b1 = b + (kk + 1) * m;
+      const float* b2 = b + (kk + 2) * m;
+      const float* b3 = b + (kk + 3) * m;
+      __m256 a0 = _mm256_setzero_ps();
+      __m256 a1 = _mm256_setzero_ps();
+      __m256 a2 = _mm256_setzero_ps();
+      __m256 a3 = _mm256_setzero_ps();
+      int64_t j = 0;
+      for (; j < m8; j += 8) {
+        const __m256 gv = _mm256_loadu_ps(grow + j);
+        a0 = _mm256_fmadd_ps(gv, _mm256_loadu_ps(b0 + j), a0);
+        a1 = _mm256_fmadd_ps(gv, _mm256_loadu_ps(b1 + j), a1);
+        a2 = _mm256_fmadd_ps(gv, _mm256_loadu_ps(b2 + j), a2);
+        a3 = _mm256_fmadd_ps(gv, _mm256_loadu_ps(b3 + j), a3);
+      }
+      float s0 = HSum256(a0), s1 = HSum256(a1);
+      float s2 = HSum256(a2), s3 = HSum256(a3);
+      for (; j < m; ++j) {
+        const float gv = grow[j];
+        s0 += gv * b0[j];
+        s1 += gv * b1[j];
+        s2 += gv * b2[j];
+        s3 += gv * b3[j];
+      }
+      darow[kk + 0] += s0;
+      darow[kk + 1] += s1;
+      darow[kk + 2] += s2;
+      darow[kk + 3] += s3;
+    }
+    for (; kk < k; ++kk) {
+      const float* brow = b + kk * m;
+      __m256 accv = _mm256_setzero_ps();
+      int64_t j = 0;
+      for (; j < m8; j += 8) {
+        accv = _mm256_fmadd_ps(_mm256_loadu_ps(grow + j),
+                               _mm256_loadu_ps(brow + j), accv);
+      }
+      float acc = HSum256(accv);
+      for (; j < m; ++j) acc += grow[j] * brow[j];
+      darow[kk] += acc;
+    }
+  }
+}
+
+__attribute__((target("avx2,fma"))) void MatMulGradB(const float* a,
+                                                     const float* g, float* db,
+                                                     int64_t n, int64_t k,
+                                                     int64_t m) {
+  const int64_t m8 = m & ~int64_t{7};
+  for (int64_t i = 0; i < n; ++i) {
+    const float* arow = a + i * k;
+    const float* grow = g + i * m;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float aik = arow[kk];
+      if (aik == 0.0f) continue;
+      float* dbrow = db + kk * m;
+      const __m256 av = _mm256_set1_ps(aik);
+      int64_t j = 0;
+      for (; j < m8; j += 8) {
+        const __m256 acc = _mm256_fmadd_ps(av, _mm256_loadu_ps(grow + j),
+                                           _mm256_loadu_ps(dbrow + j));
+        _mm256_storeu_ps(dbrow + j, acc);
+      }
+      for (; j < m; ++j) dbrow[j] += aik * grow[j];
+    }
+  }
+}
+
+__attribute__((target("avx2,fma"))) void MatMulTrain(const float* a,
+                                                     const float* b, float* c,
+                                                     int64_t n, int64_t k,
+                                                     int64_t m) {
+  // Same register-blocked jk scheme as the serve avx2::MatMul, with the
+  // mul+add pairs contracted to FMA — the whole point of this tier.
+  for (int64_t i = 0; i < n; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * m;
+    int64_t j = 0;
+    for (; j + 32 <= m; j += 32) {
+      __m256 c0 = _mm256_setzero_ps();
+      __m256 c1 = _mm256_setzero_ps();
+      __m256 c2 = _mm256_setzero_ps();
+      __m256 c3 = _mm256_setzero_ps();
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const __m256 av = _mm256_set1_ps(arow[kk]);
+        const float* brow = b + kk * m + j;
+        c0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow), c0);
+        c1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + 8), c1);
+        c2 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + 16), c2);
+        c3 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + 24), c3);
+      }
+      _mm256_storeu_ps(crow + j, c0);
+      _mm256_storeu_ps(crow + j + 8, c1);
+      _mm256_storeu_ps(crow + j + 16, c2);
+      _mm256_storeu_ps(crow + j + 24, c3);
+    }
+    for (; j + 8 <= m; j += 8) {
+      __m256 c0 = _mm256_setzero_ps();
+      for (int64_t kk = 0; kk < k; ++kk) {
+        c0 = _mm256_fmadd_ps(_mm256_set1_ps(arow[kk]),
+                             _mm256_loadu_ps(b + kk * m + j), c0);
+      }
+      _mm256_storeu_ps(crow + j, c0);
+    }
+    for (; j < m; ++j) {
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * b[kk * m + j];
+      crow[j] = acc;
+    }
+  }
+}
+
+__attribute__((target("avx2,fma"))) void BmmTrain(const float* a,
+                                                  const float* b, float* c,
+                                                  int64_t bs, int64_t n,
+                                                  int64_t k, int64_t m) {
+  for (int64_t t = 0; t < bs; ++t) {
+    MatMulTrain(a + t * n * k, b + t * k * m, c + t * n * m, n, k, m);
+  }
+}
+
+__attribute__((target("avx2,fma"))) void SoftmaxBackward(const float* y,
+                                                         const float* g,
+                                                         float* dx,
+                                                         int64_t rows,
+                                                         int64_t d) {
+  const int64_t d8 = d & ~int64_t{7};
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* yr = y + r * d;
+    const float* gr = g + r * d;
+    float* dxr = dx + r * d;
+    __m256 accv = _mm256_setzero_ps();
+    int64_t j = 0;
+    for (; j < d8; j += 8) {
+      accv = _mm256_fmadd_ps(_mm256_loadu_ps(gr + j), _mm256_loadu_ps(yr + j),
+                             accv);
+    }
+    float dot = HSum256(accv);
+    for (; j < d; ++j) dot += gr[j] * yr[j];
+    const __m256 dotv = _mm256_set1_ps(dot);
+    j = 0;
+    for (; j < d8; j += 8) {
+      const __m256 diff = _mm256_sub_ps(_mm256_loadu_ps(gr + j), dotv);
+      const __m256 acc = _mm256_fmadd_ps(diff, _mm256_loadu_ps(yr + j),
+                                         _mm256_loadu_ps(dxr + j));
+      _mm256_storeu_ps(dxr + j, acc);
+    }
+    for (; j < d; ++j) dxr[j] += (gr[j] - dot) * yr[j];
+  }
+}
+
+__attribute__((target("avx2,fma"))) void RowNormalizeBackward(
+    const float* y, const float* g, const float* inv_sigma, float* dx,
+    int64_t rows, int64_t d) {
+  const int64_t d8 = d & ~int64_t{7};
+  const float inv_d = 1.0f / static_cast<float>(d);
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* yr = y + r * d;
+    const float* gr = g + r * d;
+    float* dxr = dx + r * d;
+    __m256 gv = _mm256_setzero_ps();
+    __m256 gyv = _mm256_setzero_ps();
+    int64_t j = 0;
+    for (; j < d8; j += 8) {
+      const __m256 grv = _mm256_loadu_ps(gr + j);
+      gv = _mm256_add_ps(gv, grv);
+      gyv = _mm256_fmadd_ps(grv, _mm256_loadu_ps(yr + j), gyv);
+    }
+    float g_sum = HSum256(gv);
+    float gy_sum = HSum256(gyv);
+    for (; j < d; ++j) {
+      g_sum += gr[j];
+      gy_sum += gr[j] * yr[j];
+    }
+    const float g_mean = g_sum * inv_d;
+    const float gy_mean = gy_sum * inv_d;
+    const float inv = inv_sigma[r];
+    const __m256 g_mean_v = _mm256_set1_ps(g_mean);
+    const __m256 neg_gy_mean_v = _mm256_set1_ps(-gy_mean);
+    const __m256 inv_v = _mm256_set1_ps(inv);
+    j = 0;
+    for (; j < d8; j += 8) {
+      // g - g_mean - y * gy_mean, then dx += inv * (...)
+      const __m256 t =
+          _mm256_fmadd_ps(_mm256_loadu_ps(yr + j), neg_gy_mean_v,
+                          _mm256_sub_ps(_mm256_loadu_ps(gr + j), g_mean_v));
+      const __m256 acc = _mm256_fmadd_ps(inv_v, t, _mm256_loadu_ps(dxr + j));
+      _mm256_storeu_ps(dxr + j, acc);
+    }
+    for (; j < d; ++j) {
+      dxr[j] += inv * (gr[j] - g_mean - yr[j] * gy_mean);
+    }
+  }
+}
+
+__attribute__((target("avx2,fma"))) void AddBiasReluBackward(
+    const float* y, const float* g, float* dx, float* dbias, int64_t rows,
+    int64_t d) {
+  const int64_t d8 = d & ~int64_t{7};
+  const __m256 zero = _mm256_setzero_ps();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* yr = y + r * d;
+    const float* gr = g + r * d;
+    float* dxr = dx != nullptr ? dx + r * d : nullptr;
+    int64_t j = 0;
+    for (; j < d8; j += 8) {
+      const __m256 mask = _mm256_cmp_ps(_mm256_loadu_ps(yr + j), zero,
+                                        _CMP_GT_OQ);
+      const __m256 gm = _mm256_and_ps(_mm256_loadu_ps(gr + j), mask);
+      if (dxr != nullptr) {
+        _mm256_storeu_ps(dxr + j,
+                         _mm256_add_ps(_mm256_loadu_ps(dxr + j), gm));
+      }
+      if (dbias != nullptr) {
+        _mm256_storeu_ps(dbias + j,
+                         _mm256_add_ps(_mm256_loadu_ps(dbias + j), gm));
+      }
+    }
+    for (; j < d; ++j) {
+      const float gm = yr[j] > 0.0f ? gr[j] : 0.0f;
+      if (dxr != nullptr) dxr[j] += gm;
+      if (dbias != nullptr) dbias[j] += gm;
+    }
+  }
+}
+
+__attribute__((target("avx2,fma"))) void Accumulate(const float* x, float* y,
+                                                    int64_t n) {
+  const int64_t n8 = n & ~int64_t{7};
+  int64_t i = 0;
+  for (; i < n8; i += 8) {
+    _mm256_storeu_ps(
+        y + i, _mm256_add_ps(_mm256_loadu_ps(y + i), _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) y[i] += x[i];
+}
+
+__attribute__((target("avx2,fma"))) void AccumulateMul(const float* g,
+                                                       const float* m,
+                                                       float* y, int64_t n) {
+  const int64_t n8 = n & ~int64_t{7};
+  int64_t i = 0;
+  for (; i < n8; i += 8) {
+    const __m256 acc = _mm256_fmadd_ps(
+        _mm256_loadu_ps(g + i), _mm256_loadu_ps(m + i), _mm256_loadu_ps(y + i));
+    _mm256_storeu_ps(y + i, acc);
+  }
+  for (; i < n; ++i) y[i] += g[i] * m[i];
+}
+
+__attribute__((target("avx2,fma"))) void Axpy(float a, const float* x,
+                                              float* y, int64_t n) {
+  const __m256 av = _mm256_set1_ps(a);
+  const int64_t n8 = n & ~int64_t{7};
+  int64_t i = 0;
+  for (; i < n8; i += 8) {
+    const __m256 acc =
+        _mm256_fmadd_ps(av, _mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i));
+    _mm256_storeu_ps(y + i, acc);
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+}  // namespace avx2
+
+#endif  // APAN_KERNELS_BWD_X86
+
+// ---- Dispatch ---------------------------------------------------------------
+// Keyed off the serve dispatcher's ActiveIsa() so the whole process —
+// forward and backward — runs one consistent tier. NEON hosts fall back
+// to the blocked-scalar tier for the backward kernels (still
+// deterministic within the process).
+
+namespace {
+
+struct BackwardTable {
+  void (*matmul_grad_a)(const float*, const float*, float*, int64_t, int64_t,
+                        int64_t) = scalar::MatMulGradA;
+  void (*matmul_grad_b)(const float*, const float*, float*, int64_t, int64_t,
+                        int64_t) = scalar::MatMulGradB;
+  void (*softmax_backward)(const float*, const float*, float*, int64_t,
+                           int64_t) = scalar::SoftmaxBackward;
+  void (*row_normalize_backward)(const float*, const float*, const float*,
+                                 float*, int64_t, int64_t) =
+      scalar::RowNormalizeBackward;
+  void (*add_bias_relu_backward)(const float*, const float*, float*, float*,
+                                 int64_t, int64_t) =
+      scalar::AddBiasReluBackward;
+  void (*accumulate)(const float*, float*, int64_t) = scalar::Accumulate;
+  void (*accumulate_mul)(const float*, const float*, float*, int64_t) =
+      scalar::AccumulateMul;
+  void (*axpy)(float, const float*, float*, int64_t) = scalar::Axpy;
+  // Training-path forwards fall back to the serve blocked-scalar GEMM
+  // (kernels.cc) when no FMA tier is available.
+  void (*matmul_train)(const float*, const float*, float*, int64_t, int64_t,
+                       int64_t) = scalar::MatMul;
+  void (*bmm_train)(const float*, const float*, float*, int64_t, int64_t,
+                    int64_t, int64_t) = scalar::Bmm;
+};
+
+BackwardTable BuildBackwardTable() {
+  BackwardTable t;  // scalar defaults
+#if defined(APAN_KERNELS_BWD_X86)
+  if (ActiveIsa() == Isa::kAvx2) {
+    t.matmul_grad_a = avx2::MatMulGradA;
+    t.matmul_grad_b = avx2::MatMulGradB;
+    t.softmax_backward = avx2::SoftmaxBackward;
+    t.row_normalize_backward = avx2::RowNormalizeBackward;
+    t.add_bias_relu_backward = avx2::AddBiasReluBackward;
+    t.accumulate = avx2::Accumulate;
+    t.accumulate_mul = avx2::AccumulateMul;
+    t.axpy = avx2::Axpy;
+    t.matmul_train = avx2::MatMulTrain;
+    t.bmm_train = avx2::BmmTrain;
+  }
+#endif
+  return t;
+}
+
+const BackwardTable& Backward() {
+  static const BackwardTable t = BuildBackwardTable();
+  return t;
+}
+
+}  // namespace
+
+void MatMulGradA(const float* g, const float* b, float* da, int64_t n,
+                 int64_t k, int64_t m) {
+  Backward().matmul_grad_a(g, b, da, n, k, m);
+}
+void MatMulGradB(const float* a, const float* g, float* db, int64_t n,
+                 int64_t k, int64_t m) {
+  Backward().matmul_grad_b(a, g, db, n, k, m);
+}
+void SoftmaxBackward(const float* y, const float* g, float* dx, int64_t rows,
+                     int64_t d) {
+  Backward().softmax_backward(y, g, dx, rows, d);
+}
+void RowNormalizeBackward(const float* y, const float* g,
+                          const float* inv_sigma, float* dx, int64_t rows,
+                          int64_t d) {
+  Backward().row_normalize_backward(y, g, inv_sigma, dx, rows, d);
+}
+void AddBiasReluBackward(const float* y, const float* g, float* dx,
+                         float* dbias, int64_t rows, int64_t d) {
+  Backward().add_bias_relu_backward(y, g, dx, dbias, rows, d);
+}
+void Accumulate(const float* x, float* y, int64_t n) {
+  Backward().accumulate(x, y, n);
+}
+void AccumulateMul(const float* g, const float* m, float* y, int64_t n) {
+  Backward().accumulate_mul(g, m, y, n);
+}
+void Axpy(float a, const float* x, float* y, int64_t n) {
+  Backward().axpy(a, x, y, n);
+}
+void MatMulTrain(const float* a, const float* b, float* c, int64_t n,
+                 int64_t k, int64_t m) {
+  Backward().matmul_train(a, b, c, n, k, m);
+}
+void BmmTrain(const float* a, const float* b, float* c, int64_t bs, int64_t n,
+              int64_t k, int64_t m) {
+  Backward().bmm_train(a, b, c, bs, n, k, m);
+}
+
+// ---- Pre-kernel reference loops ---------------------------------------------
+// Byte-for-byte the loop orders the ops.cc backward closures ran before
+// the kernel port (micro_substrate's "before" side; also the agreement
+// oracle in tests/tensor_kernels_test.cc).
+
+namespace reference {
+
+void MatMulGradA(const float* g, const float* b, float* da, int64_t n,
+                 int64_t k, int64_t m) {
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < m; ++j) {
+      const float gv = g[i * m + j];
+      if (gv == 0.0f) continue;
+      const float* bcol = b + j;  // column j of B, stride m
+      float* darow = da + i * k;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        darow[kk] += gv * bcol[kk * m];
+      }
+    }
+  }
+}
+
+void MatMulGradB(const float* a, const float* g, float* db, int64_t n,
+                 int64_t k, int64_t m) {
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float aik = a[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* grow = g + i * m;
+      float* dbrow = db + kk * m;
+      for (int64_t j = 0; j < m; ++j) dbrow[j] += aik * grow[j];
+    }
+  }
+}
+
+void SoftmaxBackward(const float* y, const float* g, float* dx, int64_t rows,
+                     int64_t d) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* yr = y + r * d;
+    const float* gr = g + r * d;
+    float dot = 0.0f;
+    for (int64_t j = 0; j < d; ++j) dot += gr[j] * yr[j];
+    float* dxr = dx + r * d;
+    for (int64_t j = 0; j < d; ++j) dxr[j] += (gr[j] - dot) * yr[j];
+  }
+}
+
+void RowNormalizeBackward(const float* y, const float* g,
+                          const float* inv_sigma, float* dx, int64_t rows,
+                          int64_t d) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* yr = y + r * d;
+    const float* gr = g + r * d;
+    float g_mean = 0.0f, gy_mean = 0.0f;
+    for (int64_t j = 0; j < d; ++j) {
+      g_mean += gr[j];
+      gy_mean += gr[j] * yr[j];
+    }
+    g_mean /= static_cast<float>(d);
+    gy_mean /= static_cast<float>(d);
+    const float inv = inv_sigma[r];
+    float* dxr = dx + r * d;
+    for (int64_t j = 0; j < d; ++j) {
+      dxr[j] += inv * (gr[j] - g_mean - yr[j] * gy_mean);
+    }
+  }
+}
+
+void AddBiasReluBackward(const float* y, const float* g, float* dx,
+                         float* dbias, int64_t rows, int64_t d) {
+  if (dx != nullptr) {
+    for (int64_t i = 0; i < rows * d; ++i) {
+      if (y[i] > 0.0f) dx[i] += g[i];
+    }
+  }
+  if (dbias != nullptr) {
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* gr = g + r * d;
+      const float* yr = y + r * d;
+      for (int64_t j = 0; j < d; ++j) {
+        if (yr[j] > 0.0f) dbias[j] += gr[j];
+      }
+    }
+  }
+}
+
+void Accumulate(const float* x, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] += x[i];
+}
+
+}  // namespace reference
+
+}  // namespace kernels
+}  // namespace tensor
+}  // namespace apan

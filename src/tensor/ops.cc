@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "tensor/arena.h"
 #include "tensor/kernels.h"
@@ -25,6 +26,11 @@ ImplPtr NewImpl(Shape shape, bool zero = true) {
     if (TensorArena* arena = TensorArena::Current()) {
       return arena->Allocate(std::move(shape), zero);
     }
+  } else if (TrainingArena* arena = TrainingArena::Current()) {
+    // Gradient recording with an active TrainingStepScope: draw from the
+    // graph-planned training pool (refcount-guarded, so live autograd
+    // graphs are never aliased — see arena.h).
+    return arena->Allocate(std::move(shape), zero);
   }
   auto impl = std::make_shared<Impl>();
   const int64_t n = NumElements(shape);
@@ -155,13 +161,20 @@ Tensor Add(const Tensor& a, const Tensor& b) {
     Register(out, {pa, pb}, [pa, pb, raw, kind, n, d] {
       if (pa->requires_grad) {
         pa->EnsureGrad();
-        for (size_t i = 0; i < n; ++i) pa->grad[i] += raw->grad[i];
+        kernels::Accumulate(raw->grad.data(), pa->grad.data(),
+                            static_cast<int64_t>(n));
       }
       if (pb->requires_grad) {
         pb->EnsureGrad();
-        for (size_t i = 0; i < n; ++i) {
-          const size_t j = (kind == BroadcastKind::kSameShape) ? i : i % d;
-          pb->grad[j] += raw->grad[i];
+        if (kind == BroadcastKind::kSameShape) {
+          kernels::Accumulate(raw->grad.data(), pb->grad.data(),
+                              static_cast<int64_t>(n));
+        } else {
+          // Column sums of the {rows, d} gradient into the rank-1 bias.
+          for (size_t r = 0; r < n / d; ++r) {
+            kernels::Accumulate(raw->grad.data() + r * d, pb->grad.data(),
+                                static_cast<int64_t>(d));
+          }
         }
       }
     });
@@ -177,10 +190,38 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  return BinaryOp(
-      a, b, [](float x, float y) { return x * y; },
-      [](float g, float, float y) { return g * y; },
-      [](float g, float x, float) { return g * x; });
+  const BroadcastKind kind = CheckBroadcast(a, b);
+  if (kind != BroadcastKind::kSameShape) {
+    // Broadcast multiply stays on the generic path (rare: gate scalars).
+    return BinaryOp(
+        a, b, [](float x, float y) { return x * y; },
+        [](float g, float, float y) { return g * y; },
+        [](float g, float x, float) { return g * x; });
+  }
+  // Same-shape multiply is the mask application in the attention stack —
+  // hot enough in training that the backward fan-in (dA += G.B,
+  // dB += G.A) goes through the dispatched AccumulateMul kernel.
+  auto out = NewImpl(a.shape(), /*zero=*/false);
+  const ImplPtr pa = a.impl();
+  const ImplPtr pb = b.impl();
+  const size_t n = pa->data.size();
+  for (size_t i = 0; i < n; ++i) out->data[i] = pa->data[i] * pb->data[i];
+  Impl* raw = out.get();
+  if (Rec(pa, pb)) {
+    Register(out, {pa, pb}, [pa, pb, raw, n] {
+      if (pa->requires_grad) {
+        pa->EnsureGrad();
+        kernels::AccumulateMul(raw->grad.data(), pb->data.data(),
+                               pa->grad.data(), static_cast<int64_t>(n));
+      }
+      if (pb->requires_grad) {
+        pb->EnsureGrad();
+        kernels::AccumulateMul(raw->grad.data(), pa->data.data(),
+                               pb->grad.data(), static_cast<int64_t>(n));
+      }
+    });
+  }
+  return Tensor::WrapImpl(out);
 }
 
 namespace {
@@ -214,9 +255,23 @@ Tensor AddScalar(const Tensor& a, float s) {
 }
 
 Tensor MulScalar(const Tensor& a, float s) {
-  return UnaryOp(
-      a, [s](float x) { return x * s; },
-      [s](float g, float, float) { return g * s; });
+  // Scaling sits on every loss head (mean reductions, shard weights);
+  // the backward is a pure axpy, so route it through the kernel instead
+  // of the per-element UnaryOp closure.
+  APAN_CHECK(a.defined());
+  auto out = NewImpl(a.shape(), /*zero=*/false);
+  const ImplPtr pa = a.impl();
+  const size_t n = pa->data.size();
+  for (size_t i = 0; i < n; ++i) out->data[i] = pa->data[i] * s;
+  Impl* raw = out.get();
+  if (Rec(pa)) {
+    Register(out, {pa}, [pa, raw, n, s] {
+      pa->EnsureGrad();
+      kernels::Axpy(s, raw->grad.data(), pa->grad.data(),
+                    static_cast<int64_t>(n));
+    });
+  }
+  return Tensor::WrapImpl(out);
 }
 
 Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
@@ -290,25 +345,12 @@ Tensor AddBiasRelu(const Tensor& a, const Tensor& bias) {
   if (Rec(pa, pb)) {
     Register(out, {pa, pb}, [pa, pb, raw, rows, d] {
       // relu'(y) in terms of the output: y > 0 <=> (x + bias) > 0.
-      if (pa->requires_grad) {
-        pa->EnsureGrad();
-        for (int64_t i = 0; i < rows * d; ++i) {
-          if (raw->data[static_cast<size_t>(i)] > 0.0f) {
-            pa->grad[static_cast<size_t>(i)] +=
-                raw->grad[static_cast<size_t>(i)];
-          }
-        }
-      }
-      if (pb->requires_grad) {
-        pb->EnsureGrad();
-        for (int64_t r = 0; r < rows; ++r) {
-          const float* g = raw->grad.data() + r * d;
-          const float* y = raw->data.data() + r * d;
-          for (int64_t j = 0; j < d; ++j) {
-            if (y[j] > 0.0f) pb->grad[static_cast<size_t>(j)] += g[j];
-          }
-        }
-      }
+      if (pa->requires_grad) pa->EnsureGrad();
+      if (pb->requires_grad) pb->EnsureGrad();
+      kernels::AddBiasReluBackward(
+          raw->data.data(), raw->grad.data(),
+          pa->requires_grad ? pa->grad.data() : nullptr,
+          pb->requires_grad ? pb->grad.data() : nullptr, rows, d);
     });
   }
   return Tensor::WrapImpl(out);
@@ -328,41 +370,27 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   auto out = NewImpl({n, m}, /*zero=*/false);
   const ImplPtr pa = a.impl();
   const ImplPtr pb = b.impl();
-  // SIMD-dispatched GEMM; per-element accumulation stays serial over k
-  // (ikj order), so the result is the naive loop's, bit for bit.
-  kernels::MatMul(pa->data.data(), pb->data.data(), out->data.data(), n, k,
-                  m);
+  // Serve calls (NoGrad) run the cross-ISA bitwise GEMM; a recorded
+  // forward feeds the training graph, so the FMA tier is legal for it —
+  // the same per-ISA contract the backward kernels live under.
+  if (NoGradGuard::GradEnabled()) {
+    kernels::MatMulTrain(pa->data.data(), pb->data.data(), out->data.data(),
+                         n, k, m);
+  } else {
+    kernels::MatMul(pa->data.data(), pb->data.data(), out->data.data(), n, k,
+                    m);
+  }
   Impl* raw = out.get();
   if (!Rec(pa, pb)) return Tensor::WrapImpl(out);
   Register(out, {pa, pb}, [pa, pb, raw, n, k, m] {
     const float* G = raw->grad.data();
     if (pa->requires_grad) {
-      pa->EnsureGrad();  // dA = G * B^T : {n,m} x {m,k}
-      const float* B = pb->data.data();
-      for (int64_t i = 0; i < n; ++i) {
-        for (int64_t j = 0; j < m; ++j) {
-          const float g = G[i * m + j];
-          if (g == 0.0f) continue;
-          const float* Brow = B + j;  // column j of B, stride m
-          float* dArow = pa->grad.data() + i * k;
-          for (int64_t kk = 0; kk < k; ++kk) {
-            dArow[kk] += g * Brow[kk * m];
-          }
-        }
-      }
+      pa->EnsureGrad();  // dA += G * B^T : {n,m} x {m,k}
+      kernels::MatMulGradA(G, pb->data.data(), pa->grad.data(), n, k, m);
     }
     if (pb->requires_grad) {
-      pb->EnsureGrad();  // dB = A^T * G : {k,n} x {n,m}
-      const float* A = pa->data.data();
-      for (int64_t i = 0; i < n; ++i) {
-        for (int64_t kk = 0; kk < k; ++kk) {
-          const float aik = A[i * k + kk];
-          if (aik == 0.0f) continue;
-          const float* Grow = G + i * m;
-          float* dBrow = pb->grad.data() + kk * m;
-          for (int64_t j = 0; j < m; ++j) dBrow[j] += aik * Grow[j];
-        }
-      }
+      pb->EnsureGrad();  // dB += A^T * G : {k,n} x {n,m}
+      kernels::MatMulGradB(pa->data.data(), G, pb->grad.data(), n, k, m);
     }
   });
   return Tensor::WrapImpl(out);
@@ -377,40 +405,27 @@ Tensor Bmm(const Tensor& a, const Tensor& b) {
   auto out = NewImpl({bs, n, m}, /*zero=*/false);
   const ImplPtr pa = a.impl();
   const ImplPtr pb = b.impl();
-  kernels::Bmm(pa->data.data(), pb->data.data(), out->data.data(), bs, n, k,
-               m);
+  if (NoGradGuard::GradEnabled()) {
+    kernels::BmmTrain(pa->data.data(), pb->data.data(), out->data.data(), bs,
+                      n, k, m);
+  } else {
+    kernels::Bmm(pa->data.data(), pb->data.data(), out->data.data(), bs, n,
+                 k, m);
+  }
   Impl* raw = out.get();
   if (!Rec(pa, pb)) return Tensor::WrapImpl(out);
   Register(out, {pa, pb}, [pa, pb, raw, bs, n, k, m] {
+    if (pa->requires_grad) pa->EnsureGrad();
+    if (pb->requires_grad) pb->EnsureGrad();
     for (int64_t t = 0; t < bs; ++t) {
       const float* G = raw->grad.data() + t * n * m;
       if (pa->requires_grad) {
-        pa->EnsureGrad();
-        const float* B = pb->data.data() + t * k * m;
-        float* dA = pa->grad.data() + t * n * k;
-        for (int64_t i = 0; i < n; ++i) {
-          for (int64_t j = 0; j < m; ++j) {
-            const float g = G[i * m + j];
-            if (g == 0.0f) continue;
-            for (int64_t kk = 0; kk < k; ++kk) {
-              dA[i * k + kk] += g * B[kk * m + j];
-            }
-          }
-        }
+        kernels::MatMulGradA(G, pb->data.data() + t * k * m,
+                             pa->grad.data() + t * n * k, n, k, m);
       }
       if (pb->requires_grad) {
-        pb->EnsureGrad();
-        const float* A = pa->data.data() + t * n * k;
-        float* dB = pb->grad.data() + t * k * m;
-        for (int64_t i = 0; i < n; ++i) {
-          for (int64_t kk = 0; kk < k; ++kk) {
-            const float aik = A[i * k + kk];
-            if (aik == 0.0f) continue;
-            const float* Grow = G + i * m;
-            float* dBrow = dB + kk * m;
-            for (int64_t j = 0; j < m; ++j) dBrow[j] += aik * Grow[j];
-          }
-        }
+        kernels::MatMulGradB(pa->data.data() + t * n * k, G,
+                             pb->grad.data() + t * k * m, n, k, m);
       }
     }
   });
@@ -436,6 +451,65 @@ std::vector<int64_t> RowMajorStrides(const Shape& shape) {
 
 }  // namespace
 
+namespace {
+
+/// Walk state for a permute: the input strides reordered to the output's
+/// dimension order, plus the output extents. When the innermost output
+/// dim is also the innermost input dim, whole rows of `run` elements are
+/// contiguous on BOTH sides and the walk visits runs instead of
+/// elements. Incremental odometer — no per-element div/mod, no
+/// materialized index map (the old implementation heap-allocated an
+/// n-entry src_index per call and divided rank times per element; this
+/// showed up as ~half the training-epoch profile via attention's head
+/// split/transpose).
+struct PermuteWalk {
+  std::vector<int64_t> step;    ///< input stride per output dim
+  std::vector<int64_t> extent;  ///< output extents
+  size_t odo_rank = 0;          ///< dims the odometer iterates
+  int64_t run = 1;              ///< contiguous elements per visit
+};
+
+PermuteWalk MakePermuteWalk(const Shape& in_shape,
+                            const std::vector<size_t>& perm) {
+  const size_t rank = perm.size();
+  const auto in_strides = RowMajorStrides(in_shape);
+  PermuteWalk w;
+  w.step.resize(rank);
+  w.extent.resize(rank);
+  for (size_t d = 0; d < rank; ++d) {
+    w.step[d] = in_strides[perm[d]];
+    w.extent[d] = in_shape[perm[d]];
+  }
+  const bool inner_contig = rank > 0 && perm[rank - 1] == rank - 1;
+  w.run = inner_contig ? w.extent[rank - 1] : 1;
+  w.odo_rank = inner_contig ? rank - 1 : rank;
+  return w;
+}
+
+/// Calls body(out_flat, in_flat) once per contiguous run, in output
+/// order. `n` is the total element count.
+template <typename Body>
+void ForEachPermuteRun(const PermuteWalk& w, size_t n, Body&& body) {
+  if (n == 0 || w.run == 0) return;
+  std::vector<int64_t> coord(w.odo_rank, 0);
+  int64_t src = 0;
+  size_t flat = 0;
+  while (true) {
+    body(flat, static_cast<size_t>(src));
+    flat += static_cast<size_t>(w.run);
+    if (flat >= n) break;
+    size_t d = w.odo_rank;
+    while (d-- > 0) {
+      src += w.step[d];
+      if (++coord[d] < w.extent[d]) break;
+      src -= w.step[d] * w.extent[d];
+      coord[d] = 0;
+    }
+  }
+}
+
+}  // namespace
+
 Tensor Permute(const Tensor& a, const std::vector<size_t>& perm) {
   APAN_CHECK(a.defined());
   const Shape& in_shape = a.shape();
@@ -447,29 +521,31 @@ Tensor Permute(const Tensor& a, const std::vector<size_t>& perm) {
   }
   auto out = NewImpl(out_shape, /*zero=*/false);
   const ImplPtr pa = a.impl();
-  const auto in_strides = RowMajorStrides(in_shape);
-  const auto out_strides = RowMajorStrides(out_shape);
   const size_t n = pa->data.size();
-  const size_t rank = perm.size();
-  // Map each output flat index to its input flat index.
-  std::vector<int64_t> src_index(n);
-  for (size_t flat = 0; flat < n; ++flat) {
-    int64_t remaining = static_cast<int64_t>(flat);
-    int64_t src = 0;
-    for (size_t d = 0; d < rank; ++d) {
-      const int64_t coord = remaining / out_strides[d];
-      remaining -= coord * out_strides[d];
-      src += coord * in_strides[perm[d]];
-    }
-    src_index[flat] = src;
-    out->data[flat] = pa->data[static_cast<size_t>(src)];
+  const PermuteWalk walk = MakePermuteWalk(in_shape, perm);
+  if (walk.run == 1) {
+    ForEachPermuteRun(walk, n, [&](size_t flat, size_t src) {
+      out->data[flat] = pa->data[src];
+    });
+  } else {
+    const size_t run_bytes = static_cast<size_t>(walk.run) * sizeof(float);
+    ForEachPermuteRun(walk, n, [&](size_t flat, size_t src) {
+      std::memcpy(out->data.data() + flat, pa->data.data() + src, run_bytes);
+    });
   }
   Impl* raw = out.get();
   if (Rec(pa)) {
-    Register(out, {pa}, [pa, raw, src_index = std::move(src_index), n] {
+    Register(out, {pa}, [pa, raw, walk, n] {
       pa->EnsureGrad();
-      for (size_t flat = 0; flat < n; ++flat) {
-        pa->grad[static_cast<size_t>(src_index[flat])] += raw->grad[flat];
+      if (walk.run == 1) {
+        ForEachPermuteRun(walk, n, [&](size_t flat, size_t src) {
+          pa->grad[src] += raw->grad[flat];
+        });
+      } else {
+        ForEachPermuteRun(walk, n, [&](size_t flat, size_t src) {
+          kernels::Accumulate(raw->grad.data() + flat, pa->grad.data() + src,
+                              walk.run);
+        });
       }
     });
   }
@@ -487,9 +563,8 @@ Tensor Reshape(const Tensor& a, Shape new_shape) {
   if (Rec(pa)) {
     Register(out, {pa}, [pa, raw] {
       pa->EnsureGrad();
-      for (size_t i = 0; i < raw->grad.size(); ++i) {
-        pa->grad[i] += raw->grad[i];
-      }
+      kernels::Accumulate(raw->grad.data(), pa->grad.data(),
+                          static_cast<int64_t>(raw->grad.size()));
     });
   }
   return Tensor::WrapImpl(out);
@@ -538,10 +613,9 @@ Tensor ConcatLastDim(const std::vector<Tensor>& parts) {
                  const int64_t w = widths[pi];
                  if (parents[pi]->requires_grad) {
                    parents[pi]->EnsureGrad();
-                   float* dst = parents[pi]->grad.data() + r * w;
-                   const float* src =
-                       raw->grad.data() + r * total_last + offset;
-                   for (int64_t j = 0; j < w; ++j) dst[j] += src[j];
+                   kernels::Accumulate(
+                       raw->grad.data() + r * total_last + offset,
+                       parents[pi]->grad.data() + r * w, w);
                  }
                  offset += w;
                }
@@ -579,9 +653,8 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
     for (const auto& p : parents) {
       if (p->requires_grad) {
         p->EnsureGrad();
-        for (size_t i = 0; i < p->data.size(); ++i) {
-          p->grad[i] += raw->grad[offset + i];
-        }
+        kernels::Accumulate(raw->grad.data() + offset, p->grad.data(),
+                            static_cast<int64_t>(p->data.size()));
       }
       offset += p->data.size();
     }
@@ -606,9 +679,8 @@ Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& indices) {
     Register(out, {pa}, [pa, raw, indices, d] {
       pa->EnsureGrad();
       for (size_t r = 0; r < indices.size(); ++r) {
-        const float* src = raw->grad.data() + static_cast<int64_t>(r) * d;
-        float* dst = pa->grad.data() + indices[r] * d;
-        for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+        kernels::Accumulate(raw->grad.data() + static_cast<int64_t>(r) * d,
+                            pa->grad.data() + indices[r] * d, d);
       }
     });
   }
@@ -632,9 +704,8 @@ Tensor SliceCols(const Tensor& a, int64_t col_begin, int64_t col_end) {
     Register(out, {pa}, [pa, raw, n, m, w, col_begin] {
       pa->EnsureGrad();
       for (int64_t i = 0; i < n; ++i) {
-        const float* src = raw->grad.data() + i * w;
-        float* dst = pa->grad.data() + i * m + col_begin;
-        for (int64_t j = 0; j < w; ++j) dst[j] += src[j];
+        kernels::Accumulate(raw->grad.data() + i * w,
+                            pa->grad.data() + i * m + col_begin, w);
       }
     });
   }
@@ -654,14 +725,8 @@ Tensor SoftmaxLastDim(const Tensor& a) {
   if (Rec(pa)) {
     Register(out, {pa}, [pa, raw, rows, d] {
       pa->EnsureGrad();
-      for (int64_t r = 0; r < rows; ++r) {
-        const float* y = raw->data.data() + r * d;
-        const float* g = raw->grad.data() + r * d;
-        float dot = 0.0f;
-        for (int64_t j = 0; j < d; ++j) dot += g[j] * y[j];
-        float* dx = pa->grad.data() + r * d;
-        for (int64_t j = 0; j < d; ++j) dx[j] += (g[j] - dot) * y[j];
-      }
+      kernels::SoftmaxBackward(raw->data.data(), raw->grad.data(),
+                               pa->grad.data(), rows, d);
     });
   }
   return Tensor::WrapImpl(out);
@@ -719,22 +784,10 @@ Tensor RowNormalize(const Tensor& a, float eps) {
     Register(out, {pa},
              [pa, raw, rows, d, inv_sigma = std::move(inv_sigma)] {
                pa->EnsureGrad();
-               for (int64_t r = 0; r < rows; ++r) {
-                 const float* y = raw->data.data() + r * d;
-                 const float* g = raw->grad.data() + r * d;
-                 float g_mean = 0.0f, gy_mean = 0.0f;
-                 for (int64_t j = 0; j < d; ++j) {
-                   g_mean += g[j];
-                   gy_mean += g[j] * y[j];
-                 }
-                 g_mean /= static_cast<float>(d);
-                 gy_mean /= static_cast<float>(d);
-                 const float inv = inv_sigma[static_cast<size_t>(r)];
-                 float* dx = pa->grad.data() + r * d;
-                 for (int64_t j = 0; j < d; ++j) {
-                   dx[j] += inv * (g[j] - g_mean - y[j] * gy_mean);
-                 }
-               }
+               kernels::RowNormalizeBackward(raw->data.data(),
+                                             raw->grad.data(),
+                                             inv_sigma.data(),
+                                             pa->grad.data(), rows, d);
              });
   }
   return Tensor::WrapImpl(out);
@@ -758,7 +811,8 @@ Tensor Dropout(const Tensor& a, float p, bool training, Rng* rng) {
   if (Rec(pa)) {
     Register(out, {pa}, [pa, raw, mask = std::move(mask), n] {
       pa->EnsureGrad();
-      for (size_t i = 0; i < n; ++i) pa->grad[i] += raw->grad[i] * mask[i];
+      kernels::AccumulateMul(raw->grad.data(), mask.data(), pa->grad.data(),
+                             static_cast<int64_t>(n));
     });
   }
   return Tensor::WrapImpl(out);
@@ -811,8 +865,7 @@ Tensor MeanDim1(const Tensor& a) {
       for (int64_t t = 0; t < b; ++t) {
         const float* g = raw->grad.data() + t * d;
         for (int64_t i = 0; i < m; ++i) {
-          float* dx = pa->grad.data() + (t * m + i) * d;
-          for (int64_t j = 0; j < d; ++j) dx[j] += g[j] * inv;
+          kernels::Axpy(inv, g, pa->grad.data() + (t * m + i) * d, d);
         }
       }
     });
@@ -835,20 +888,16 @@ Tensor RowwiseDot(const Tensor& a, const Tensor& b) {
   Impl* raw = out.get();
   if (!Rec(pa, pb)) return Tensor::WrapImpl(out);
   Register(out, {pa, pb}, [pa, pb, raw, n, d] {
+    if (pa->requires_grad) pa->EnsureGrad();
+    if (pb->requires_grad) pb->EnsureGrad();
     for (int64_t i = 0; i < n; ++i) {
       const float g = raw->grad[static_cast<size_t>(i)];
       if (g == 0.0f) continue;
       if (pa->requires_grad) {
-        pa->EnsureGrad();
-        float* dx = pa->grad.data() + i * d;
-        const float* y = pb->data.data() + i * d;
-        for (int64_t j = 0; j < d; ++j) dx[j] += g * y[j];
+        kernels::Axpy(g, pb->data.data() + i * d, pa->grad.data() + i * d, d);
       }
       if (pb->requires_grad) {
-        pb->EnsureGrad();
-        float* dy = pb->grad.data() + i * d;
-        const float* x = pa->data.data() + i * d;
-        for (int64_t j = 0; j < d; ++j) dy[j] += g * x[j];
+        kernels::Axpy(g, pa->data.data() + i * d, pb->grad.data() + i * d, d);
       }
     }
   });

@@ -31,6 +31,14 @@ struct LinkTrainConfig {
   float grad_clip = 5.0f;
   uint64_t negative_seed = 99;
   bool verbose = false;
+  /// Data-parallel training shards. 1 (the default) runs the classic
+  /// single-stream step, bit for bit. With k > 1 each batch is split by
+  /// the graph::NodePartition ownership index (owner of the source
+  /// node), every shard runs its own forward/backward, and the
+  /// per-shard gradient partials are reduced in fixed shard order
+  /// before one optimizer step — the summed gradient equals the
+  /// single-shard gradient up to float summation order.
+  int data_parallel_shards = 1;
 };
 
 /// Metrics of one split.
@@ -57,6 +65,13 @@ struct LinkReport {
   double inference_p99_millis = 0.0;
   /// Graph queries issued on the synchronous path during evaluation.
   int64_t sync_graph_queries = 0;
+  /// Training-arena counters over the whole run (BENCH_fig7.json tracks
+  /// them): heap impls, replayed pool draws, plan misses (0 when every
+  /// warm step replayed cleanly), and the sealed plan's slot count.
+  int64_t arena_fresh_impls = 0;
+  int64_t arena_reused_impls = 0;
+  int64_t arena_plan_misses = 0;
+  int64_t arena_pool_slots = 0;
 };
 
 /// \brief Drives training + evaluation of one model on one dataset.

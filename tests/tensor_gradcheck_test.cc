@@ -150,6 +150,37 @@ TEST_F(GradCheckTest, MatMulBothSides) {
       {Tensor::Randn({2, 4}, &rng_), Tensor::Randn({4, 3}, &rng_)});
 }
 
+TEST_F(GradCheckTest, MatMulSimdTailShapes) {
+  // k=17, m=12 leave remainder lanes in the vectorized backward kernels
+  // (kernels::MatMulGradA/B stream 8 floats at a time + scalar tails).
+  auto w = RandomWeights(3 * 12, &rng_);
+  CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        return WeightedSum(MatMul(in[0], in[1]), w);
+      },
+      {Tensor::Randn({3, 17}, &rng_), Tensor::Randn({17, 12}, &rng_)});
+}
+
+TEST_F(GradCheckTest, AddBiasReluFused) {
+  auto w = RandomWeights(4 * 9, &rng_);
+  // Keep pre-activations away from the kink at 0.
+  Tensor x = Tensor::Randn({4, 9}, &rng_);
+  Tensor bias = Tensor::Randn({9}, &rng_);
+  for (int64_t r = 0; r < 4; ++r) {
+    for (int64_t c = 0; c < 9; ++c) {
+      const int64_t i = r * 9 + c;
+      if (std::abs(x.item(i) + bias.item(c)) < 0.1f) {
+        x.set_item(i, x.item(i) + 0.5f);
+      }
+    }
+  }
+  CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        return WeightedSum(AddBiasRelu(in[0], in[1]), w);
+      },
+      {x, bias});
+}
+
 TEST_F(GradCheckTest, BmmBothSides) {
   auto w = RandomWeights(2 * 2 * 2, &rng_);
   CheckGradients(

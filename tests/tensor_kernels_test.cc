@@ -309,6 +309,132 @@ TEST(AddBiasReluOpTest, MatchesReluOfAddForwardAndBackward) {
   ExpectBitwise(b1.GradToVector(), b2.GradToVector(), "AddBiasRelu dbias");
 }
 
+// ---- Training-side backward kernels (per-ISA contract) ----------------------
+// The dispatched tier may contract into FMA (kernels.h: training kernels
+// promise within-process determinism, not cross-ISA parity), so the
+// checks are: agreement with the serial reference within tolerance,
+// += accumulate semantics, and bitwise repeatability on this host.
+
+TEST(BackwardKernelTest, MatMulGradsMatchReferenceAndAccumulate) {
+  Rng rng(7101);
+  const struct { int64_t n, k, m; } shapes[] = {
+      {5, 17, 12},  // SIMD tails on both k and m
+      {8, 32, 32},  // the paper's d=32 square case
+      {1, 3, 70}};  // skinny
+  for (const auto& s : shapes) {
+    const auto g = RandomVec(static_cast<size_t>(s.n * s.m), &rng);
+    const auto a = RandomVec(static_cast<size_t>(s.n * s.k), &rng);
+    const auto b = RandomVec(static_cast<size_t>(s.k * s.m), &rng);
+    // Non-zero seeds verify the += contract, not just the product.
+    const auto seed_a = RandomVec(static_cast<size_t>(s.n * s.k), &rng);
+    const auto seed_b = RandomVec(static_cast<size_t>(s.k * s.m), &rng);
+
+    std::vector<float> da = seed_a, da_ref = seed_a;
+    kernels::MatMulGradA(g.data(), b.data(), da.data(), s.n, s.k, s.m);
+    kernels::reference::MatMulGradA(g.data(), b.data(), da_ref.data(), s.n,
+                                    s.k, s.m);
+    ExpectCloseToReference(da, da_ref, "MatMulGradA vs reference");
+
+    std::vector<float> db = seed_b, db_ref = seed_b;
+    kernels::MatMulGradB(a.data(), g.data(), db.data(), s.n, s.k, s.m);
+    kernels::reference::MatMulGradB(a.data(), g.data(), db_ref.data(), s.n,
+                                    s.k, s.m);
+    ExpectCloseToReference(db, db_ref, "MatMulGradB vs reference");
+
+    // Same host, same inputs: bitwise repeatable.
+    std::vector<float> da2 = seed_a;
+    kernels::MatMulGradA(g.data(), b.data(), da2.data(), s.n, s.k, s.m);
+    ExpectBitwise(da, da2, "MatMulGradA repeatability");
+  }
+}
+
+TEST(BackwardKernelTest, RowwiseBackwardsMatchReference) {
+  Rng rng(7102);
+  const int64_t rows = 9, d = 37;  // vector width tails
+  const size_t nd = static_cast<size_t>(rows * d);
+  const auto x = RandomVec(nd, &rng);
+  const auto g = RandomVec(nd, &rng);
+  const auto seed = RandomVec(nd, &rng);
+
+  std::vector<float> y(nd);
+  kernels::SoftmaxLastDim(x.data(), y.data(), rows, d);
+  std::vector<float> dx = seed, dx_ref = seed;
+  kernels::SoftmaxBackward(y.data(), g.data(), dx.data(), rows, d);
+  kernels::reference::SoftmaxBackward(y.data(), g.data(), dx_ref.data(), rows,
+                                      d);
+  ExpectCloseToReference(dx, dx_ref, "SoftmaxBackward vs reference");
+
+  std::vector<float> normed(nd), inv_sigma(static_cast<size_t>(rows));
+  kernels::RowNormalize(x.data(), normed.data(), rows, d, 1e-5f,
+                        inv_sigma.data());
+  std::vector<float> dn = seed, dn_ref = seed;
+  kernels::RowNormalizeBackward(normed.data(), g.data(), inv_sigma.data(),
+                                dn.data(), rows, d);
+  kernels::reference::RowNormalizeBackward(normed.data(), g.data(),
+                                           inv_sigma.data(), dn_ref.data(),
+                                           rows, d);
+  ExpectCloseToReference(dn, dn_ref, "RowNormalizeBackward vs reference");
+}
+
+TEST(BackwardKernelTest, AddBiasReluBackwardMatchesReferenceAndNullSinks) {
+  Rng rng(7103);
+  const int64_t rows = 8, d = 21;
+  const size_t nd = static_cast<size_t>(rows * d);
+  const auto y = RandomVec(nd, &rng);  // mixed signs: exercises the mask
+  const auto g = RandomVec(nd, &rng);
+
+  std::vector<float> dx(nd, 0.25f), dx_ref(nd, 0.25f);
+  std::vector<float> db(static_cast<size_t>(d), -0.5f);
+  std::vector<float> db_ref(static_cast<size_t>(d), -0.5f);
+  kernels::AddBiasReluBackward(y.data(), g.data(), dx.data(), db.data(), rows,
+                               d);
+  kernels::reference::AddBiasReluBackward(y.data(), g.data(), dx_ref.data(),
+                                          db_ref.data(), rows, d);
+  ExpectCloseToReference(dx, dx_ref, "AddBiasReluBackward dx");
+  ExpectCloseToReference(db, db_ref, "AddBiasReluBackward dbias");
+
+  // Null sinks skip that side without touching the other.
+  std::vector<float> dx_only(nd, 0.25f);
+  kernels::AddBiasReluBackward(y.data(), g.data(), dx_only.data(), nullptr,
+                               rows, d);
+  ExpectBitwise(dx_only, dx, "AddBiasReluBackward dx with null dbias");
+  std::vector<float> db_only(static_cast<size_t>(d), -0.5f);
+  kernels::AddBiasReluBackward(y.data(), g.data(), nullptr, db_only.data(),
+                               rows, d);
+  ExpectBitwise(db_only, db, "AddBiasReluBackward dbias with null dx");
+}
+
+TEST(BackwardKernelTest, AccumulateFamilyMatchesSerialLoops) {
+  Rng rng(7104);
+  for (const int64_t n : {1, 7, 8, 64, 129}) {
+    const auto x = RandomVec(static_cast<size_t>(n), &rng);
+    const auto m = RandomVec(static_cast<size_t>(n), &rng);
+    const auto seed = RandomVec(static_cast<size_t>(n), &rng);
+
+    std::vector<float> y = seed, want = seed;
+    kernels::Accumulate(x.data(), y.data(), n);
+    for (int64_t i = 0; i < n; ++i) {
+      want[static_cast<size_t>(i)] += x[static_cast<size_t>(i)];
+    }
+    ExpectBitwise(y, want, "Accumulate");
+
+    std::vector<float> ym = seed, want_m = seed;
+    kernels::AccumulateMul(x.data(), m.data(), ym.data(), n);
+    for (int64_t i = 0; i < n; ++i) {
+      want_m[static_cast<size_t>(i)] +=
+          x[static_cast<size_t>(i)] * m[static_cast<size_t>(i)];
+    }
+    ExpectCloseToReference(ym, want_m, "AccumulateMul");
+
+    std::vector<float> ya = seed, want_a = seed;
+    kernels::Axpy(0.75f, x.data(), ya.data(), n);
+    for (int64_t i = 0; i < n; ++i) {
+      want_a[static_cast<size_t>(i)] += 0.75f * x[static_cast<size_t>(i)];
+    }
+    ExpectCloseToReference(ya, want_a, "Axpy");
+  }
+}
+
 // ---- Fused inference paths vs generic graphs --------------------------------
 
 TEST(FusedForwardTest, AttentionInferenceMatchesTrainingGraph) {

@@ -2,14 +2,21 @@
 // clang-tidy can express, run as a ctest (label `lint`) so they gate every
 // local tier-1 run, not just CI:
 //
-//   1. FMA-free kernels. src/tensor/kernels.cc promises bitwise
+//   1. FMA-free SERVE kernels. src/tensor/kernels.cc promises bitwise
 //      scalar/AVX2/NEON parity, which holds only if the compiler never
 //      contracts mul+add into a fused multiply-add (contraction rounds
 //      once, separate ops round twice). CMake pins -ffp-contract=off on
 //      that TU; this check disassembles the built object and fails on any
 //      FMA mnemonic (vfmadd*/vfmsub*/vfnmadd*/vfnmsub* on x86,
 //      fmla*/fmls* on AArch64), so a dropped flag fails the test suite
-//      instead of silently breaking cross-ISA parity.
+//      instead of silently breaking cross-ISA parity. The ban is scoped
+//      to that one object: the TRAINING kernels
+//      (src/tensor/kernels_backward.cc) run under the per-ISA contract
+//      (kernels.h) where contraction is legal and wanted — the
+//      --training-object check disassembles that object the same way but
+//      only REPORTS its FMA count, passing either way, so CI proves the
+//      scoping in both directions (serve object must be clean, training
+//      object may contract).
 //   2. Relaxed-only obs hot path. src/obs/ is scraped under load; its
 //      atomics are documented as plain counters with no ordering
 //      obligations. Any non-relaxed std::memory_order_* in src/obs/ fails
@@ -28,8 +35,9 @@
 // all-or-nothing.
 //
 //   ./build/tools/apan_lint --src=<repo>/src --build-dir=<build dir>
-//       [--kernel-object=<path>]  explicit object, skips the search
-//       [--skip-fma]              no built object available (docs builds)
+//       [--kernel-object=<path>]    explicit serve object, skips the search
+//       [--training-object=<path>]  explicit training object, skips the search
+//       [--skip-fma]                no built object available (docs builds)
 //
 // Exit 0 when all checks pass; 1 with per-finding diagnostics otherwise.
 
@@ -76,31 +84,36 @@ bool IsFmaMnemonic(const std::string& token) {
   return false;
 }
 
-/// Finds the built kernels.cc object under `build_dir` (any configuration
-/// layout — CMake nests it as .../apan_lib.dir/src/tensor/kernels.cc.o).
-std::string FindKernelObject(const std::string& build_dir) {
+/// Finds a built object by exact filename under `build_dir` (any
+/// configuration layout — CMake nests it as
+/// .../apan_lib.dir/src/tensor/<name>). The exact-name match is what
+/// scopes the FMA ban: kernels.cc.o never matches kernels_backward.cc.o.
+std::string FindObject(const std::string& build_dir,
+                       const std::string& filename) {
   std::error_code ec;
   for (fs::recursive_directory_iterator it(build_dir, ec), end;
        !ec && it != end; it.increment(ec)) {
-    if (it->is_regular_file(ec) &&
-        it->path().filename() == "kernels.cc.o") {
+    if (it->is_regular_file(ec) && it->path().filename() == filename) {
       return it->path().string();
     }
   }
   return "";
 }
 
-bool CheckNoFma(const std::string& object_path) {
+/// Shared disassembly pass: counts instruction lines and FMA mnemonics.
+/// False only when no disassembler worked or the object looks empty.
+bool CountFma(const std::string& object_path, int64_t* instructions,
+              int64_t* findings, std::string* used,
+              bool print_findings) {
   std::string disasm;
   bool ran = false;
-  std::string used;
   for (const char* tool : {"llvm-objdump", "objdump"}) {
     if (RunCommand(std::string(tool) + " -d --no-show-raw-insn " +
                        object_path,
                    &disasm) &&
         disasm.size() > 1024) {
       ran = true;
-      used = tool;
+      *used = tool;
       break;
     }
   }
@@ -112,14 +125,14 @@ bool CheckNoFma(const std::string& object_path) {
     return false;
   }
 
-  int64_t instructions = 0;
-  int64_t findings = 0;
+  *instructions = 0;
+  *findings = 0;
   for (const std::string& line : SplitLines(disasm)) {
     // Instruction lines look like "  2f:\tvmulps %ymm…"; count them so an
     // empty or non-code disassembly can't vacuously pass.
     const size_t tab = line.find('\t');
     if (tab == std::string::npos) continue;
-    ++instructions;
+    ++*instructions;
     // Mnemonic = first whitespace-delimited token after the tab.
     size_t start = line.find_first_not_of(" \t", tab);
     if (start == std::string::npos) continue;
@@ -127,18 +140,28 @@ bool CheckNoFma(const std::string& object_path) {
     const std::string mnemonic =
         line.substr(start, stop == std::string::npos ? stop : stop - start);
     if (IsFmaMnemonic(mnemonic)) {
-      ++findings;
-      if (findings <= 10) {
+      ++*findings;
+      if (print_findings && *findings <= 10) {
         std::fprintf(stderr, "apan_lint: FMA in %s: %s\n",
                      object_path.c_str(), line.c_str());
       }
     }
   }
-  if (instructions < 100) {
+  if (*instructions < 100) {
     std::fprintf(stderr,
                  "apan_lint: disassembly of %s has only %lld instruction "
                  "lines — wrong file?\n",
-                 object_path.c_str(), static_cast<long long>(instructions));
+                 object_path.c_str(), static_cast<long long>(*instructions));
+    return false;
+  }
+  return true;
+}
+
+bool CheckNoFma(const std::string& object_path) {
+  int64_t instructions = 0, findings = 0;
+  std::string used;
+  if (!CountFma(object_path, &instructions, &findings, &used,
+                /*print_findings=*/true)) {
     return false;
   }
   if (findings > 0) {
@@ -152,6 +175,25 @@ bool CheckNoFma(const std::string& object_path) {
   std::printf("apan_lint: FMA check OK (%s, %lld instructions, via %s)\n",
               object_path.c_str(), static_cast<long long>(instructions),
               used.c_str());
+  return true;
+}
+
+/// The training object is EXEMPT from the FMA ban (per-ISA contract,
+/// kernels.h): report the count either way so the log shows the tiers
+/// diverging exactly where they are allowed to. Fails only when the
+/// object cannot be disassembled at all.
+bool ReportTrainingObjectFma(const std::string& object_path) {
+  int64_t instructions = 0, findings = 0;
+  std::string used;
+  if (!CountFma(object_path, &instructions, &findings, &used,
+                /*print_findings=*/false)) {
+    return false;
+  }
+  std::printf(
+      "apan_lint: training-object check OK (%s, %lld FMA over %lld "
+      "instructions, via %s — contraction is legal in training kernels)\n",
+      object_path.c_str(), static_cast<long long>(findings),
+      static_cast<long long>(instructions), used.c_str());
   return true;
 }
 
@@ -264,7 +306,8 @@ int main(int argc, char** argv) {
   if (src.empty()) {
     std::fprintf(stderr,
                  "usage: %s --src=<repo>/src --build-dir=<build dir> "
-                 "[--kernel-object=<path>] [--skip-fma]\n",
+                 "[--kernel-object=<path>] [--training-object=<path>] "
+                 "[--skip-fma]\n",
                  args.program().c_str());
     return 1;
   }
@@ -274,16 +317,16 @@ int main(int argc, char** argv) {
   if (args.HasFlag("skip-fma")) {
     std::printf("apan_lint: FMA check skipped (--skip-fma)\n");
   } else {
+    const std::string build_dir = args.FlagValue("build-dir");
     std::string object = args.FlagValue("kernel-object");
     if (object.empty()) {
-      const std::string build_dir = args.FlagValue("build-dir");
       if (build_dir.empty()) {
         std::fprintf(stderr,
                      "apan_lint: need --build-dir or --kernel-object for the "
                      "FMA check (or --skip-fma)\n");
         return 1;
       }
-      object = FindKernelObject(build_dir);
+      object = FindObject(build_dir, "kernels.cc.o");
       if (object.empty()) {
         std::fprintf(stderr,
                      "apan_lint: no kernels.cc.o under %s — build apan_lib "
@@ -293,6 +336,18 @@ int main(int argc, char** argv) {
       }
     }
     ok = CheckNoFma(object) && ok;
+
+    std::string training = args.FlagValue("training-object");
+    if (training.empty() && !build_dir.empty()) {
+      training = FindObject(build_dir, "kernels_backward.cc.o");
+    }
+    if (training.empty()) {
+      std::printf(
+          "apan_lint: training-object check skipped (no "
+          "kernels_backward.cc.o found)\n");
+    } else {
+      ok = ReportTrainingObjectFma(training) && ok;
+    }
   }
 
   ok = CheckRelaxedOnlyMemoryOrders(src + "/obs") && ok;

@@ -1,15 +1,28 @@
-// bench_check: validates a BENCH_fig10.json written by
-// bench/fig10_sharded_throughput. CI's bench-smoke job runs it against
-// both the freshly generated JSON (schema only — a loaded CI machine's
-// throughput numbers are noise) and the committed BENCH_fig10.json (full
-// check), so a bench refactor that drops a field, emits NaN, or ships a
-// shard-scaling collapse fails the build instead of silently rotting the
-// committed trajectory.
+// bench_check: validates the bench JSONs CI tracks across PRs —
+// BENCH_fig10.json (bench/fig10_sharded_throughput) and BENCH_fig7.json
+// (bench/fig7_training_time), dispatched on the top-level "figure"
+// field. CI's bench-smoke job runs it against both the freshly generated
+// JSON (schema only — a loaded CI machine's timing numbers are noise)
+// and the committed file (full check), so a bench refactor that drops a
+// field, emits NaN, or ships a regression fails the build instead of
+// silently rotting the committed trajectory.
 //
 //   ./build/tools/bench_check BENCH_fig10.json
 //   ./build/tools/bench_check --schema-only /tmp/BENCH_fig10.json
 //   ./build/tools/bench_check --min-scale=0.35 BENCH_fig10.json
+//   ./build/tools/bench_check --min-ap=0.65 BENCH_fig7.json
 //
+// fig7 checks: every model row carries a name, a finite positive
+// seconds_per_epoch_mean and steps_per_sec, and a test_ap in [0, 1].
+// APAN rows are additionally gated on arena_plan_misses == 0 in BOTH
+// modes (the zero-alloc steady-state claim: APAN's training step is
+// structurally constant, so the graph-planned arena must replay it
+// without heap fallbacks — a structural property, not a timing, hence
+// immune to CI noise). Full mode adds test_ap >= --min-ap (default
+// 0.65 — AP is seed- and numerics-sensitive at 3 epochs, so the floor
+// catches a broken backward pass, not run-to-run jitter).
+//
+// fig10 checks:
 // Schema checks (always):
 //   1. the file parses as well-formed JSON (obs::ValidateJson);
 //   2. a non-empty "rows" array where every row carries a "partition"
@@ -130,7 +143,7 @@ int main(int argc, char** argv) {
   if (args.positional().size() != 1) {
     std::fprintf(stderr,
                  "usage: %s [--schema-only] [--min-scale=<ratio>] "
-                 "<BENCH_fig10.json>\n",
+                 "[--min-ap=<ap>] <BENCH_fig10.json|BENCH_fig7.json>\n",
                  args.program().c_str());
     return 1;
   }
@@ -155,6 +168,72 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "\n");
     ++violations;
   };
+
+  // ---- fig7: training-speed trajectory -------------------------------------
+  if (StringField(text, "figure") == "fig7_training_time") {
+    const double min_ap =
+        std::strtod(args.FlagValue("min-ap", "0.65").c_str(), nullptr);
+    const std::vector<std::string> model_objects =
+        SplitObjects(ExtractArray(text, "models"));
+    if (model_objects.empty()) {
+      fail("%s has no \"models\" array (or it is empty)", path.c_str());
+    }
+    for (size_t i = 0; i < model_objects.size(); ++i) {
+      const std::string& object = model_objects[i];
+      const std::string name = StringField(object, "name");
+      if (name.empty()) fail("model row %zu lacks \"name\"", i);
+      bool found = false;
+      const double s_epoch =
+          NumberField(object, "seconds_per_epoch_mean", &found);
+      if (!found) {
+        fail("model %s lacks \"seconds_per_epoch_mean\"", name.c_str());
+      } else if (!std::isfinite(s_epoch) || s_epoch <= 0.0) {
+        fail("model %s seconds_per_epoch_mean = %g is not finite and "
+             "positive",
+             name.c_str(), s_epoch);
+      }
+      const double steps = NumberField(object, "steps_per_sec", &found);
+      if (!found) {
+        fail("model %s lacks \"steps_per_sec\"", name.c_str());
+      } else if (!std::isfinite(steps) || steps <= 0.0) {
+        fail("model %s steps_per_sec = %g is not finite and positive",
+             name.c_str(), steps);
+      }
+      const double ap = NumberField(object, "test_ap", &found);
+      if (!found) {
+        fail("model %s lacks \"test_ap\"", name.c_str());
+      } else if (!(ap >= 0.0 && ap <= 1.0)) {
+        fail("model %s test_ap = %g is outside [0, 1]", name.c_str(), ap);
+      }
+      if (name.rfind("APAN", 0) == 0) {
+        if (!schema_only && ap < min_ap) {
+          fail("%s test_ap %.4f fell below the --min-ap floor %.2f — the "
+               "fast backward pass must not cost accuracy",
+               name.c_str(), ap, min_ap);
+        }
+        // Plan misses are machine-independent (a structural property of
+        // the recorded step, not a timing), so this gate applies even
+        // under --schema-only — a loaded CI box can't excuse them.
+        bool has_misses = false;
+        const double misses =
+            NumberField(object, "arena_plan_misses", &has_misses);
+        if (!has_misses || misses != 0.0) {
+          fail("%s arena_plan_misses = %g — APAN's training step is "
+               "structurally constant, so the planned arena must replay "
+               "it without heap fallbacks",
+               name.c_str(), has_misses ? misses : -1.0);
+        }
+      }
+    }
+    if (violations > 0) {
+      std::fprintf(stderr, "bench_check: %s FAILED (%d violation%s)\n",
+                   path.c_str(), violations, violations == 1 ? "" : "s");
+      return 1;
+    }
+    std::printf("bench_check: %s OK (%zu models%s)\n", path.c_str(),
+                model_objects.size(), schema_only ? ", schema only" : "");
+    return 0;
+  }
 
   // ---- rows: schema --------------------------------------------------------
   const std::vector<std::string> row_objects =
