@@ -51,6 +51,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <iterator>
 #include <limits>
 #include <memory>
@@ -545,6 +546,108 @@ int main(int argc, char** argv) {
         (long long)row.state_bytes_min_shard);
   }
 
+  // ---- Recovery plane: checkpoint write + rejoin cost --------------------
+  // One crash/recovery cycle per transport plane at 4 shards: engine A
+  // serves the first half of the stream and is checkpointed at a flushed
+  // boundary; a fresh engine B restores every shard and replays the
+  // second half. snapshot_write_ms prices the checkpoint (all four
+  // shards, crash-atomic files); restore_replay_ms is the full rejoin —
+  // decode + validate + adopt state, then replay from the snapshot's
+  // batch watermark to the stream head. events_shed must be 0 here (no
+  // shard is ever down in this cycle); bench_check enforces that, so a
+  // regression that silently sheds traffic during rejoin fails CI.
+  struct RecoveryRow {
+    std::string transport;
+    int shards = 0;
+    double snapshot_write_ms = 0.0;
+    int64_t snapshot_bytes = 0;
+    double restore_replay_ms = 0.0;
+    int64_t events_replayed = 0;
+    int64_t events_shed = 0;
+  };
+  std::vector<RecoveryRow> recovery_rows;
+  {
+    const int shards = 4;
+    const size_t total_batches = wiki.events.size() / batch;
+    const size_t cut = (total_batches / 2) * batch;
+    const std::string snap_dir =
+        std::filesystem::temp_directory_path().string();
+    for (const serve::TransportKind plane : planes) {
+      RecoveryRow row;
+      row.shards = shards;
+      std::vector<std::string> paths;
+      for (int s = 0; s < shards; ++s) {
+        paths.push_back(snap_dir + "/fig10_recovery_" + std::to_string(s) +
+                        ".apsn");
+      }
+      {
+        core::ApanModel model(config, &wiki.features, /*seed=*/2021);
+        serve::ShardedEngine::Options options;
+        options.num_shards = shards;
+        options.transport = serve::MakeTransportFactory(plane);
+        serve::ShardedEngine engine(&model, options);
+        row.transport = engine.transport_name();
+        for (size_t lo = 0; lo + batch <= cut; lo += batch) {
+          std::vector<graph::Event> events(
+              wiki.events.begin() + lo, wiki.events.begin() + lo + batch);
+          auto result = engine.InferBatch(events);
+          APAN_CHECK_MSG(result.ok(), result.status().ToString());
+        }
+        engine.Flush();
+        Stopwatch snap_watch;
+        for (int s = 0; s < shards; ++s) {
+          const Status st = engine.SnapshotShard(s, paths[s]);
+          APAN_CHECK_MSG(st.ok(), st.ToString());
+        }
+        row.snapshot_write_ms = snap_watch.ElapsedMillis();
+        for (const std::string& path : paths) {
+          std::error_code ec;
+          const auto bytes = std::filesystem::file_size(path, ec);
+          if (!ec) row.snapshot_bytes += static_cast<int64_t>(bytes);
+        }
+        // Engine A dies here (scope exit); only the files survive.
+      }
+      {
+        core::ApanModel model(config, &wiki.features, /*seed=*/2021);
+        serve::ShardedEngine::Options options;
+        options.num_shards = shards;
+        options.transport = serve::MakeTransportFactory(plane);
+        serve::ShardedEngine engine(&model, options);
+        Stopwatch rejoin_watch;
+        for (int s = 0; s < shards; ++s) {
+          const Status st = engine.RestoreShard(s, paths[s]);
+          APAN_CHECK_MSG(st.ok(), st.ToString());
+        }
+        for (size_t lo = cut; lo + batch <= wiki.events.size(); lo += batch) {
+          std::vector<graph::Event> events(
+              wiki.events.begin() + lo, wiki.events.begin() + lo + batch);
+          auto result = engine.InferBatch(events);
+          APAN_CHECK_MSG(result.ok(), result.status().ToString());
+          row.events_replayed += static_cast<int64_t>(events.size());
+        }
+        engine.Flush();
+        row.restore_replay_ms = rejoin_watch.ElapsedMillis();
+        row.events_shed = engine.stats().events_shed;
+      }
+      for (const std::string& path : paths) {
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+      }
+      recovery_rows.push_back(row);
+    }
+  }
+  std::printf(
+      "\nrecovery (x4, crash at mid-stream): checkpoint all shards, then a\n"
+      "fresh engine restores and replays the tail to the stream head:\n");
+  for (const RecoveryRow& row : recovery_rows) {
+    std::printf(
+        "  %-7s: snapshot %7.2f ms (%lld bytes) | restore+replay %7.2f ms "
+        "(%lld events, %lld shed)\n",
+        row.transport.c_str(), row.snapshot_write_ms,
+        (long long)row.snapshot_bytes, row.restore_replay_ms,
+        (long long)row.events_replayed, (long long)row.events_shed);
+  }
+
   // ---- Optional traced replay (--trace=<path>) ---------------------------
   if (!trace_path.empty()) {
     if (!obs::TraceRecorder::kCompiledIn) {
@@ -671,6 +774,19 @@ int main(int argc, char** argv) {
                    : 0.0);
     json.Field("state_bytes_max_shard", row.state_bytes_max_shard);
     json.Field("state_bytes_min_shard", row.state_bytes_min_shard);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.BeginArray("recovery");
+  for (const RecoveryRow& row : recovery_rows) {
+    json.BeginObject();
+    json.Field("transport", row.transport);
+    json.Field("shards", static_cast<int64_t>(row.shards));
+    json.Field("snapshot_write_ms", row.snapshot_write_ms);
+    json.Field("snapshot_bytes", row.snapshot_bytes);
+    json.Field("restore_replay_ms", row.restore_replay_ms);
+    json.Field("events_replayed", row.events_replayed);
+    json.Field("events_shed", row.events_shed);
     json.EndObject();
   }
   json.EndArray();

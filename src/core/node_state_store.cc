@@ -129,6 +129,16 @@ std::span<const float> NodeStateStore::RawSlot(graph::NodeId node,
   return mailbox_.RawSlot(LocalRow(node), slot);
 }
 
+Status NodeStateStore::RestoreRawState(std::span<const float> z) {
+  if (z.size() != state_.size()) {
+    return Status::InvalidArgument(internal::StrCat(
+        "state restore: got ", z.size(), " floats for a store holding ",
+        state_.size(), " (owned_count * dim mismatch)"));
+  }
+  std::copy(z.begin(), z.end(), state_.begin());
+  return Status::OK();
+}
+
 void NodeStateStore::Reset() {
   std::fill(state_.begin(), state_.end(), 0.0f);
   mailbox_.Clear();

@@ -109,6 +109,17 @@ class NodeStateStore {
   Mailbox& mailbox() { return mailbox_; }
   const Mailbox& mailbox() const { return mailbox_; }
 
+  // ---- Checkpoint hooks (serve/snapshot.cc) --------------------------------
+
+  /// All z(t−) rows in local-row order (owned_count * dim floats).
+  std::span<const float> raw_state() const { return state_; }
+
+  /// \brief Replaces every z(t−) row from a decoded snapshot. Rejects a
+  /// size mismatch with Status (the store is left unchanged) — restoring
+  /// into a store with different ownership must fail loudly, not write
+  /// rows into the wrong nodes.
+  Status RestoreRawState(std::span<const float> z);
+
   // ---- Lifecycle -----------------------------------------------------------
 
   /// Zeroes every z(t−) row and drops all mail (between epochs), exactly

@@ -37,6 +37,77 @@ void ShardedTemporalGraph::ResetSlice(int shard) {
   slice.watermark.store(0, std::memory_order_release);
 }
 
+ShardedTemporalGraph::SliceCheckpoint ShardedTemporalGraph::ExportSlice(
+    int shard) const {
+  APAN_CHECK_MSG(shard >= 0 && shard < num_shards_,
+                 "shard id out of range in ExportSlice");
+  const Slice& slice = *slices_[static_cast<size_t>(shard)];
+  SliceCheckpoint out;
+  out.rows.resize(slice.rows.size());
+  for (size_t r = 0; r < slice.rows.size(); ++r) {
+    out.rows[r].reserve(slice.rows[r].size());
+    for (const Entry& e : slice.rows[r]) {
+      out.rows[r].push_back({e.node, e.edge_id, e.timestamp, e.ordinal});
+    }
+  }
+  out.homed_events = slice.homed_events;
+  out.latest_timestamp = slice.latest_timestamp;
+  out.watermark = slice.watermark.load(std::memory_order_acquire);
+  return out;
+}
+
+Status ShardedTemporalGraph::RestoreSlice(int shard,
+                                          const SliceCheckpoint& checkpoint) {
+  APAN_CHECK_MSG(shard >= 0 && shard < num_shards_,
+                 "shard id out of range in RestoreSlice");
+  Slice& slice = *slices_[static_cast<size_t>(shard)];
+  if (checkpoint.rows.size() != slice.rows.size()) {
+    return Status::InvalidArgument(internal::StrCat(
+        "slice restore: checkpoint has ", checkpoint.rows.size(),
+        " rows but shard ", shard, " owns ", slice.rows.size(), " nodes"));
+  }
+  if (checkpoint.watermark < 0) {
+    return Status::InvalidArgument(internal::StrCat(
+        "slice restore: negative watermark ", checkpoint.watermark));
+  }
+  // Validate everything before mutating so a rejected checkpoint leaves
+  // the live slice untouched.
+  for (size_t r = 0; r < checkpoint.rows.size(); ++r) {
+    const auto& row = checkpoint.rows[r];
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (!ValidNode(row[i].node)) {
+        return Status::InvalidArgument(internal::StrCat(
+            "slice restore: row ", r, " entry ", i, " names node ",
+            row[i].node, " outside [0, ", num_nodes_, ")"));
+      }
+      if (i > 0 && (row[i].timestamp < row[i - 1].timestamp ||
+                    row[i].ordinal < row[i - 1].ordinal)) {
+        return Status::InvalidArgument(internal::StrCat(
+            "slice restore: row ", r, " is not (timestamp, ordinal) sorted ",
+            "at entry ", i));
+      }
+    }
+  }
+  for (const Event& event : checkpoint.homed_events) {
+    if (!ValidNode(event.src) || !ValidNode(event.dst)) {
+      return Status::InvalidArgument(internal::StrCat(
+          "slice restore: homed event endpoints out of range: ", event.src,
+          " -> ", event.dst));
+    }
+  }
+  for (size_t r = 0; r < slice.rows.size(); ++r) {
+    slice.rows[r].clear();
+    slice.rows[r].reserve(checkpoint.rows[r].size());
+    for (const auto& e : checkpoint.rows[r]) {
+      slice.rows[r].push_back({e.node, e.edge_id, e.timestamp, e.ordinal});
+    }
+  }
+  slice.homed_events = checkpoint.homed_events;
+  slice.latest_timestamp = checkpoint.latest_timestamp;
+  slice.watermark.store(checkpoint.watermark, std::memory_order_release);
+  return Status::OK();
+}
+
 Status ShardedTemporalGraph::AppendBatchSlice(int shard, int64_t batch,
                                               std::span<const Event> events,
                                               int64_t base_ordinal) {

@@ -113,6 +113,35 @@ class ShardedTemporalGraph {
   /// resets through each shard's worker for exactly this reason).
   void ResetSlice(int shard);
 
+  /// \brief One slice's full contents in checkpointable form — the
+  /// public mirror of the private Slice/Entry storage, consumed by
+  /// serve/snapshot.cc. Restoring this struct reproduces the slice
+  /// bitwise (same rows, same ordinals, same watermark), so versioned
+  /// reads after a restore see exactly the pre-crash graph.
+  struct SliceCheckpoint {
+    struct AdjacencyEntry {
+      NodeId node = -1;
+      EdgeId edge_id = -1;
+      double timestamp = 0.0;
+      int64_t ordinal = 0;
+    };
+    /// rows[local_row] = that owned node's occurrences, storage order.
+    std::vector<std::vector<AdjacencyEntry>> rows;
+    std::vector<Event> homed_events;
+    double latest_timestamp = -std::numeric_limits<double>::infinity();
+    int64_t watermark = 0;
+  };
+
+  /// Copies out slice `shard` (owner-thread contract as AppendBatchSlice).
+  SliceCheckpoint ExportSlice(int shard) const;
+
+  /// \brief Replaces slice `shard` with a decoded checkpoint. The row
+  /// count must match this graph's ownership for the shard and every
+  /// entry must name a valid node with sorted (timestamp, ordinal) rows;
+  /// a violation returns InvalidArgument with the slice untouched. Same
+  /// owner-thread contract as AppendBatchSlice/ResetSlice.
+  Status RestoreSlice(int shard, const SliceCheckpoint& checkpoint);
+
   /// Batches appended into `shard`'s slice. Written by the slice's owner
   /// thread, readable from anywhere.
   int64_t watermark(int shard) const {

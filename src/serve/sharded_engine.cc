@@ -1,7 +1,10 @@
 #include "serve/sharded_engine.h"
 
 #include <algorithm>
+#include <chrono>
+#include <memory>
 #include <optional>
+#include <set>
 #include <unordered_map>
 #include <utility>
 
@@ -30,7 +33,8 @@ ShardedEngine::ShardedEngine(core::ApanModel* model, Options options)
                                     : std::make_unique<InProcessTransport>()),
       encode_pool_(options.encode_threads > 0
                        ? options.encode_threads
-                       : static_cast<size_t>(options.num_shards)) {
+                       : static_cast<size_t>(options.num_shards)),
+      shard_down_(static_cast<size_t>(options.num_shards)) {
   APAN_CHECK(model != nullptr);
   APAN_CHECK_MSG(partition_->num_shards == options_.num_shards &&
                      partition_->num_nodes() == model->config().num_nodes,
@@ -62,6 +66,8 @@ ShardedEngine::ShardedEngine(core::ApanModel* model, Options options)
   ins_.duplicates_dropped =
       registry_->GetCounter("serve.duplicates_dropped", ns);
   ins_.events_homed = registry_->GetCounter("serve.events_homed", ns);
+  ins_.events_shed = registry_->GetCounter("serve.events_shed", ns);
+  ins_.sends_shed = registry_->GetCounter("serve.sends_shed", ns);
   ins_.job_depth = registry_->GetGauge("serve.job_queue_depth", ns);
   ins_.job_highwater = registry_->GetGauge("serve.job_queue_highwater", ns);
   ins_.mail_depth = registry_->GetGauge("serve.mail_queue_depth", ns);
@@ -112,6 +118,10 @@ ShardedEngine::ShardedEngine(core::ApanModel* model, Options options)
   tmetrics.frames = registry_->GetCounter("transport.frames", ns * ns);
   tmetrics.bytes = registry_->GetCounter("transport.bytes", ns * ns);
   tmetrics.syscalls = registry_->GetCounter("transport.syscalls", ns * ns);
+  tmetrics.lane_reconnects =
+      registry_->GetCounter("transport.lane_reconnects", ns * ns);
+  tmetrics.send_failures =
+      registry_->GetCounter("transport.send_failures", ns * ns);
   transport_->SetMetrics(tmetrics);
   // The transport comes up before the workers: a worker's very first
   // expansion may Send.
@@ -285,6 +295,24 @@ Result<ShardedEngine::InferenceResult> ShardedEngine::InferBatch(
   ctx->base_ordinal = next_ordinal_;
   next_ordinal_ += static_cast<int64_t>(events.size());
   ctx->events = events;
+  ingested_since_start_ = true;
+
+  // Graceful degradation (SetShardDown): records homed to a down shard
+  // are shed whole, its sampling/application legs are never counted, and
+  // its merge contribution to every healthy shard is synthesized empty —
+  // so the reassembly barriers complete and Flush never blocks on the
+  // dead shard. The flags only flip at flushed batch boundaries
+  // (SetShardDown / lane failure between batches), so one read per batch
+  // is a consistent view.
+  std::vector<char> down(static_cast<size_t>(num_shards), 0);
+  int up_count = 0;
+  for (int s = 0; s < num_shards; ++s) {
+    down[static_cast<size_t>(s)] =
+        shard_down_[static_cast<size_t>(s)].load(std::memory_order_relaxed)
+            ? 1
+            : 0;
+    up_count += down[static_cast<size_t>(s)] == 0 ? 1 : 0;
+  }
 
   // Home every record on its source endpoint's shard.
   std::vector<BatchJob> jobs(static_cast<size_t>(num_shards));
@@ -299,18 +327,41 @@ Result<ShardedEngine::InferenceResult> ShardedEngine::InferBatch(
   }
   for (int s = 0; s < num_shards; ++s) {
     const auto homed = jobs[static_cast<size_t>(s)].records.size();
-    if (homed > 0) {
+    if (homed == 0) continue;
+    if (down[static_cast<size_t>(s)] != 0) {
+      ins_.events_shed->Add(s, static_cast<int64_t>(homed));
+    } else {
       ins_.events_homed->Add(s, static_cast<int64_t>(homed));
     }
   }
 
-  {
-    util::MutexLock lock(flush_mu_);
-    inflight_ += 2 * static_cast<int64_t>(num_shards);
-    apply_remaining_.emplace(ctx->batch, num_shards);
-  }
   ins_.batches_ingested->Add(1);
+  if (up_count == 0) return result;  // every shard down: fully shed
+
+  {
+    std::set<int> up;
+    for (int s = 0; s < num_shards; ++s) {
+      if (down[static_cast<size_t>(s)] == 0) up.insert(s);
+    }
+    util::MutexLock lock(flush_mu_);
+    inflight_ += 2 * static_cast<int64_t>(up_count);
+    apply_remaining_.emplace(ctx->batch, std::move(up));
+  }
   for (int s = 0; s < num_shards; ++s) {
+    if (down[static_cast<size_t>(s)] != 0) {
+      // The dead shard will never route its partials; stand in for it
+      // with empty ones so every healthy shard's sender-count barrier
+      // still completes. Delivered straight to the inboxes — the dead
+      // peer's lanes may be dead too.
+      for (int t = 0; t < num_shards; ++t) {
+        if (down[static_cast<size_t>(t)] != 0) continue;
+        ShardPartial empty;
+        empty.batch = ctx->batch;
+        empty.from_shard = s;
+        EnqueueMessage(t, ShardMessage(std::move(empty)));
+      }
+      continue;
+    }
     Shard& shard = *shards_[static_cast<size_t>(s)];
     int64_t depth = 0;
     {
@@ -412,8 +463,21 @@ void ShardedEngine::DispatchMessage(int shard_id, ShardMessage message) {
 }
 
 void ShardedEngine::ProcessJob(int shard_id, BatchJob job) {
-  if (job.reset) {
-    ResetShardLocal(shard_id);
+  if (job.op != BatchJob::Op::kBatch) {
+    Status status;
+    switch (job.op) {
+      case BatchJob::Op::kReset:
+        ResetShardLocal(shard_id);
+        break;
+      case BatchJob::Op::kSnapshot:
+        status = SnapshotShardLocal(shard_id, job);
+        break;
+      case BatchJob::Op::kRestore:
+        status = RestoreShardLocal(shard_id, job);
+        break;
+      case BatchJob::Op::kBatch:
+        break;
+    }
     Shard& shard = *shards_[static_cast<size_t>(shard_id)];
     {
       util::MutexLock lock(shard.mu);
@@ -421,6 +485,12 @@ void ShardedEngine::ProcessJob(int shard_id, BatchJob job) {
       shard.cv.NotifyAll();
     }
     util::MutexLock lock(flush_mu_);
+    // The outcome is handed back under flush_mu_ — the same lock the
+    // submitting caller's wait releases/reacquires — so the write is
+    // ordered before the caller's post-wait read.
+    if (job.control_status != nullptr) {
+      *job.control_status = std::move(status);
+    }
     if (--inflight_ == 0) flush_cv_.NotifyAll();
     return;
   }
@@ -539,6 +609,11 @@ std::vector<std::vector<graph::HopEntry>> ShardedEngine::ExpandKHop(
       const int owner = graph_.OwnerOf(slots[s].node);
       if (owner == shard_id) {
         local_slots.push_back(s);
+      } else if (shard_down_[static_cast<size_t>(owner)].load(
+                     std::memory_order_relaxed)) {
+        // Degradation: a frontier owned by a down shard samples empty —
+        // never ask a dead peer and wait forever on its answer. The slot
+        // already holds the empty neighbor list it defaults to.
       } else {
         const double t = job.records[slots[s].record].event.timestamp;
         outbound[static_cast<size_t>(owner)].items.push_back(
@@ -619,14 +694,45 @@ double ShardedEngine::WaitForFrontierResponses(
   for (const char pending : awaiting_from) awaiting += pending != 0;
   while (awaiting > 0) {
     ShardMessage message;
+    bool have_message = false;
     int64_t mail_left = 0;
     {
       util::MutexLock lock(shard.mu);
-      while (shard.mail.empty()) shard.cv.Wait(shard.mu);
-      message = std::move(shard.mail.front());
-      shard.mail.pop_front();
-      mail_left = static_cast<int64_t>(shard.mail.size());
+      while (shard.mail.empty()) {
+        // Timed wait: a peer can be marked down mid-wait (SetShardDown
+        // or a lane failure on another worker), and no inbox signal
+        // accompanies the flag flip — its answer is never coming, so
+        // the wait must notice on its own and degrade (empty sample).
+        shard.cv.WaitFor(shard.mu, std::chrono::milliseconds(10));
+        for (size_t p = 0; p < awaiting_from.size(); ++p) {
+          if (awaiting_from[p] != 0 &&
+              shard_down_[p].load(std::memory_order_relaxed)) {
+            awaiting_from[p] = 0;
+            --awaiting;
+          }
+        }
+        if (shard_down_[static_cast<size_t>(shard_id)].load(
+                std::memory_order_relaxed)) {
+          // This shard itself was marked down mid-wait: its requests (or
+          // the answers) were shed in transit. Abandon every outstanding
+          // slot and finish the job degraded.
+          for (size_t p = 0; p < awaiting_from.size(); ++p) {
+            if (awaiting_from[p] != 0) {
+              awaiting_from[p] = 0;
+              --awaiting;
+            }
+          }
+        }
+        if (awaiting == 0) break;
+      }
+      if (!shard.mail.empty()) {
+        message = std::move(shard.mail.front());
+        shard.mail.pop_front();
+        mail_left = static_cast<int64_t>(shard.mail.size());
+        have_message = true;
+      }
     }
+    if (!have_message) continue;  // awaiting re-checked by the loop head
     if (stage_metrics_) {
       ins_.mail_depth->Set(shard_id, mail_left);
     }
@@ -755,16 +861,79 @@ void ShardedEngine::BufferMessage(int from_shard, int to_shard,
 
 void ShardedEngine::FlushOutbound(int from_shard) {
   Shard& shard = *shards_[static_cast<size_t>(from_shard)];
+  const bool self_down =
+      shard_down_[static_cast<size_t>(from_shard)].load(
+          std::memory_order_relaxed);
   for (size_t to = 0; to < shard.outbound.size(); ++to) {
     std::vector<ShardMessage>& run = shard.outbound[to];
     if (run.empty()) continue;
+    const int to_shard = static_cast<int>(to);
+    if (self_down ||
+        shard_down_[to].load(std::memory_order_relaxed)) {
+      // Degraded path: runs to (or from) a down shard are shed before
+      // they touch the transport. Any ShardPartial in the run belongs to
+      // a batch that counted the peer's application leg at ingest (a
+      // batch ingested after the peer went down never buffers a partial
+      // to it — its apply set excludes the peer), so retire those legs
+      // here or Flush wedges on a merge that will never happen.
+      std::vector<int64_t> partial_batches;
+      for (const ShardMessage& message : run) {
+        if (const auto* partial = std::get_if<ShardPartial>(&message)) {
+          partial_batches.push_back(partial->batch);
+        }
+      }
+      ins_.sends_shed->Add(to_shard, static_cast<int64_t>(run.size()));
+      run = std::vector<ShardMessage>();
+      // Compensate the DESTINATION's legs in both directions: a peer
+      // missing this shard's partial can never reach its sender-count
+      // barrier, so its application leg is as dead as one whose own
+      // partial was lost.
+      CompensateLostPartials(to_shard, partial_batches);
+      continue;
+    }
+    // Remember which batches' partials ride this run BEFORE the move:
+    // if the transport refuses the frame even after its own lane
+    // recovery (reconnect + backoff), those batches' application legs
+    // on the peer must be compensated, and the messages are gone.
+    std::vector<int64_t> partial_batches;
+    for (const ShardMessage& message : run) {
+      if (const auto* partial = std::get_if<ShardPartial>(&message)) {
+        partial_batches.push_back(partial->batch);
+      }
+    }
+    const int64_t run_size = static_cast<int64_t>(run.size());
     // One coalesced frame per peer — on a serializing transport this is
     // where N same-destination messages become one syscall.
     const Status sent = transport_->SendBatch(
-        from_shard, static_cast<int>(to), std::move(run));
-    APAN_CHECK_MSG(sent.ok(), sent.ToString());
+        from_shard, to_shard, std::move(run));
     run = std::vector<ShardMessage>();
+    if (sent.ok()) continue;
+    // The lane is dead beyond repair: mark the peer down so subsequent
+    // traffic sheds cheaply, count what was lost, and keep serving the
+    // healthy shards instead of aborting the process.
+    ins_.sends_shed->Add(to_shard, run_size);
+    shard_down_[to].store(true, std::memory_order_relaxed);
+    CompensateLostPartials(to_shard, partial_batches);
   }
+}
+
+void ShardedEngine::CompensateLostPartials(
+    int to_shard, const std::vector<int64_t>& batches) {
+  if (batches.empty()) return;
+  util::MutexLock lock(flush_mu_);
+  bool retired = false;
+  for (const int64_t batch : batches) {
+    auto remaining = apply_remaining_.find(batch);
+    if (remaining == apply_remaining_.end()) continue;
+    // erase() doubles as the dedupe: a second shed partial for the same
+    // (batch, peer) — another sender's, or a duplicate — finds the leg
+    // already retired and is a no-op.
+    if (remaining->second.erase(to_shard) == 0) continue;
+    if (remaining->second.empty()) apply_remaining_.erase(remaining);
+    --inflight_;
+    retired = true;
+  }
+  if (retired && inflight_ == 0) flush_cv_.NotifyAll();
 }
 
 void ShardedEngine::EnqueueMessage(int to_shard, ShardMessage message) {
@@ -994,9 +1163,17 @@ void ShardedEngine::ApplyMergedBatch(int shard_id,
 
   util::MutexLock lock(flush_mu_);
   auto remaining = apply_remaining_.find(batch);
-  APAN_CHECK_MSG(remaining != apply_remaining_.end(),
-                 "merged a batch with no apply barrier");
-  if (--remaining->second == 0) {
+  // A missing barrier (or a leg already retired) means the shed
+  // compensation beat a late merge here: an at-least-once transport
+  // delivered a held duplicate of a partial whose original was shed when
+  // the peer went down. The merge's writes are idempotent against the
+  // degraded outcome, but the leg was already accounted for — counting
+  // it again would drive inflight_ negative and corrupt Flush.
+  if (remaining == apply_remaining_.end() ||
+      remaining->second.erase(shard_id) == 0) {
+    return;
+  }
+  if (remaining->second.empty()) {
     apply_remaining_.erase(remaining);
     ins_.batches_propagated->Add(shard_id, 1);
   }
@@ -1028,6 +1205,81 @@ void ShardedEngine::ResetShardLocal(int shard_id) {
   shard.last_wait = ExpansionKey{-1, 0};
 }
 
+Status ShardedEngine::SnapshotShardLocal(int shard_id, const BatchJob& job) {
+  Shard& shard = *shards_[static_cast<size_t>(shard_id)];
+  // Flush proved every batch below the watermark merged everywhere, so a
+  // non-empty pending map means replay tags and the watermark disagree —
+  // refuse to capture an image that could not replay to a unique state.
+  if (!shard.pending.empty()) {
+    return Status::FailedPrecondition(internal::StrCat(
+        "shard ", shard_id, " has ", shard.pending.size(),
+        " unmerged partial sets at a flushed point"));
+  }
+  snapshot::ShardSnapshot snap;
+  snap.shard = shard_id;
+  snap.num_shards = options_.num_shards;
+  snap.num_nodes = static_cast<int64_t>(partition_->owner_of.size());
+  snap.next_batch = job.snap_next_batch;
+  snap.next_ordinal = job.snap_next_ordinal;
+  {
+    // The capture only reads, but the encode pool reads these rows too;
+    // same discipline as every other store access.
+    util::MutexLock state_lock(shard.state_mu);
+    const core::Mailbox& mailbox = shard.store->mailbox();
+    snap.owned_nodes = mailbox.num_nodes();
+    snap.mailbox_slots = mailbox.slots();
+    snap.mail_dim = mailbox.dim();
+    snap.state_dim = shard.store->dim();
+    const auto data = mailbox.raw_data();
+    snap.mailbox_data.assign(data.begin(), data.end());
+    const auto timestamps = mailbox.raw_timestamps();
+    snap.mailbox_timestamps.assign(timestamps.begin(), timestamps.end());
+    const auto head = mailbox.raw_head();
+    snap.mailbox_head.assign(head.begin(), head.end());
+    const auto count = mailbox.raw_count();
+    snap.mailbox_count.assign(count.begin(), count.end());
+    const auto order = mailbox.raw_order();
+    snap.mailbox_order.assign(order.begin(), order.end());
+    const auto z = shard.store->raw_state();
+    snap.z_rows.assign(z.begin(), z.end());
+  }
+  snap.slice = graph_.ExportSlice(shard_id);
+  snap.next_merge = shard.next_merge;
+  snap.accepted_request = shard.accepted_request;
+  snap.last_wait_batch = shard.last_wait.first;
+  snap.last_wait_hop = shard.last_wait.second;
+  return snapshot::WriteShardSnapshot(snap, job.snapshot_path);
+}
+
+Status ShardedEngine::RestoreShardLocal(int shard_id, const BatchJob& job) {
+  Shard& shard = *shards_[static_cast<size_t>(shard_id)];
+  const snapshot::ShardSnapshot& snap = *job.restore;
+  {
+    util::MutexLock state_lock(shard.state_mu);
+    core::Mailbox& mailbox = shard.store->mailbox();
+    // Both installers validate fully before mutating, so a failure here
+    // leaves the pre-restore state intact; the geometry was already
+    // matched against the engine's topology in RestoreShard, which makes
+    // a RestoreRawState size failure after a RestoreRaw success
+    // impossible (both derive from the same owned/dim image fields).
+    APAN_RETURN_NOT_OK(mailbox.RestoreRaw(
+        snap.mailbox_data, snap.mailbox_timestamps, snap.mailbox_head,
+        snap.mailbox_count, snap.mailbox_order));
+    APAN_RETURN_NOT_OK(shard.store->RestoreRawState(snap.z_rows));
+  }
+  APAN_RETURN_NOT_OK(graph_.RestoreSlice(shard_id, snap.slice));
+  // Replay/dedup state, rewound to the image's flushed point: pending and
+  // deferred are structurally empty there (Flush settled every barrier),
+  // and the watermarks resume exactly where the capture stood.
+  shard.pending.clear();
+  shard.next_merge = snap.next_merge;
+  shard.deferred_requests.clear();
+  shard.accepted_request.assign(snap.accepted_request.begin(),
+                                snap.accepted_request.end());
+  shard.last_wait = ExpansionKey{snap.last_wait_batch, snap.last_wait_hop};
+  return Status::OK();
+}
+
 void ShardedEngine::ResetState() {
   // Holding infer_mu_ end-to-end serializes against InferBatch: no new
   // batch can interleave with the reset, and batch/ordinal sequencing
@@ -1054,7 +1306,7 @@ void ShardedEngine::ResetState() {
   for (int s = 0; s < options_.num_shards; ++s) {
     Shard& shard = *shards_[static_cast<size_t>(s)];
     BatchJob job;
-    job.reset = true;
+    job.op = BatchJob::Op::kReset;
     util::MutexLock lock(shard.mu);
     ++shard.jobs_in_flight;
     shard.jobs.push_back(std::move(job));
@@ -1066,6 +1318,139 @@ void ShardedEngine::ResetState() {
   }
   next_batch_ = 0;
   next_ordinal_ = 0;
+  ingested_since_start_ = false;
+}
+
+Status ShardedEngine::RunControlJob(int shard, BatchJob job) {
+  // Settle everything accepted so far: control jobs observe (or install)
+  // a quiescent shard, and Flush proves every application leg ran.
+  Flush();
+  Status status;
+  job.control_status = &status;
+  {
+    util::MutexLock lock(flush_mu_);
+    ++inflight_;
+  }
+  Shard& target = *shards_[static_cast<size_t>(shard)];
+  {
+    util::MutexLock lock(target.mu);
+    ++target.jobs_in_flight;
+    target.jobs.push_back(std::move(job));
+    target.cv.NotifyAll();
+  }
+  {
+    // The worker writes `status` under flush_mu_ before its decrement, so
+    // observing inflight_ == 0 under the same lock orders the read.
+    util::MutexLock lock(flush_mu_);
+    while (inflight_ != 0) flush_cv_.Wait(flush_mu_);
+  }
+  return status;
+}
+
+Status ShardedEngine::SnapshotShard(int shard, const std::string& path) {
+  util::MutexLock infer_lock(infer_mu_);
+  if (shutdown_) {
+    return Status::FailedPrecondition("SnapshotShard after Shutdown");
+  }
+  if (shard < 0 || shard >= options_.num_shards) {
+    return Status::InvalidArgument(internal::StrCat(
+        "SnapshotShard: shard ", shard, " out of range [0, ",
+        options_.num_shards, ")"));
+  }
+  BatchJob job;
+  job.op = BatchJob::Op::kSnapshot;
+  job.snapshot_path = path;
+  // The engine-level numbering is captured under infer_mu_ — the lock
+  // that advances it — and rides into the image so a restored engine
+  // resumes the batch/ordinal sequence exactly where this one stood.
+  job.snap_next_batch = next_batch_;
+  job.snap_next_ordinal = next_ordinal_;
+  return RunControlJob(shard, std::move(job));
+}
+
+Status ShardedEngine::RestoreShard(int shard, const std::string& path) {
+  util::MutexLock infer_lock(infer_mu_);
+  if (shutdown_) {
+    return Status::FailedPrecondition("RestoreShard after Shutdown");
+  }
+  if (shard < 0 || shard >= options_.num_shards) {
+    return Status::InvalidArgument(internal::StrCat(
+        "RestoreShard: shard ", shard, " out of range [0, ",
+        options_.num_shards, ")"));
+  }
+  // Same hazard ResetState aborts on, surfaced as Status here: rewinding
+  // replay watermarks under an at-least-once transport would let a held
+  // pre-restore re-delivery land in the restored epoch as fresh state. A
+  // virgin engine is exempt — nothing was ever sent, so there is nothing
+  // to re-deliver — which is exactly the crash-rejoin shape: a fresh
+  // process restores every shard, then replays the tail.
+  if (!transport_->exactly_once() && ingested_since_start_) {
+    return Status::FailedPrecondition(
+        "RestoreShard on an engine that has already ingested under an "
+        "at-least-once transport: a held re-delivery could be accepted by "
+        "the rewound replay watermarks; restore into a fresh engine");
+  }
+  auto snap_or = snapshot::ReadShardSnapshot(path);
+  if (!snap_or.ok()) return snap_or.status();
+  auto snap = std::make_shared<const snapshot::ShardSnapshot>(
+      std::move(*snap_or));
+  // Topology validation before anything mutates: the image must match
+  // this engine, this shard, and this partition exactly.
+  if (snap->shard != shard) {
+    return Status::InvalidArgument(internal::StrCat(
+        "snapshot is for shard ", snap->shard, ", not shard ", shard));
+  }
+  if (snap->num_shards != options_.num_shards) {
+    return Status::InvalidArgument(internal::StrCat(
+        "snapshot taken under ", snap->num_shards, " shards; engine has ",
+        options_.num_shards));
+  }
+  const auto& config = model_->config();
+  if (snap->num_nodes != config.num_nodes ||
+      snap->mailbox_slots != config.mailbox_slots ||
+      snap->mail_dim != config.embedding_dim ||
+      snap->state_dim != config.embedding_dim) {
+    return Status::InvalidArgument(internal::StrCat(
+        "snapshot geometry (nodes=", snap->num_nodes,
+        ", slots=", snap->mailbox_slots, ", mail_dim=", snap->mail_dim,
+        ", state_dim=", snap->state_dim,
+        ") does not match the engine's model config"));
+  }
+  const int64_t owned =
+      partition_->owned_count[static_cast<size_t>(shard)];
+  if (snap->owned_nodes != owned) {
+    return Status::InvalidArgument(internal::StrCat(
+        "snapshot owns ", snap->owned_nodes, " nodes; shard ", shard,
+        " owns ", owned, " under this partition"));
+  }
+  const int64_t restored_batch = snap->next_batch;
+  const int64_t restored_ordinal = snap->next_ordinal;
+  BatchJob job;
+  job.op = BatchJob::Op::kRestore;
+  job.restore = std::move(snap);
+  APAN_RETURN_NOT_OK(RunControlJob(shard, std::move(job)));
+  // Adopt the image's numbering. Restoring a consistent set (one image
+  // per shard, all captured at the same flushed point) writes the same
+  // values num_shards times — idempotent; the caller then replays events
+  // from this batch watermark to catch up to the present.
+  next_batch_ = restored_batch;
+  next_ordinal_ = restored_ordinal;
+  return Status::OK();
+}
+
+void ShardedEngine::SetShardDown(int shard, bool down) {
+  util::MutexLock infer_lock(infer_mu_);
+  if (shutdown_) return;
+  APAN_CHECK_MSG(shard >= 0 && shard < options_.num_shards,
+                 "SetShardDown: shard id out of range");
+  // Flush first so the flag flips at a quiescent point: no in-flight
+  // batch straddles the transition, so every batch sees one consistent
+  // up/down view at ingest. (Marking a shard up again without a restore
+  // or reset is only sound if it never missed a batch — its slice
+  // watermark must match the engine's numbering.)
+  Flush();
+  shard_down_[static_cast<size_t>(shard)].store(down,
+                                                std::memory_order_relaxed);
 }
 
 void ShardedEngine::Shutdown() {
@@ -1110,6 +1495,8 @@ ShardedEngine::Stats ShardedEngine::stats() const {
   s.frontier_requests = ins_.frontier_requests->Value();
   s.frontier_nodes_forwarded = ins_.frontier_nodes_forwarded->Value();
   s.duplicates_dropped = ins_.duplicates_dropped->Value();
+  s.events_shed = ins_.events_shed->Value();
+  s.sends_shed = ins_.sends_shed->Value();
   return s;
 }
 

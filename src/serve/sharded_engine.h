@@ -81,9 +81,12 @@
 #ifndef APAN_SERVE_SHARDED_ENGINE_H_
 #define APAN_SERVE_SHARDED_ENGINE_H_
 
+#include <atomic>
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -95,6 +98,7 @@
 #include "obs/trace.h"
 #include "serve/shard_message.h"
 #include "serve/shard_router.h"
+#include "serve/snapshot.h"
 #include "serve/transport.h"
 #include "util/bounded_queue.h"
 #include "util/status.h"
@@ -200,6 +204,48 @@ class ShardedEngine {
   /// aborts instead of corrupting silently. No-op after Shutdown.
   void ResetState() APAN_EXCLUDES(infer_mu_, flush_mu_);
 
+  /// \brief Writes shard `shard`'s full recovery image — its
+  /// NodeStateStore (mailbox planes + z(t−) rows), its graph slice, and
+  /// all replay/dedup state, plus the engine's batch/ordinal numbering —
+  /// crash-atomically to `path` (serve/snapshot.h format). Flushes
+  /// accepted work first, then runs the capture as a control job on the
+  /// shard's own worker thread (the ResetState pattern), so every
+  /// worker-confined field is read by the one thread allowed to touch it.
+  /// Restoring the snapshot and replaying the event stream from its batch
+  /// watermark reproduces the never-crashed mailbox bitwise. Safe under
+  /// any transport: capture only reads, so a late re-delivered frame is
+  /// dropped by the same tags the snapshot preserves.
+  Status SnapshotShard(int shard, const std::string& path)
+      APAN_EXCLUDES(infer_mu_, flush_mu_);
+
+  /// \brief Restores shard `shard` from a snapshot written by
+  /// SnapshotShard: decodes + validates the file against this engine's
+  /// topology (shard id, shard count, node count, mailbox/state geometry),
+  /// then installs it via a control job on the shard's worker and adopts
+  /// the snapshot's batch/ordinal numbering (all shards of one recovery
+  /// set carry the same quiesced numbering, so per-shard adoption is
+  /// idempotent across the set). A corrupt, truncated or mismatched
+  /// snapshot returns a non-OK Status with the engine unchanged.
+  /// Requires an exactly-once transport, for the same reason ResetState
+  /// does: restore rewinds replay watermarks, and a duplicating transport
+  /// could re-deliver a pre-restore frame the rewound tags would accept.
+  Status RestoreShard(int shard, const std::string& path)
+      APAN_EXCLUDES(infer_mu_, flush_mu_);
+
+  /// \brief Marks a shard down (or back up) for graceful degradation.
+  /// While a shard is down the engine keeps serving from the healthy
+  /// shards instead of blocking on the dead one: batches' records homed
+  /// to it are shed (counted in Stats::events_shed), outbound messages to
+  /// it are shed at the flush point (Stats::sends_shed), its merge
+  /// contribution is synthesized empty so healthy shards' reassembly
+  /// barriers still complete, and k-hop frontiers it owns sample empty
+  /// (stale-neighborhood degradation). Scores keep flowing — encoded
+  /// against the down shard's frozen state. Flushes in-flight work before
+  /// flipping the flag, so the transition lands at a batch boundary.
+  /// No-op after Shutdown.
+  void SetShardDown(int shard, bool down)
+      APAN_EXCLUDES(infer_mu_, flush_mu_);
+
   struct Stats {
     int64_t batches_ingested = 0;
     /// Batches fully applied on every shard.
@@ -221,6 +267,13 @@ class ShardedEngine {
     /// Messages dropped as transport re-deliveries (by replay tag). Zero
     /// under an exactly-once transport; positive under FaultyTransport.
     int64_t duplicates_dropped = 0;
+    /// Interaction records homed to a down shard and shed whole while it
+    /// was down (SetShardDown). Zero in any run with no shard down.
+    int64_t events_shed = 0;
+    /// Outbound messages shed at the flush point — destined to a down
+    /// shard, or refused by the transport after its lane-level recovery
+    /// (reconnect/backoff) gave up. Zero in a healthy run.
+    int64_t sends_shed = 0;
   };
   Stats stats() const;
 
@@ -270,9 +323,25 @@ class ShardedEngine {
     std::shared_ptr<BatchContext> ctx;
     std::vector<core::InteractionRecord> records;
     std::vector<int64_t> event_index;  ///< Global batch positions.
-    /// Epoch-reset control job (ResetState): clears the shard's store,
-    /// slice, and replay state instead of propagating a batch.
-    bool reset = false;
+    /// Control jobs run on the owning worker instead of propagating a
+    /// batch: kReset clears the shard (ResetState), kSnapshot captures it
+    /// to `snapshot_path`, kRestore installs `restore` into it. Routing
+    /// them through the inbox keeps every worker-confined field (merge
+    /// cursor, frontier watermarks, graph slice) single-threaded.
+    enum class Op { kBatch, kReset, kSnapshot, kRestore };
+    Op op = Op::kBatch;
+    std::string snapshot_path;  ///< kSnapshot: destination file.
+    /// kSnapshot: engine numbering captured under infer_mu_ at submit
+    /// time (the worker cannot read it without an ACQUIRED_AFTER
+    /// violation).
+    int64_t snap_next_batch = 0;
+    int64_t snap_next_ordinal = 0;
+    /// kRestore: the decoded, topology-validated snapshot to install.
+    std::shared_ptr<const snapshot::ShardSnapshot> restore;
+    /// Control-job outcome, written by the worker before it decrements
+    /// inflight_ under flush_mu_ — the same lock the submitting caller
+    /// waits on, so the write is ordered before the caller's read.
+    Status* control_status = nullptr;
   };
 
   /// An expansion's identity, ordered as expansions run: batch-major,
@@ -331,6 +400,15 @@ class ShardedEngine {
   /// Worker-side half of ResetState: runs on the shard's own thread so
   /// the worker-confined replay state and graph slice stay thread-local.
   void ResetShardLocal(int shard_id);
+  /// Worker-side halves of SnapshotShard / RestoreShard (same pattern).
+  Status SnapshotShardLocal(int shard_id, const BatchJob& job);
+  Status RestoreShardLocal(int shard_id, const BatchJob& job);
+  /// Shared control-job submission: Flush, push one job to `shard`'s
+  /// worker, wait for it, return the Status the worker wrote. Held
+  /// infer_mu_ keeps InferBatch (and other control callers) out for the
+  /// whole round trip.
+  Status RunControlJob(int shard, BatchJob job)
+      APAN_REQUIRES(infer_mu_) APAN_EXCLUDES(flush_mu_);
   void DispatchMessage(int shard_id, ShardMessage message)
       APAN_EXCLUDES(flush_mu_);
   void OnMail(int shard_id, ShardPartial partial) APAN_EXCLUDES(flush_mu_);
@@ -347,6 +425,15 @@ class ShardedEngine {
   /// possibly on another thread, possibly more than once) — and empties
   /// the buffers. Worker thread only.
   void FlushOutbound(int from_shard);
+  /// Retires the application legs of `batches` on `to_shard` after their
+  /// ShardPartials were shed (peer down, or send refused even after the
+  /// transport's own lane recovery): erases the peer from each batch's
+  /// apply_remaining_ set and decrements inflight_ once per leg actually
+  /// present, so Flush cannot wedge on a merge the dead peer will never
+  /// perform.
+  void CompensateLostPartials(int to_shard,
+                              const std::vector<int64_t>& batches)
+      APAN_EXCLUDES(flush_mu_);
   /// Transport delivery handler: pushes onto the target shard's inbox.
   void EnqueueMessage(int to_shard, ShardMessage message);
   void CountDuplicateDropped(int shard_id);
@@ -388,6 +475,13 @@ class ShardedEngine {
   ThreadPool encode_pool_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
+  /// Per-shard down flags (SetShardDown), sized num_shards at
+  /// construction and never resized. Atomics because the readers span
+  /// lock domains — InferBatch under infer_mu_, FlushOutbound and
+  /// ExpandKHop on worker threads under no engine lock — and the flag
+  /// only flips at a flushed quiescent point, so relaxed reads suffice.
+  std::vector<std::atomic<bool>> shard_down_;
+
   /// Serializes Shutdown callers end-to-end. Outermost engine lock:
   /// Shutdown holds it while taking infer_mu_ (and, via Flush, flush_mu_).
   util::Mutex shutdown_mu_;
@@ -399,6 +493,12 @@ class ShardedEngine {
   bool shutdown_ APAN_GUARDED_BY(infer_mu_) = false;
   int64_t next_batch_ APAN_GUARDED_BY(infer_mu_) = 0;
   int64_t next_ordinal_ APAN_GUARDED_BY(infer_mu_) = 0;  ///< Events accepted.
+  /// False until the first accepted batch. Gates RestoreShard under a
+  /// duplicating transport: restoring a virgin engine rewinds nothing, so
+  /// there is no pre-restore frame a rewound replay tag could re-accept —
+  /// which is how a fresh engine rejoins from snapshots even when its
+  /// transport cannot promise exactly-once.
+  bool ingested_since_start_ APAN_GUARDED_BY(infer_mu_) = false;
 
   /// Outstanding work legs for Flush: each accepted batch contributes
   /// num_shards sampling legs + num_shards application legs. Innermost
@@ -406,9 +506,13 @@ class ShardedEngine {
   mutable util::Mutex flush_mu_ APAN_ACQUIRED_AFTER(infer_mu_);
   util::CondVar flush_cv_;
   int64_t inflight_ APAN_GUARDED_BY(flush_mu_) = 0;
-  /// Apply barrier per in-flight batch: shards yet to merge it. The last
-  /// one to reach zero completes the batch.
-  std::map<int64_t, int> apply_remaining_ APAN_GUARDED_BY(flush_mu_);
+  /// Apply barrier per in-flight batch: the exact set of shards yet to
+  /// merge it; the last shard to leave the set completes the batch. A set
+  /// (not a count) so that shedding a partial destined to a dead peer can
+  /// retire precisely the legs that were counted at ingest — a batch
+  /// ingested while a shard was already down never put that shard in its
+  /// set, so double-compensation is structurally impossible.
+  std::map<int64_t, std::set<int>> apply_remaining_ APAN_GUARDED_BY(flush_mu_);
 
   /// Metric handles, resolved once at construction (the registry owns the
   /// metrics; handles are stable and lock-free). Counters are the stats()
@@ -426,6 +530,8 @@ class ShardedEngine {
     obs::Counter* frontier_nodes_forwarded = nullptr;
     obs::Counter* duplicates_dropped = nullptr;  ///< cell = dropping shard
     obs::Counter* events_homed = nullptr;        ///< cell = home shard
+    obs::Counter* events_shed = nullptr;         ///< cell = down home shard
+    obs::Counter* sends_shed = nullptr;          ///< cell = destination
     obs::Gauge* job_depth = nullptr;        ///< per-shard inbox depth
     obs::Gauge* job_highwater = nullptr;
     obs::Gauge* mail_depth = nullptr;

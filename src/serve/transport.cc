@@ -52,6 +52,39 @@ bool UnixSocketTransport::Available() { return APAN_HAVE_AF_UNIX != 0; }
 
 #if APAN_HAVE_AF_UNIX
 
+namespace {
+
+// A dead peer must surface as a Status on the writer's thread, not as a
+// process-wide SIGPIPE: pass MSG_NOSIGNAL where the platform has it, and
+// fall back to marking the socket itself on ones that spell it
+// SO_NOSIGPIPE (macOS). One of the two exists everywhere AF_UNIX does.
+ssize_t SendSome(int fd, const uint8_t* data, size_t size) {
+#if defined(MSG_NOSIGNAL)
+  return ::send(fd, data, size, MSG_NOSIGNAL);
+#else
+  return ::write(fd, data, size);
+#endif
+}
+
+void SuppressSigpipe(int fd) {
+#if !defined(MSG_NOSIGNAL) && defined(SO_NOSIGPIPE)
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
+#else
+  static_cast<void>(fd);
+#endif
+}
+
+// Reconnect policy: a handful of attempts with capped exponential
+// backoff. The numbers are deliberately small — the lanes are local
+// sockets, so either the rebuild succeeds immediately or the failure is
+// structural and waiting longer cannot help.
+constexpr int kMaxWriteAttempts = 5;
+constexpr int64_t kBackoffBaseMicros = 200;
+constexpr int64_t kBackoffCapMicros = 5000;
+
+}  // namespace
+
 UnixSocketTransport::~UnixSocketTransport() { Stop(); }
 
 Status UnixSocketTransport::Start(int num_shards, Handler handler) {
@@ -80,6 +113,7 @@ Status UnixSocketTransport::Start(int num_shards, Handler handler) {
       return Status::IoError(
           internal::StrCat("socketpair failed: errno ", err));
     }
+    SuppressSigpipe(fds[0]);
     {
       util::MutexLock lock(lane->write_mu);
       lane->write_fd = fds[0];
@@ -119,13 +153,17 @@ void UnixSocketTransport::ReaderLoop(Lane* lane, int to_shard) {
     uint8_t header[wire::kFrameHeaderBytes];
     const int header_read = read_exact(header, sizeof(header));
     if (header_read == 0) return;  // write side closed at a frame boundary
-    APAN_CHECK_MSG(header_read == 1, "uds lane died mid-frame-header");
+    // A mid-frame EOF or read error is a dead lane (peer death, or a
+    // reconnect tearing this socket down), not a protocol bug: exit so
+    // the lane can be rebuilt, instead of taking the process with it.
+    // The truncated frame is discarded — its writer saw the failure as a
+    // Status and re-sends the whole frame on the rebuilt lane.
+    if (header_read != 1) return;
     Result<uint32_t> length =
         wire::DecodeFrameLength(std::span<const uint8_t, 4>(header));
     APAN_CHECK_MSG(length.ok(), length.status().ToString());
     payload.resize(*length);
-    APAN_CHECK_MSG(read_exact(payload.data(), payload.size()) == 1,
-                   "uds lane died mid-frame-payload");
+    if (read_exact(payload.data(), payload.size()) != 1) return;
     // A frame is one message or a coalesced batch; either way it fans out
     // into per-message handler calls, so receivers never see batching.
     Result<std::vector<ShardMessage>> messages =
@@ -137,6 +175,32 @@ void UnixSocketTransport::ReaderLoop(Lane* lane, int to_shard) {
   }
 }
 
+Status UnixSocketTransport::ReconnectLaneLocked(Lane& lane, int to_shard) {
+  if (lane.write_fd >= 0) {
+    ::close(lane.write_fd);
+    lane.write_fd = -1;
+  }
+  // Kick the reader off the dead socket (it may be blocked in read) and
+  // join it before touching read_fd: the join is what hands the fd's
+  // confinement back to this thread.
+  ::shutdown(lane.read_fd, SHUT_RDWR);
+  if (lane.reader.joinable()) lane.reader.join();
+  ::close(lane.read_fd);
+  lane.read_fd = -1;
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return Status::IoError(internal::StrCat(
+        "lane reconnect: socketpair failed: errno ", errno));
+  }
+  SuppressSigpipe(fds[0]);
+  lane.write_fd = fds[0];
+  lane.read_fd = fds[1];
+  Lane* lane_ptr = &lane;
+  lane.reader =
+      std::thread([this, lane_ptr, to_shard] { ReaderLoop(lane_ptr, to_shard); });
+  return Status::OK();
+}
+
 Status UnixSocketTransport::WriteFrame(int from_shard, int to_shard,
                                        const std::vector<uint8_t>& frame,
                                        int64_t message_count) {
@@ -145,26 +209,58 @@ Status UnixSocketTransport::WriteFrame(int from_shard, int to_shard,
   if (lane.write_fd < 0) {
     return Status::FailedPrecondition("transport is stopped");
   }
-  size_t sent = 0;
+  Status last_error;
   int64_t write_calls = 0;
-  while (sent < frame.size()) {
-    const ssize_t w =
-        ::write(lane.write_fd, frame.data() + sent, frame.size() - sent);
-    ++write_calls;
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return Status::IoError(
-          internal::StrCat("uds lane write failed: errno ", errno));
+  for (int attempt = 0; attempt < kMaxWriteAttempts; ++attempt) {
+    if (attempt > 0) {
+      // Capped exponential backoff, then rebuild the lane and retry the
+      // whole frame. Holding write_mu through the sleep is intentional:
+      // every other writer to this lane would fail the same way.
+      const int64_t backoff = std::min(
+          kBackoffBaseMicros << (attempt - 1), kBackoffCapMicros);
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+      const Status reconnected = ReconnectLaneLocked(lane, to_shard);
+      if (!reconnected.ok()) {
+        last_error = reconnected;
+        continue;
+      }
+      if (metrics_.valid() && metrics_.lane_reconnects != nullptr) {
+        metrics_.lane_reconnects->Add(metrics_.lane(from_shard, to_shard), 1);
+      }
     }
-    sent += static_cast<size_t>(w);
+    size_t sent = 0;
+    bool failed = false;
+    while (sent < frame.size()) {
+      const ssize_t w =
+          SendSome(lane.write_fd, frame.data() + sent, frame.size() - sent);
+      ++write_calls;
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        // Peer death (EPIPE/ECONNRESET) or any other refusal: a partial
+        // frame may be stranded in the old socket, but its reader dies
+        // with it mid-frame and discards it, so retrying the whole frame
+        // on a rebuilt lane never duplicates a delivery.
+        last_error = Status::IoError(
+            internal::StrCat("uds lane write failed: errno ", errno));
+        failed = true;
+        break;
+      }
+      sent += static_cast<size_t>(w);
+    }
+    if (!failed) {
+      if (metrics_.valid()) {
+        const int cell = metrics_.lane(from_shard, to_shard);
+        metrics_.frames->Add(cell, message_count);
+        metrics_.bytes->Add(cell, static_cast<int64_t>(frame.size()));
+        metrics_.syscalls->Add(cell, write_calls);
+      }
+      return Status::OK();
+    }
   }
-  if (metrics_.valid()) {
-    const int cell = metrics_.lane(from_shard, to_shard);
-    metrics_.frames->Add(cell, message_count);
-    metrics_.bytes->Add(cell, static_cast<int64_t>(frame.size()));
-    metrics_.syscalls->Add(cell, write_calls);
+  if (metrics_.valid() && metrics_.send_failures != nullptr) {
+    metrics_.send_failures->Add(metrics_.lane(from_shard, to_shard), 1);
   }
-  return Status::OK();
+  return last_error;
 }
 
 Status UnixSocketTransport::Send(int from_shard, int to_shard,
@@ -215,6 +311,26 @@ void UnixSocketTransport::Stop() {
   }
 }
 
+Status UnixSocketTransport::KillLaneForTest(int from_shard, int to_shard) {
+  if (!started_ || stopped_) {
+    return Status::FailedPrecondition("transport is not running");
+  }
+  if (from_shard < 0 || from_shard >= num_shards_ || to_shard < 0 ||
+      to_shard >= num_shards_) {
+    return Status::InvalidArgument("shard id out of range");
+  }
+  Lane& lane = LaneFor(from_shard, to_shard);
+  util::MutexLock lock(lane.write_mu);
+  if (lane.write_fd < 0) {
+    return Status::FailedPrecondition("lane already torn down");
+  }
+  // Receive-side shutdown is what a peer process death looks like from
+  // this end: the reader sees EOF and exits, anything queued but unread
+  // is gone, and the next write on the lane comes back EPIPE.
+  ::shutdown(lane.read_fd, SHUT_RDWR);
+  return Status::OK();
+}
+
 #else  // !APAN_HAVE_AF_UNIX
 
 UnixSocketTransport::~UnixSocketTransport() = default;
@@ -233,6 +349,14 @@ Status UnixSocketTransport::SendBatch(int, int, std::vector<ShardMessage>) {
 
 Status UnixSocketTransport::WriteFrame(int, int, const std::vector<uint8_t>&,
                                        int64_t) {
+  return Status::NotImplemented("AF_UNIX is unavailable on this platform");
+}
+
+Status UnixSocketTransport::ReconnectLaneLocked(Lane&, int) {
+  return Status::NotImplemented("AF_UNIX is unavailable on this platform");
+}
+
+Status UnixSocketTransport::KillLaneForTest(int, int) {
   return Status::NotImplemented("AF_UNIX is unavailable on this platform");
 }
 

@@ -58,6 +58,13 @@ struct TransportMetrics {
   obs::Counter* frames = nullptr;
   obs::Counter* bytes = nullptr;
   obs::Counter* syscalls = nullptr;
+  /// Robustness accounting, optional on top of valid(): lane_reconnects
+  /// counts successful lane rebuilds after a peer death (one per rebuilt
+  /// socketpair), send_failures counts Sends/SendBatches that returned a
+  /// non-OK Status after exhausting reconnect attempts. Per directed
+  /// lane, like the others. Null handles skip the count, not the retry.
+  obs::Counter* lane_reconnects = nullptr;
+  obs::Counter* send_failures = nullptr;
   int num_shards = 0;
 
   bool valid() const {
@@ -182,8 +189,18 @@ class UnixSocketTransport : public Transport {
   void SetMetrics(const TransportMetrics& metrics) override {
     metrics_ = metrics;
   }
-  /// Lossless FIFO socketpair lanes: one frame per Send.
+  /// Lossless FIFO socketpair lanes: one frame per Send. Reconnect keeps
+  /// this true — a rebuilt lane only ever re-sends a frame whose first
+  /// copy died partially written, which the dying reader discarded.
   bool exactly_once() const override { return true; }
+
+  /// \brief Fault-injection hook for the robustness tests: simulates the
+  /// (from → to) lane's peer dying by shutting the receive side down.
+  /// Queued-but-unread frames are discarded with the peer (exactly what a
+  /// process death does), the lane's reader exits, and the next write
+  /// observes EPIPE and takes the reconnect path. Must not race Stop or a
+  /// concurrent kill of the same lane.
+  Status KillLaneForTest(int from_shard, int to_shard);
 
  private:
   struct Lane {
@@ -191,15 +208,26 @@ class UnixSocketTransport : public Transport {
     /// worker) and guards write_fd against the close in Stop.
     util::Mutex write_mu;
     int write_fd APAN_GUARDED_BY(write_mu) = -1;
-    /// Reader-thread-confined until Stop joins the reader; never raced.
+    /// Reader-thread-confined until the reader is joined (by Stop, or by
+    /// a reconnect rebuilding the lane under write_mu); never raced.
     int read_fd = -1;
     std::thread reader;
   };
 
   /// Shared tail of Send/SendBatch: one locked write loop for a fully
-  /// serialized frame carrying `message_count` messages.
+  /// serialized frame carrying `message_count` messages. A failed write
+  /// (peer death: EPIPE/ECONNRESET) is surfaced as Status, never a
+  /// signal or a crash: the lane is rebuilt with capped exponential
+  /// backoff and the frame retried; after the attempts are exhausted the
+  /// caller gets IoError and the send_failures cell is bumped.
   Status WriteFrame(int from_shard, int to_shard,
                     const std::vector<uint8_t>& frame, int64_t message_count);
+  /// Tears down and rebuilds one lane under its write lock: kicks the old
+  /// reader off the dead socket, joins it, makes a fresh socketpair and
+  /// respawns the reader. The joined reader hands read_fd back to this
+  /// thread, so the fd swap is unraced by construction.
+  Status ReconnectLaneLocked(Lane& lane, int to_shard)
+      APAN_REQUIRES(lane.write_mu);
 
   Lane& LaneFor(int from_shard, int to_shard) {
     return *lanes_[static_cast<size_t>(from_shard) *

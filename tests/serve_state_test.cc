@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "data/synthetic.h"
@@ -173,6 +174,97 @@ TEST(ShardedStateTest, ResetStateKeepsCumulativeStats) {
   const auto after = engine.stats();
   EXPECT_EQ(after.batches_ingested, 2 * before.batches_ingested);
   EXPECT_EQ(after.batches_propagated, 2 * before.batches_propagated);
+}
+
+// ---- Restore-vs-reset equivalence (recovery satellite) ---------------------
+
+TEST(ShardedStateTest, RestoreFromJustWrittenSnapshotIsIdentity) {
+  // Snapshot every shard of a warm engine, restore all four back into the
+  // same engine: a checkpoint taken at a flushed boundary captures the
+  // shard exactly, so the round trip must be a bitwise no-op.
+  Fixture f;
+  const size_t events = 200, batch = 50;
+  core::ApanModel reference_model(f.config, &f.dataset.features, 7);
+  {
+    AsyncPipeline pipeline(&reference_model, {});
+    for (size_t lo = 0; lo + batch <= events; lo += batch) {
+      ASSERT_TRUE(pipeline.InferBatch(f.BatchEvents(lo, lo + batch)).ok());
+    }
+    pipeline.Flush();
+  }
+  core::ApanModel model(f.config, &f.dataset.features, 7);
+  ShardedEngine::Options options;
+  options.num_shards = 4;
+  ShardedEngine engine(&model, options);
+  RunStream(engine, f, events, batch);
+  for (int s = 0; s < 4; ++s) {
+    const std::string path =
+        testing::TempDir() + "/identity_" + std::to_string(s) + ".apsn";
+    ASSERT_TRUE(engine.SnapshotShard(s, path).ok());
+    ASSERT_TRUE(engine.RestoreShard(s, path).ok());
+  }
+  ExpectStitchedMailboxEqual(engine, reference_model, f.config.num_nodes);
+  // And the restored engine is still live: the next stretch of the
+  // stream is accepted on top of the restored state.
+  for (size_t lo = events; lo + batch <= events + 2 * batch; lo += batch) {
+    ASSERT_TRUE(engine.InferBatch(f.BatchEvents(lo, lo + batch)).ok());
+  }
+  engine.Flush();
+  EXPECT_EQ(engine.sharded_graph().num_events(),
+            static_cast<int64_t>(events + 2 * batch));
+}
+
+TEST(ShardedStateTest, ResetFullReplayEqualsRestoreTailReplay) {
+  // Two recovery strategies for the same crash point must converge: (a)
+  // reset + replay the whole stream, (b) restore the mid-stream
+  // checkpoint into a fresh engine + replay only the tail. Both are
+  // checked bitwise against the single-worker reference.
+  Fixture f;
+  const size_t events = 200, cut = 100, batch = 50;
+  core::ApanModel piped(f.config, &f.dataset.features, 7);
+  {
+    AsyncPipeline pipeline(&piped, {});
+    for (size_t lo = 0; lo + batch <= events; lo += batch) {
+      ASSERT_TRUE(pipeline.InferBatch(f.BatchEvents(lo, lo + batch)).ok());
+    }
+    pipeline.Flush();
+  }
+
+  // Checkpoint an engine at the cut, then exercise strategy (a) on it.
+  core::ApanModel model_a(f.config, &f.dataset.features, 7);
+  ShardedEngine::Options options;
+  options.num_shards = 4;
+  ShardedEngine engine_a(&model_a, options);
+  RunStream(engine_a, f, cut, batch);
+  for (int s = 0; s < 4; ++s) {
+    ASSERT_TRUE(
+        engine_a
+            .SnapshotShard(s, testing::TempDir() + "/equiv_" +
+                                  std::to_string(s) + ".apsn")
+            .ok());
+  }
+  engine_a.ResetState();
+  RunStream(engine_a, f, events, batch);
+  ExpectStitchedMailboxEqual(engine_a, piped, f.config.num_nodes);
+
+  // Strategy (b): a fresh engine adopts the checkpoint and replays the
+  // tail only.
+  core::ApanModel model_b(f.config, &f.dataset.features, 7);
+  ShardedEngine engine_b(&model_b, options);
+  for (int s = 0; s < 4; ++s) {
+    ASSERT_TRUE(
+        engine_b
+            .RestoreShard(s, testing::TempDir() + "/equiv_" +
+                                 std::to_string(s) + ".apsn")
+            .ok());
+  }
+  for (size_t lo = cut; lo + batch <= events; lo += batch) {
+    ASSERT_TRUE(engine_b.InferBatch(f.BatchEvents(lo, lo + batch)).ok());
+  }
+  engine_b.Flush();
+  ExpectStitchedMailboxEqual(engine_b, piped, f.config.num_nodes);
+  EXPECT_EQ(engine_b.sharded_graph().num_events(),
+            static_cast<int64_t>(events));
 }
 
 }  // namespace

@@ -29,10 +29,15 @@
 //      string and a present, finite, positive "events_per_sec";
 //   3. a "memory" array whose entries carry "partition" and a per-shard
 //      max >= min state-slice split — one measured row per
-//      (shards, partition) configuration, never a reused one.
+//      (shards, partition) configuration, never a reused one;
+//   4. a "recovery" array (the checkpoint/rejoin cycle) whose rows carry
+//      finite, non-negative snapshot_write_ms / restore_replay_ms, a
+//      positive events_replayed, and events_shed == 0 — the bench never
+//      takes a shard down, so shed events during rejoin are lost traffic
+//      (structural, so it holds even on a loaded box).
 //
 // Scaling checks (skipped under --schema-only):
-//   4. within each (transport, partition) group, every multi-shard row
+//   5. within each (transport, partition) group, every multi-shard row
 //      keeps events_per_sec >= --min-scale x the 1-shard row of the same
 //      transport. The default floor (0.25) is deliberately a collapse
 //      detector, not a speedup gate: shard workers are threads, so on a
@@ -41,7 +46,7 @@
 //      with zero hardware to hide it behind) — positive scaling is
 //      physically unavailable there. CI boxes with real parallelism can
 //      tighten the floor via the flag.
-//   5. at every (shards > 1, transport), the locality partition's
+//   6. at every (shards > 1, transport), the locality partition's
 //      cross_shard_pct must not exceed the hash partition's — the one
 //      scaling property that holds on any hardware, since it counts mail
 //      routing, not wall time.
@@ -300,6 +305,46 @@ int main(int argc, char** argv) {
       fail("memory row %zu duplicates configuration (%d shards, %s) — "
            "rows must be measured per configuration, not reused",
            i, shards, partition.c_str());
+    }
+  }
+
+  // ---- recovery: checkpoint + rejoin cost ----------------------------------
+  // Schema tier (runs on fresh JSON too): every recovery row carries
+  // finite, non-negative snapshot/rejoin timings and a positive replayed
+  // count. events_shed is a structural property, not a timing: the bench's
+  // crash/recovery cycle never takes a shard down, so anything shed during
+  // rejoin is lost traffic — it must be exactly 0 even on a loaded box.
+  const std::vector<std::string> recovery_objects =
+      SplitObjects(ExtractArray(text, "recovery"));
+  if (recovery_objects.empty()) {
+    fail("%s has no \"recovery\" array (or it is empty)", path.c_str());
+  }
+  for (size_t i = 0; i < recovery_objects.size(); ++i) {
+    const std::string& object = recovery_objects[i];
+    if (StringField(object, "transport").empty()) {
+      fail("recovery row %zu lacks a \"transport\" field", i);
+    }
+    for (const char* field : {"snapshot_write_ms", "restore_replay_ms"}) {
+      bool found = false;
+      const double ms = NumberField(object, field, &found);
+      if (!found) {
+        fail("recovery row %zu lacks \"%s\"", i, field);
+      } else if (!std::isfinite(ms) || ms < 0.0) {
+        fail("recovery row %zu %s = %g is not finite and non-negative", i,
+             field, ms);
+      }
+    }
+    bool found = false;
+    const double replayed = NumberField(object, "events_replayed", &found);
+    if (!found || !std::isfinite(replayed) || replayed <= 0.0) {
+      fail("recovery row %zu events_replayed = %g is not a measurement", i,
+           found ? replayed : -1.0);
+    }
+    const double shed = NumberField(object, "events_shed", &found);
+    if (!found || shed != 0.0) {
+      fail("recovery row %zu events_shed = %g — no shard is down in the "
+           "bench's crash/recovery cycle, so shed events are lost traffic",
+           i, found ? shed : -1.0);
     }
   }
 
